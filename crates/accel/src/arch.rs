@@ -1,0 +1,158 @@
+//! Architecture parameters of the zero-state-skipping accelerator
+//! (Section III-B, Fig. 6).
+//!
+//! The paper's design point: four tiles of 48 PEs each (one tile per LSTM
+//! gate), a 200 MHz clock, an LPDDR4 interface delivering 51.2 Gbit/s —
+//! "24 8-bit weights and a single 8-bit input element ... at a nominal
+//! frequency of 200 MHz" — and a 16-entry × 12-bit scratch SRAM per PE
+//! holding partial sums for up to 16 batch lanes.
+
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the accelerator.
+///
+/// # Example
+///
+/// ```
+/// use zskip_accel::ArchConfig;
+///
+/// let arch = ArchConfig::paper();
+/// assert_eq!(arch.total_pes(), 192);
+/// assert_eq!(arch.peak_gops(), 76.8);
+/// assert_eq!(arch.pipeline_depth(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Number of tiles (one per gate in the paper's dataflow).
+    pub tiles: usize,
+    /// Processing elements per tile.
+    pub pes_per_tile: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Weights delivered per cycle by the DRAM interface.
+    pub weights_per_cycle: usize,
+    /// Input (state/activation) elements delivered per cycle.
+    pub inputs_per_cycle: usize,
+    /// Scratch entries per PE (bounds the supported batch size).
+    pub scratch_entries: usize,
+    /// Scratch word width in bits.
+    pub scratch_bits: u8,
+    /// Weight/activation precision in bits.
+    pub data_bits: u8,
+    /// Offset field width of the state encoder, in bits.
+    pub offset_bits: u8,
+}
+
+impl ArchConfig {
+    /// The paper's design point.
+    pub fn paper() -> Self {
+        Self {
+            tiles: 4,
+            pes_per_tile: 48,
+            clock_hz: 200e6,
+            weights_per_cycle: 24,
+            inputs_per_cycle: 1,
+            scratch_entries: 16,
+            scratch_bits: 12,
+            data_bits: 8,
+            offset_bits: 8,
+        }
+    }
+
+    /// Total PE count.
+    pub fn total_pes(&self) -> usize {
+        self.tiles * self.pes_per_tile
+    }
+
+    /// Peak throughput in GOPS, counting one MAC as two operations.
+    pub fn peak_gops(&self) -> f64 {
+        self.total_pes() as f64 * 2.0 * self.clock_hz / 1e9
+    }
+
+    /// Weight-reuse pipeline depth: how many cycles it takes the DRAM
+    /// interface to feed every PE one weight. Batch sizes at or above this
+    /// depth achieve full PE utilization (Fig. 5c).
+    pub fn pipeline_depth(&self) -> usize {
+        self.total_pes().div_ceil(self.weights_per_cycle)
+    }
+
+    /// DRAM payload bandwidth in bytes per cycle implied by the
+    /// weight/input rates.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        (self.weights_per_cycle + self.inputs_per_cycle) as f64 * self.data_bits as f64 / 8.0
+    }
+
+    /// DRAM payload bandwidth in bytes per second.
+    pub fn dram_bytes_per_sec(&self) -> f64 {
+        self.dram_bytes_per_cycle() * self.clock_hz
+    }
+
+    /// Maximum batch size supported by the per-PE scratch.
+    pub fn max_batch(&self) -> usize {
+        self.scratch_entries
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiles == 0 || self.pes_per_tile == 0 {
+            return Err("tile/PE counts must be positive".into());
+        }
+        if self.weights_per_cycle == 0 {
+            return Err("weight bandwidth must be positive".into());
+        }
+        if self.clock_hz <= 0.0 {
+            return Err("clock must be positive".into());
+        }
+        if self.scratch_entries == 0 {
+            return Err("scratch must hold at least one batch entry".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_matches_reported_numbers() {
+        let a = ArchConfig::paper();
+        assert_eq!(a.total_pes(), 192);
+        // 192 PEs × 2 ops × 200 MHz = 76.8 GOPS (Section III-C).
+        assert!((a.peak_gops() - 76.8).abs() < 1e-9);
+        // 24 + 1 bytes per cycle at 200 MHz = 5 GB/s payload out of the
+        // 6.4 GB/s LPDDR4 pin bandwidth (rest: offsets, c-state, refresh).
+        assert!((a.dram_bytes_per_sec() - 5.0e9).abs() < 1e6);
+        assert_eq!(a.max_batch(), 16);
+    }
+
+    #[test]
+    fn pipeline_depth_is_eight_for_paper() {
+        // 192 PEs / 24 weights per cycle = 8: batch 8 saturates the array,
+        // matching Fig. 8's identical dense GOPS at batches 8 and 16.
+        assert_eq!(ArchConfig::paper().pipeline_depth(), 8);
+    }
+
+    #[test]
+    fn validate_accepts_paper_and_rejects_zeroes() {
+        assert!(ArchConfig::paper().validate().is_ok());
+        let mut bad = ArchConfig::paper();
+        bad.weights_per_cycle = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(ArchConfig::default(), ArchConfig::paper());
+    }
+}

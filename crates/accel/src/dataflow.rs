@@ -1,0 +1,315 @@
+//! Phase-level timing and traffic model of the recurrent dataflow
+//! (Section III-A, Fig. 5).
+//!
+//! Each state column `j` requires the `j`-th weight column of all four
+//! gate matrices (`4·dh` weights) and contributes `4·dh·B` MACs. With
+//! `W` weights arriving per cycle and `P` PEs total, a stored column costs
+//!
+//! ```text
+//! max( ⌈4·dh / W⌉ ,  ⌈4·dh·B / P⌉ ,  B )      cycles
+//! ```
+//!
+//! — the bandwidth term dominates for small batches (Fig. 5b, 12.5%
+//! utilization at B = 1 on the paper's design), the compute term for
+//! large ones, and the `B` term accounts for the one-input-per-cycle
+//! stream. Skippable columns cost nothing: the offset encoding lets the
+//! controller address only the weights of stored columns.
+//!
+//! The per-timestep phases are: the skippable `Wh` GEMV, the unskippable
+//! `Wx` contribution (lookup for one-hot, full GEMV for dense inputs),
+//! and the element-wise tail of Eq. 2–3 (which streams `c[t-1]` from DRAM
+//! and writes `c[t]` and the encoded `h[t]` back). Pipeline fill adds one
+//! `pipeline_depth` latency per GEMV phase.
+
+use crate::arch::ArchConfig;
+use crate::trace::SkipTrace;
+use crate::workload::{InputKind, LstmWorkload};
+use serde::{Deserialize, Serialize};
+
+/// Cycle counts of one timestep, by phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepCycles {
+    /// Recurrent `Wh·h` GEMV over stored columns.
+    pub wh: u64,
+    /// Input contribution `Wx·x`.
+    pub wx: u64,
+    /// Element-wise Eq. 2–3 incl. state streaming.
+    pub pointwise: u64,
+    /// Pipeline fill for the GEMV phases.
+    pub fill: u64,
+}
+
+impl StepCycles {
+    /// Total cycles of the step.
+    pub fn total(&self) -> u64 {
+        self.wh + self.wx + self.pointwise + self.fill
+    }
+}
+
+/// DRAM byte counts of one timestep, by stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepTraffic {
+    /// Weight fetches (`Wh` stored columns + `Wx`).
+    pub weight_bytes: u64,
+    /// Encoded state read (offsets + lane values) and raw input fetch.
+    pub state_in_bytes: u64,
+    /// Encoded state writeback.
+    pub state_out_bytes: u64,
+    /// Cell-state read + write (dense, `B·dh` each way).
+    pub cell_bytes: u64,
+}
+
+impl StepTraffic {
+    /// Total bytes moved in the step.
+    pub fn total(&self) -> u64 {
+        self.weight_bytes + self.state_in_bytes + self.state_out_bytes + self.cell_bytes
+    }
+}
+
+/// The analytic dataflow model for a given architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataflowModel {
+    arch: ArchConfig,
+}
+
+impl DataflowModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture fails validation.
+    pub fn new(arch: ArchConfig) -> Self {
+        arch.validate().expect("invalid architecture");
+        Self { arch }
+    }
+
+    /// The architecture being modeled.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Cycles to process one stored state column at batch `b` for hidden
+    /// width `dh` (see module docs for the three terms).
+    ///
+    /// The compute term works at *weight-group* granularity: the last
+    /// group of a column may be partially filled, and its idle PE slots
+    /// cannot be reclaimed, so the cost is
+    /// `⌈⌈4dh/W⌉ · B / (P/W)⌉` rather than the idealized `⌈4dh·B/P⌉`.
+    pub fn column_cycles(&self, dh: usize, b: usize) -> u64 {
+        let weights = 4 * dh;
+        let groups = weights.div_ceil(self.arch.weights_per_cycle);
+        let pe_groups = self.arch.total_pes().div_ceil(self.arch.weights_per_cycle);
+        let bw = groups as u64;
+        let compute = (groups * b).div_ceil(pe_groups) as u64;
+        bw.max(compute).max(b as u64)
+    }
+
+    /// Cycles of the `Wx` phase.
+    pub fn wx_cycles(&self, w: &LstmWorkload) -> u64 {
+        let weights = 4 * w.dh;
+        match w.input {
+            // One row of Wx per lane (lanes generally index different
+            // rows), bandwidth-bound.
+            InputKind::OneHot => (w.batch * weights.div_ceil(self.arch.weights_per_cycle)) as u64,
+            // Full GEMV over dx never-skippable columns.
+            InputKind::Dense => w.dx as u64 * self.column_cycles(w.dh, w.batch),
+            // One column.
+            InputKind::Scalar => self.column_cycles(w.dh, w.batch),
+        }
+    }
+
+    /// Cycles of the element-wise tail: max of the DRAM stream for
+    /// `c[t-1]`/`c[t]`/encoded `h[t]` and the PE time for `4·dh·B`
+    /// element-wise operations.
+    pub fn pointwise_cycles(&self, w: &LstmWorkload, stored_cols: usize) -> u64 {
+        let bytes = 2 * w.batch * w.dh // c in + out
+            + stored_cols * (1 + w.batch); // encoded h out
+        let bw = (bytes as f64 / self.arch.dram_bytes_per_cycle()).ceil() as u64;
+        let compute = (4 * w.dh * w.batch).div_ceil(self.arch.total_pes()) as u64;
+        bw.max(compute)
+    }
+
+    /// Timing of one timestep with `stored_cols` stored state columns.
+    pub fn step_cycles(&self, w: &LstmWorkload, stored_cols: usize) -> StepCycles {
+        StepCycles {
+            wh: stored_cols as u64 * self.column_cycles(w.dh, w.batch),
+            wx: self.wx_cycles(w),
+            pointwise: self.pointwise_cycles(w, stored_cols),
+            fill: 2 * self.arch.pipeline_depth() as u64,
+        }
+    }
+
+    /// Traffic of one timestep with `stored_cols` stored state columns.
+    pub fn step_traffic(&self, w: &LstmWorkload, stored_cols: usize) -> StepTraffic {
+        let wx_weight_bytes = match w.input {
+            InputKind::OneHot => w.batch * 4 * w.dh,
+            InputKind::Dense => w.dx * 4 * w.dh,
+            InputKind::Scalar => 4 * w.dh,
+        } as u64;
+        let x_in_bytes = match w.input {
+            InputKind::OneHot => w.batch as u64, // one index byte per lane
+            InputKind::Dense => (w.batch * w.dx) as u64,
+            InputKind::Scalar => w.batch as u64,
+        };
+        let encoded = (stored_cols * (1 + w.batch)) as u64;
+        StepTraffic {
+            weight_bytes: (stored_cols * 4 * w.dh) as u64 + wx_weight_bytes,
+            state_in_bytes: encoded + x_in_bytes,
+            state_out_bytes: encoded,
+            cell_bytes: 2 * (w.batch * w.dh) as u64,
+        }
+    }
+
+    /// Sums timing and traffic over a whole [`SkipTrace`], returning
+    /// `(cycles, traffic, macs_performed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace width differs from `w.dh`, the trace length
+    /// from `w.seq_len`, or the batch exceeds the scratch capacity.
+    pub fn run(&self, w: &LstmWorkload, trace: &SkipTrace) -> (u64, StepTraffic, u64) {
+        w.validate().expect("invalid workload");
+        assert_eq!(trace.dh(), w.dh, "trace width mismatch");
+        assert_eq!(trace.len(), w.seq_len, "trace length mismatch");
+        assert!(
+            w.batch <= self.arch.max_batch(),
+            "batch {} exceeds scratch capacity {}",
+            w.batch,
+            self.arch.max_batch()
+        );
+        let stored = trace.stored_columns(self.arch.offset_bits);
+        let mut cycles = 0u64;
+        let mut traffic = StepTraffic::default();
+        let mut macs = 0u64;
+        for &cols in &stored {
+            let t = self.step_cycles(w, cols);
+            cycles += t.total();
+            let tr = self.step_traffic(w, cols);
+            traffic.weight_bytes += tr.weight_bytes;
+            traffic.state_in_bytes += tr.state_in_bytes;
+            traffic.state_out_bytes += tr.state_out_bytes;
+            traffic.cell_bytes += tr.cell_bytes;
+            // MACs actually performed: stored columns of Wh plus the Wx
+            // contribution (lookup rows are adds; count them as MACs for
+            // energy purposes) plus the element-wise tail.
+            let wh_macs = (cols * 4 * w.dh * w.batch) as u64;
+            let wx_macs = match w.input {
+                InputKind::OneHot => (4 * w.dh * w.batch) as u64,
+                InputKind::Dense => (w.dx * 4 * w.dh * w.batch) as u64,
+                InputKind::Scalar => (4 * w.dh * w.batch) as u64,
+            };
+            let pw_macs = (4 * w.dh * w.batch) as u64;
+            macs += wh_macs + wx_macs + pw_macs;
+        }
+        (cycles, traffic, macs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DataflowModel {
+        DataflowModel::new(ArchConfig::paper())
+    }
+
+    #[test]
+    fn column_cycles_match_hand_derivation() {
+        let m = model();
+        // dh=1000: 4000 weights / 24 per cycle = 167 cycles, bandwidth-bound
+        // at B=1; exactly balanced at B=8; compute-bound (334) at B=16.
+        assert_eq!(m.column_cycles(1000, 1), 167);
+        assert_eq!(m.column_cycles(1000, 8), 167);
+        assert_eq!(m.column_cycles(1000, 16), 334);
+    }
+
+    #[test]
+    fn dense_utilization_by_batch_matches_paper() {
+        // Fig. 8 dense bars: 9.6 GOPS at B=1 (12.5% of 76.8), ≈76.4 at
+        // B=8 and B=16 for PTB-char.
+        let m = model();
+        let w1 = LstmWorkload::ptb_char(1);
+        let trace = SkipTrace::dense(w1.dh, w1.seq_len);
+        let (cycles, _, _) = m.run(&w1, &trace);
+        let seconds = cycles as f64 / m.arch().clock_hz;
+        let gops = w1.total_ops() as f64 / seconds / 1e9;
+        assert!((gops - 9.6).abs() < 0.3, "B=1 dense GOPS {gops}");
+
+        let w8 = LstmWorkload::ptb_char(8);
+        let (cycles, _, _) = m.run(&w8, &trace);
+        let gops8 = w8.total_ops() as f64 / (cycles as f64 / m.arch().clock_hz) / 1e9;
+        assert!((gops8 - 76.4).abs() < 1.5, "B=8 dense GOPS {gops8}");
+
+        let w16 = LstmWorkload::ptb_char(16);
+        let (cycles, _, _) = m.run(&w16, &trace);
+        let gops16 = w16.total_ops() as f64 / (cycles as f64 / m.arch().clock_hz) / 1e9;
+        assert!((gops16 - 76.4).abs() < 1.5, "B=16 dense GOPS {gops16}");
+    }
+
+    #[test]
+    fn skipping_reduces_cycles_proportionally() {
+        let m = model();
+        let w = LstmWorkload::ptb_char(8);
+        let dense = SkipTrace::dense(w.dh, w.seq_len);
+        let sparse = SkipTrace::from_profile(
+            w.dh,
+            w.seq_len,
+            w.batch,
+            crate::trace::SparsityProfile::new(0.81, 0.0),
+            3,
+        );
+        let (dc, _, _) = m.run(&w, &dense);
+        let (sc, _, _) = m.run(&w, &sparse);
+        let speedup = dc as f64 / sc as f64;
+        // 81% skippable on a ~99% skippable-dominated workload → ≈5×.
+        assert!(speedup > 4.2 && speedup < 5.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn word_task_speedup_is_capped_by_dense_wx() {
+        let m = model();
+        let w = LstmWorkload::ptb_word(8);
+        let dense = SkipTrace::dense(w.dh, w.seq_len);
+        let sparse = SkipTrace::from_profile(
+            w.dh,
+            w.seq_len,
+            w.batch,
+            crate::trace::SparsityProfile::new(0.63, 0.0),
+            4,
+        );
+        let (dc, _, _) = m.run(&w, &dense);
+        let (sc, _, _) = m.run(&w, &sparse);
+        let speedup = dc as f64 / sc as f64;
+        // Paper: 110.8 / 76.2 ≈ 1.45×.
+        assert!(speedup > 1.3 && speedup < 1.6, "speedup {speedup}");
+    }
+
+    #[test]
+    fn traffic_scales_with_stored_columns() {
+        let m = model();
+        let w = LstmWorkload::ptb_char(8);
+        let dense = m.step_traffic(&w, w.dh);
+        let sparse = m.step_traffic(&w, w.dh / 10);
+        assert!(sparse.weight_bytes < dense.weight_bytes / 5);
+        // Cell traffic is dense either way.
+        assert_eq!(sparse.cell_bytes, dense.cell_bytes);
+    }
+
+    #[test]
+    fn batch_beyond_scratch_panics() {
+        let m = model();
+        let w = LstmWorkload::ptb_char(32);
+        let trace = SkipTrace::dense(w.dh, w.seq_len);
+        let result = std::panic::catch_unwind(|| m.run(&w, &trace));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pointwise_phase_is_minor_for_char() {
+        let m = model();
+        let w = LstmWorkload::ptb_char(8);
+        let t = m.step_cycles(&w, w.dh);
+        let overhead = (t.pointwise + t.wx + t.fill) as f64 / t.total() as f64;
+        assert!(overhead < 0.02, "overhead fraction {overhead}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Component energy model, calibrated to the paper's reported operating
+//! points (Section III-C/D).
+//!
+//! The paper reports 925.3 GOPS/W at the dense peak and a batch-1 dense
+//! efficiency of ≈115.7 GOPS/W, i.e. an essentially *constant* ≈83 mW at
+//! 200 MHz regardless of PE utilization — and its batch-16 bars are
+//! exactly proportional to the batch-16 GOPS, which means the authors
+//! divided performance by one synthesis-reported power number rather than
+//! integrating activity. Both methodologies are provided:
+//!
+//! * [`EnergyModel::calibrated_65nm`] — activity-based components
+//!   (DRAM pJ/B, MAC pJ, static W) whose totals reproduce the paper's
+//!   bandwidth-saturated points (batch 1 and 8) within ~10%,
+//! * [`EnergyModel::paper_constant_power`] — the paper's constant-power
+//!   methodology, which reproduces Fig. 9 exactly by construction.
+//!
+//! | component | value | rationale |
+//! |---|---|---|
+//! | DRAM interface | 8 pJ/B | LPDDR4 interface energy per payload byte |
+//! | 8-bit MAC + scratch R/W | 0.10 pJ | 65 nm integer MAC, datapath share |
+//! | static + clock | 38 mW | leakage and clock tree at 200 MHz |
+//!
+//! Because skipping removes weight bytes and MACs *and* time in the same
+//! proportion, average power stays ≈constant under the activity model
+//! too, and GOPS/W scales with effective GOPS — the structure of Fig. 9.
+
+use crate::dataflow::StepTraffic;
+use serde::{Deserialize, Serialize};
+
+/// Energy/power parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per DRAM payload byte, picojoules.
+    pub dram_pj_per_byte: f64,
+    /// Energy per MAC including its scratch access, picojoules.
+    pub mac_pj: f64,
+    /// Static plus clock power, watts.
+    pub static_watts: f64,
+    /// When set, overrides the activity model with a fixed average power
+    /// (the paper's methodology).
+    pub constant_power_watts: Option<f64>,
+}
+
+impl EnergyModel {
+    /// Calibrated 65 nm activity-based defaults (see module docs).
+    pub fn calibrated_65nm() -> Self {
+        Self {
+            dram_pj_per_byte: 8.0,
+            mac_pj: 0.10,
+            static_watts: 0.038,
+            constant_power_watts: None,
+        }
+    }
+
+    /// The paper's constant-power methodology: performance divided by the
+    /// synthesis-reported ≈82.6 mW (76.4 GOPS dense peak / 925.3 GOPS/W).
+    pub fn paper_constant_power() -> Self {
+        Self {
+            constant_power_watts: Some(76.4 / 925.3),
+            ..Self::calibrated_65nm()
+        }
+    }
+
+    /// Total energy in joules for a run.
+    pub fn energy_joules(&self, traffic: &StepTraffic, macs: u64, seconds: f64) -> f64 {
+        if let Some(p) = self.constant_power_watts {
+            return p * seconds;
+        }
+        let dram = traffic.total() as f64 * self.dram_pj_per_byte * 1e-12;
+        let compute = macs as f64 * self.mac_pj * 1e-12;
+        let stat = self.static_watts * seconds;
+        dram + compute + stat
+    }
+
+    /// Average power in watts.
+    pub fn average_power(&self, traffic: &StepTraffic, macs: u64, seconds: f64) -> f64 {
+        self.energy_joules(traffic, macs, seconds) / seconds
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::calibrated_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchConfig;
+    use crate::dataflow::DataflowModel;
+    use crate::trace::SkipTrace;
+    use crate::workload::LstmWorkload;
+
+    fn run_dense(batch: usize, e: &EnergyModel) -> (f64, f64) {
+        let m = DataflowModel::new(ArchConfig::paper());
+        let w = LstmWorkload::ptb_char(batch);
+        let trace = SkipTrace::dense(w.dh, w.seq_len);
+        let (cycles, traffic, macs) = m.run(&w, &trace);
+        let seconds = cycles as f64 / m.arch().clock_hz;
+        let power = e.average_power(&traffic, macs, seconds);
+        let gops = w.total_ops() as f64 / seconds / 1e9;
+        (gops, gops / power)
+    }
+
+    #[test]
+    fn dense_peak_efficiency_near_paper() {
+        // Paper: 925.3 GOPS/W dense peak (batch 8, PTB-char).
+        let (_, eff) = run_dense(8, &EnergyModel::calibrated_65nm());
+        assert!(
+            (eff - 925.3).abs() / 925.3 < 0.10,
+            "dense peak efficiency {eff} GOPS/W vs paper 925.3"
+        );
+    }
+
+    #[test]
+    fn batch1_dense_efficiency_near_paper() {
+        // Paper Fig. 9: 115.7 GOPS/W at batch 1.
+        let (_, eff) = run_dense(1, &EnergyModel::calibrated_65nm());
+        assert!(
+            (eff - 115.7).abs() / 115.7 < 0.12,
+            "batch-1 dense efficiency {eff} GOPS/W vs paper 115.7"
+        );
+    }
+
+    #[test]
+    fn constant_power_mode_reproduces_fig9_exactly() {
+        let e = EnergyModel::paper_constant_power();
+        for (batch, expect) in [(1usize, 115.7), (8, 920.5), (16, 920.5)] {
+            let (_, eff) = run_dense(batch, &e);
+            assert!(
+                (eff - expect).abs() / expect < 0.03,
+                "batch {batch}: {eff} GOPS/W vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_is_roughly_constant_at_bandwidth_saturated_points() {
+        // Batches 1 and 8 keep the DRAM interface saturated, so the
+        // activity model predicts near-identical power; batch 16 halves
+        // the interface duty cycle and genuinely uses less (a point where
+        // our activity model is *more* favorable than the paper's
+        // constant-power accounting — see EXPERIMENTS.md).
+        let m = DataflowModel::new(ArchConfig::paper());
+        let e = EnergyModel::calibrated_65nm();
+        let mut powers = Vec::new();
+        for b in [1usize, 8] {
+            let w = LstmWorkload::ptb_char(b);
+            let trace = SkipTrace::dense(w.dh, w.seq_len);
+            let (cycles, traffic, macs) = m.run(&w, &trace);
+            let s = cycles as f64 / m.arch().clock_hz;
+            powers.push(e.average_power(&traffic, macs, s));
+        }
+        assert!(
+            (powers[0] - powers[1]).abs() / powers[1] < 0.10,
+            "power spread too wide: {powers:?}"
+        );
+    }
+
+    #[test]
+    fn sparse_run_uses_less_energy_than_dense() {
+        let m = DataflowModel::new(ArchConfig::paper());
+        let e = EnergyModel::calibrated_65nm();
+        let w = LstmWorkload::ptb_char(8);
+        let dense = SkipTrace::dense(w.dh, w.seq_len);
+        let sparse = SkipTrace::from_profile(
+            w.dh,
+            w.seq_len,
+            w.batch,
+            crate::trace::SparsityProfile::new(0.8, 0.0),
+            1,
+        );
+        let (dc, dt, dm) = m.run(&w, &dense);
+        let (sc, st, sm) = m.run(&w, &sparse);
+        let de = e.energy_joules(&dt, dm, dc as f64 / 200e6);
+        let se = e.energy_joules(&st, sm, sc as f64 / 200e6);
+        assert!(se < de * 0.35, "sparse {se} J vs dense {de} J");
+    }
+}

@@ -1,0 +1,280 @@
+//! End-to-end hardware execution: run a real quantized model through the
+//! accelerator and get *both* its outputs and its timing/energy report
+//! from the same encoded states.
+//!
+//! [`Simulator`](crate::Simulator) answers "how fast would a workload
+//! with this sparsity run"; [`FunctionalAccelerator`] answers "what are
+//! the exact output bits". [`HardwareExecutor`] glues them: each
+//! timestep, the current batch of hidden states is offset-encoded, the
+//! *actual* stored-column count (anchors included) is charged to the
+//! timing and traffic models, and the functional tiles compute the next
+//! states. The resulting report is therefore driven by the model's true
+//! dynamic sparsity, not a synthetic profile.
+
+use crate::arch::ArchConfig;
+use crate::dataflow::{DataflowModel, StepTraffic};
+use crate::energy::EnergyModel;
+use crate::functional::{FunctionalAccelerator, LaneState};
+use crate::sim::SimReport;
+use crate::workload::{InputKind, LstmWorkload};
+use zskip_core::QuantizedLstm;
+
+/// Result of executing a sequence on the simulated hardware.
+#[derive(Clone, Debug)]
+pub struct ExecutionResult {
+    /// Per-step lane states (`steps × lanes`).
+    pub states: Vec<Vec<LaneState>>,
+    /// Timing/energy report computed from the actual encoded states.
+    pub report: SimReport,
+    /// Stored-column count per step (anchors included).
+    pub stored_columns: Vec<usize>,
+}
+
+impl ExecutionResult {
+    /// Final lane states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the execution was empty.
+    pub fn final_states(&self) -> &[LaneState] {
+        self.states.last().expect("empty execution")
+    }
+
+    /// Mean fraction of state columns skipped across the run.
+    pub fn mean_skipped_fraction(&self, dh: usize) -> f64 {
+        if self.stored_columns.is_empty() {
+            return 0.0;
+        }
+        let stored: usize = self.stored_columns.iter().sum();
+        1.0 - stored as f64 / (dh * self.stored_columns.len()) as f64
+    }
+}
+
+/// Executes quantized LSTMs on the modeled accelerator.
+///
+/// # Example
+///
+/// ```
+/// use zskip_accel::{HardwareExecutor, InputKind};
+/// use zskip_core::QuantizedLstm;
+/// use zskip_nn::LstmCell;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(0);
+/// let cell = LstmCell::new(4, 16, &mut rng);
+/// let q = QuantizedLstm::from_cell(&cell, 0.2);
+/// let exec = HardwareExecutor::paper(q.clone(), InputKind::Dense);
+/// let inputs = vec![vec![q.quantize_input(&[0.5, -0.5, 0.25, 0.0]); 2]; 6];
+/// let run = exec.execute(&inputs);
+/// assert_eq!(run.states.len(), 6);
+/// assert!(run.report.cycles > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HardwareExecutor {
+    functional: FunctionalAccelerator,
+    dataflow: DataflowModel,
+    energy: EnergyModel,
+    input_kind: InputKind,
+}
+
+impl HardwareExecutor {
+    /// Executor at the paper's design point.
+    pub fn paper(model: QuantizedLstm, input_kind: InputKind) -> Self {
+        Self::new(
+            model,
+            input_kind,
+            ArchConfig::paper(),
+            EnergyModel::calibrated_65nm(),
+        )
+    }
+
+    /// Executor with explicit architecture and energy models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture fails validation.
+    pub fn new(
+        model: QuantizedLstm,
+        input_kind: InputKind,
+        arch: ArchConfig,
+        energy: EnergyModel,
+    ) -> Self {
+        Self {
+            functional: FunctionalAccelerator::new(model),
+            dataflow: DataflowModel::new(arch),
+            energy,
+            input_kind,
+        }
+    }
+
+    /// The wrapped quantized model.
+    pub fn model(&self) -> &QuantizedLstm {
+        self.functional.model()
+    }
+
+    /// Runs a sequence (`inputs[t][lane]` = quantized input codes) from
+    /// zero state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty/ragged or the lane count exceeds the
+    /// scratch capacity.
+    pub fn execute(&self, inputs: &[Vec<Vec<i8>>]) -> ExecutionResult {
+        assert!(!inputs.is_empty(), "empty sequence");
+        let lanes = inputs[0].len();
+        let arch = self.dataflow.arch();
+        assert!(
+            lanes <= arch.max_batch(),
+            "batch {lanes} exceeds scratch capacity {}",
+            arch.max_batch()
+        );
+        let dh = self.model().hidden_dim();
+        let dx = self.model().input_dim();
+        let workload = LstmWorkload {
+            dh,
+            dx,
+            input: self.input_kind,
+            seq_len: inputs.len(),
+            batch: lanes,
+        };
+        workload.validate().expect("invalid derived workload");
+
+        let mut lane_states = vec![
+            LaneState {
+                h: vec![0; dh],
+                c: vec![0; dh],
+            };
+            lanes
+        ];
+        let mut states = Vec::with_capacity(inputs.len());
+        let mut stored_columns = Vec::with_capacity(inputs.len());
+        let mut cycles = 0u64;
+        let mut traffic = StepTraffic::default();
+        let mut macs = 0u64;
+
+        for step_inputs in inputs {
+            assert_eq!(step_inputs.len(), lanes, "ragged lane count");
+            // Encode the *current* states: this is what the hardware reads
+            // back and what determines this step's skippable columns.
+            let lanes_h: Vec<Vec<i8>> =
+                lane_states.iter().map(|s| s.h.clone()).collect();
+            let encoded = self.functional.encode_state(&lanes_h);
+            let stored = encoded.stored_columns();
+            stored_columns.push(stored);
+
+            let t = self.dataflow.step_cycles(&workload, stored);
+            cycles += t.total();
+            let tr = self.dataflow.step_traffic(&workload, stored);
+            traffic.weight_bytes += tr.weight_bytes;
+            traffic.state_in_bytes += tr.state_in_bytes;
+            traffic.state_out_bytes += tr.state_out_bytes;
+            traffic.cell_bytes += tr.cell_bytes;
+            macs += (stored * 4 * dh * lanes) as u64;
+
+            lane_states = self.functional.step_batch(step_inputs, &lane_states);
+            states.push(lane_states.clone());
+        }
+
+        let seconds = cycles as f64 / arch.clock_hz;
+        let effective_gops = workload.total_ops() as f64 / seconds / 1e9;
+        let energy_joules = self.energy.energy_joules(&traffic, macs, seconds);
+        let avg_power_watts = energy_joules / seconds;
+        let total_stored: usize = stored_columns.iter().sum();
+        let report = SimReport {
+            workload,
+            cycles,
+            seconds,
+            effective_gops,
+            utilization: macs as f64 / (arch.total_pes() as f64 * cycles as f64),
+            traffic,
+            macs,
+            energy_joules,
+            avg_power_watts,
+            gops_per_watt: effective_gops / avg_power_watts,
+            mean_skippable: 1.0 - total_stored as f64 / (dh * stored_columns.len()) as f64,
+        };
+        ExecutionResult {
+            states,
+            report,
+            stored_columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_nn::LstmCell;
+    use zskip_tensor::SeedableStream;
+
+    fn executor(threshold: f32, seed: u64) -> HardwareExecutor {
+        let mut rng = SeedableStream::new(seed);
+        let cell = LstmCell::new(6, 32, &mut rng);
+        let q = QuantizedLstm::from_cell(&cell, threshold);
+        HardwareExecutor::paper(q, InputKind::Dense)
+    }
+
+    fn inputs(exec: &HardwareExecutor, steps: usize, lanes: usize, seed: u64) -> Vec<Vec<Vec<i8>>> {
+        let mut rng = SeedableStream::new(seed);
+        (0..steps)
+            .map(|_| {
+                (0..lanes)
+                    .map(|_| {
+                        let x: Vec<f32> = (0..exec.model().input_dim())
+                            .map(|_| rng.uniform(-1.0, 1.0))
+                            .collect();
+                        exec.model().quantize_input(&x)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outputs_match_pure_functional_path() {
+        let exec = executor(0.2, 1);
+        let ins = inputs(&exec, 10, 3, 2);
+        let run = exec.execute(&ins);
+        let pure = FunctionalAccelerator::new(exec.model().clone()).run_sequence(&ins);
+        assert_eq!(run.final_states(), &pure[..]);
+    }
+
+    #[test]
+    fn pruned_model_runs_faster_than_dense_model() {
+        let dense = executor(0.0, 3);
+        let pruned = executor(0.35, 3); // same weights, same seed
+        let ins_d = inputs(&dense, 16, 4, 4);
+        let ins_p = inputs(&pruned, 16, 4, 4);
+        let run_d = dense.execute(&ins_d);
+        let run_p = pruned.execute(&ins_p);
+        assert!(
+            run_p.report.cycles < run_d.report.cycles,
+            "pruned {} !< dense {}",
+            run_p.report.cycles,
+            run_d.report.cycles
+        );
+        assert!(run_p.report.energy_joules < run_d.report.energy_joules);
+        assert!(run_p.mean_skipped_fraction(32) > 0.1);
+    }
+
+    #[test]
+    fn first_step_is_fully_skippable_from_zero_state() {
+        // Threshold 0 so later steps are guaranteed to have survivors.
+        let exec = executor(0.0, 5);
+        let ins = inputs(&exec, 3, 2, 6);
+        let run = exec.execute(&ins);
+        // Initial h is all zeros → no stored columns at step 0 (8-bit
+        // offsets over dh=32 never saturate).
+        assert_eq!(run.stored_columns[0], 0);
+        assert!(run.stored_columns[1] > 0);
+    }
+
+    #[test]
+    fn report_sparsity_matches_stored_columns() {
+        let exec = executor(0.25, 7);
+        let ins = inputs(&exec, 12, 2, 8);
+        let run = exec.execute(&ins);
+        let expect = run.mean_skipped_fraction(32);
+        assert!((run.report.mean_skippable - expect).abs() < 1e-12);
+    }
+}

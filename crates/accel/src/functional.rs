@@ -1,0 +1,341 @@
+//! Bit-accurate functional simulation of the accelerator datapath.
+//!
+//! The four tiles of Fig. 6 each own one gate: tiles 1–3 end in sigmoid
+//! units, tile 4 in tanh. The recurrent GEMV iterates only over the
+//! *stored* columns of the encoded state (offset addressing, Section
+//! III-B); because skipped columns hold zero codes in every lane, the
+//! integer accumulators are identical to a dense evaluation — this module
+//! proves that by re-implementing the computation tile-by-tile and the
+//! test suite asserts bit-equality against
+//! [`QuantizedLstm`](zskip_core::QuantizedLstm).
+//!
+//! The optional [`ScratchPrecision`] models the 16×12-bit per-PE scratch:
+//! partial sums are requantized to the scratch format every
+//! `write_period` stored columns (between batch-interleaved bursts the
+//! partial lives in the narrow SRAM word, not in the PE's wide
+//! accumulator). The paper leaves the scratch scaling unspecified; see
+//! DESIGN.md for the reconstruction and the benches for its accuracy
+//! ablation.
+
+use crate::arch::ArchConfig;
+use zskip_core::encode::EncodedState;
+use zskip_core::{OffsetEncoder, QuantizedLstm};
+use zskip_tensor::QFormat;
+
+/// Scratch-memory precision model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScratchPrecision {
+    /// Fixed-point format of a scratch word (the paper's hardware:
+    /// 12 bits).
+    pub format: QFormat,
+    /// Real value of one accumulator LSB (i.e. the product scale
+    /// `w_scale · h_scale`) — needed to map the integer accumulator into
+    /// the scratch format.
+    pub acc_lsb: f32,
+    /// Stored columns processed between scratch writebacks.
+    pub write_period: usize,
+}
+
+/// One lane's functional state between timesteps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneState {
+    /// Hidden-state codes (pruned).
+    pub h: Vec<i8>,
+    /// Cell-state codes.
+    pub c: Vec<i8>,
+}
+
+/// Functional model of the accelerator running a quantized LSTM.
+///
+/// # Example
+///
+/// ```
+/// use zskip_accel::FunctionalAccelerator;
+/// use zskip_core::QuantizedLstm;
+/// use zskip_nn::LstmCell;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(0);
+/// let cell = LstmCell::new(4, 8, &mut rng);
+/// let q = QuantizedLstm::from_cell(&cell, 0.1);
+/// let accel = FunctionalAccelerator::new(q);
+/// let x = accel.model().quantize_input(&[0.3, -0.5, 0.9, 0.0]);
+/// let out = accel.run_sequence(&[vec![x]]);
+/// assert_eq!(out[0].h.len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FunctionalAccelerator {
+    model: QuantizedLstm,
+    arch: ArchConfig,
+    scratch: Option<ScratchPrecision>,
+}
+
+impl FunctionalAccelerator {
+    /// Wraps a quantized model with the paper's architecture and an exact
+    /// (lossless) accumulator.
+    pub fn new(model: QuantizedLstm) -> Self {
+        Self {
+            model,
+            arch: ArchConfig::paper(),
+            scratch: None,
+        }
+    }
+
+    /// Enables the lossy scratch-precision model.
+    pub fn with_scratch_precision(mut self, scratch: ScratchPrecision) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// The wrapped quantized model.
+    pub fn model(&self) -> &QuantizedLstm {
+        &self.model
+    }
+
+    /// The architecture configuration.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Encodes a batch of hidden-state lanes with the hardware encoder.
+    pub fn encode_state(&self, lanes: &[Vec<i8>]) -> EncodedState {
+        OffsetEncoder::new(self.arch.offset_bits).encode(lanes)
+    }
+
+    /// Computes the recurrent accumulators for one lane from the encoded
+    /// state, iterating only over stored columns (offset addressing).
+    ///
+    /// With `scratch: None` the result is bit-identical to the dense
+    /// `gemv_t_i32`; with a scratch model, partials round-trip through the
+    /// narrow format every `write_period` columns.
+    pub fn recurrent_accumulators(&self, encoded: &EncodedState, lane: usize) -> Vec<i32> {
+        let dh = self.model.hidden_dim();
+        let wh = self.model.wh();
+        let mut acc = vec![0i32; 4 * dh];
+        let mut since_write = 0usize;
+        for col in encoded.columns() {
+            let v = col.values[lane] as i32;
+            if v != 0 {
+                // Each tile's PEs accumulate its gate block; algebraically
+                // one loop over the 4·dh flat index.
+                let row = wh.row(col.index);
+                for (a, w) in acc.iter_mut().zip(row) {
+                    *a += *w as i32 * v;
+                }
+            }
+            since_write += 1;
+            if let Some(s) = &self.scratch {
+                if since_write >= s.write_period {
+                    for a in acc.iter_mut() {
+                        *a = scratch_round_trip(*a, s);
+                    }
+                    since_write = 0;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Runs one timestep for a batch of lanes.
+    ///
+    /// `x_codes[lane]` is the quantized input for each lane; `states` are
+    /// the lanes' previous states. Tiles 1–3 apply sigmoid to the f/i/o
+    /// blocks, tile 4 tanh to g; the element-wise tail (Eq. 2–3, pruning,
+    /// storage quantization) is shared bit-for-bit with the reference
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on lane-count or length mismatches.
+    pub fn step_batch(&self, x_codes: &[Vec<i8>], states: &[LaneState]) -> Vec<LaneState> {
+        assert_eq!(x_codes.len(), states.len(), "lane count mismatch");
+        assert!(!states.is_empty(), "need at least one lane");
+        let dh = self.model.hidden_dim();
+        let lanes: Vec<Vec<i8>> = states.iter().map(|s| s.h.clone()).collect();
+        let encoded = self.encode_state(&lanes);
+
+        let mut out = Vec::with_capacity(states.len());
+        for (lane, state) in states.iter().enumerate() {
+            let acc_h = self.recurrent_accumulators(&encoded, lane);
+            let acc_x = self.model.wx().gemv_t_i32(&x_codes[lane]);
+            let mut h_new = vec![0i8; dh];
+            let mut c_new = vec![0i8; dh];
+            for j in 0..dh {
+                // Tile t computes gate t at element j.
+                let gate_val = |gate: usize| {
+                    let k = gate * dh + j;
+                    self.model
+                        .activation(gate, self.model.preactivation(k, acc_x[k], acc_h[k]))
+                };
+                let f = gate_val(0);
+                let i = gate_val(1);
+                let o = gate_val(2);
+                let g = gate_val(3);
+                let (h_code, c_code) = self.model.pointwise(f, i, o, g, state.c[j]);
+                h_new[j] = h_code;
+                c_new[j] = c_code;
+            }
+            out.push(LaneState { h: h_new, c: c_new });
+        }
+        out
+    }
+
+    /// Runs a full sequence from zero state. `inputs[t][lane]` holds the
+    /// quantized input of each lane at step `t`; returns the final lane
+    /// states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or ragged.
+    pub fn run_sequence(&self, inputs: &[Vec<Vec<i8>>]) -> Vec<LaneState> {
+        assert!(!inputs.is_empty(), "empty sequence");
+        let lanes = inputs[0].len();
+        let dh = self.model.hidden_dim();
+        let mut states = vec![
+            LaneState {
+                h: vec![0; dh],
+                c: vec![0; dh],
+            };
+            lanes
+        ];
+        for step in inputs {
+            assert_eq!(step.len(), lanes, "ragged lane count");
+            states = self.step_batch(step, &states);
+        }
+        states
+    }
+}
+
+/// Rounds an `i32` accumulator through the scratch format and back.
+fn scratch_round_trip(acc: i32, s: &ScratchPrecision) -> i32 {
+    // Map accumulator LSBs to real value, store in the scratch format,
+    // read back out. acc_real = acc · acc_lsb.
+    let real = acc as f32 * s.acc_lsb;
+    let stored = s.format.from_f32(real);
+    (stored.to_f32() / s.acc_lsb).round() as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_nn::LstmCell;
+    use zskip_tensor::SeedableStream;
+
+    fn quantized(seed: u64, dx: usize, dh: usize, threshold: f32) -> QuantizedLstm {
+        let mut rng = SeedableStream::new(seed);
+        let cell = LstmCell::new(dx, dh, &mut rng);
+        QuantizedLstm::from_cell(&cell, threshold)
+    }
+
+    fn random_inputs(
+        q: &QuantizedLstm,
+        steps: usize,
+        lanes: usize,
+        seed: u64,
+    ) -> Vec<Vec<Vec<i8>>> {
+        let mut rng = SeedableStream::new(seed);
+        (0..steps)
+            .map(|_| {
+                (0..lanes)
+                    .map(|_| {
+                        let x: Vec<f32> =
+                            (0..q.input_dim()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                        q.quantize_input(&x)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn functional_matches_reference_bit_for_bit() {
+        let q = quantized(1, 5, 24, 0.15);
+        let accel = FunctionalAccelerator::new(q.clone());
+        let inputs = random_inputs(&q, 12, 3, 2);
+
+        let accel_out = accel.run_sequence(&inputs);
+        // Reference: run each lane independently through QuantizedLstm.
+        for lane in 0..3 {
+            let lane_inputs: Vec<Vec<i8>> = inputs.iter().map(|s| s[lane].clone()).collect();
+            let ref_steps = q.run_sequence(&lane_inputs);
+            let last = ref_steps.last().expect("non-empty");
+            assert_eq!(accel_out[lane].h, last.h, "lane {lane} h mismatch");
+            assert_eq!(accel_out[lane].c, last.c, "lane {lane} c mismatch");
+        }
+    }
+
+    #[test]
+    fn offset_addressing_never_changes_results() {
+        // A 2-bit offset forces many anchors; results must still be exact.
+        let q = quantized(3, 4, 16, 0.3);
+        let mut accel = FunctionalAccelerator::new(q.clone());
+        accel.arch.offset_bits = 2;
+        let inputs = random_inputs(&q, 8, 2, 4);
+        let out_narrow = accel.run_sequence(&inputs);
+        let wide = FunctionalAccelerator::new(q);
+        let out_wide = wide.run_sequence(&inputs);
+        assert_eq!(out_narrow, out_wide);
+    }
+
+    #[test]
+    fn scratch_precision_is_lossy_but_bounded() {
+        let q = quantized(5, 4, 32, 0.1);
+        let exact = FunctionalAccelerator::new(q.clone());
+        let acc_lsb = q.h_acc_scale();
+        let lossy = FunctionalAccelerator::new(q.clone()).with_scratch_precision(
+            ScratchPrecision {
+                format: QFormat::new(12, 7),
+                acc_lsb,
+                write_period: 8,
+            },
+        );
+        let inputs = random_inputs(&q, 6, 1, 6);
+        let a = exact.run_sequence(&inputs);
+        let b = lossy.run_sequence(&inputs);
+        // Not necessarily identical...
+        let hq = q.h_quantizer();
+        let max_err = a[0]
+            .h
+            .iter()
+            .zip(&b[0].h)
+            .map(|(x, y)| (hq.dequantize(*x) - hq.dequantize(*y)).abs())
+            .fold(0.0f32, f32::max);
+        // ...but within a few state LSBs.
+        assert!(max_err < 0.1, "scratch error too large: {max_err}");
+    }
+
+    #[test]
+    fn pruned_model_state_is_sparse_on_hardware() {
+        let q = quantized(7, 4, 48, 0.35);
+        let accel = FunctionalAccelerator::new(q.clone());
+        let inputs = random_inputs(&q, 10, 4, 8);
+        let out = accel.run_sequence(&inputs);
+        let zeros: usize = out
+            .iter()
+            .map(|s| s.h.iter().filter(|v| **v == 0).count())
+            .sum();
+        let total = out.len() * q.hidden_dim();
+        assert!(
+            zeros as f64 / total as f64 > 0.3,
+            "expected sparsity, got {}/{total}",
+            zeros
+        );
+    }
+
+    #[test]
+    fn encoder_matches_state_sparsity() {
+        let q = quantized(9, 3, 40, 0.3);
+        let accel = FunctionalAccelerator::new(q.clone());
+        let inputs = random_inputs(&q, 5, 2, 10);
+        let states = accel.run_sequence(&inputs);
+        let lanes: Vec<Vec<i8>> = states.iter().map(|s| s.h.clone()).collect();
+        let encoded = accel.encode_state(&lanes);
+        let joint_zero = (0..q.hidden_dim())
+            .filter(|j| lanes.iter().all(|l| l[*j] == 0))
+            .count();
+        assert_eq!(
+            encoded.skipped_columns() + encoded.anchor_columns(),
+            joint_zero
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Simulator façade: one call from workload + trace to a full report.
+
+use crate::arch::ArchConfig;
+use crate::area::AreaModel;
+use crate::dataflow::{DataflowModel, StepTraffic};
+use crate::energy::EnergyModel;
+use crate::trace::SkipTrace;
+use crate::workload::LstmWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Everything the benchmarks need from one simulated run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The simulated workload.
+    pub workload: LstmWorkload,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured frequency.
+    pub seconds: f64,
+    /// Effective throughput: nominal operations / time, in GOPS. For a
+    /// dense run this equals achieved utilization × peak; for a sparse
+    /// run it exceeds the physical peak because skipped work still counts
+    /// (the paper's Fig. 8 metric).
+    pub effective_gops: f64,
+    /// Fraction of peak MAC slots actually used.
+    pub utilization: f64,
+    /// Total DRAM traffic.
+    pub traffic: StepTraffic,
+    /// MACs actually executed.
+    pub macs: u64,
+    /// Energy in joules.
+    pub energy_joules: f64,
+    /// Average power in watts.
+    pub avg_power_watts: f64,
+    /// Energy efficiency in GOPS/W (the Fig. 9 metric).
+    pub gops_per_watt: f64,
+    /// Mean fraction of skippable columns in the driving trace.
+    pub mean_skippable: f64,
+}
+
+impl SimReport {
+    /// Speedup of `self` over a baseline run of the same workload.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.seconds / self.seconds
+    }
+
+    /// Energy improvement of `self` over a baseline run.
+    pub fn energy_improvement_over(&self, baseline: &SimReport) -> f64 {
+        baseline.energy_joules / self.energy_joules
+    }
+}
+
+/// The zero-state-skipping accelerator simulator.
+///
+/// # Example
+///
+/// ```
+/// use zskip_accel::{ArchConfig, LstmWorkload, Simulator, SkipTrace};
+///
+/// let sim = Simulator::paper();
+/// let w = LstmWorkload::ptb_char(8);
+/// let dense = sim.run(&w, &SkipTrace::dense(w.dh, w.seq_len));
+/// assert!(dense.effective_gops > 70.0 && dense.effective_gops < 77.0);
+/// let _ = ArchConfig::paper(); // see ArchConfig for the design point
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Simulator {
+    dataflow: DataflowModel,
+    energy: EnergyModel,
+    area: AreaModel,
+}
+
+impl Simulator {
+    /// Simulator at the paper's design point with calibrated models.
+    pub fn paper() -> Self {
+        Self::new(
+            ArchConfig::paper(),
+            EnergyModel::calibrated_65nm(),
+            AreaModel::calibrated_65nm(),
+        )
+    }
+
+    /// Creates a simulator from explicit models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture fails validation.
+    pub fn new(arch: ArchConfig, energy: EnergyModel, area: AreaModel) -> Self {
+        Self {
+            dataflow: DataflowModel::new(arch),
+            energy,
+            area,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn arch(&self) -> &ArchConfig {
+        self.dataflow.arch()
+    }
+
+    /// Die area of the configured architecture in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area.total_mm2(self.dataflow.arch())
+    }
+
+    /// Peak dense throughput in GOPS.
+    pub fn peak_gops(&self) -> f64 {
+        self.dataflow.arch().peak_gops()
+    }
+
+    /// Runs a workload against a skip trace.
+    ///
+    /// Use [`SkipTrace::dense`] for the dense baseline and a measured or
+    /// profiled trace for the sparse run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on workload/trace mismatches (see
+    /// [`DataflowModel::run`](crate::dataflow::DataflowModel)).
+    pub fn run(&self, workload: &LstmWorkload, trace: &SkipTrace) -> SimReport {
+        let arch = self.dataflow.arch();
+        let (cycles, traffic, macs) = self.dataflow.run(workload, trace);
+        let seconds = cycles as f64 / arch.clock_hz;
+        let effective_gops = workload.total_ops() as f64 / seconds / 1e9;
+        let utilization = macs as f64 / (arch.total_pes() as f64 * cycles as f64);
+        let energy_joules = self.energy.energy_joules(&traffic, macs, seconds);
+        let avg_power_watts = energy_joules / seconds;
+        SimReport {
+            workload: *workload,
+            cycles,
+            seconds,
+            effective_gops,
+            utilization,
+            traffic,
+            macs,
+            energy_joules,
+            avg_power_watts,
+            gops_per_watt: effective_gops / avg_power_watts,
+            mean_skippable: trace.mean_skippable(),
+        }
+    }
+
+    /// Convenience: dense baseline report for a workload.
+    pub fn run_dense(&self, workload: &LstmWorkload) -> SimReport {
+        self.run(workload, &SkipTrace::dense(workload.dh, workload.seq_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SparsityProfile;
+
+    #[test]
+    fn paper_headline_speedup_is_about_5_2x() {
+        // "up to 5.2× speedup and energy efficiency" — PTB-char, batch 8,
+        // 81% joint sparsity (Fig. 7 → Fig. 8/9).
+        let sim = Simulator::paper();
+        let w = LstmWorkload::ptb_char(8);
+        let dense = sim.run_dense(&w);
+        let sparse_trace = SkipTrace::from_profile(
+            w.dh,
+            w.seq_len,
+            w.batch,
+            SparsityProfile::new(0.81, 0.0),
+            42,
+        );
+        let sparse = sim.run(&w, &sparse_trace);
+        let speedup = sparse.speedup_over(&dense);
+        assert!(
+            speedup > 4.6 && speedup < 5.6,
+            "headline speedup {speedup} (paper: 5.2×)"
+        );
+        let energy = sparse.energy_improvement_over(&dense);
+        assert!(
+            (energy / speedup - 1.0).abs() < 0.15,
+            "energy improvement {energy} should track speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn sparse_effective_gops_exceeds_peak() {
+        let sim = Simulator::paper();
+        let w = LstmWorkload::ptb_char(8);
+        let trace = SkipTrace::from_profile(
+            w.dh,
+            w.seq_len,
+            w.batch,
+            SparsityProfile::new(0.81, 0.0),
+            1,
+        );
+        let r = sim.run(&w, &trace);
+        assert!(r.effective_gops > sim.peak_gops());
+        // Physical utilization stays below 1.
+        assert!(r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn dense_report_is_self_consistent() {
+        let sim = Simulator::paper();
+        let w = LstmWorkload::mnist(8);
+        let r = sim.run_dense(&w);
+        assert!(r.effective_gops <= sim.peak_gops() * 1.001);
+        assert!(r.avg_power_watts > 0.05 && r.avg_power_watts < 0.15);
+        assert_eq!(r.mean_skippable, 0.0);
+        assert!((r.gops_per_watt - r.effective_gops / r.avg_power_watts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_is_reported() {
+        let sim = Simulator::paper();
+        assert!((sim.area_mm2() - 1.1).abs() < 0.08);
+    }
+}

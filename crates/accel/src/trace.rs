@@ -1,0 +1,331 @@
+//! Skip traces: which state columns are skippable at each timestep.
+//!
+//! The timing simulator only needs to know, per timestep, which columns of
+//! the state vector were all-lane zero (skippable) — not the values. A
+//! [`SkipTrace`] can be built three ways:
+//!
+//! * [`SkipTrace::from_state_trace`] — from real hidden-state traces
+//!   produced by `zskip-core`'s trained models (the authentic pipeline),
+//! * [`SkipTrace::from_profile`] — from a two-component statistical model
+//!   ([`SparsityProfile`]: a *dead-unit* fraction that is zero in every
+//!   lane plus an i.i.d. dynamic zero rate), which reproduces the paper's
+//!   Fig. 7 sparsity-vs-batch curves and drives the Fig. 8/9 reproduction
+//!   at paper scale,
+//! * [`SkipTrace::dense`] — no skippable columns (the dense baseline).
+
+use serde::{Deserialize, Serialize};
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Statistical sparsity model: a fraction `dead` of units is zero in every
+/// lane at every step; the remaining units are zero independently with
+/// probability `dynamic` per lane per step.
+///
+/// Joint (batch-`B`) sparsity is then `dead + (1 - dead) · dynamicᴮ`,
+/// which captures why Fig. 7's sparsity decays with batch size but far
+/// more slowly than an independence assumption would predict.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SparsityProfile {
+    /// Fraction of units that are always zero (unit-level death).
+    pub dead: f64,
+    /// Per-lane zero probability of live units.
+    pub dynamic: f64,
+}
+
+impl SparsityProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both fields are probabilities.
+    pub fn new(dead: f64, dynamic: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dead), "dead must be in [0,1]");
+        assert!((0.0..=1.0).contains(&dynamic), "dynamic must be in [0,1]");
+        Self { dead, dynamic }
+    }
+
+    /// Expected joint sparsity at batch size `b`.
+    pub fn joint_sparsity(&self, b: usize) -> f64 {
+        self.dead + (1.0 - self.dead) * self.dynamic.powi(b as i32)
+    }
+
+    /// Fits the profile to two measured points: single-lane sparsity `p1`
+    /// and joint sparsity `p_b` at batch size `b` (bisection on the dead
+    /// fraction).
+    ///
+    /// The model spans joint sparsities between `p1ᵇ` (fully independent
+    /// lanes, `dead = 0`) and `p1` (fully correlated, `dead = p1`);
+    /// `p_b` outside that range is clamped to the nearest endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p_b <= p1 < 1`.
+    pub fn fit(p1: f64, p_b: f64, b: usize) -> Self {
+        assert!(p_b <= p1 && p1 < 1.0 && p_b > 0.0, "need 0 < p_b <= p1 < 1");
+        let p_b = p_b.clamp(p1.powi(b as i32), p1);
+        let joint_for = |dead: f64| -> f64 {
+            let dynamic = ((p1 - dead) / (1.0 - dead)).max(0.0);
+            dead + (1.0 - dead) * dynamic.powi(b as i32)
+        };
+        let (mut lo, mut hi) = (0.0f64, p1);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if joint_for(mid) < p_b {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let dead = 0.5 * (lo + hi);
+        let dynamic = ((p1 - dead) / (1.0 - dead)).clamp(0.0, 1.0);
+        Self { dead, dynamic }
+    }
+}
+
+/// Per-timestep skippable-column masks for one workload run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkipTrace {
+    dh: usize,
+    steps: Vec<Vec<bool>>,
+}
+
+impl SkipTrace {
+    /// A dense trace: nothing skippable.
+    pub fn dense(dh: usize, steps: usize) -> Self {
+        Self {
+            dh,
+            steps: vec![vec![false; dh]; steps],
+        }
+    }
+
+    /// Builds the trace from real state matrices (`B × dh`, one per
+    /// step): a column is skippable when all lanes are exactly zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or shapes differ between steps.
+    pub fn from_state_trace(trace: &[Matrix]) -> Self {
+        assert!(!trace.is_empty(), "empty state trace");
+        let dh = trace[0].cols();
+        let steps = trace
+            .iter()
+            .map(|m| {
+                assert_eq!(m.cols(), dh, "inconsistent state width");
+                zskip_core::sparsity::joint_zero_columns(m)
+            })
+            .collect();
+        Self { dh, steps }
+    }
+
+    /// Builds a trace with an *exact* skippable-column fraction per step
+    /// (positions drawn by a seeded shuffle). Used to drive the simulator
+    /// at a calibrated joint sparsity, e.g. the paper's Fig. 7 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `[0, 1]`.
+    pub fn with_fraction(dh: usize, steps: usize, fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let mut rng = SeedableStream::new(seed);
+        let k = (dh as f64 * fraction).round() as usize;
+        let step_masks = (0..steps)
+            .map(|_| {
+                let mut mask = vec![false; dh];
+                // Seeded partial Fisher–Yates: pick k distinct positions.
+                let mut idx: Vec<usize> = (0..dh).collect();
+                for i in 0..k.min(dh) {
+                    let j = i + rng.index(dh - i);
+                    idx.swap(i, j);
+                    mask[idx[i]] = true;
+                }
+                mask
+            })
+            .collect();
+        Self {
+            dh,
+            steps: step_masks,
+        }
+    }
+
+    /// Samples a synthetic trace from a [`SparsityProfile`] at the given
+    /// batch size.
+    pub fn from_profile(
+        dh: usize,
+        steps: usize,
+        batch: usize,
+        profile: SparsityProfile,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let dead: Vec<bool> = (0..dh).map(|_| rng.coin(profile.dead)).collect();
+        let step_masks = (0..steps)
+            .map(|_| {
+                (0..dh)
+                    .map(|j| {
+                        dead[j] || (0..batch).all(|_| rng.coin(profile.dynamic))
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            dh,
+            steps: step_masks,
+        }
+    }
+
+    /// State width `dh`.
+    pub fn dh(&self) -> usize {
+        self.dh
+    }
+
+    /// Number of timesteps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The skip mask at step `t` (`true` = skippable column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn mask(&self, t: usize) -> &[bool] {
+        &self.steps[t]
+    }
+
+    /// Mean fraction of skippable columns over the whole trace.
+    pub fn mean_skippable(&self) -> f64 {
+        if self.steps.is_empty() || self.dh == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .steps
+            .iter()
+            .map(|m| m.iter().filter(|b| **b).count())
+            .sum();
+        total as f64 / (self.steps.len() * self.dh) as f64
+    }
+
+    /// Number of *stored* columns per step under an offset encoder with
+    /// `offset_bits`-wide run fields: non-skippable columns plus the
+    /// anchor columns forced whenever a zero run saturates the field.
+    pub fn stored_columns(&self, offset_bits: u8) -> Vec<usize> {
+        let max_run = (1u32 << offset_bits) - 1;
+        self.steps
+            .iter()
+            .map(|mask| {
+                let mut stored = 0usize;
+                let mut run = 0u32;
+                for &skip in mask {
+                    if skip && run < max_run {
+                        run += 1;
+                    } else {
+                        stored += 1;
+                        run = 0;
+                    }
+                }
+                stored
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_trace_has_no_skips() {
+        let t = SkipTrace::dense(16, 4);
+        assert_eq!(t.mean_skippable(), 0.0);
+        assert_eq!(t.stored_columns(8), vec![16; 4]);
+    }
+
+    #[test]
+    fn from_state_trace_marks_all_lane_zeros() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 0.0]]);
+        let t = SkipTrace::from_state_trace(&[m]);
+        assert_eq!(t.mask(0), &[true, false, true]);
+        assert!((t.mean_skippable() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_joint_sparsity_formula() {
+        let p = SparsityProfile::new(0.5, 0.9);
+        assert!((p.joint_sparsity(1) - 0.95).abs() < 1e-12);
+        let expect8 = 0.5 + 0.5 * 0.9f64.powi(8);
+        assert!((p.joint_sparsity(8) - expect8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_paper_char_curve() {
+        // Paper Fig. 7, PTB-char: 97% at B=1, 81% at B=8 → the fitted
+        // profile must predict ≈66% at B=16 (the paper's third bar).
+        let p = SparsityProfile::fit(0.97, 0.81, 8);
+        let b16 = p.joint_sparsity(16);
+        assert!(
+            (b16 - 0.66).abs() < 0.06,
+            "predicted B=16 sparsity {b16}, paper says 0.66"
+        );
+    }
+
+    #[test]
+    fn fit_reproduces_inputs() {
+        let p = SparsityProfile::fit(0.93, 0.63, 8);
+        assert!((p.joint_sparsity(1) - 0.93).abs() < 1e-6);
+        assert!((p.joint_sparsity(8) - 0.63).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_profile_matches_expectation() {
+        let profile = SparsityProfile::new(0.4, 0.8);
+        let t = SkipTrace::from_profile(512, 64, 4, profile, 7);
+        let expect = profile.joint_sparsity(4);
+        assert!(
+            (t.mean_skippable() - expect).abs() < 0.05,
+            "measured {} vs analytic {expect}",
+            t.mean_skippable()
+        );
+    }
+
+    #[test]
+    fn stored_columns_include_offset_anchors() {
+        // 10 all-skippable columns with a 2-bit offset (max run 3): runs
+        // of 3 force an anchor, so ceil-ish anchors appear.
+        let t = SkipTrace {
+            dh: 10,
+            steps: vec![vec![true; 10]],
+        };
+        // cols 0,1,2 skipped; col 3 anchor; 4,5,6 skipped; 7 anchor; 8,9 skipped.
+        assert_eq!(t.stored_columns(2), vec![2]);
+        // With 8-bit offsets nothing saturates.
+        assert_eq!(t.stored_columns(8), vec![0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = SparsityProfile::new(0.3, 0.7);
+        let a = SkipTrace::from_profile(64, 8, 2, p, 5);
+        let b = SkipTrace::from_profile(64, 8, 2, p, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_fraction_is_exact() {
+        let t = SkipTrace::with_fraction(200, 10, 0.815, 3);
+        for step in 0..10 {
+            let k = t.mask(step).iter().filter(|b| **b).count();
+            assert_eq!(k, 163); // round(200 × 0.815)
+        }
+        assert!((t.mean_skippable() - 0.815).abs() < 0.003);
+    }
+
+    #[test]
+    fn with_fraction_bounds() {
+        assert_eq!(SkipTrace::with_fraction(50, 2, 0.0, 1).mean_skippable(), 0.0);
+        assert_eq!(SkipTrace::with_fraction(50, 2, 1.0, 1).mean_skippable(), 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! LSTM workload description and operation accounting.
+//!
+//! Operation counts follow Section II-A exactly: Eq. 1 costs
+//! `2(dx·4dh + dh·4dh) + 4dh` operations for a dense input (each MAC is
+//! two operations, the bias adds `4dh`), but for a one-hot input the
+//! `Wx·x` product degenerates to a `4dh`-operation table lookup. Eq. 2 and
+//! Eq. 3 cost `3dh` and `dh` respectively.
+
+use serde::{Deserialize, Serialize};
+
+/// How the input vector `x` enters the recurrent computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputKind {
+    /// One-hot vector (char-level LM): `Wx·x` is a row lookup, never a
+    /// GEMV, and costs `4dh` add operations.
+    OneHot,
+    /// Dense real vector (word-level LM after the embedding): `Wx·x` is a
+    /// full GEMV that can never be skipped (the input is not sparse).
+    Dense,
+    /// A single scalar per step (pixel-by-pixel classification): `Wx` is
+    /// `1 × 4dh`.
+    Scalar,
+}
+
+/// One recurrent workload: the paper's three tasks are instances.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LstmWorkload {
+    /// Hidden size `dh`.
+    pub dh: usize,
+    /// Input size `dx` (50 for PTB-char one-hot, 300 for PTB-word
+    /// embeddings, 1 for sequential MNIST).
+    pub dx: usize,
+    /// Input kind, which decides whether `Wx·x` is lookup or GEMV.
+    pub input: InputKind,
+    /// Sequence length processed per inference.
+    pub seq_len: usize,
+    /// Batch lanes processed together.
+    pub batch: usize,
+}
+
+impl LstmWorkload {
+    /// PTB-char at paper scale: `dh = 1000`, one-hot vocab 50, seq 100.
+    pub fn ptb_char(batch: usize) -> Self {
+        Self {
+            dh: 1000,
+            dx: 50,
+            input: InputKind::OneHot,
+            seq_len: 100,
+            batch,
+        }
+    }
+
+    /// PTB-word at paper scale: `dh = 300`, embedding 300, seq 35.
+    pub fn ptb_word(batch: usize) -> Self {
+        Self {
+            dh: 300,
+            dx: 300,
+            input: InputKind::Dense,
+            seq_len: 35,
+            batch,
+        }
+    }
+
+    /// Sequential MNIST at paper scale: `dh = 100`, scalar pixels, 784
+    /// steps.
+    pub fn mnist(batch: usize) -> Self {
+        Self {
+            dh: 100,
+            dx: 1,
+            input: InputKind::Scalar,
+            seq_len: 784,
+            batch,
+        }
+    }
+
+    /// Validates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dh == 0 || self.seq_len == 0 || self.batch == 0 {
+            return Err("dh, seq_len and batch must be positive".into());
+        }
+        match self.input {
+            InputKind::Scalar if self.dx != 1 => {
+                Err(format!("scalar input requires dx = 1, got {}", self.dx))
+            }
+            _ if self.dx == 0 => Err("dx must be positive".into()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Operations in the recurrent `Wh·h` product, per timestep per lane
+    /// (`2·dh·4dh`). This is the only skippable work.
+    pub fn wh_ops_per_step(&self) -> u64 {
+        2 * self.dh as u64 * 4 * self.dh as u64
+    }
+
+    /// Operations in the `Wx·x` contribution, per timestep per lane.
+    pub fn wx_ops_per_step(&self) -> u64 {
+        match self.input {
+            InputKind::OneHot => 4 * self.dh as u64,
+            InputKind::Dense | InputKind::Scalar => 2 * self.dx as u64 * 4 * self.dh as u64,
+        }
+    }
+
+    /// Bias plus element-wise (Eq. 2 and Eq. 3) operations per timestep
+    /// per lane: `4dh + 3dh + dh`.
+    pub fn pointwise_ops_per_step(&self) -> u64 {
+        4 * self.dh as u64 + 3 * self.dh as u64 + self.dh as u64
+    }
+
+    /// Total nominal operations per timestep per lane (the numerator of
+    /// every GOPS figure, dense or sparse — skipping shortens time, not
+    /// the accounted work).
+    pub fn ops_per_step(&self) -> u64 {
+        self.wh_ops_per_step() + self.wx_ops_per_step() + self.pointwise_ops_per_step()
+    }
+
+    /// Total nominal operations for the whole batched sequence.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_step() * self.seq_len as u64 * self.batch as u64
+    }
+
+    /// Fraction of per-step work that is skippable (`Wh` share) — the
+    /// ceiling on sparse speedup. One-hot tasks approach 1; the word task
+    /// sits near 0.5 because the dense `Wx` GEMV is untouchable.
+    pub fn skippable_fraction(&self) -> f64 {
+        self.wh_ops_per_step() as f64 / self.ops_per_step() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_ops_match_section_iia() {
+        let w = LstmWorkload::ptb_char(1);
+        // 2·1000·4000 = 8M MAC-ops in Wh.
+        assert_eq!(w.wh_ops_per_step(), 8_000_000);
+        // One-hot lookup = 4dh.
+        assert_eq!(w.wx_ops_per_step(), 4_000);
+        // 4dh + 3dh + dh = 8000.
+        assert_eq!(w.pointwise_ops_per_step(), 8_000);
+        assert_eq!(w.ops_per_step(), 8_012_000);
+    }
+
+    #[test]
+    fn word_ops_count_dense_wx() {
+        let w = LstmWorkload::ptb_word(1);
+        assert_eq!(w.wh_ops_per_step(), 2 * 300 * 1200);
+        assert_eq!(w.wx_ops_per_step(), 2 * 300 * 1200);
+        // Half the mat-vec work is unskippable.
+        assert!((w.skippable_fraction() - 0.497).abs() < 0.01);
+    }
+
+    #[test]
+    fn mnist_is_almost_fully_skippable() {
+        let w = LstmWorkload::mnist(1);
+        assert!(w.skippable_fraction() > 0.97);
+        assert_eq!(w.wx_ops_per_step(), 2 * 400);
+    }
+
+    #[test]
+    fn total_ops_scale_with_batch_and_steps() {
+        let w1 = LstmWorkload::mnist(1);
+        let w8 = LstmWorkload::mnist(8);
+        assert_eq!(w8.total_ops(), 8 * w1.total_ops());
+    }
+
+    #[test]
+    fn validation_catches_bad_scalar() {
+        let mut w = LstmWorkload::mnist(1);
+        w.dx = 3;
+        assert!(w.validate().is_err());
+        assert!(LstmWorkload::ptb_char(8).validate().is_ok());
+    }
+}

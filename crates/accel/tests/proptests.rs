@@ -1,0 +1,162 @@
+//! Property-based tests for the accelerator simulator.
+
+use proptest::prelude::*;
+use zskip_accel::cycle::GemvPipelineSim;
+use zskip_accel::dataflow::DataflowModel;
+use zskip_accel::{
+    ArchConfig, InputKind, LstmWorkload, Simulator, SkipTrace, SparsityProfile,
+};
+
+fn workload_strategy() -> impl Strategy<Value = LstmWorkload> {
+    (
+        8usize..256,                       // dh
+        prop_oneof![Just(InputKind::OneHot), Just(InputKind::Dense), Just(InputKind::Scalar)],
+        1usize..16,                        // seq_len
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
+    )
+        .prop_map(|(dh, input, seq_len, batch)| {
+            let dx = match input {
+                InputKind::Scalar => 1,
+                _ => 1 + dh / 3,
+            };
+            LstmWorkload {
+                dh,
+                dx,
+                input,
+                seq_len,
+                batch,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_never_exceeds_peak(w in workload_strategy()) {
+        let sim = Simulator::paper();
+        let r = sim.run_dense(&w);
+        prop_assert!(r.effective_gops <= sim.peak_gops() * 1.001,
+            "{} > peak", r.effective_gops);
+        prop_assert!(r.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn any_sparse_trace_is_at_least_as_fast_as_dense(
+        w in workload_strategy(),
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let sim = Simulator::paper();
+        let dense = sim.run_dense(&w);
+        let trace = SkipTrace::with_fraction(w.dh, w.seq_len, sparsity, seed);
+        let sparse = sim.run(&w, &trace);
+        prop_assert!(sparse.cycles <= dense.cycles);
+        prop_assert!(sparse.energy_joules <= dense.energy_joules * 1.001);
+    }
+
+    #[test]
+    fn speedup_respects_amdahl_ceiling(
+        w in workload_strategy(),
+        sparsity in 0.1f64..0.99,
+        seed in 0u64..100,
+    ) {
+        // Even a perfect skip of `s` of the Wh columns cannot beat
+        // 1 / (1 - s · skippable_fraction) by more than modeling slack.
+        let sim = Simulator::paper();
+        let dense = sim.run_dense(&w);
+        let trace = SkipTrace::with_fraction(w.dh, w.seq_len, sparsity, seed);
+        let sparse = sim.run(&w, &trace);
+        let speedup = sparse.speedup_over(&dense);
+        let ceiling = 1.0 / (1.0 - sparsity * w.skippable_fraction());
+        prop_assert!(speedup <= ceiling * 1.10 + 0.05,
+            "speedup {speedup} vs ceiling {ceiling}");
+    }
+
+    #[test]
+    fn traffic_is_monotone_in_sparsity(
+        w in workload_strategy(),
+        s1 in 0.0f64..0.5,
+        ds in 0.0f64..0.5,
+    ) {
+        let model = DataflowModel::new(ArchConfig::paper());
+        let t_low = SkipTrace::with_fraction(w.dh, w.seq_len, s1, 3);
+        let t_high = SkipTrace::with_fraction(w.dh, w.seq_len, s1 + ds, 3);
+        let (_, tr_low, _) = model.run(&w, &t_low);
+        let (_, tr_high, _) = model.run(&w, &t_high);
+        prop_assert!(tr_high.weight_bytes <= tr_low.weight_bytes);
+        prop_assert!(tr_high.total() <= tr_low.total());
+    }
+
+    #[test]
+    fn cycle_sim_matches_analytic_everywhere(
+        dh in 8usize..160,
+        batch in 1usize..=16,
+        cols in 1usize..40,
+    ) {
+        let sim = GemvPipelineSim::new(ArchConfig::paper());
+        let detailed = sim.simulate(dh, batch, cols);
+        let analytic = sim.analytic(dh, batch, cols);
+        // The analytic model rounds each column's cost up to a whole
+        // cycle while the pipeline amortizes the remainder across
+        // columns, so the bound is pipeline fill plus one cycle per
+        // column.
+        let slack = (ArchConfig::paper().pipeline_depth() + batch + cols + 4) as u64;
+        prop_assert!(
+            detailed <= analytic + slack && detailed + slack >= analytic,
+            "dh={dh} B={batch} cols={cols}: {detailed} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn stored_columns_bounded_by_mask(
+        dh in 4usize..256,
+        steps in 1usize..8,
+        sparsity in 0.0f64..1.0,
+        bits in 2u8..=10,
+    ) {
+        let trace = SkipTrace::with_fraction(dh, steps, sparsity, 17);
+        let stored = trace.stored_columns(bits);
+        for (t, &s) in stored.iter().enumerate() {
+            let skippable = trace.mask(t).iter().filter(|b| **b).count();
+            // At least the non-skippable columns; at most all of them.
+            prop_assert!(s >= dh - skippable);
+            prop_assert!(s <= dh);
+        }
+    }
+
+    #[test]
+    fn profile_fit_round_trips(
+        p1 in 0.2f64..0.98,
+        frac in 0.05f64..0.95,
+        b in 2usize..=16,
+    ) {
+        // The two-component model can only represent joint sparsities in
+        // [p1^b, p1]; sample inside the feasible range.
+        let lo = p1.powi(b as i32);
+        let p_b = lo + frac * (p1 - lo);
+        let profile = SparsityProfile::fit(p1, p_b, b);
+        prop_assert!((profile.joint_sparsity(1) - p1).abs() < 1e-4);
+        prop_assert!((profile.joint_sparsity(b) - p_b).abs() < 1e-4);
+        // Joint sparsity is non-increasing in batch size.
+        let mut prev = profile.joint_sparsity(1);
+        for bb in 2..=16 {
+            let cur = profile.joint_sparsity(bb);
+            prop_assert!(cur <= prev + 1e-12);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn report_identities_hold(
+        w in workload_strategy(),
+        sparsity in 0.0f64..1.0,
+    ) {
+        let sim = Simulator::paper();
+        let trace = SkipTrace::with_fraction(w.dh, w.seq_len, sparsity, 23);
+        let r = sim.run(&w, &trace);
+        prop_assert!((r.seconds - r.cycles as f64 / sim.arch().clock_hz).abs() < 1e-12);
+        prop_assert!((r.gops_per_watt - r.effective_gops / r.avg_power_watts).abs() < 1e-6);
+        prop_assert!(r.energy_joules > 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the computational kernels: the quantized
+//! GEMV with and without zero skipping (the software analogue of the
+//! accelerator's gain), state pruning, and the offset encoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zskip_core::{OffsetEncoder, StatePruner};
+use zskip_nn::StateTransform;
+use zskip_tensor::{Matrix, QMatrix, SeedableStream};
+
+/// A quantized state vector with the requested zero fraction.
+fn sparse_codes(dh: usize, sparsity: f64, seed: u64) -> Vec<i8> {
+    let mut rng = SeedableStream::new(seed);
+    (0..dh)
+        .map(|_| {
+            if rng.coin(sparsity) {
+                0
+            } else {
+                (rng.index(253) as i16 - 126) as i8
+            }
+        })
+        .collect()
+}
+
+fn bench_gemv_skip(c: &mut Criterion) {
+    let dh = 1000;
+    let w = Matrix::from_fn(dh, 4 * dh, |r, k| ((r * 13 + k * 7) as f32 * 0.01).sin());
+    let qw = QMatrix::from_matrix(&w);
+    let mut group = c.benchmark_group("gemv_t_1000x4000");
+    for sparsity in [0.0f64, 0.5, 0.81, 0.97] {
+        let x = sparse_codes(dh, sparsity, 42);
+        group.bench_with_input(
+            BenchmarkId::new("skip_zero", format!("{:.0}%", sparsity * 100.0)),
+            &x,
+            |b, x| b.iter(|| black_box(qw.gemv_t_i32(black_box(x)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let h = Matrix::from_fn(64, 1000, |r, k| ((r + k) as f32 * 0.003).sin());
+    let pruner = StatePruner::new(0.2);
+    c.bench_function("prune_64x1000", |b| {
+        b.iter(|| black_box(pruner.apply(black_box(&h))))
+    });
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let enc = OffsetEncoder::hardware_default();
+    let mut group = c.benchmark_group("offset_encode_8x1000");
+    for sparsity in [0.5f64, 0.81, 0.97] {
+        let lanes: Vec<Vec<i8>> = (0..8)
+            .map(|l| sparse_codes(1000, sparsity, l as u64))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", sparsity * 100.0)),
+            &lanes,
+            |b, lanes| b.iter(|| black_box(enc.encode(black_box(lanes)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let enc = OffsetEncoder::hardware_default();
+    let lanes: Vec<Vec<i8>> = (0..8).map(|l| sparse_codes(1000, 0.81, l as u64)).collect();
+    let state = enc.encode(&lanes);
+    c.bench_function("offset_decode_8x1000", |b| {
+        b.iter(|| black_box(state.decode()))
+    });
+}
+
+criterion_group!(benches, bench_gemv_skip, bench_prune, bench_encoder, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the simulator itself: the per-run cost of the
+//! analytic dataflow model (used thousands of times by the sweeps) and of
+//! the cycle-stepped pipeline validator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zskip_accel::cycle::GemvPipelineSim;
+use zskip_accel::{ArchConfig, LstmWorkload, Simulator, SkipTrace, SparsityProfile};
+
+fn bench_analytic_run(c: &mut Criterion) {
+    let sim = Simulator::paper();
+    let mut group = c.benchmark_group("analytic_sim");
+    for (name, w) in [
+        ("ptb_char_b8", LstmWorkload::ptb_char(8)),
+        ("ptb_word_b8", LstmWorkload::ptb_word(8)),
+        ("mnist_b8", LstmWorkload::mnist(8)),
+    ] {
+        let trace = SkipTrace::from_profile(
+            w.dh,
+            w.seq_len,
+            w.batch,
+            SparsityProfile::new(0.8, 0.0),
+            1,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| black_box(sim.run(black_box(w), black_box(&trace))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_stepped(c: &mut Criterion) {
+    let sim = GemvPipelineSim::new(ArchConfig::paper());
+    let mut group = c.benchmark_group("cycle_stepped_gemv");
+    for (dh, batch) in [(100usize, 8usize), (250, 8), (250, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("dh{dh}_b{batch}")),
+            &(dh, batch),
+            |b, &(dh, batch)| b.iter(|| black_box(sim.simulate(dh, batch, dh))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("skip_trace_profile_1000x100_b8", |b| {
+        b.iter(|| {
+            black_box(SkipTrace::from_profile(
+                1000,
+                100,
+                8,
+                SparsityProfile::new(0.5, 0.9),
+                7,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_analytic_run,
+    bench_cycle_stepped,
+    bench_trace_generation
+);
+criterion_main!(benches);

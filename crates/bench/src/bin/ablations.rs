@@ -1,0 +1,148 @@
+//! Design-space ablations for the accelerator's main choices — the
+//! studies DESIGN.md calls out beyond the paper's own figures:
+//!
+//! 1. DRAM weight bandwidth (weights/cycle) vs achieved dense GOPS,
+//! 2. scratch depth (max batch) vs the utilization it unlocks,
+//! 3. offset field width vs anchor overhead at high sparsity,
+//! 4. skip granularity: all-lane AND (the paper's rule) vs a hypothetical
+//!    per-lane oracle, quantifying what batching costs.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin ablations`
+
+use zskip_accel::{
+    ArchConfig, AreaModel, EnergyModel, LstmWorkload, Simulator, SkipTrace, SparsityProfile,
+};
+use zskip_bench::report::{f, pct, table};
+
+fn sim_with(arch: ArchConfig) -> Simulator {
+    Simulator::new(
+        arch,
+        EnergyModel::calibrated_65nm(),
+        AreaModel::calibrated_65nm(),
+    )
+}
+
+fn bandwidth_sweep() {
+    println!("== Ablation 1: weight bandwidth vs dense throughput (PTB-char) ==");
+    let mut rows = Vec::new();
+    for wpc in [6usize, 12, 24, 48, 96] {
+        let mut arch = ArchConfig::paper();
+        arch.weights_per_cycle = wpc;
+        let sim = sim_with(arch);
+        let mut cells = Vec::new();
+        for batch in [1usize, 8, 16] {
+            let r = sim.run_dense(&LstmWorkload::ptb_char(batch));
+            cells.push(r.effective_gops);
+        }
+        rows.push(vec![
+            wpc.to_string(),
+            format!("{}", arch.pipeline_depth()),
+            f(cells[0], 1),
+            f(cells[1], 1),
+            f(cells[2], 1),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["wt/cycle", "pipe depth", "B=1 GOPS", "B=8 GOPS", "B=16 GOPS"],
+            &rows
+        )
+    );
+    println!("→ the paper's 24 wt/cycle saturates 192 PEs exactly at batch 8.\n");
+}
+
+fn scratch_sweep() {
+    println!("== Ablation 2: scratch depth limits the usable batch ==");
+    let mut rows = Vec::new();
+    for entries in [1usize, 4, 8, 16, 32] {
+        let mut arch = ArchConfig::paper();
+        arch.scratch_entries = entries;
+        let sim = sim_with(arch);
+        let best_batch = entries.min(16);
+        let r = sim.run_dense(&LstmWorkload::ptb_char(best_batch));
+        rows.push(vec![
+            entries.to_string(),
+            best_batch.to_string(),
+            f(r.effective_gops, 1),
+            pct(r.utilization),
+            f(sim.area_mm2(), 3),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["entries", "best batch", "GOPS", "util %", "area mm^2"],
+            &rows
+        )
+    );
+    println!("→ 16 × 12-bit entries buy full utilization for ≤16 lanes at ~0.15 mm².\n");
+}
+
+fn offset_width_sweep() {
+    println!("== Ablation 3: offset width vs anchor overhead (97% sparse, dh=1000) ==");
+    let trace = SkipTrace::with_fraction(1000, 100, 0.97, 11);
+    let mut rows = Vec::new();
+    for bits in [2u8, 4, 6, 8, 12] {
+        let stored: usize = trace.stored_columns(bits).iter().sum();
+        let ideal: usize = trace
+            .stored_columns(16)
+            .iter()
+            .sum();
+        let overhead = stored as f64 / ideal as f64 - 1.0;
+        rows.push(vec![
+            bits.to_string(),
+            stored.to_string(),
+            format!("{:.1}%", overhead * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["offset bits", "stored cols (100 steps)", "anchor overhead"], &rows)
+    );
+    println!("→ 8-bit offsets make anchors negligible even at 97% sparsity.\n");
+}
+
+fn skip_granularity() {
+    println!("== Ablation 4: all-lane AND rule vs per-lane oracle ==");
+    let sim = Simulator::paper();
+    let profile = SparsityProfile::fit(0.97, 0.81, 8);
+    let mut rows = Vec::new();
+    for batch in [1usize, 8, 16] {
+        let w = LstmWorkload::ptb_char(batch);
+        let dense = sim.run_dense(&w);
+        // The hardware's rule: joint sparsity from the fitted profile.
+        let and_trace = SkipTrace::with_fraction(
+            w.dh,
+            w.seq_len,
+            profile.joint_sparsity(batch),
+            21,
+        );
+        let and_run = sim.run(&w, &and_trace);
+        // A hypothetical design with per-lane weight streams could skip at
+        // the single-lane rate regardless of batch.
+        let oracle_trace = SkipTrace::with_fraction(w.dh, w.seq_len, profile.joint_sparsity(1), 22);
+        let oracle_run = sim.run(&w, &oracle_trace);
+        rows.push(vec![
+            batch.to_string(),
+            pct(profile.joint_sparsity(batch)),
+            format!("{:.2}x", and_run.speedup_over(&dense)),
+            format!("{:.2}x", oracle_run.speedup_over(&dense)),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["batch", "joint sparsity %", "AND-rule speedup", "per-lane oracle"],
+            &rows
+        )
+    );
+    println!("→ batching trades skip opportunity for utilization; the paper's\n  batch-8 point is where the product of both peaks.\n");
+}
+
+fn main() {
+    bandwidth_sweep();
+    scratch_sweep();
+    offset_width_sweep();
+    skip_granularity();
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 10: headline comparison against ESE and CBSR.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin fig10_peak_comparison`
+
+fn main() {
+    let result = zskip_bench::figures::fig10();
+    zskip_bench::write_json("fig10_peak_comparison", &result);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 2: char-level BPC vs hidden-state sparsity.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin fig2_char_sparsity [--full]`
+
+fn main() {
+    let scale = zskip_bench::scale_from_args();
+    let result = zskip_bench::figures::fig2_char(scale);
+    zskip_bench::write_json("fig2_char_sparsity", &result);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 3: word-level PPW vs hidden-state sparsity.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin fig3_word_sparsity [--full]`
+
+fn main() {
+    let scale = zskip_bench::scale_from_args();
+    let result = zskip_bench::figures::fig3_word(scale);
+    zskip_bench::write_json("fig3_word_sparsity", &result);
+}

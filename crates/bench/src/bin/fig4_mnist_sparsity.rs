@@ -1,0 +1,9 @@
+//! Regenerates Fig. 4: sequential-digit MER vs hidden-state sparsity.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin fig4_mnist_sparsity [--full]`
+
+fn main() {
+    let scale = zskip_bench::scale_from_args();
+    let result = zskip_bench::figures::fig4_digits(scale);
+    zskip_bench::write_json("fig4_mnist_sparsity", &result);
+}

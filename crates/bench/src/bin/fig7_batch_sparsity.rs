@@ -1,0 +1,9 @@
+//! Regenerates Fig. 7: joint sparsity of the hidden state vs batch size.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin fig7_batch_sparsity [--full]`
+
+fn main() {
+    let scale = zskip_bench::scale_from_args();
+    let result = zskip_bench::figures::fig7_batch_sparsity(scale);
+    zskip_bench::write_json("fig7_batch_sparsity", &result);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 8: accelerator performance (GOPS) over dense and
+//! sparse models at batches 1/8/16.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin fig8_performance`
+
+fn main() {
+    let grid = zskip_bench::figures::fig8_9_grid();
+    zskip_bench::figures::print_fig8(&grid);
+    zskip_bench::write_json("fig8_performance", &grid);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 9: accelerator energy efficiency (GOPS/W) over dense
+//! and sparse models at batches 1/8/16.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin fig9_energy`
+
+fn main() {
+    let grid = zskip_bench::figures::fig8_9_grid();
+    zskip_bench::figures::print_fig9(&grid);
+    zskip_bench::write_json("fig9_energy", &grid);
+}

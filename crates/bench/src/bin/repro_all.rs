@@ -1,0 +1,31 @@
+//! Runs the full reproduction: every figure and table, quick scale by
+//! default.
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin repro_all [--full]`
+
+fn main() {
+    let scale = zskip_bench::scale_from_args();
+    eprintln!("--- Fig. 2 ---");
+    let fig2 = zskip_bench::figures::fig2_char(scale);
+    zskip_bench::write_json("fig2_char_sparsity", &fig2);
+    eprintln!("--- Fig. 3 ---");
+    let fig3 = zskip_bench::figures::fig3_word(scale);
+    zskip_bench::write_json("fig3_word_sparsity", &fig3);
+    eprintln!("--- Fig. 4 ---");
+    let fig4 = zskip_bench::figures::fig4_digits(scale);
+    zskip_bench::write_json("fig4_mnist_sparsity", &fig4);
+    eprintln!("--- Fig. 7 ---");
+    let fig7 = zskip_bench::figures::fig7_batch_sparsity(scale);
+    zskip_bench::write_json("fig7_batch_sparsity", &fig7);
+    eprintln!("--- Fig. 8/9 ---");
+    let grid = zskip_bench::figures::fig8_9_grid();
+    zskip_bench::figures::print_fig8(&grid);
+    zskip_bench::figures::print_fig9(&grid);
+    zskip_bench::write_json("fig8_performance", &grid);
+    eprintln!("--- Fig. 10 ---");
+    let fig10 = zskip_bench::figures::fig10();
+    zskip_bench::write_json("fig10_peak_comparison", &fig10);
+    eprintln!("--- Implementation table ---");
+    let table = zskip_bench::figures::table_implementation();
+    zskip_bench::write_json("table_implementation", &table);
+}

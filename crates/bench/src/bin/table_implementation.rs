@@ -1,0 +1,9 @@
+//! Regenerates the implementation-results summary of Section III-C/D
+//! (area, peak performance, peak efficiency).
+//!
+//! Usage: `cargo run --release -p zskip-bench --bin table_implementation`
+
+fn main() {
+    let result = zskip_bench::figures::table_implementation();
+    zskip_bench::write_json("table_implementation", &result);
+}

@@ -1,0 +1,84 @@
+//! Small text-table helpers shared by the figure binaries.
+
+/// Renders an aligned text table with a header row.
+///
+/// # Example
+///
+/// ```
+/// let t = zskip_bench::report::table(
+///     &["task", "GOPS"],
+///     &[vec!["char".into(), "76.4".into()]],
+/// );
+/// assert!(t.contains("task"));
+/// assert!(t.contains("76.4"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!("{cell:>w$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with fixed precision.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines share the same width as the header line.
+        assert!(lines[2].len() <= lines[0].len() + 2);
+    }
+
+    #[test]
+    fn pct_formats_fraction() {
+        assert_eq!(pct(0.971), "97.1");
+    }
+
+    #[test]
+    fn f_rounds() {
+        assert_eq!(f(3.14159, 2), "3.14");
+    }
+}

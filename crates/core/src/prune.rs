@@ -1,0 +1,206 @@
+//! Hidden-state threshold pruning (Eq. 5) with straight-through gradients
+//! (Eq. 6).
+//!
+//! During the feed-forward computation the state entering Eq. 4 is
+//!
+//! ```text
+//! hp[j] = 0      if |h[j]| < T
+//! hp[j] = h[j]   if |h[j]| ≥ T
+//! ```
+//!
+//! while the parameter update sees the dense state: the derivative of the
+//! discontinuous rectangular gate is approximated by the identity
+//! (`∂L/∂h ≈ ∂L/∂hp`), the technique BinaryConnect [14] introduced for
+//! binarized weights, applied here to activations. Keeping the dense value
+//! alive under the threshold is what lets "state values initially lied
+//! within the threshold" re-emerge later in training.
+
+use serde::{Deserialize, Serialize};
+use zskip_nn::StateTransform;
+use zskip_tensor::Matrix;
+
+/// Threshold pruner with the paper's straight-through gradient.
+///
+/// # Example
+///
+/// ```
+/// use zskip_core::StatePruner;
+/// use zskip_nn::StateTransform;
+/// use zskip_tensor::Matrix;
+///
+/// let pruner = StatePruner::new(0.3);
+/// let h = Matrix::from_rows(&[&[0.1, -0.4]]);
+/// assert_eq!(pruner.apply(&h).row(0), &[0.0, -0.4]);
+/// // Straight-through: gradients pass unchanged.
+/// let d = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// assert_eq!(pruner.backward(&h, &d), d);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatePruner {
+    threshold: f32,
+}
+
+impl StatePruner {
+    /// Creates a pruner with threshold `T ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    pub fn new(threshold: f32) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a non-negative finite value"
+        );
+        Self { threshold }
+    }
+
+    /// The pruning threshold `T`.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Prunes a slice in place.
+    pub fn prune_slice(&self, h: &mut [f32]) {
+        for v in h {
+            if v.abs() < self.threshold {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Fraction of entries a batch of states would lose (`|h| < T`).
+    pub fn would_prune_fraction(&self, h: &Matrix) -> f64 {
+        if h.is_empty() {
+            return 0.0;
+        }
+        let n = h
+            .as_slice()
+            .iter()
+            .filter(|v| v.abs() < self.threshold)
+            .count();
+        n as f64 / h.len() as f64
+    }
+}
+
+impl StateTransform for StatePruner {
+    fn apply(&self, h: &Matrix) -> Matrix {
+        let mut out = h.clone();
+        self.prune_slice(out.as_mut_slice());
+        out
+    }
+    // `backward` keeps the default straight-through estimator.
+}
+
+/// Ablation variant: the *exact* derivative of the rectangular pruning
+/// function, which is zero wherever the state was pruned. The paper argues
+/// for the straight-through approximation instead; benchmarks compare the
+/// two training behaviours.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MaskedGradientPruner {
+    threshold: f32,
+}
+
+impl MaskedGradientPruner {
+    /// Creates the masked-gradient pruner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    pub fn new(threshold: f32) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a non-negative finite value"
+        );
+        Self { threshold }
+    }
+
+    /// The pruning threshold `T`.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+impl StateTransform for MaskedGradientPruner {
+    fn apply(&self, h: &Matrix) -> Matrix {
+        StatePruner::new(self.threshold).apply(h)
+    }
+
+    fn backward(&self, h_raw: &Matrix, d_transformed: &Matrix) -> Matrix {
+        assert_eq!(h_raw.rows(), d_transformed.rows(), "shape mismatch");
+        assert_eq!(h_raw.cols(), d_transformed.cols(), "shape mismatch");
+        let mut out = d_transformed.clone();
+        for (g, h) in out.as_mut_slice().iter_mut().zip(h_raw.as_slice()) {
+            if h.abs() < self.threshold {
+                *g = 0.0;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunes_below_threshold_only() {
+        let p = StatePruner::new(0.5);
+        let h = Matrix::from_rows(&[&[0.49, 0.5, -0.49, -0.5, 0.0]]);
+        assert_eq!(p.apply(&h).row(0), &[0.0, 0.5, 0.0, -0.5, 0.0]);
+    }
+
+    #[test]
+    fn zero_threshold_is_identity() {
+        let p = StatePruner::new(0.0);
+        let h = Matrix::from_rows(&[&[0.1, -0.2, 0.0]]);
+        assert_eq!(p.apply(&h), h);
+    }
+
+    #[test]
+    fn pruning_is_idempotent() {
+        let p = StatePruner::new(0.3);
+        let h = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin());
+        let once = p.apply(&h);
+        let twice = p.apply(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn larger_threshold_prunes_more() {
+        let h = Matrix::from_fn(8, 8, |r, c| ((r + c * 3) as f32 * 0.21).sin());
+        let small = StatePruner::new(0.2).apply(&h).sparsity();
+        let large = StatePruner::new(0.8).apply(&h).sparsity();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn ste_gradient_is_identity() {
+        let p = StatePruner::new(0.5);
+        let h = Matrix::from_rows(&[&[0.1, 0.9]]);
+        let d = Matrix::from_rows(&[&[3.0, -4.0]]);
+        assert_eq!(p.backward(&h, &d), d);
+    }
+
+    #[test]
+    fn masked_gradient_zeroes_pruned_positions() {
+        let p = MaskedGradientPruner::new(0.5);
+        let h = Matrix::from_rows(&[&[0.1, 0.9, -0.3, -0.8]]);
+        let d = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
+        assert_eq!(p.backward(&h, &d).row(0), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn would_prune_fraction_matches_apply() {
+        let p = StatePruner::new(0.4);
+        let h = Matrix::from_fn(5, 5, |r, c| ((r * 5 + c) as f32 * 0.13).cos());
+        let predicted = p.would_prune_fraction(&h);
+        let actual = p.apply(&h).sparsity();
+        assert!((predicted - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_threshold() {
+        let _ = StatePruner::new(-0.1);
+    }
+}

@@ -1,0 +1,358 @@
+//! 8-bit quantized LSTM inference — the golden functional model for the
+//! accelerator datapath.
+//!
+//! The paper evaluates everything "using an 8-bit quantization for all
+//! weights and input/hidden vectors" (Section II-B) and the accelerator
+//! moves 8-bit values over LPDDR4. This module defines the exact
+//! arithmetic the simulated hardware performs, so that
+//! `zskip_accel::FunctionalTile` can be verified *bit-for-bit* against it:
+//!
+//! 1. gate pre-activations accumulate `i8 × i8` products in `i32`
+//!    (integer addition is associative, so any PE scheduling order gives
+//!    the same sums),
+//! 2. the accumulators are rescaled to real values with the weight and
+//!    activation scales, plus a full-precision bias,
+//! 3. sigmoid/tanh are evaluated with the hardware's 256-entry lookup
+//!    tables,
+//! 4. the cell state is re-quantized to 8 bits before storage (it lives
+//!    in DRAM between timesteps),
+//! 5. the new hidden state is threshold-pruned (Eq. 5) and quantized to
+//!    8 bits; values that quantize to code 0 are skippable next step.
+
+use crate::prune::StatePruner;
+use serde::{Deserialize, Serialize};
+use zskip_nn::LstmCell;
+use zskip_tensor::lut::ActivationLut;
+use zskip_tensor::{QMatrix, Quantizer};
+
+/// Output of one quantized step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantizedStep {
+    /// New hidden-state codes (pruned, length `dh`).
+    pub h: Vec<i8>,
+    /// New cell-state codes (length `dh`).
+    pub c: Vec<i8>,
+}
+
+/// An 8-bit quantized LSTM cell with pruned-state inference.
+///
+/// # Example
+///
+/// ```
+/// use zskip_core::QuantizedLstm;
+/// use zskip_nn::LstmCell;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let cell = LstmCell::new(4, 8, &mut rng);
+/// let q = QuantizedLstm::from_cell(&cell, 0.1);
+/// let x = q.quantize_input(&[0.5, -0.25, 0.0, 1.0]);
+/// let step = q.step(&x, &vec![0; 8], &vec![0; 8]);
+/// assert_eq!(step.h.len(), 8);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuantizedLstm {
+    dx: usize,
+    dh: usize,
+    wx: QMatrix,
+    wh: QMatrix,
+    bias: Vec<f32>,
+    x_quant: Quantizer,
+    h_quant: Quantizer,
+    c_quant: Quantizer,
+    sigmoid: ActivationLut,
+    tanh: ActivationLut,
+    pruner: StatePruner,
+}
+
+impl QuantizedLstm {
+    /// Quantizes a trained float cell for inference with pruning threshold
+    /// `T`.
+    ///
+    /// Activation quantizers use fixed full-scale ranges: `h ∈ (-1, 1)`
+    /// (product of a sigmoid and a tanh) and a conservative `c ∈ (-4, 4)`;
+    /// the input quantizer assumes `|x| ≤ 1` (one-hot chars, unit pixels,
+    /// bounded embeddings — rescale inputs otherwise).
+    pub fn from_cell(cell: &LstmCell, threshold: f32) -> Self {
+        Self {
+            dx: cell.input_dim(),
+            dh: cell.hidden_dim(),
+            wx: QMatrix::from_matrix(cell.wx()),
+            wh: QMatrix::from_matrix(cell.wh()),
+            bias: cell.bias().to_vec(),
+            x_quant: Quantizer::from_max_abs(1.0),
+            h_quant: Quantizer::from_max_abs(1.0),
+            c_quant: Quantizer::from_max_abs(4.0),
+            sigmoid: ActivationLut::hardware_sigmoid(),
+            tanh: ActivationLut::hardware_tanh(),
+            pruner: StatePruner::new(threshold),
+        }
+    }
+
+    /// Input dimension `dx`.
+    pub fn input_dim(&self) -> usize {
+        self.dx
+    }
+
+    /// Hidden dimension `dh`.
+    pub fn hidden_dim(&self) -> usize {
+        self.dh
+    }
+
+    /// Pruning threshold `T`.
+    pub fn threshold(&self) -> f32 {
+        self.pruner.threshold()
+    }
+
+    /// The quantized recurrent weights (`dh × 4dh`).
+    pub fn wh(&self) -> &QMatrix {
+        &self.wh
+    }
+
+    /// The quantized input weights (`dx × 4dh`).
+    pub fn wx(&self) -> &QMatrix {
+        &self.wx
+    }
+
+    /// The hidden-state quantizer.
+    pub fn h_quantizer(&self) -> Quantizer {
+        self.h_quant
+    }
+
+    /// The cell-state quantizer.
+    pub fn c_quantizer(&self) -> Quantizer {
+        self.c_quant
+    }
+
+    /// Quantizes a real-valued input vector to input codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn quantize_input(&self, x: &[f32]) -> Vec<i8> {
+        assert_eq!(x.len(), self.dx, "input length mismatch");
+        self.x_quant.quantize_slice(x)
+    }
+
+    /// Combined scale of an `x`-side accumulator LSB.
+    pub fn x_acc_scale(&self) -> f32 {
+        self.wx.quantizer().step() * self.x_quant.step()
+    }
+
+    /// Combined scale of an `h`-side accumulator LSB.
+    pub fn h_acc_scale(&self) -> f32 {
+        self.wh.quantizer().step() * self.h_quant.step()
+    }
+
+    /// Computes the raw `i32` gate accumulators for one step — exposed so
+    /// the accelerator's functional simulation can be compared at the
+    /// narrowest possible interface.
+    ///
+    /// Returns `(acc_x, acc_h)`, each of length `4·dh`.
+    pub fn gate_accumulators(&self, x_codes: &[i8], h_codes: &[i8]) -> (Vec<i32>, Vec<i32>) {
+        assert_eq!(x_codes.len(), self.dx, "x codes length mismatch");
+        assert_eq!(h_codes.len(), self.dh, "h codes length mismatch");
+        (self.wx.gemv_t_i32(x_codes), self.wh.gemv_t_i32(h_codes))
+    }
+
+    /// Gate pre-activation for flat gate index `k` (`0 ≤ k < 4·dh`, gate
+    /// order `[f, i, o, g]` blocked by `dh`): rescales the two integer
+    /// accumulators and adds the full-precision bias.
+    pub fn preactivation(&self, k: usize, acc_x: i32, acc_h: i32) -> f32 {
+        acc_x as f32 * self.x_acc_scale() + acc_h as f32 * self.h_acc_scale() + self.bias[k]
+    }
+
+    /// Applies the hardware non-linearity for `gate` (0..=2 sigmoid, 3
+    /// tanh) via the lookup tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate > 3`.
+    pub fn activation(&self, gate: usize, z: f32) -> f32 {
+        match gate {
+            0..=2 => self.sigmoid.eval(z),
+            3 => self.tanh.eval(z),
+            _ => panic!("gate index {gate} out of range"),
+        }
+    }
+
+    /// The per-element pointwise tail of one step: Eq. 2 (`c = f·c + i·g`
+    /// with 8-bit cell storage), Eq. 3 (`h = o·tanh(c)` on the *stored*
+    /// cell value), threshold pruning (Eq. 5) and 8-bit state
+    /// quantization. Shared verbatim by the accelerator's functional
+    /// tiles so that simulator and reference agree bit-for-bit.
+    pub fn pointwise(&self, f: f32, i: f32, o: f32, g: f32, c_prev_code: i8) -> (i8, i8) {
+        let c_prev = self.c_quant.dequantize(c_prev_code);
+        let c_val = f * c_prev + i * g;
+        let c_code = self.c_quant.quantize(c_val);
+        // Hardware computes tanh on the value it stores.
+        let tc = self.tanh.eval(self.c_quant.dequantize(c_code));
+        let mut h_val = o * tc;
+        if h_val.abs() < self.pruner.threshold() {
+            h_val = 0.0;
+        }
+        (self.h_quant.quantize(h_val), c_code)
+    }
+
+    /// One quantized inference step.
+    ///
+    /// `h_codes`/`c_codes` are the stored 8-bit states from the previous
+    /// step (all zeros for the initial state).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn step(&self, x_codes: &[i8], h_codes: &[i8], c_codes: &[i8]) -> QuantizedStep {
+        assert_eq!(c_codes.len(), self.dh, "c codes length mismatch");
+        let (acc_x, acc_h) = self.gate_accumulators(x_codes, h_codes);
+        let dh = self.dh;
+
+        let mut h_new = vec![0i8; dh];
+        let mut c_new = vec![0i8; dh];
+        for j in 0..dh {
+            let z = |gate: usize| -> f32 {
+                let k = gate * dh + j;
+                self.preactivation(k, acc_x[k], acc_h[k])
+            };
+            let f = self.activation(0, z(0));
+            let i = self.activation(1, z(1));
+            let o = self.activation(2, z(2));
+            let g = self.activation(3, z(3));
+            let (h_code, c_code) = self.pointwise(f, i, o, g, c_codes[j]);
+            h_new[j] = h_code;
+            c_new[j] = c_code;
+        }
+        QuantizedStep { h: h_new, c: c_new }
+    }
+
+    /// Runs a whole sequence from zero state; returns the per-step hidden
+    /// codes (the trace the accelerator consumes).
+    pub fn run_sequence(&self, inputs: &[Vec<i8>]) -> Vec<QuantizedStep> {
+        let mut h = vec![0i8; self.dh];
+        let mut c = vec![0i8; self.dh];
+        let mut out = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let step = self.step(x, &h, &c);
+            h = step.h.clone();
+            c = step.c.clone();
+            out.push(step);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_nn::{LstmCell, StateTransform};
+    use zskip_tensor::{Matrix, SeedableStream};
+
+    fn cell(seed: u64, dx: usize, dh: usize) -> LstmCell {
+        let mut rng = SeedableStream::new(seed);
+        LstmCell::new(dx, dh, &mut rng)
+    }
+
+    #[test]
+    fn quantized_step_tracks_float_model() {
+        let cell = cell(1, 6, 12);
+        let q = QuantizedLstm::from_cell(&cell, 0.0);
+        let x: Vec<f32> = (0..6).map(|i| ((i as f32) * 0.37).sin() * 0.8).collect();
+        let xq = q.quantize_input(&x);
+
+        // Float reference.
+        let xm = Matrix::from_rows(&[&x]);
+        let h0 = Matrix::zeros(1, 12);
+        let c0 = Matrix::zeros(1, 12);
+        let step_f = cell.forward(&xm, &h0, &c0);
+
+        let step_q = q.step(&xq, &vec![0; 12], &vec![0; 12]);
+        for j in 0..12 {
+            let h_approx = q.h_quantizer().dequantize(step_q.h[j]);
+            let h_exact = step_f.h()[(0, j)];
+            assert!(
+                (h_approx - h_exact).abs() < 0.08,
+                "j={j}: {h_approx} vs {h_exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_threshold_zeroes_small_codes() {
+        let cell = cell(2, 4, 16);
+        let dense = QuantizedLstm::from_cell(&cell, 0.0);
+        let pruned = QuantizedLstm::from_cell(&cell, 0.25);
+        let x = dense.quantize_input(&[0.3, -0.9, 0.5, 0.1]);
+        let d = dense.step(&x, &vec![0; 16], &vec![0; 16]);
+        let p = pruned.step(&x, &vec![0; 16], &vec![0; 16]);
+        let zeros_d = d.h.iter().filter(|v| **v == 0).count();
+        let zeros_p = p.h.iter().filter(|v| **v == 0).count();
+        assert!(zeros_p >= zeros_d);
+        // Surviving values agree exactly.
+        for j in 0..16 {
+            if p.h[j] != 0 {
+                assert_eq!(p.h[j], d.h[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_runs_are_deterministic() {
+        let cell = cell(3, 3, 8);
+        let q = QuantizedLstm::from_cell(&cell, 0.1);
+        let inputs: Vec<Vec<i8>> = (0..5)
+            .map(|t| q.quantize_input(&[(t as f32 * 0.3).sin(), 0.5, -0.2]))
+            .collect();
+        let a = q.run_sequence(&inputs);
+        let b = q.run_sequence(&inputs);
+        assert_eq!(a.last().unwrap().h, b.last().unwrap().h);
+    }
+
+    #[test]
+    fn accumulators_skip_invariance() {
+        // Zero h codes contribute nothing: dropping them gives identical
+        // accumulators — the algebraic fact the whole accelerator relies on.
+        let cell = cell(4, 3, 10);
+        let q = QuantizedLstm::from_cell(&cell, 0.0);
+        let x = q.quantize_input(&[0.1, 0.2, 0.3]);
+        let mut h = vec![0i8; 10];
+        h[2] = 50;
+        h[7] = -80;
+        let (_, acc_full) = q.gate_accumulators(&x, &h);
+        // Manual sparse accumulation over non-zero positions only.
+        let mut acc_sparse = vec![0i32; 40];
+        for &j in &[2usize, 7] {
+            for k in 0..40 {
+                acc_sparse[k] += q.wh().get(j, k) as i32 * h[j] as i32;
+            }
+        }
+        assert_eq!(acc_full, acc_sparse);
+    }
+
+    #[test]
+    fn quantized_sparsity_at_least_float_sparsity() {
+        // Quantization can only add zeros (small values round to code 0).
+        let cell = cell(5, 4, 32);
+        let threshold = 0.15;
+        let q = QuantizedLstm::from_cell(&cell, threshold);
+        let pruner = StatePruner::new(threshold);
+        let mut h_f = Matrix::zeros(1, 32);
+        let mut c_f = Matrix::zeros(1, 32);
+        let mut h_q = vec![0i8; 32];
+        let mut c_q = vec![0i8; 32];
+        let mut float_zeros = 0usize;
+        let mut quant_zeros = 0usize;
+        for t in 0..10 {
+            let x: Vec<f32> = (0..4).map(|i| ((t * 4 + i) as f32 * 0.29).sin()).collect();
+            let xm = Matrix::from_rows(&[&x]);
+            let step = cell.forward(&xm, &h_f, &c_f);
+            h_f = pruner.apply(step.h());
+            c_f = step.c().clone();
+            let sq = q.step(&q.quantize_input(&x), &h_q, &c_q);
+            h_q = sq.h.clone();
+            c_q = sq.c.clone();
+            float_zeros += h_f.row(0).iter().filter(|v| **v == 0.0).count();
+            quant_zeros += h_q.iter().filter(|v| **v == 0).count();
+        }
+        assert!(quant_zeros >= float_zeros);
+    }
+}

@@ -1,0 +1,179 @@
+//! Sparsity measurement, including the batch-joint sparsity that governs
+//! what the accelerator can actually skip.
+//!
+//! With a batch size of `B`, the accelerator shares each fetched weight
+//! column across all lanes, so "we can only skip those computations in
+//! which all the input elements of the all batches are zero" (Fig. 5d).
+//! Fig. 7 quantifies how this erodes usable sparsity as `B` grows; the
+//! functions here compute exactly that statistic from state traces.
+
+use zskip_tensor::Matrix;
+
+/// Fraction of exactly-zero entries in a state matrix (`B × dh`).
+///
+/// For `B = 1` this is the paper's "sparsity degree".
+pub fn sparsity_degree(states: &Matrix) -> f64 {
+    states.sparsity()
+}
+
+/// Per-column skippability: `true` where **all** lanes are zero.
+///
+/// # Example
+///
+/// ```
+/// use zskip_core::sparsity::joint_zero_columns;
+/// use zskip_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 0.0]]);
+/// assert_eq!(joint_zero_columns(&m), vec![true, false, true]);
+/// ```
+pub fn joint_zero_columns(states: &Matrix) -> Vec<bool> {
+    (0..states.cols())
+        .map(|c| (0..states.rows()).all(|r| states[(r, c)] == 0.0))
+        .collect()
+}
+
+/// Fraction of columns skippable under batching (all lanes zero).
+pub fn joint_sparsity(states: &Matrix) -> f64 {
+    if states.cols() == 0 {
+        return 0.0;
+    }
+    let skippable = joint_zero_columns(states).iter().filter(|b| **b).count();
+    skippable as f64 / states.cols() as f64
+}
+
+/// Mean joint sparsity over a whole state trace (`T` matrices of
+/// `B × dh`).
+pub fn mean_joint_sparsity(trace: &[Matrix]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().map(joint_sparsity).sum::<f64>() / trace.len() as f64
+}
+
+/// Mean element-wise sparsity over a trace.
+pub fn mean_sparsity(trace: &[Matrix]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().map(|m| m.sparsity()).sum::<f64>() / trace.len() as f64
+}
+
+/// Regroups a `B_total`-lane trace into effective batches of `group` lanes
+/// and reports the mean joint sparsity of the groups.
+///
+/// This reproduces Fig. 7's protocol: the same trained model and state
+/// stream, evaluated at accelerator batch sizes 1, 8 and 16.
+///
+/// # Panics
+///
+/// Panics if `group` is zero or exceeds the lane count.
+pub fn grouped_joint_sparsity(trace: &[Matrix], group: usize) -> f64 {
+    assert!(group > 0, "group must be positive");
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let lanes = trace[0].rows();
+    assert!(
+        group <= lanes,
+        "group {group} exceeds available lanes {lanes}"
+    );
+    let full_groups = lanes / group;
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for m in trace {
+        for g in 0..full_groups {
+            let rows: Vec<&[f32]> = (g * group..(g + 1) * group).map(|r| m.row(r)).collect();
+            let sub = Matrix::from_rows(&rows);
+            total += joint_sparsity(&sub);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| if (r + c) % 2 == 0 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn single_lane_joint_equals_elementwise() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0, 0.0, 2.0]]);
+        assert_eq!(joint_sparsity(&m), sparsity_degree(&m));
+        assert_eq!(joint_sparsity(&m), 0.5);
+    }
+
+    #[test]
+    fn joint_sparsity_never_exceeds_elementwise() {
+        let m = checker(4, 10);
+        assert!(joint_sparsity(&m) <= sparsity_degree(&m));
+        // Checkerboard: every column has a non-zero somewhere.
+        assert_eq!(joint_sparsity(&m), 0.0);
+        assert_eq!(sparsity_degree(&m), 0.5);
+    }
+
+    #[test]
+    fn all_zero_matrix_is_fully_skippable() {
+        let m = Matrix::zeros(8, 16);
+        assert_eq!(joint_sparsity(&m), 1.0);
+    }
+
+    #[test]
+    fn grouped_sparsity_decreases_with_group_size() {
+        // Random-ish sparse pattern: per-lane sparsity 0.8.
+        let m = Matrix::from_fn(16, 64, |r, c| {
+            if (r * 31 + c * 17) % 5 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let trace = vec![m];
+        let s1 = grouped_joint_sparsity(&trace, 1);
+        let s4 = grouped_joint_sparsity(&trace, 4);
+        let s16 = grouped_joint_sparsity(&trace, 16);
+        assert!(s1 > s4, "s1={s1} s4={s4}");
+        assert!(s4 >= s16, "s4={s4} s16={s16}");
+    }
+
+    #[test]
+    fn independent_lanes_follow_power_law() {
+        // With independent per-lane sparsity p, joint sparsity ≈ p^B.
+        let p = 0.9f64;
+        let mut rng = zskip_tensor::SeedableStream::new(11);
+        let trace: Vec<Matrix> = (0..64)
+            .map(|_| {
+                Matrix::from_fn(8, 128, |_, _| if rng.coin(p) { 0.0 } else { 1.0 })
+            })
+            .collect();
+        let s8 = grouped_joint_sparsity(&trace, 8);
+        let expect = p.powi(8);
+        assert!(
+            (s8 - expect).abs() < 0.05,
+            "measured {s8}, analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn mean_functions_average_over_steps() {
+        let a = Matrix::zeros(2, 4);
+        let b = Matrix::from_fn(2, 4, |_, _| 1.0);
+        let trace = vec![a, b];
+        assert_eq!(mean_joint_sparsity(&trace), 0.5);
+        assert_eq!(mean_sparsity(&trace), 0.5);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        assert_eq!(mean_joint_sparsity(&[]), 0.0);
+        assert_eq!(mean_sparsity(&[]), 0.0);
+    }
+}

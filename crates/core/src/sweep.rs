@@ -1,0 +1,147 @@
+//! Threshold sweeps and the sweet-spot search of Figs. 2–4.
+//!
+//! "Since the pruning threshold is empirical, we report the prediction
+//! accuracy ... for different sparsity degrees" (Section II-B). A sweep
+//! trains/evaluates at several thresholds and records `(threshold,
+//! sparsity, metric)` triples; the *sweet spot* is the highest-sparsity
+//! point whose metric is no worse than the dense baseline within a small
+//! tolerance.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a sparsity/accuracy trade-off curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SparsityPoint {
+    /// Pruning threshold used for this point.
+    pub threshold: f32,
+    /// Measured sparsity degree of the hidden state, in `[0, 1]`.
+    pub sparsity: f64,
+    /// Task metric at this point (BPC, PPW or MER — lower is better for
+    /// all three of the paper's tasks).
+    pub metric: f64,
+}
+
+/// Finds the sweet spot: the maximum-sparsity point whose metric stays
+/// within `tolerance` (relative) of `baseline_metric`.
+///
+/// Returns `None` if no point qualifies. All three paper metrics are
+/// lower-is-better, so a point qualifies when
+/// `metric <= baseline_metric * (1 + tolerance)`.
+///
+/// # Example
+///
+/// ```
+/// use zskip_core::{sweet_spot, SparsityPoint};
+///
+/// let curve = [
+///     SparsityPoint { threshold: 0.0, sparsity: 0.0, metric: 1.50 },
+///     SparsityPoint { threshold: 0.1, sparsity: 0.90, metric: 1.49 },
+///     SparsityPoint { threshold: 0.2, sparsity: 0.97, metric: 1.50 },
+///     SparsityPoint { threshold: 0.4, sparsity: 0.99, metric: 1.80 },
+/// ];
+/// let spot = sweet_spot(&curve, 1.50, 0.01).unwrap();
+/// assert_eq!(spot.sparsity, 0.97);
+/// ```
+pub fn sweet_spot(
+    points: &[SparsityPoint],
+    baseline_metric: f64,
+    tolerance: f64,
+) -> Option<&SparsityPoint> {
+    let limit = baseline_metric * (1.0 + tolerance);
+    points
+        .iter()
+        .filter(|p| p.metric <= limit)
+        .max_by(|a, b| {
+            a.sparsity
+                .partial_cmp(&b.sparsity)
+                .expect("sparsity is finite")
+        })
+}
+
+/// Renders a sweep as an aligned text table (used by the figure binaries).
+pub fn format_curve(points: &[SparsityPoint], metric_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>12}\n",
+        "threshold", "sparsity %", metric_name
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>10.4} {:>12.1} {:>12.4}\n",
+            p.threshold,
+            p.sparsity * 100.0,
+            p.metric
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Vec<SparsityPoint> {
+        vec![
+            SparsityPoint {
+                threshold: 0.0,
+                sparsity: 0.0,
+                metric: 2.0,
+            },
+            SparsityPoint {
+                threshold: 0.05,
+                sparsity: 0.5,
+                metric: 1.95,
+            },
+            SparsityPoint {
+                threshold: 0.1,
+                sparsity: 0.9,
+                metric: 2.01,
+            },
+            SparsityPoint {
+                threshold: 0.3,
+                sparsity: 0.99,
+                metric: 3.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn picks_highest_sparsity_within_tolerance() {
+        let c = curve();
+        let spot = sweet_spot(&c, 2.0, 0.01).expect("spot");
+        assert_eq!(spot.sparsity, 0.9);
+    }
+
+    #[test]
+    fn zero_tolerance_requires_no_degradation() {
+        let c = curve();
+        let spot = sweet_spot(&c, 2.0, 0.0).expect("spot");
+        assert_eq!(spot.sparsity, 0.5);
+    }
+
+    #[test]
+    fn no_qualifying_point_returns_none() {
+        let c = curve();
+        assert!(sweet_spot(&c, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn improvement_counts_as_within_tolerance() {
+        // Pruned models sometimes *improve* (regularization); those points
+        // must always qualify.
+        let c = [SparsityPoint {
+            threshold: 0.1,
+            sparsity: 0.8,
+            metric: 1.4,
+        }];
+        assert!(sweet_spot(&c, 1.5, 0.0).is_some());
+    }
+
+    #[test]
+    fn format_curve_contains_all_points() {
+        let c = curve();
+        let s = format_curve(&c, "BPC");
+        assert_eq!(s.lines().count(), c.len() + 1);
+        assert!(s.contains("BPC"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for pruning, sparsity and the offset encoder.
+
+use proptest::prelude::*;
+use zskip_core::sparsity::{joint_sparsity, joint_zero_columns, sparsity_degree};
+use zskip_core::{MaskedGradientPruner, OffsetEncoder, StatePruner};
+use zskip_nn::StateTransform;
+use zskip_tensor::Matrix;
+
+fn state_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn sparse_lanes() -> impl Strategy<Value = Vec<Vec<i8>>> {
+    (1usize..=4, 1usize..=96).prop_flat_map(|(lanes, dh)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![4 => Just(0i8), 1 => any::<i8>()],
+                dh,
+            ),
+            lanes,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn prune_output_is_zero_or_at_threshold(
+        m in state_matrix(6, 32),
+        threshold in 0.0f32..1.5,
+    ) {
+        let pruner = StatePruner::new(threshold);
+        let out = pruner.apply(&m);
+        for v in out.as_slice() {
+            prop_assert!(*v == 0.0 || v.abs() >= threshold,
+                "value {v} violates Eq. 5 with T={threshold}");
+        }
+    }
+
+    #[test]
+    fn prune_is_idempotent(
+        m in state_matrix(6, 32),
+        threshold in 0.0f32..1.5,
+    ) {
+        let pruner = StatePruner::new(threshold);
+        let once = pruner.apply(&m);
+        prop_assert_eq!(pruner.apply(&once), once);
+    }
+
+    #[test]
+    fn prune_sparsity_is_monotone_in_threshold(
+        m in state_matrix(6, 32),
+        t1 in 0.0f32..0.7,
+        dt in 0.0f32..0.7,
+    ) {
+        let a = StatePruner::new(t1).apply(&m).sparsity();
+        let b = StatePruner::new(t1 + dt).apply(&m).sparsity();
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn ste_and_masked_gradients_agree_on_survivors(
+        m in state_matrix(4, 16),
+        threshold in 0.0f32..1.0,
+    ) {
+        let grad = Matrix::from_fn(m.rows(), m.cols(), |r, c| ((r * 7 + c) as f32).sin());
+        let ste = StatePruner::new(threshold).backward(&m, &grad);
+        let masked = MaskedGradientPruner::new(threshold).backward(&m, &grad);
+        for i in 0..m.len() {
+            let h = m.as_slice()[i];
+            if h.abs() >= threshold {
+                prop_assert_eq!(ste.as_slice()[i], masked.as_slice()[i]);
+            } else {
+                prop_assert_eq!(masked.as_slice()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn joint_sparsity_never_exceeds_elementwise(m in state_matrix(8, 48)) {
+        prop_assert!(joint_sparsity(&m) <= sparsity_degree(&m) + 1e-12);
+    }
+
+    #[test]
+    fn joint_zero_columns_match_joint_sparsity(m in state_matrix(8, 48)) {
+        let cols = joint_zero_columns(&m);
+        let frac = cols.iter().filter(|b| **b).count() as f64 / cols.len() as f64;
+        prop_assert!((frac - joint_sparsity(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoder_round_trips_any_lanes(
+        lanes in sparse_lanes(),
+        bits in 1u8..=16,
+    ) {
+        let enc = OffsetEncoder::new(bits);
+        let state = enc.encode(&lanes);
+        prop_assert_eq!(state.decode(), lanes);
+    }
+
+    #[test]
+    fn encoder_accounting_is_consistent(
+        lanes in sparse_lanes(),
+        bits in 2u8..=10,
+    ) {
+        let enc = OffsetEncoder::new(bits);
+        let state = enc.encode(&lanes);
+        let dh = lanes[0].len();
+        prop_assert_eq!(state.stored_columns() + state.skipped_columns(), dh);
+        // Every truly non-zero column must be stored.
+        let nonzero = (0..dh)
+            .filter(|j| lanes.iter().any(|l| l[*j] != 0))
+            .count();
+        prop_assert!(state.stored_columns() >= nonzero);
+        prop_assert_eq!(state.stored_columns() - nonzero, state.anchor_columns());
+    }
+
+    #[test]
+    fn encoder_offsets_fit_field_width(
+        lanes in sparse_lanes(),
+        bits in 1u8..=8,
+    ) {
+        let enc = OffsetEncoder::new(bits);
+        let state = enc.encode(&lanes);
+        let max = enc.max_run();
+        for col in state.columns() {
+            prop_assert!(col.offset <= max);
+        }
+    }
+
+    #[test]
+    fn pruned_then_quantized_state_encodes_smaller_with_higher_threshold(
+        m in state_matrix(1, 200),
+    ) {
+        let q = zskip_tensor::Quantizer::from_max_abs(2.0);
+        let enc = OffsetEncoder::hardware_default();
+        let small = enc.encode_f32(&StatePruner::new(0.1).apply(&m), q);
+        let large = enc.encode_f32(&StatePruner::new(0.9).apply(&m), q);
+        prop_assert!(large.stored_columns() <= small.stored_columns());
+    }
+}

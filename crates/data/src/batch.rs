@@ -1,0 +1,188 @@
+//! Contiguous BPTT batching for stateful language-model training.
+//!
+//! The stream is split into `B` contiguous lanes; each window advances all
+//! lanes by `T` tokens, and the model's recurrent state is carried across
+//! consecutive windows — the standard Penn Treebank training recipe the
+//! paper follows (sequence length 100 for char, 35 for word).
+
+/// One BPTT window: time-major inputs and next-token targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BpttWindow {
+    /// `inputs[t][lane]` — token fed at step `t`.
+    pub inputs: Vec<Vec<usize>>,
+    /// `targets[t][lane]` — token to predict at step `t`.
+    pub targets: Vec<Vec<usize>>,
+}
+
+impl BpttWindow {
+    /// Window length in steps.
+    pub fn steps(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of batch lanes.
+    pub fn lanes(&self) -> usize {
+        self.inputs.first().map_or(0, Vec::len)
+    }
+}
+
+/// Splits a token stream into `batch` contiguous lanes and serves
+/// fixed-length BPTT windows.
+///
+/// # Example
+///
+/// ```
+/// use zskip_data::BpttBatcher;
+///
+/// let stream: Vec<u32> = (0..100).collect();
+/// let mut batcher = BpttBatcher::new(&stream, 4, 5);
+/// let w = batcher.next_window().unwrap();
+/// assert_eq!(w.steps(), 5);
+/// assert_eq!(w.lanes(), 4);
+/// // Lane 0 starts at the head of the stream; targets are shifted by one.
+/// assert_eq!(w.inputs[0][0], 0);
+/// assert_eq!(w.targets[0][0], 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BpttBatcher {
+    lanes: Vec<Vec<usize>>,
+    bptt: usize,
+    cursor: usize,
+}
+
+impl BpttBatcher {
+    /// Creates a batcher over `stream` with `batch` lanes and `bptt`-step
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is too short to give every lane `bptt + 1`
+    /// tokens, or if `batch`/`bptt` is zero.
+    pub fn new(stream: &[u32], batch: usize, bptt: usize) -> Self {
+        assert!(batch > 0 && bptt > 0, "batch and bptt must be positive");
+        let lane_len = stream.len() / batch;
+        assert!(
+            lane_len > bptt,
+            "stream of {} tokens cannot fill {batch} lanes of {} tokens",
+            stream.len(),
+            bptt + 1
+        );
+        let lanes = (0..batch)
+            .map(|b| {
+                stream[b * lane_len..(b + 1) * lane_len]
+                    .iter()
+                    .map(|t| *t as usize)
+                    .collect()
+            })
+            .collect();
+        Self {
+            lanes,
+            bptt,
+            cursor: 0,
+        }
+    }
+
+    /// Convenience constructor for byte streams (char corpora).
+    pub fn from_bytes(stream: &[u8], batch: usize, bptt: usize) -> Self {
+        let widened: Vec<u32> = stream.iter().map(|b| *b as u32).collect();
+        Self::new(&widened, batch, bptt)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of complete windows per epoch.
+    pub fn windows_per_epoch(&self) -> usize {
+        (self.lanes[0].len() - 1) / self.bptt
+    }
+
+    /// Serves the next window, or `None` at the end of the epoch.
+    pub fn next_window(&mut self) -> Option<BpttWindow> {
+        let end = self.cursor + self.bptt;
+        if end + 1 > self.lanes[0].len() {
+            return None;
+        }
+        let inputs = (self.cursor..end)
+            .map(|t| self.lanes.iter().map(|lane| lane[t]).collect())
+            .collect();
+        let targets = (self.cursor..end)
+            .map(|t| self.lanes.iter().map(|lane| lane[t + 1]).collect())
+            .collect();
+        self.cursor = end;
+        Some(BpttWindow { inputs, targets })
+    }
+
+    /// Rewinds to the start of the epoch (recurrent state should be reset
+    /// by the caller as well).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_tile_the_stream() {
+        let stream: Vec<u32> = (0..64).collect();
+        let mut b = BpttBatcher::new(&stream, 2, 7);
+        let mut count = 0;
+        while let Some(w) = b.next_window() {
+            assert_eq!(w.steps(), 7);
+            assert_eq!(w.lanes(), 2);
+            count += 1;
+        }
+        assert_eq!(count, b.windows_per_epoch());
+        // 64/2 = 32 tokens per lane, (32-1)/7 = 4 windows.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn lanes_are_contiguous_slices() {
+        let stream: Vec<u32> = (0..20).collect();
+        let mut b = BpttBatcher::new(&stream, 2, 3);
+        let w = b.next_window().expect("window");
+        // Lane 1 starts at stream position 10.
+        assert_eq!(w.inputs[0][1], 10);
+        assert_eq!(w.inputs[1][1], 11);
+        assert_eq!(w.targets[0][1], 11);
+    }
+
+    #[test]
+    fn consecutive_windows_continue_where_previous_ended() {
+        let stream: Vec<u32> = (0..30).collect();
+        let mut b = BpttBatcher::new(&stream, 1, 4);
+        let w1 = b.next_window().expect("w1");
+        let w2 = b.next_window().expect("w2");
+        assert_eq!(w2.inputs[0][0], w1.targets[3][0]);
+    }
+
+    #[test]
+    fn reset_restarts_epoch() {
+        let stream: Vec<u32> = (0..30).collect();
+        let mut b = BpttBatcher::new(&stream, 1, 4);
+        let first = b.next_window().expect("w");
+        while b.next_window().is_some() {}
+        b.reset();
+        assert_eq!(b.next_window().expect("w"), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn rejects_too_short_stream() {
+        let stream: Vec<u32> = (0..8).collect();
+        let _ = BpttBatcher::new(&stream, 4, 5);
+    }
+
+    #[test]
+    fn from_bytes_matches_u32_path() {
+        let bytes: Vec<u8> = (0..40).collect();
+        let widened: Vec<u32> = bytes.iter().map(|b| *b as u32).collect();
+        let mut a = BpttBatcher::from_bytes(&bytes, 2, 5);
+        let mut b = BpttBatcher::new(&widened, 2, 5);
+        assert_eq!(a.next_window(), b.next_window());
+    }
+}

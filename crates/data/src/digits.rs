@@ -1,0 +1,424 @@
+//! Stroke-rendered digit images (sequential-MNIST stand-in).
+//!
+//! Each digit class 0–9 is defined by a polyline/arc template in the unit
+//! square; rendering applies a random affine jitter (rotation, scale,
+//! translation), stamps the strokes with a soft Gaussian pen, and adds
+//! light pixel noise. Images are 28×28 like MNIST and are consumed in
+//! scan-line order, one pixel per LSTM timestep, exactly as in the paper's
+//! Section II-B3 / Le et al. [15].
+
+use zskip_tensor::SeedableStream;
+
+/// Image side length (MNIST-compatible).
+pub const SIDE: usize = 28;
+
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// One grayscale digit image with its label.
+#[derive(Clone, Debug)]
+pub struct DigitImage {
+    side: usize,
+    pixels: Vec<f32>,
+    label: u8,
+}
+
+impl DigitImage {
+    /// Image side length in pixels.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Class label (0–9).
+    pub fn label(&self) -> u8 {
+        self.label
+    }
+
+    /// Pixel intensities in `[0, 1]`, row-major.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// The scan-line pixel sequence (row-major flattening) — the LSTM
+    /// input order.
+    pub fn to_sequence(&self) -> Vec<f32> {
+        self.pixels.clone()
+    }
+
+    /// Average-pools the image by `factor`, shortening the sequence by
+    /// `factor²` (useful for fast tests: 28→14 or 28→7).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` divides the side length.
+    pub fn downsample(&self, factor: usize) -> DigitImage {
+        assert!(factor > 0 && self.side % factor == 0, "bad downsample factor");
+        let new_side = self.side / factor;
+        let mut pixels = vec![0.0f32; new_side * new_side];
+        let inv = 1.0 / (factor * factor) as f32;
+        for r in 0..new_side {
+            for c in 0..new_side {
+                let mut acc = 0.0;
+                for dr in 0..factor {
+                    for dc in 0..factor {
+                        acc += self.pixels[(r * factor + dr) * self.side + (c * factor + dc)];
+                    }
+                }
+                pixels[r * new_side + c] = acc * inv;
+            }
+        }
+        DigitImage {
+            side: new_side,
+            pixels,
+            label: self.label,
+        }
+    }
+
+    /// Fraction of pixels above an ink threshold — sanity metric.
+    pub fn ink_fraction(&self, threshold: f32) -> f64 {
+        let n = self.pixels.iter().filter(|p| **p > threshold).count();
+        n as f64 / self.pixels.len() as f64
+    }
+}
+
+/// A labeled set of rendered digits.
+///
+/// # Example
+///
+/// ```
+/// use zskip_data::DigitSet;
+///
+/// let set = DigitSet::generate(20, 42);
+/// assert_eq!(set.len(), 20);
+/// let (pixels, labels) = set.batch_sequences(0..4, 1);
+/// assert_eq!(pixels.len(), 28 * 28); // T steps
+/// assert_eq!(labels.len(), 4);       // B lanes
+/// ```
+#[derive(Clone, Debug)]
+pub struct DigitSet {
+    images: Vec<DigitImage>,
+}
+
+impl DigitSet {
+    /// Renders `n` digits with balanced classes from the given seed.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let images = (0..n)
+            .map(|i| render_digit((i % CLASSES) as u8, &mut rng))
+            .collect();
+        Self { images }
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Borrow image `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn image(&self, i: usize) -> &DigitImage {
+        &self.images[i]
+    }
+
+    /// Iterates over the images.
+    pub fn iter(&self) -> std::slice::Iter<'_, DigitImage> {
+        self.images.iter()
+    }
+
+    /// Builds a time-major *row* batch from an index range: step `t`
+    /// carries the whole `t`-th image row for each lane, giving `side`
+    /// steps of `side`-wide inputs (after `downsample`). Rows come out as
+    /// flat `row-major lane × width` vectors, one per step, for
+    /// `zskip_nn::models::SeqClassifier::train_batch_xs`-style consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn batch_rows(
+        &self,
+        range: std::ops::Range<usize>,
+        downsample: usize,
+    ) -> (Vec<Vec<f32>>, Vec<usize>) {
+        assert!(!range.is_empty() && range.end <= self.images.len(), "bad range");
+        let selected: Vec<DigitImage> = range
+            .clone()
+            .map(|i| {
+                if downsample > 1 {
+                    self.images[i].downsample(downsample)
+                } else {
+                    self.images[i].clone()
+                }
+            })
+            .collect();
+        let side = selected[0].side;
+        let rows = (0..side)
+            .map(|r| {
+                let mut step = Vec::with_capacity(selected.len() * side);
+                for img in &selected {
+                    step.extend_from_slice(&img.pixels[r * side..(r + 1) * side]);
+                }
+                step
+            })
+            .collect();
+        let labels = selected.iter().map(|img| img.label as usize).collect();
+        (rows, labels)
+    }
+
+    /// Builds a time-major pixel batch from an index range.
+    ///
+    /// Returns `(pixels, labels)` with `pixels[t][lane]` the pixel at step
+    /// `t` for each selected image (after `downsample`), matching the
+    /// input shape of `zskip_nn::models::SeqClassifier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn batch_sequences(
+        &self,
+        range: std::ops::Range<usize>,
+        downsample: usize,
+    ) -> (Vec<Vec<f32>>, Vec<usize>) {
+        assert!(!range.is_empty() && range.end <= self.images.len(), "bad range");
+        let selected: Vec<DigitImage> = range
+            .clone()
+            .map(|i| {
+                if downsample > 1 {
+                    self.images[i].downsample(downsample)
+                } else {
+                    self.images[i].clone()
+                }
+            })
+            .collect();
+        let t_len = selected[0].pixels.len();
+        let pixels = (0..t_len)
+            .map(|t| selected.iter().map(|img| img.pixels[t]).collect())
+            .collect();
+        let labels = selected.iter().map(|img| img.label as usize).collect();
+        (pixels, labels)
+    }
+}
+
+/// Polyline templates per class, in unit coordinates (x right, y down).
+fn template(label: u8) -> Vec<Vec<(f32, f32)>> {
+    let arc = |cx: f32, cy: f32, rx: f32, ry: f32, a0: f32, a1: f32, n: usize| {
+        (0..=n)
+            .map(|i| {
+                let a = a0 + (a1 - a0) * i as f32 / n as f32;
+                (cx + rx * a.cos(), cy + ry * a.sin())
+            })
+            .collect::<Vec<_>>()
+    };
+    use std::f32::consts::PI;
+    match label {
+        0 => vec![arc(0.5, 0.5, 0.26, 0.36, 0.0, 2.0 * PI, 24)],
+        1 => vec![vec![(0.38, 0.28), (0.52, 0.14), (0.52, 0.86)]],
+        2 => vec![{
+            let mut p = arc(0.5, 0.3, 0.22, 0.18, PI, 2.0 * PI + 0.6, 14);
+            p.extend([(0.3, 0.84), (0.74, 0.84)]);
+            p
+        }],
+        3 => vec![
+            arc(0.46, 0.32, 0.2, 0.17, -2.4, 1.35, 12),
+            arc(0.46, 0.67, 0.22, 0.19, -1.35, 2.4, 12),
+        ],
+        4 => vec![
+            vec![(0.6, 0.14), (0.28, 0.6), (0.78, 0.6)],
+            vec![(0.62, 0.38), (0.62, 0.88)],
+        ],
+        5 => vec![{
+            let mut p = vec![(0.7, 0.16), (0.36, 0.16), (0.33, 0.46)];
+            p.extend(arc(0.48, 0.64, 0.22, 0.2, -1.2, 2.1, 12));
+            p
+        }],
+        6 => vec![{
+            let mut p = vec![(0.62, 0.12), (0.4, 0.42)];
+            p.extend(arc(0.5, 0.65, 0.2, 0.2, -2.4, 3.6, 16));
+            p
+        }],
+        7 => vec![vec![(0.26, 0.16), (0.74, 0.16), (0.44, 0.86)]],
+        8 => vec![
+            arc(0.5, 0.32, 0.18, 0.16, 0.0, 2.0 * PI, 16),
+            arc(0.5, 0.67, 0.21, 0.18, 0.0, 2.0 * PI, 16),
+        ],
+        9 => vec![{
+            let mut p = arc(0.52, 0.34, 0.19, 0.18, 0.0, 2.0 * PI, 16);
+            p.extend([(0.7, 0.4), (0.6, 0.88)]);
+            p
+        }],
+        _ => panic!("label {label} out of range"),
+    }
+}
+
+fn render_digit(label: u8, rng: &mut SeedableStream) -> DigitImage {
+    let side = SIDE;
+    let mut pixels = vec![0.0f32; side * side];
+
+    // Random affine jitter.
+    let theta = rng.uniform(-0.16, 0.16);
+    let scale = rng.uniform(0.85, 1.1);
+    let (dx, dy) = (rng.uniform(-0.07, 0.07), rng.uniform(-0.07, 0.07));
+    let (sin_t, cos_t) = theta.sin_cos();
+    let jitter = |(x, y): (f32, f32)| {
+        let (cx, cy) = (x - 0.5, y - 0.5);
+        let xr = scale * (cx * cos_t - cy * sin_t) + 0.5 + dx;
+        let yr = scale * (cx * sin_t + cy * cos_t) + 0.5 + dy;
+        (xr, yr)
+    };
+
+    let pen_radius = rng.uniform(0.55, 0.95); // in pixels
+    for stroke in template(label) {
+        let pts: Vec<(f32, f32)> = stroke.into_iter().map(jitter).collect();
+        for seg in pts.windows(2) {
+            stamp_segment(&mut pixels, side, seg[0], seg[1], pen_radius);
+        }
+    }
+
+    // Light sensor noise.
+    for p in &mut pixels {
+        *p = (*p + rng.uniform(0.0, 0.03)).clamp(0.0, 1.0);
+    }
+
+    DigitImage {
+        side,
+        pixels,
+        label,
+    }
+}
+
+/// Stamps a soft-edged line segment into the canvas.
+fn stamp_segment(pixels: &mut [f32], side: usize, a: (f32, f32), b: (f32, f32), radius: f32) {
+    let (ax, ay) = (a.0 * side as f32, a.1 * side as f32);
+    let (bx, by) = (b.0 * side as f32, b.1 * side as f32);
+    let len = ((bx - ax).powi(2) + (by - ay).powi(2)).sqrt();
+    let steps = (len * 2.0).ceil().max(1.0) as usize;
+    for i in 0..=steps {
+        let t = i as f32 / steps as f32;
+        let (px, py) = (ax + (bx - ax) * t, ay + (by - ay) * t);
+        let r_int = radius.ceil() as i32 + 1;
+        let (cx, cy) = (px.round() as i32, py.round() as i32);
+        for gy in (cy - r_int)..=(cy + r_int) {
+            for gx in (cx - r_int)..=(cx + r_int) {
+                if gx < 0 || gy < 0 || gx >= side as i32 || gy >= side as i32 {
+                    continue;
+                }
+                let d2 = (gx as f32 - px).powi(2) + (gy as f32 - py).powi(2);
+                let ink = (-d2 / (radius * radius)).exp();
+                let cell = &mut pixels[gy as usize * side + gx as usize];
+                *cell = (*cell + ink * 0.9).min(1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_classes() {
+        let set = DigitSet::generate(50, 1);
+        let mut counts = [0usize; CLASSES];
+        for img in set.iter() {
+            counts[img.label() as usize] += 1;
+        }
+        assert!(counts.iter().all(|c| *c == 5), "{counts:?}");
+    }
+
+    #[test]
+    fn images_have_reasonable_ink() {
+        let set = DigitSet::generate(20, 2);
+        for img in set.iter() {
+            let ink = img.ink_fraction(0.3);
+            assert!(
+                ink > 0.02 && ink < 0.5,
+                "class {} ink fraction {ink}",
+                img.label()
+            );
+        }
+    }
+
+    #[test]
+    fn pixels_are_normalized() {
+        let set = DigitSet::generate(10, 3);
+        for img in set.iter() {
+            assert!(img.pixels().iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn downsample_shortens_sequence() {
+        let set = DigitSet::generate(1, 4);
+        let img = set.image(0);
+        let small = img.downsample(4);
+        assert_eq!(small.side(), 7);
+        assert_eq!(small.to_sequence().len(), 49);
+    }
+
+    #[test]
+    fn batch_rows_shapes_and_content() {
+        let set = DigitSet::generate(6, 7);
+        let (rows, labels) = set.batch_rows(1..4, 2);
+        assert_eq!(rows.len(), 14); // 14 row-steps after 2x downsample
+        assert_eq!(rows[0].len(), 3 * 14); // 3 lanes × 14-wide rows
+        assert_eq!(labels, vec![1, 2, 3]);
+        // Row r of lane 0 must equal the downsampled image's row r.
+        let img = set.image(1).downsample(2);
+        assert_eq!(&rows[3][0..14], &img.pixels()[3 * 14..4 * 14]);
+    }
+
+    #[test]
+    fn batch_sequences_is_time_major() {
+        let set = DigitSet::generate(8, 5);
+        let (pixels, labels) = set.batch_sequences(2..6, 2);
+        assert_eq!(pixels.len(), 14 * 14);
+        assert_eq!(pixels[0].len(), 4);
+        assert_eq!(labels, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Average intra-class pixel distance should be lower than
+        // inter-class distance: the renderer must produce class structure.
+        let set = DigitSet::generate(100, 6);
+        let dist = |a: &DigitImage, b: &DigitImage| -> f32 {
+            a.pixels()
+                .iter()
+                .zip(b.pixels())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum()
+        };
+        let mut intra = (0.0f32, 0usize);
+        let mut inter = (0.0f32, 0usize);
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                let d = dist(set.image(i), set.image(j));
+                if set.image(i).label() == set.image(j).label() {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f32;
+        let inter_mean = inter.0 / inter.1 as f32;
+        assert!(
+            intra_mean < inter_mean,
+            "intra {intra_mean} !< inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DigitSet::generate(5, 9);
+        let b = DigitSet::generate(5, 9);
+        assert_eq!(a.image(3).pixels(), b.image(3).pixels());
+    }
+}

@@ -1,0 +1,138 @@
+//! Model checkpointing: JSON save/load for any serializable model.
+//!
+//! Weights serialize; gradient buffers are skipped and re-materialize
+//! lazily after loading. The threshold sweeps use this to reuse trained
+//! baselines across figure binaries.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::Path;
+
+/// Errors from saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Serialization/deserialization error.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Serde(e) => write!(f, "checkpoint serde error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Serde(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Serde(e)
+    }
+}
+
+/// Saves a model as pretty JSON.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written or the model cannot be
+/// serialized.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use zskip_nn::checkpoint::{load, save};
+/// use zskip_nn::LstmCell;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let cell = LstmCell::new(2, 3, &mut rng);
+/// let dir = std::env::temp_dir().join("zskip_ckpt_doc");
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("cell.json");
+/// save(&path, &cell)?;
+/// let back: LstmCell = load(&path)?;
+/// assert_eq!(back.hidden_dim(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn save<T: Serialize>(path: impl AsRef<Path>, model: &T) -> Result<(), CheckpointError> {
+    let body = serde_json::to_string(model)?;
+    std::fs::write(path, body)?;
+    Ok(())
+}
+
+/// Loads a model saved with [`save`].
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or parsed.
+pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, CheckpointError> {
+    let body = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&body)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{CarryState, CharLm};
+    use crate::IdentityTransform;
+    use zskip_tensor::SeedableStream;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("zskip_ckpt_tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let mut rng = SeedableStream::new(9);
+        let model = CharLm::new(12, 8, &mut rng);
+        let path = tmp("char_lm.json");
+        save(&path, &model).expect("save");
+        let loaded: CharLm = load(&path).expect("load");
+
+        let inputs = vec![vec![1usize, 2], vec![3, 4]];
+        let targets = vec![vec![5usize, 6], vec![7, 8]];
+        let mut s1 = CarryState::zeros(2, 8);
+        let mut s2 = CarryState::zeros(2, 8);
+        let a = model.eval_batch(&inputs, &targets, &mut s1, &IdentityTransform);
+        let b = loaded.eval_batch(&inputs, &targets, &mut s2, &IdentityTransform);
+        assert_eq!(a.mean_nats, b.mean_nats);
+        assert_eq!(s1.h, s2.h);
+    }
+
+    #[test]
+    fn load_missing_file_is_an_error() {
+        let r: Result<CharLm, _> = load(tmp("missing.json"));
+        assert!(r.is_err());
+        let msg = format!("{}", r.err().expect("error"));
+        assert!(msg.contains("io error"));
+    }
+
+    #[test]
+    fn load_garbage_is_an_error() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "not json at all").expect("write");
+        let r: Result<CharLm, _> = load(&path);
+        assert!(r.is_err());
+    }
+}

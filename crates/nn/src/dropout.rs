@@ -1,0 +1,163 @@
+//! Inverted dropout on non-recurrent connections.
+//!
+//! The paper applies "the dropout probability of 0.5 on the non-recurrent
+//! connections similar to [17]" (Zaremba et al.) for the word-level task:
+//! dropout sits between the embedding and the LSTM input, and between the
+//! LSTM output and the classifier — never on the `h[t-1] → h[t]` path.
+
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// The keep/drop mask produced by a forward application, needed to route
+/// gradients in the backward pass.
+#[derive(Clone, Debug)]
+pub struct DropoutMask {
+    scale: f32,
+    keep: Vec<bool>,
+    rows: usize,
+    cols: usize,
+}
+
+impl DropoutMask {
+    /// Fraction of kept units in this mask.
+    pub fn keep_fraction(&self) -> f64 {
+        if self.keep.is_empty() {
+            return 1.0;
+        }
+        self.keep.iter().filter(|k| **k).count() as f64 / self.keep.len() as f64
+    }
+}
+
+/// Inverted dropout with drop probability `p`.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::Dropout;
+/// use zskip_tensor::{Matrix, SeedableStream};
+///
+/// let drop = Dropout::new(0.5);
+/// let x = Matrix::from_fn(4, 4, |_, _| 1.0);
+/// let mut rng = SeedableStream::new(1);
+/// let (y, _mask) = drop.forward(&x, &mut rng);
+/// // Kept units are scaled by 1/(1-p) = 2, dropped units are 0.
+/// assert!(y.as_slice().iter().all(|v| *v == 0.0 || *v == 2.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Training-mode forward: zeroes units with probability `p` and scales
+    /// survivors by `1/(1-p)` so the expectation is unchanged.
+    pub fn forward(&self, x: &Matrix, rng: &mut SeedableStream) -> (Matrix, DropoutMask) {
+        let scale = 1.0 / (1.0 - self.p);
+        let mut keep = Vec::with_capacity(x.len());
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            let k = !rng.coin(self.p as f64);
+            keep.push(k);
+            *v = if k { *v * scale } else { 0.0 };
+        }
+        (
+            y,
+            DropoutMask {
+                scale,
+                keep,
+                rows: x.rows(),
+                cols: x.cols(),
+            },
+        )
+    }
+
+    /// Inference-mode forward: the identity (inverted dropout needs no
+    /// test-time rescaling).
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+
+    /// Routes gradients through the mask used in the forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_y`'s shape differs from the mask's.
+    pub fn backward(&self, d_y: &Matrix, mask: &DropoutMask) -> Matrix {
+        assert_eq!(d_y.rows(), mask.rows, "dropout mask shape mismatch");
+        assert_eq!(d_y.cols(), mask.cols, "dropout mask shape mismatch");
+        let mut dx = d_y.clone();
+        for (v, k) in dx.as_mut_slice().iter_mut().zip(&mask.keep) {
+            *v = if *k { *v * mask.scale } else { 0.0 };
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_roughly_one_minus_p() {
+        let drop = Dropout::new(0.5);
+        let x = Matrix::from_fn(50, 50, |_, _| 1.0);
+        let mut rng = SeedableStream::new(2);
+        let (_, mask) = drop.forward(&x, &mut rng);
+        assert!((mask.keep_fraction() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let drop = Dropout::new(0.3);
+        let x = Matrix::from_fn(100, 40, |_, _| 1.0);
+        let mut rng = SeedableStream::new(3);
+        let (y, _) = drop.forward(&x, &mut rng);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_routes_through_same_mask() {
+        let drop = Dropout::new(0.5);
+        let x = Matrix::from_fn(8, 8, |_, _| 1.0);
+        let mut rng = SeedableStream::new(4);
+        let (y, mask) = drop.forward(&x, &mut rng);
+        let d = Matrix::from_fn(8, 8, |_, _| 1.0);
+        let dx = drop.backward(&d, &mask);
+        // Zero exactly where the forward output was zero.
+        for (a, b) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let drop = Dropout::new(0.9);
+        let x = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(drop.forward_eval(&x), x);
+    }
+
+    #[test]
+    fn zero_probability_keeps_everything() {
+        let drop = Dropout::new(0.0);
+        let x = Matrix::from_fn(5, 5, |_, _| 2.0);
+        let mut rng = SeedableStream::new(5);
+        let (y, mask) = drop.forward(&x, &mut rng);
+        assert_eq!(y, x);
+        assert_eq!(mask.keep_fraction(), 1.0);
+    }
+}

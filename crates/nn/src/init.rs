@@ -1,0 +1,57 @@
+//! Weight initialization.
+
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SeedableStream) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform(-bound, bound))
+}
+
+/// Uniform initialization in `[-bound, bound]`, as used for embeddings.
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut SeedableStream) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-bound, bound))
+}
+
+/// LSTM bias initialization: zero everywhere except the forget-gate block,
+/// which is set to `forget_bias` (the standard trick that keeps memory open
+/// early in training). `hidden` is `dh`; the bias vector is `4·dh` long in
+/// `[f, i, o, g]` gate order.
+pub fn lstm_bias(hidden: usize, forget_bias: f32) -> Vec<f32> {
+    let mut b = vec![0.0f32; 4 * hidden];
+    for v in b.iter_mut().take(hidden) {
+        *v = forget_bias;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = SeedableStream::new(5);
+        let m = xavier_uniform(100, 50, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // Should not be degenerate.
+        assert!(m.max_abs() > bound * 0.5);
+    }
+
+    #[test]
+    fn lstm_bias_sets_forget_block_only() {
+        let b = lstm_bias(4, 1.0);
+        assert_eq!(&b[0..4], &[1.0; 4]);
+        assert!(b[4..].iter().all(|v| *v == 0.0));
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = xavier_uniform(8, 8, &mut SeedableStream::new(1));
+        let b = xavier_uniform(8, 8, &mut SeedableStream::new(1));
+        assert_eq!(a, b);
+    }
+}

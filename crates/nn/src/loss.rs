@@ -1,0 +1,125 @@
+//! Fused softmax + cross-entropy loss.
+
+use zskip_tensor::{stats, Matrix};
+
+/// Result of a softmax cross-entropy evaluation on one batch.
+#[derive(Clone, Debug)]
+pub struct SoftmaxLoss {
+    /// Mean negative log-likelihood over the batch, in nats.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, already divided by the batch size.
+    pub d_logits: Matrix,
+    /// Number of correct argmax predictions in the batch.
+    pub correct: usize,
+}
+
+/// Computes mean cross-entropy of `logits` (`B × V`) against integer
+/// `targets` and its gradient.
+///
+/// The softmax is evaluated with the max-subtraction trick so large logits
+/// cannot overflow.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target is out of range.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::loss::softmax_cross_entropy;
+/// use zskip_tensor::Matrix;
+///
+/// let logits = Matrix::from_rows(&[&[5.0, 0.0], &[0.0, 5.0]]);
+/// let out = softmax_cross_entropy(&logits, &[0, 1]);
+/// assert!(out.loss < 0.01);
+/// assert_eq!(out.correct, 2);
+/// ```
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> SoftmaxLoss {
+    let (b, v) = (logits.rows(), logits.cols());
+    assert_eq!(targets.len(), b, "one target per batch row");
+    let mut d = Matrix::zeros(b, v);
+    let mut total = 0.0f64;
+    let mut correct = 0usize;
+    let inv_b = 1.0 / b as f32;
+    for r in 0..b {
+        let row = logits.row(r);
+        let t = targets[r];
+        assert!(t < v, "target {t} out of range {v}");
+        let lse = stats::log_sum_exp(row);
+        total += (lse - row[t]) as f64;
+        if stats::argmax(row) == t {
+            correct += 1;
+        }
+        let d_row = d.row_mut(r);
+        for (j, val) in row.iter().enumerate() {
+            let p = (val - lse).exp();
+            d_row[j] = (p - if j == t { 1.0 } else { 0.0 }) * inv_b;
+        }
+    }
+    SoftmaxLoss {
+        loss: (total / b as f64) as f32,
+        d_logits: d,
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_v() {
+        let logits = Matrix::zeros(3, 8);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 7]);
+        assert!((out.loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.5, 0.0]]);
+        let out = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = out.d_logits.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[2.0, 0.1, -0.4]]);
+        let targets = [1usize, 0];
+        let base = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut up = logits.clone();
+                up[(r, c)] += eps;
+                let mut down = logits.clone();
+                down[(r, c)] -= eps;
+                let numeric = (softmax_cross_entropy(&up, &targets).loss
+                    - softmax_cross_entropy(&down, &targets).loss)
+                    / (2.0 * eps);
+                let analytic = base.d_logits[(r, c)];
+                assert!(
+                    (numeric - analytic).abs() < 1e-3,
+                    "({r},{c}): {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_logits_do_not_overflow() {
+        let logits = Matrix::from_rows(&[&[1000.0, -1000.0]]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.loss < 1e-3);
+    }
+
+    #[test]
+    fn counts_correct_predictions() {
+        let logits = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0], &[2.0, 0.0]]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 1]);
+        assert_eq!(out.correct, 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Task metrics: bits-per-character, perplexity-per-word,
+//! misclassification error rate.
+//!
+//! The paper reports BPC for the character task (Fig. 2), PPW for the word
+//! task (Fig. 3) and MER for sequential MNIST (Fig. 4).
+
+/// Converts a mean cross-entropy in nats to bits per character.
+///
+/// # Example
+///
+/// ```
+/// let bpc = zskip_nn::metrics::bpc(std::f32::consts::LN_2);
+/// assert!((bpc - 1.0).abs() < 1e-6);
+/// ```
+pub fn bpc(mean_nats: f32) -> f32 {
+    mean_nats / std::f32::consts::LN_2
+}
+
+/// Converts a mean cross-entropy in nats to perplexity per word.
+pub fn ppw(mean_nats: f32) -> f32 {
+    mean_nats.exp()
+}
+
+/// Misclassification error rate in percent.
+///
+/// # Panics
+///
+/// Panics if `total == 0` or `correct > total`.
+pub fn mer_percent(correct: usize, total: usize) -> f32 {
+    assert!(total > 0, "total must be positive");
+    assert!(correct <= total, "correct cannot exceed total");
+    100.0 * (total - correct) as f32 / total as f32
+}
+
+/// Streaming accumulator for token-level losses and accuracy.
+#[derive(Clone, Debug, Default)]
+pub struct MetricAccumulator {
+    total_nats: f64,
+    tokens: usize,
+    correct: usize,
+}
+
+impl MetricAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one batch: `mean_nats` over `tokens` tokens, of which `correct`
+    /// were predicted correctly.
+    pub fn add(&mut self, mean_nats: f32, tokens: usize, correct: usize) {
+        self.total_nats += mean_nats as f64 * tokens as f64;
+        self.tokens += tokens;
+        self.correct += correct;
+    }
+
+    /// Tokens seen so far.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Mean loss in nats (0.0 if empty).
+    pub fn mean_nats(&self) -> f32 {
+        if self.tokens == 0 {
+            return 0.0;
+        }
+        (self.total_nats / self.tokens as f64) as f32
+    }
+
+    /// Bits per character of the accumulated stream.
+    pub fn bpc(&self) -> f32 {
+        bpc(self.mean_nats())
+    }
+
+    /// Perplexity per word of the accumulated stream.
+    pub fn ppw(&self) -> f32 {
+        ppw(self.mean_nats())
+    }
+
+    /// Accuracy in `[0, 1]` (1.0 if empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.tokens == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / self.tokens as f64
+    }
+
+    /// Misclassification error rate in percent.
+    pub fn mer_percent(&self) -> f32 {
+        (100.0 * (1.0 - self.accuracy())) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bpc_of_ln2_is_one_bit() {
+        assert!((bpc(std::f32::consts::LN_2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ppw_of_zero_loss_is_one() {
+        assert_eq!(ppw(0.0), 1.0);
+    }
+
+    #[test]
+    fn mer_basics() {
+        assert_eq!(mer_percent(90, 100), 10.0);
+        assert_eq!(mer_percent(100, 100), 0.0);
+    }
+
+    #[test]
+    fn accumulator_weights_by_tokens() {
+        let mut acc = MetricAccumulator::new();
+        acc.add(1.0, 10, 5);
+        acc.add(3.0, 30, 15);
+        assert!((acc.mean_nats() - 2.5).abs() < 1e-6);
+        assert_eq!(acc.tokens(), 40);
+        assert!((acc.accuracy() - 0.5).abs() < 1e-9);
+        assert_eq!(acc.mer_percent(), 50.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_benign() {
+        let acc = MetricAccumulator::new();
+        assert_eq!(acc.mean_nats(), 0.0);
+        assert_eq!(acc.accuracy(), 1.0);
+    }
+}

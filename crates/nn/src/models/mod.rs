@@ -1,0 +1,64 @@
+//! The paper's three task models.
+//!
+//! * [`CharLm`] — character-level language model: one-hot input, one LSTM
+//!   layer, softmax classifier (Section II-B1; paper config `dh = 1000`,
+//!   PTB vocab 50).
+//! * [`WordLm`] — word-level language model: embedding, dropout on the
+//!   non-recurrent connections, one LSTM layer, softmax classifier
+//!   (Section II-B2; paper config `dh = 300`, embedding 300, vocab 10k).
+//! * [`SeqClassifier`] — sequential image classification: one pixel per
+//!   timestep, classification from the final state (Section II-B3; paper
+//!   config `dh = 100`).
+//!
+//! All models take a [`StateTransform`](crate::StateTransform) at each
+//! call so the same weights can run dense (identity) or pruned.
+
+mod char_lm;
+mod gru_char_lm;
+mod seq_classifier;
+mod word_lm;
+
+pub use char_lm::CharLm;
+pub use gru_char_lm::GruCharLm;
+pub use seq_classifier::SeqClassifier;
+pub use word_lm::WordLm;
+
+use zskip_tensor::Matrix;
+
+/// Loss/accuracy summary of one batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    /// Mean cross-entropy per token, in nats.
+    pub mean_nats: f32,
+    /// Number of scored tokens.
+    pub tokens: usize,
+    /// Number of correct argmax predictions.
+    pub correct: usize,
+}
+
+/// Recurrent state carried between consecutive BPTT windows (stateful LM
+/// training). Gradients never flow across windows — the carried state is
+/// a detached value.
+#[derive(Clone, Debug)]
+pub struct CarryState {
+    /// Hidden state (`B × dh`), already transformed.
+    pub h: Matrix,
+    /// Cell state (`B × dh`).
+    pub c: Matrix,
+}
+
+impl CarryState {
+    /// Zero state for a batch of `batch` lanes and hidden size `hidden`.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        Self {
+            h: Matrix::zeros(batch, hidden),
+            c: Matrix::zeros(batch, hidden),
+        }
+    }
+
+    /// Resets both states to zero in place.
+    pub fn reset(&mut self) {
+        self.h.fill_zero();
+        self.c.fill_zero();
+    }
+}

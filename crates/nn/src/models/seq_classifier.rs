@@ -1,0 +1,256 @@
+//! Sequential image classification (Section II-B3).
+
+use super::BatchStats;
+use crate::linear::Linear;
+use crate::loss::softmax_cross_entropy;
+use crate::lstm::{LstmLayer, StateTransform};
+use crate::params::{ParamVisitor, Parameterized};
+use serde::{Deserialize, Serialize};
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Pixel-by-pixel sequence classifier: one scalar pixel per timestep into
+/// an LSTM, with a softmax read-out from the final hidden state — the
+/// sequential-MNIST setup of Le et al. [15] the paper follows.
+///
+/// For this task `dx = 1`, so virtually all recurrent work is the
+/// skippable `Wh·h` product — which is why MNIST shows large sparse
+/// speedups in Fig. 8 despite its small `dh`.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::SeqClassifier;
+/// use zskip_nn::IdentityTransform;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(0);
+/// let model = SeqClassifier::new(10, 8, &mut rng);
+/// // Two 9-pixel "images" of class 3 and 7.
+/// let pixels = vec![vec![0.1f32; 2]; 9];
+/// let stats = model.eval_batch(&pixels, &[3, 7], &IdentityTransform);
+/// assert_eq!(stats.tokens, 2);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SeqClassifier {
+    classes: usize,
+    input_dim: usize,
+    hidden: usize,
+    lstm: LstmLayer,
+    head: Linear,
+}
+
+impl SeqClassifier {
+    /// Creates a classifier with `classes` output classes and `hidden`
+    /// LSTM units over scalar (pixel-by-pixel) inputs, as in the paper.
+    pub fn new(classes: usize, hidden: usize, rng: &mut SeedableStream) -> Self {
+        Self::with_input_dim(classes, 1, hidden, rng)
+    }
+
+    /// Creates a classifier whose steps consume `input_dim`-wide vectors
+    /// (e.g. one image row per step — the fast-training variant used at
+    /// quick experiment scale).
+    pub fn with_input_dim(
+        classes: usize,
+        input_dim: usize,
+        hidden: usize,
+        rng: &mut SeedableStream,
+    ) -> Self {
+        Self {
+            classes,
+            input_dim,
+            hidden,
+            lstm: LstmLayer::new(input_dim, hidden, rng),
+            head: Linear::new(hidden, classes, rng),
+        }
+    }
+
+    /// Input width per step (1 for pixel scan).
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// The recurrent layer.
+    pub fn lstm(&self) -> &LstmLayer {
+        &self.lstm
+    }
+
+    fn to_xs(pixels: &[Vec<f32>]) -> Vec<Matrix> {
+        assert!(!pixels.is_empty(), "empty pixel sequence");
+        pixels
+            .iter()
+            .map(|step| Matrix::from_vec(step.len(), 1, step.clone()))
+            .collect()
+    }
+
+    /// Forward + backward on one batch of pixel sequences.
+    ///
+    /// `pixels[t]` holds the pixel value at step `t` for each lane;
+    /// `labels` has one class id per lane. Loss is applied only at the
+    /// final step. Gradients accumulate into the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lane counts differ between steps/labels.
+    pub fn train_batch(
+        &mut self,
+        pixels: &[Vec<f32>],
+        labels: &[usize],
+        transform: &dyn StateTransform,
+    ) -> BatchStats {
+        assert_eq!(self.input_dim, 1, "pixel API requires a scalar-input model");
+        let xs = Self::to_xs(pixels);
+        self.train_batch_xs(&xs, labels, transform)
+    }
+
+    /// Vector-input variant of [`Self::train_batch`]: `xs[t]` is the
+    /// `B × input_dim` input at step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lane counts differ between steps/labels.
+    pub fn train_batch_xs(
+        &mut self,
+        xs: &[Matrix],
+        labels: &[usize],
+        transform: &dyn StateTransform,
+    ) -> BatchStats {
+        let b = labels.len();
+        assert!(xs.iter().all(|m| m.rows() == b), "lane count mismatch");
+        let h0 = Matrix::zeros(b, self.hidden);
+        let c0 = Matrix::zeros(b, self.hidden);
+        let cache = self.lstm.forward_sequence(&xs, &h0, &c0, transform);
+
+        let final_hp = cache.last_hp().clone();
+        let logits = self.head.forward(&final_hp);
+        let out = softmax_cross_entropy(&logits, labels);
+        let d_final = self.head.backward(&final_hp, &out.d_logits);
+
+        let mut d_hp: Vec<Matrix> = (0..cache.len())
+            .map(|_| Matrix::zeros(b, self.hidden))
+            .collect();
+        *d_hp.last_mut().expect("non-empty") = d_final;
+        self.lstm.backward_sequence(&cache, &d_hp, transform, false);
+
+        BatchStats {
+            mean_nats: out.loss,
+            tokens: b,
+            correct: out.correct,
+        }
+    }
+
+    /// Forward-only evaluation.
+    pub fn eval_batch(
+        &self,
+        pixels: &[Vec<f32>],
+        labels: &[usize],
+        transform: &dyn StateTransform,
+    ) -> BatchStats {
+        assert_eq!(self.input_dim, 1, "pixel API requires a scalar-input model");
+        let xs = Self::to_xs(pixels);
+        self.eval_batch_xs(&xs, labels, transform)
+    }
+
+    /// Vector-input variant of [`Self::eval_batch`].
+    pub fn eval_batch_xs(
+        &self,
+        xs: &[Matrix],
+        labels: &[usize],
+        transform: &dyn StateTransform,
+    ) -> BatchStats {
+        let b = labels.len();
+        assert!(xs.iter().all(|m| m.rows() == b), "lane count mismatch");
+        let h0 = Matrix::zeros(b, self.hidden);
+        let c0 = Matrix::zeros(b, self.hidden);
+        let cache = self.lstm.forward_sequence(&xs, &h0, &c0, transform);
+        let logits = self.head.forward(cache.last_hp());
+        let out = softmax_cross_entropy(&logits, labels);
+        BatchStats {
+            mean_nats: out.loss,
+            tokens: b,
+            correct: out.correct,
+        }
+    }
+
+    /// Forward-only pass returning the transformed hidden-state trace.
+    pub fn state_trace(&self, pixels: &[Vec<f32>], transform: &dyn StateTransform) -> Vec<Matrix> {
+        assert_eq!(self.input_dim, 1, "pixel API requires a scalar-input model");
+        let xs = Self::to_xs(pixels);
+        self.state_trace_xs(&xs, transform)
+    }
+
+    /// Vector-input variant of [`Self::state_trace`].
+    pub fn state_trace_xs(&self, xs: &[Matrix], transform: &dyn StateTransform) -> Vec<Matrix> {
+        let b = xs[0].rows();
+        let h0 = Matrix::zeros(b, self.hidden);
+        let c0 = Matrix::zeros(b, self.hidden);
+        let cache = self.lstm.forward_sequence(&xs, &h0, &c0, transform);
+        (0..cache.len()).map(|t| cache.hp(t).clone()).collect()
+    }
+}
+
+impl Parameterized for SeqClassifier {
+    fn visit_params(&mut self, visitor: &mut dyn ParamVisitor) {
+        self.lstm.visit_params(visitor);
+        self.head.visit_params(visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::IdentityTransform;
+    use crate::optim::{Adam, Optimizer};
+
+    /// Two trivially separable "images": all-bright vs all-dark.
+    fn toy_task() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let t = 12;
+        let pixels: Vec<Vec<f32>> = (0..t).map(|_| vec![0.9f32, 0.05]).collect();
+        (pixels, vec![1, 0])
+    }
+
+    #[test]
+    fn eval_shapes_and_uniform_loss() {
+        let mut rng = SeedableStream::new(1);
+        let model = SeqClassifier::new(4, 6, &mut rng);
+        let (pixels, labels) = toy_task();
+        let stats = model.eval_batch(&pixels, &labels, &IdentityTransform);
+        assert_eq!(stats.tokens, 2);
+        assert!((stats.mean_nats - (4.0f32).ln()).abs() < 0.6);
+    }
+
+    #[test]
+    fn learns_bright_vs_dark() {
+        let mut rng = SeedableStream::new(2);
+        let mut model = SeqClassifier::new(2, 10, &mut rng);
+        let (pixels, labels) = toy_task();
+        let mut opt = Adam::new(0.02);
+        for _ in 0..120 {
+            model.zero_grads();
+            model.train_batch(&pixels, &labels, &IdentityTransform);
+            opt.step(&mut model);
+        }
+        let stats = model.eval_batch(&pixels, &labels, &IdentityTransform);
+        assert_eq!(stats.correct, 2, "failed to separate: {stats:?}");
+        assert!(stats.mean_nats < 0.3);
+    }
+
+    #[test]
+    fn trace_covers_all_steps() {
+        let mut rng = SeedableStream::new(3);
+        let model = SeqClassifier::new(3, 5, &mut rng);
+        let (pixels, _) = toy_task();
+        let trace = model.state_trace(&pixels, &IdentityTransform);
+        assert_eq!(trace.len(), pixels.len());
+        assert_eq!(trace[0].cols(), 5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Parameterized two's-complement fixed-point arithmetic.
+//!
+//! The accelerator associates each PE with a `16 × 12-bit` scratch memory
+//! for partial sums (Section III-B). Twelve bits is far less than a full
+//! `i32` accumulator, so partials must be stored in a narrower fixed-point
+//! format with rounding and saturation. [`QFormat`] captures such a format
+//! (`total_bits` with `frac_bits` of fraction) and [`FixedPoint`] is a value
+//! in a given format. The functional simulator uses these to model the
+//! precision loss of the scratch memory and to verify it stays within the
+//! tolerance the tasks can absorb.
+
+use serde::{Deserialize, Serialize};
+
+/// A signed fixed-point format: `total_bits` wide with `frac_bits` of
+/// fraction (so `total_bits - frac_bits - 1` integer bits plus sign).
+///
+/// # Example
+///
+/// ```
+/// use zskip_tensor::QFormat;
+///
+/// let q = QFormat::new(12, 6); // the accelerator scratch format
+/// let v = q.from_f32(1.5);
+/// assert_eq!(q.to_f32(v), 1.5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    total_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Creates a format with `total_bits` total width and `frac_bits`
+    /// fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= total_bits <= 32` and `frac_bits < total_bits`.
+    pub fn new(total_bits: u8, frac_bits: u8) -> Self {
+        assert!(
+            (1..=32).contains(&total_bits),
+            "total_bits must be in 1..=32, got {total_bits}"
+        );
+        assert!(
+            frac_bits < total_bits,
+            "frac_bits {frac_bits} must be < total_bits {total_bits}"
+        );
+        Self {
+            total_bits,
+            frac_bits,
+        }
+    }
+
+    /// The accelerator's 12-bit scratch format with 6 fractional bits.
+    pub fn scratch12() -> Self {
+        Self::new(12, 6)
+    }
+
+    /// Total bit width.
+    pub fn total_bits(&self) -> u8 {
+        self.total_bits
+    }
+
+    /// Fractional bit count.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Largest representable raw code.
+    pub fn max_raw(&self) -> i32 {
+        (1i64 << (self.total_bits - 1)) as i32 - 1
+    }
+
+    /// Smallest (most negative) representable raw code.
+    pub fn min_raw(&self) -> i32 {
+        -(1i64 << (self.total_bits - 1)) as i32
+    }
+
+    /// Value of one least-significant bit.
+    pub fn step(&self) -> f32 {
+        1.0 / (1u64 << self.frac_bits) as f32
+    }
+
+    /// Largest representable real value.
+    pub fn max_value(&self) -> f32 {
+        self.max_raw() as f32 * self.step()
+    }
+
+    /// Converts a real value to a raw code with round-to-nearest and
+    /// saturation.
+    pub fn raw_from_f32(&self, x: f32) -> i32 {
+        let scaled = (x * (1u64 << self.frac_bits) as f32).round();
+        let clamped = scaled.clamp(self.min_raw() as f32, self.max_raw() as f32);
+        clamped as i32
+    }
+
+    /// Converts a real value to a [`FixedPoint`] in this format.
+    pub fn from_f32(&self, x: f32) -> FixedPoint {
+        FixedPoint {
+            raw: self.raw_from_f32(x),
+            format: *self,
+        }
+    }
+
+    /// Real value of a raw code.
+    pub fn raw_to_f32(&self, raw: i32) -> f32 {
+        raw as f32 * self.step()
+    }
+
+    /// Real value of a [`FixedPoint`] (must be in this format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.format() != *self`.
+    pub fn to_f32(&self, v: FixedPoint) -> f32 {
+        assert_eq!(v.format, *self, "fixed-point format mismatch");
+        self.raw_to_f32(v.raw)
+    }
+
+    /// Saturates an `i32` accumulator value into this format's raw range.
+    pub fn saturate_raw(&self, acc: i32) -> i32 {
+        acc.clamp(self.min_raw(), self.max_raw())
+    }
+
+    /// Rounds an `i32` accumulator expressed with `acc_frac_bits` fractional
+    /// bits into this format (round-to-nearest-even-free simple rounding,
+    /// then saturate). Returns the raw code in this format.
+    ///
+    /// This is the requantization a hardware scratch write performs: the PE
+    /// accumulates a wide product, the scratch stores a narrow word.
+    pub fn requantize_raw(&self, acc: i64, acc_frac_bits: u8) -> i32 {
+        let shift = acc_frac_bits as i32 - self.frac_bits as i32;
+        let shifted = if shift > 0 {
+            let half = 1i64 << (shift - 1);
+            (acc + half) >> shift
+        } else {
+            acc << (-shift)
+        };
+        let clamped = shifted.clamp(self.min_raw() as i64, self.max_raw() as i64);
+        clamped as i32
+    }
+}
+
+/// A value in a specific [`QFormat`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedPoint {
+    raw: i32,
+    format: QFormat,
+}
+
+impl FixedPoint {
+    /// Raw two's-complement code.
+    pub fn raw(&self) -> i32 {
+        self.raw
+    }
+
+    /// The format this value is expressed in.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Real value.
+    pub fn to_f32(&self) -> f32 {
+        self.format.raw_to_f32(self.raw)
+    }
+
+    /// Saturating addition with another value of the same format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn saturating_add(&self, other: FixedPoint) -> FixedPoint {
+        assert_eq!(self.format, other.format, "fixed-point format mismatch");
+        FixedPoint {
+            raw: self.format.saturate_raw(self.raw.saturating_add(other.raw)),
+            format: self.format,
+        }
+    }
+
+    /// Saturating multiplication; the product is renormalized back into the
+    /// common format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn saturating_mul(&self, other: FixedPoint) -> FixedPoint {
+        assert_eq!(self.format, other.format, "fixed-point format mismatch");
+        let wide = self.raw as i64 * other.raw as i64;
+        let raw = self
+            .format
+            .requantize_raw(wide, self.format.frac_bits * 2);
+        FixedPoint {
+            raw,
+            format: self.format,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch12_bounds() {
+        let q = QFormat::scratch12();
+        assert_eq!(q.max_raw(), 2047);
+        assert_eq!(q.min_raw(), -2048);
+        assert_eq!(q.step(), 1.0 / 64.0);
+    }
+
+    #[test]
+    fn round_trip_exactly_representable() {
+        let q = QFormat::new(16, 8);
+        for x in [-3.5f32, -0.25, 0.0, 0.5, 1.0, 7.25] {
+            assert_eq!(q.to_f32(q.from_f32(x)), x);
+        }
+    }
+
+    #[test]
+    fn round_trip_error_within_half_step() {
+        let q = QFormat::new(12, 6);
+        for i in -2000..2000 {
+            let x = i as f32 / 100.0;
+            if x.abs() >= q.max_value() {
+                continue;
+            }
+            let err = (q.from_f32(x).to_f32() - x).abs();
+            assert!(err <= q.step() / 2.0 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let q = QFormat::new(8, 4);
+        assert_eq!(q.from_f32(100.0).raw(), q.max_raw());
+        assert_eq!(q.from_f32(-100.0).raw(), q.min_raw());
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_rails() {
+        let q = QFormat::new(8, 4);
+        let big = q.from_f32(q.max_value());
+        let sum = big.saturating_add(big);
+        assert_eq!(sum.raw(), q.max_raw());
+    }
+
+    #[test]
+    fn saturating_mul_renormalizes() {
+        let q = QFormat::new(16, 8);
+        let a = q.from_f32(1.5);
+        let b = q.from_f32(2.0);
+        assert!((a.saturating_mul(b).to_f32() - 3.0).abs() < q.step());
+    }
+
+    #[test]
+    fn requantize_rounds_to_nearest() {
+        let q = QFormat::new(12, 6);
+        // acc = 3 in Q*.8 (i.e. 3/256) rounds to 1 LSB in Q*.6? 3/256 = 0.0117,
+        // one Q.6 LSB = 0.015625; 0.0117 rounds to 1 * (1/64) => raw 1? No:
+        // 3 >> 2 with rounding: (3 + 2) >> 2 = 1.
+        // acc has 8 frac bits, target 6: shift right by 2 with rounding.
+        assert_eq!(q.requantize_raw(3, 8), 1); // (3 + 2) >> 2 = 1
+        assert_eq!(q.requantize_raw(1, 8), 0); // (1 + 2) >> 2 = 0
+        assert_eq!(q.requantize_raw(-3, 8), -1); // -0.75 LSB rounds to -1 LSB
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits")]
+    fn rejects_bad_format() {
+        let _ = QFormat::new(8, 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Sigmoid and tanh: `f32` reference implementations and the table-based
+//! approximations the accelerator tiles use.
+//!
+//! Each of the accelerator's first three tiles carries a sigmoid unit and
+//! the fourth a tanh unit (Section III-B, Fig. 6). Hardware non-linearities
+//! are implemented as lookup tables over a clamped input range; this module
+//! models that with a configurable-resolution [`ActivationLut`] so the
+//! functional simulation reproduces the same (small) approximation error a
+//! real tile would exhibit.
+
+use serde::{Deserialize, Serialize};
+
+/// Reference logistic sigmoid `1 / (1 + e^{-x})`.
+///
+/// # Example
+///
+/// ```
+/// assert!((zskip_tensor::sigmoid(0.0) - 0.5).abs() < 1e-7);
+/// ```
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Reference hyperbolic tangent.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(zskip_tensor::tanh(0.0), 0.0);
+/// ```
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Which non-linearity a lookup table approximates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid, output in `(0, 1)`.
+    Sigmoid,
+    /// Hyperbolic tangent, output in `(-1, 1)`.
+    Tanh,
+}
+
+impl Activation {
+    /// Evaluates the exact function.
+    pub fn eval(&self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Tanh => tanh(x),
+        }
+    }
+}
+
+/// A uniform lookup table over `[-range, range]` with linear interpolation
+/// disabled (plain nearest-entry lookup, as a small hardware ROM would do).
+///
+/// Inputs outside the range clamp to the saturated function value, which is
+/// accurate because both sigmoid and tanh are flat in their tails.
+///
+/// # Example
+///
+/// ```
+/// use zskip_tensor::ActivationLut;
+/// use zskip_tensor::lut::Activation;
+///
+/// let lut = ActivationLut::new(Activation::Tanh, 8.0, 1024);
+/// assert!((lut.eval(0.3) - 0.3f32.tanh()).abs() < 0.02);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ActivationLut {
+    activation: Activation,
+    range: f32,
+    table: Vec<f32>,
+}
+
+impl ActivationLut {
+    /// Builds a table of `entries` samples of `activation` over
+    /// `[-range, range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2` or `range <= 0`.
+    pub fn new(activation: Activation, range: f32, entries: usize) -> Self {
+        assert!(entries >= 2, "lut needs at least 2 entries");
+        assert!(range > 0.0, "lut range must be positive");
+        let table = (0..entries)
+            .map(|i| {
+                let x = -range + 2.0 * range * i as f32 / (entries - 1) as f32;
+                activation.eval(x)
+            })
+            .collect();
+        Self {
+            activation,
+            range,
+            table,
+        }
+    }
+
+    /// A 256-entry sigmoid table over `[-8, 8]` — the tile configuration
+    /// used throughout the reproduction.
+    pub fn hardware_sigmoid() -> Self {
+        Self::new(Activation::Sigmoid, 8.0, 256)
+    }
+
+    /// A 256-entry tanh table over `[-4, 4]`.
+    pub fn hardware_tanh() -> Self {
+        Self::new(Activation::Tanh, 4.0, 256)
+    }
+
+    /// The approximated activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Evaluates the table at `x` (nearest entry, clamped range).
+    pub fn eval(&self, x: f32) -> f32 {
+        let n = self.table.len();
+        let clamped = x.clamp(-self.range, self.range);
+        let pos = (clamped + self.range) / (2.0 * self.range) * (n - 1) as f32;
+        let idx = pos.round() as usize;
+        self.table[idx.min(n - 1)]
+    }
+
+    /// Worst-case absolute error against the exact function, sampled on a
+    /// fine grid. Useful for tests and for documenting the precision the
+    /// hardware model carries.
+    pub fn max_error(&self, samples: usize) -> f32 {
+        (0..samples)
+            .map(|i| {
+                let x = -self.range + 2.0 * self.range * i as f32 / (samples - 1) as f32;
+                (self.eval(x) - self.activation.eval(x)).abs()
+            })
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_reference_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        // Symmetry: σ(-x) = 1 - σ(x).
+        for x in [0.3f32, 1.7, 4.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_numerically_stable_for_large_negative() {
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-100.0).is_finite());
+    }
+
+    #[test]
+    fn tanh_reference_is_odd() {
+        for x in [0.1f32, 0.9, 2.5] {
+            assert!((tanh(-x) + tanh(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lut_matches_reference_within_resolution() {
+        let lut = ActivationLut::hardware_sigmoid();
+        assert!(lut.max_error(10_000) < 0.02);
+        let lut = ActivationLut::hardware_tanh();
+        assert!(lut.max_error(10_000) < 0.02);
+    }
+
+    #[test]
+    fn lut_clamps_tails() {
+        let lut = ActivationLut::hardware_tanh();
+        assert!((lut.eval(100.0) - 1.0).abs() < 0.01);
+        assert!((lut.eval(-100.0) + 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn finer_tables_are_more_accurate() {
+        let coarse = ActivationLut::new(Activation::Sigmoid, 8.0, 64);
+        let fine = ActivationLut::new(Activation::Sigmoid, 8.0, 4096);
+        assert!(fine.max_error(5000) < coarse.max_error(5000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_table() {
+        let _ = ActivationLut::new(Activation::Tanh, 4.0, 1);
+    }
+}

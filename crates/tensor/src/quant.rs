@@ -1,0 +1,368 @@
+//! Symmetric linear 8-bit quantization.
+//!
+//! The paper evaluates every task "while using an 8-bit quantization for all
+//! weights and input/hidden vectors" (Section II-B), and the accelerator
+//! datapath moves 8-bit weights and activations over the LPDDR4 interface
+//! (Section III-B). This module provides the software model of that number
+//! system: a symmetric, zero-offset linear quantizer
+//! `q = clamp(round(x / scale), -127, 127)` plus quantized matrix/vector
+//! containers and an integer GEMV with `i32` accumulation — the same
+//! arithmetic the simulated PEs perform.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The quantized integer range is symmetric: `[-127, 127]`.
+pub const QMAX: i32 = 127;
+
+/// Symmetric linear quantizer mapping `f32` to `i8`.
+///
+/// # Example
+///
+/// ```
+/// use zskip_tensor::Quantizer;
+///
+/// let q = Quantizer::from_max_abs(2.0);
+/// let code = q.quantize(1.0);
+/// assert!((q.dequantize(code) - 1.0).abs() < q.step());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    scale: f32,
+}
+
+impl Quantizer {
+    /// Builds a quantizer whose full-scale value is `max_abs`.
+    ///
+    /// Values of magnitude `max_abs` map to ±127. A non-positive or
+    /// non-finite `max_abs` falls back to 1.0 so the quantizer stays usable
+    /// for all-zero tensors.
+    pub fn from_max_abs(max_abs: f32) -> Self {
+        let m = if max_abs.is_finite() && max_abs > 0.0 {
+            max_abs
+        } else {
+            1.0
+        };
+        Self {
+            scale: m / QMAX as f32,
+        }
+    }
+
+    /// Builds a quantizer calibrated on a slice of sample data (max-abs).
+    pub fn calibrate(data: &[f32]) -> Self {
+        let max = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        Self::from_max_abs(max)
+    }
+
+    /// The value of one least-significant bit.
+    pub fn step(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value with round-to-nearest and saturation.
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round();
+        q.clamp(-(QMAX as f32), QMAX as f32) as i8
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a slice into a fresh vector of codes.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i8> {
+        xs.iter().map(|x| self.quantize(*x)).collect()
+    }
+
+    /// Dequantizes a slice of codes.
+    pub fn dequantize_slice(&self, qs: &[i8]) -> Vec<f32> {
+        qs.iter().map(|q| self.dequantize(*q)).collect()
+    }
+}
+
+/// A quantized vector: `i8` codes plus the [`Quantizer`] that produced them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QVector {
+    codes: Vec<i8>,
+    quantizer: Quantizer,
+}
+
+impl QVector {
+    /// Quantizes `values` with a max-abs calibrated quantizer.
+    pub fn from_f32(values: &[f32]) -> Self {
+        let quantizer = Quantizer::calibrate(values);
+        Self {
+            codes: quantizer.quantize_slice(values),
+            quantizer,
+        }
+    }
+
+    /// Quantizes `values` with the provided quantizer.
+    pub fn with_quantizer(values: &[f32], quantizer: Quantizer) -> Self {
+        Self {
+            codes: quantizer.quantize_slice(values),
+            quantizer,
+        }
+    }
+
+    /// The `i8` codes.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The quantizer used for these codes.
+    pub fn quantizer(&self) -> Quantizer {
+        self.quantizer
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` when the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.quantizer.dequantize_slice(&self.codes)
+    }
+
+    /// Fraction of codes that are exactly zero.
+    pub fn sparsity(&self) -> f64 {
+        if self.codes.is_empty() {
+            return 0.0;
+        }
+        let z = self.codes.iter().filter(|c| **c == 0).count();
+        z as f64 / self.codes.len() as f64
+    }
+}
+
+/// A quantized row-major matrix of `i8` codes.
+///
+/// Used for LSTM weights on the simulated accelerator: each weight is one
+/// byte of LPDDR4 traffic, and each MAC is an `i8 × i8 → i32` operation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QMatrix {
+    rows: usize,
+    cols: usize,
+    codes: Vec<i8>,
+    quantizer: Quantizer,
+}
+
+impl QMatrix {
+    /// Quantizes a dense matrix with max-abs calibration over all entries.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let quantizer = Quantizer::calibrate(m.as_slice());
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            codes: quantizer.quantize_slice(m.as_slice()),
+            quantizer,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantizer used for the codes.
+    pub fn quantizer(&self) -> Quantizer {
+        self.quantizer
+    }
+
+    /// Borrows row `r` of codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Code at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> i8 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.codes[r * self.cols + c]
+    }
+
+    /// Dequantizes the whole matrix back to `f32`.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.quantizer.dequantize_slice(&self.codes),
+        )
+    }
+
+    /// Integer GEMV: `y[r] = Σ_c w[r,c] · x[c]` with `i32` accumulation.
+    ///
+    /// Returns raw `i32` accumulator values; the caller applies the combined
+    /// scale `w_scale · x_scale` to recover real values, exactly as the
+    /// accelerator's requantization stage does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn gemv_i32(&self, x: &[i8]) -> Vec<i32> {
+        assert_eq!(x.len(), self.cols, "gemv_i32 dimension mismatch");
+        let mut y = vec![0i32; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.codes[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0i32;
+            for (w, v) in row.iter().zip(x) {
+                acc += (*w as i32) * (*v as i32);
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Transposed integer GEMV: `y[c] = Σ_r x[r] · w[r,c]` with `i32`
+    /// accumulation (i.e. `xᵀ·W`, length `cols`).
+    ///
+    /// This is the orientation the LSTM recurrence uses with `Wh` stored
+    /// `dh × 4dh`: the state indexes rows, gates index columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn gemv_t_i32(&self, x: &[i8]) -> Vec<i32> {
+        assert_eq!(x.len(), self.rows, "gemv_t_i32 dimension mismatch");
+        let mut y = vec![0i32; self.cols];
+        for (r, &v) in x.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            let row = &self.codes[r * self.cols..(r + 1) * self.cols];
+            for (out, w) in y.iter_mut().zip(row) {
+                *out += (*w as i32) * (v as i32);
+            }
+        }
+        y
+    }
+
+    /// Like [`Self::gemv_i32`] but skips columns where `x[c] == 0`,
+    /// mirroring the accelerator's zero-state skipping. The result is
+    /// bit-identical to the dense product (skipped terms contribute zero).
+    pub fn gemv_i32_skip_zero(&self, x: &[i8]) -> Vec<i32> {
+        assert_eq!(x.len(), self.cols, "gemv dimension mismatch");
+        let mut y = vec![0i32; self.rows];
+        for (c, &v) in x.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            for (r, out) in y.iter_mut().enumerate() {
+                *out += (self.codes[r * self.cols + c] as i32) * (v as i32);
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizer_round_trip_error_bounded_by_half_step() {
+        let q = Quantizer::from_max_abs(3.0);
+        for i in -300..=300 {
+            let x = i as f32 / 100.0;
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= q.step() / 2.0 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantizer_saturates_out_of_range() {
+        let q = Quantizer::from_max_abs(1.0);
+        assert_eq!(q.quantize(10.0), 127);
+        assert_eq!(q.quantize(-10.0), -127);
+    }
+
+    #[test]
+    fn quantizer_handles_degenerate_calibration() {
+        let q = Quantizer::calibrate(&[0.0, 0.0]);
+        assert_eq!(q.quantize(0.0), 0);
+        assert!(q.step() > 0.0);
+    }
+
+    #[test]
+    fn zero_maps_to_zero_code() {
+        // The skipping scheme depends on pruned states quantizing to an
+        // exact zero code; symmetric quantization guarantees it.
+        let q = Quantizer::from_max_abs(5.0);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn qvector_sparsity_reflects_zero_codes() {
+        let v = QVector::from_f32(&[0.0, 1.0, 0.0, -1.0]);
+        assert_eq!(v.sparsity(), 0.5);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn qmatrix_gemv_matches_float_within_quant_error() {
+        let m = Matrix::from_fn(8, 8, |r, c| ((r * 13 + c * 7) % 11) as f32 / 11.0 - 0.5);
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 / 8.0) - 0.4).collect();
+        let qm = QMatrix::from_matrix(&m);
+        let qx = QVector::from_f32(&x);
+        let acc = qm.gemv_i32(qx.codes());
+        let scale = qm.quantizer().step() * qx.quantizer().step();
+        let approx: Vec<f32> = acc.iter().map(|a| *a as f32 * scale).collect();
+        let exact = m.gemv(&x);
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a - e).abs() < 0.05, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn skip_zero_gemv_is_bit_identical_to_dense() {
+        let m = Matrix::from_fn(6, 10, |r, c| ((r + c) % 5) as f32 - 2.0);
+        let qm = QMatrix::from_matrix(&m);
+        let x: Vec<i8> = vec![0, 3, 0, 0, -7, 0, 0, 0, 9, 0];
+        assert_eq!(qm.gemv_i32(&x), qm.gemv_i32_skip_zero(&x));
+    }
+
+    #[test]
+    fn gemv_t_matches_explicit_transpose() {
+        let m = Matrix::from_fn(7, 5, |r, c| ((r * 5 + c) as f32 * 0.19).sin());
+        let qm = QMatrix::from_matrix(&m);
+        let x: Vec<i8> = vec![1, 0, -3, 7, 0, 2, 5];
+        let fast = qm.gemv_t_i32(&x);
+        // Slow path: transpose the float matrix, re-quantize row-major.
+        let mut slow = vec![0i32; 5];
+        for c in 0..5 {
+            for (r, xv) in x.iter().enumerate() {
+                slow[c] += qm.get(r, c) as i32 * *xv as i32;
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn qmatrix_round_trips_shape() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r as f32) - (c as f32) / 2.0);
+        let qm = QMatrix::from_matrix(&m);
+        let back = qm.to_matrix();
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.cols(), 5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Index of the maximum element (first occurrence wins).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(zskip_tensor::stats::argmax(&[0.1, 0.7, 0.2]), 1);
+/// ```
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, v) in xs.iter().enumerate() {
+        if *v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Arithmetic mean (0.0 for empty input).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance (0.0 for empty input).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// L2 norm.
+pub fn l2_norm(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Fraction of elements with `|x| < threshold`.
+pub fn fraction_below(xs: &[f32], threshold: f32) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.iter().filter(|x| x.abs() < threshold).count();
+    n as f64 / xs.len() as f64
+}
+
+/// Numerically stable log-sum-exp.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "log_sum_exp of empty slice");
+    let m = xs.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f32>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_occurrence() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_pythagoras() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        assert_eq!(fraction_below(&[0.05, -0.2, 0.6, -0.01], 0.1), 0.5);
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + std::f32::consts::LN_2)).abs() < 1e-3);
+    }
+}

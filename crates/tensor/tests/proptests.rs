@@ -1,0 +1,119 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use zskip_tensor::{lut, Matrix, QFormat, QMatrix, QVector, Quantizer};
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gemv_is_linear_in_x(
+        m in small_matrix(8),
+        alpha in -3.0f32..3.0,
+    ) {
+        let cols = m.cols();
+        let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.37).sin()).collect();
+        let scaled: Vec<f32> = x.iter().map(|v| alpha * v).collect();
+        let y1 = m.gemv(&scaled);
+        let y0 = m.gemv(&x);
+        for (a, b) in y1.iter().zip(&y0) {
+            prop_assert!((a - alpha * b).abs() < 1e-2 * (1.0 + b.abs()),
+                "{} vs {}", a, alpha * b);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(6),
+    ) {
+        let k = a.cols();
+        let b = Matrix::from_fn(k, 5, |r, c| ((r * 5 + c) as f32 * 0.11).cos());
+        let c = Matrix::from_fn(k, 5, |r, c| ((r + c) as f32 * 0.23).sin());
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_assign(&c);
+        let lhs = a.matmul(&b_plus_c);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn matmul_nt_agrees_with_transpose(m in small_matrix(7)) {
+        let n = Matrix::from_fn(4, m.cols(), |r, c| ((r * 3 + c) as f32 * 0.17).sin());
+        let fast = m.matmul_nt(&n);
+        let slow = m.matmul(&n.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn quantizer_round_trip_bounded(
+        max_abs in 0.01f32..100.0,
+        x in -100.0f32..100.0,
+    ) {
+        let q = Quantizer::from_max_abs(max_abs);
+        let back = q.dequantize(q.quantize(x));
+        let clipped = x.clamp(-max_abs, max_abs);
+        prop_assert!((back - clipped).abs() <= q.step() / 2.0 + 1e-5);
+    }
+
+    #[test]
+    fn quantized_gemv_skip_equals_dense(
+        m in small_matrix(10),
+        seed in 0u8..255,
+    ) {
+        let qm = QMatrix::from_matrix(&m);
+        // Build a sparse i8 vector deterministically from the seed.
+        let x: Vec<i8> = (0..m.cols())
+            .map(|i| {
+                let v = (i as u32).wrapping_mul(2654435761).wrapping_add(seed as u32);
+                if v % 3 == 0 { (v % 251) as i8 } else { 0 }
+            })
+            .collect();
+        prop_assert_eq!(qm.gemv_i32(&x), qm.gemv_i32_skip_zero(&x));
+    }
+
+    #[test]
+    fn qvector_round_trip_error_bounded(
+        xs in proptest::collection::vec(-5.0f32..5.0, 1..64),
+    ) {
+        let qv = QVector::from_f32(&xs);
+        let back = qv.to_f32();
+        let step = qv.quantizer().step();
+        for (a, b) in back.iter().zip(&xs) {
+            prop_assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fixed_requantize_never_exceeds_rails(
+        acc in any::<i32>(),
+        frac in 6u8..16,
+    ) {
+        let q = QFormat::new(12, 6);
+        let raw = q.requantize_raw(acc as i64, frac);
+        prop_assert!(raw <= q.max_raw());
+        prop_assert!(raw >= q.min_raw());
+    }
+
+    #[test]
+    fn lut_error_shrinks_with_entries(x in -4.0f32..4.0) {
+        let coarse = lut::ActivationLut::new(lut::Activation::Tanh, 4.0, 128);
+        let fine = lut::ActivationLut::new(lut::Activation::Tanh, 4.0, 8192);
+        let exact = x.tanh();
+        prop_assert!((fine.eval(x) - exact).abs() <= (coarse.eval(x) - exact).abs() + 1e-3);
+    }
+}

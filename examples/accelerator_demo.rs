@@ -1,0 +1,90 @@
+//! Accelerator tour: the paper-scale workloads on the simulated
+//! zero-state-skipping accelerator — dense vs sparse, all batch sizes —
+//! plus the functional datapath proving that skipping never changes a
+//! single output bit.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_demo
+//! ```
+
+use zskip::accel::{
+    FunctionalAccelerator, LstmWorkload, Simulator, SkipTrace, SparsityProfile,
+};
+use zskip::core::QuantizedLstm;
+use zskip::nn::LstmCell;
+use zskip::tensor::SeedableStream;
+
+fn main() {
+    let sim = Simulator::paper();
+    println!(
+        "accelerator: {} tiles x {} PEs, {} MHz, {:.1} mm^2, peak {:.1} GOPS\n",
+        sim.arch().tiles,
+        sim.arch().pes_per_tile,
+        sim.arch().clock_hz / 1e6,
+        sim.area_mm2(),
+        sim.peak_gops()
+    );
+
+    // Timing/energy across the paper's three tasks.
+    let tasks: [(&str, fn(usize) -> LstmWorkload, [f64; 3]); 3] = [
+        ("PTB-char ", LstmWorkload::ptb_char, [0.97, 0.81, 0.66]),
+        ("PTB-word ", LstmWorkload::ptb_word, [0.93, 0.63, 0.41]),
+        ("seq-MNIST", LstmWorkload::mnist, [0.83, 0.55, 0.43]),
+    ];
+    println!("task       batch  dense GOPS  sparse GOPS  speedup  sparse GOPS/W");
+    for (name, mk, sparsity) in tasks {
+        for (i, batch) in [1usize, 8, 16].into_iter().enumerate() {
+            let w = mk(batch);
+            let dense = sim.run_dense(&w);
+            let trace = SkipTrace::with_fraction(w.dh, w.seq_len, sparsity[i], 9 + i as u64);
+            let sparse = sim.run(&w, &trace);
+            println!(
+                "{name}  {batch:>5}  {:>10.1}  {:>11.1}  {:>6.2}x  {:>13.1}",
+                dense.effective_gops,
+                sparse.effective_gops,
+                sparse.speedup_over(&dense),
+                sparse.gops_per_watt
+            );
+        }
+    }
+
+    // Functional proof: sparse (offset-addressed) execution is
+    // bit-identical to dense evaluation of the same quantized model.
+    let mut rng = SeedableStream::new(1);
+    let cell = LstmCell::new(8, 64, &mut rng);
+    let q = QuantizedLstm::from_cell(&cell, 0.12);
+    let accel = FunctionalAccelerator::new(q.clone());
+    let inputs: Vec<Vec<Vec<i8>>> = (0..20)
+        .map(|t| {
+            (0..4)
+                .map(|lane| {
+                    let x: Vec<f32> = (0..8)
+                        .map(|i| ((t * 8 + i + lane) as f32 * 0.17).sin())
+                        .collect();
+                    q.quantize_input(&x)
+                })
+                .collect()
+        })
+        .collect();
+    let hw = accel.run_sequence(&inputs);
+    let mut all_match = true;
+    for lane in 0..4 {
+        let lane_inputs: Vec<Vec<i8>> = inputs.iter().map(|s| s[lane].clone()).collect();
+        let reference = q.run_sequence(&lane_inputs);
+        all_match &= reference.last().expect("steps").h == hw[lane].h;
+    }
+    let zeros: usize = hw.iter().map(|s| s.h.iter().filter(|v| **v == 0).count()).sum();
+    println!(
+        "\nfunctional check: hardware output {} the quantized reference \
+         (final state sparsity {:.0}%)",
+        if all_match { "bit-matches" } else { "DIVERGES from" },
+        100.0 * zeros as f64 / (4.0 * 64.0)
+    );
+    let profile = SparsityProfile::fit(0.97, 0.81, 8);
+    println!(
+        "Fig. 7 profile fit: dead units {:.1}%, dynamic zeros {:.1}% → predicts {:.1}% at B=16 (paper: 66%)",
+        profile.dead * 100.0,
+        profile.dynamic * 100.0,
+        profile.joint_sparsity(16) * 100.0
+    );
+}

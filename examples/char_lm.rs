@@ -1,0 +1,50 @@
+//! Character-level language modeling with state pruning: a miniature
+//! Fig. 2 — sweep pruning thresholds and print the BPC/sparsity
+//! trade-off curve with its sweet spot.
+//!
+//! ```sh
+//! cargo run --release --example char_lm
+//! ```
+
+use zskip::core::sweep::{format_curve, sweet_spot, SparsityPoint};
+use zskip::core::train::{train_char, CharTaskConfig};
+
+fn main() {
+    let config = CharTaskConfig {
+        hidden: 64,
+        corpus_chars: 24_000,
+        batch: 8,
+        bptt: 32,
+        epochs: 3,
+        lr: 3e-3,
+        seed: 11,
+    };
+    let thresholds = [0.0f32, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+    let mut points = Vec::new();
+    for &t in &thresholds {
+        let out = train_char(&config, t);
+        println!(
+            "threshold {t:<5}: sparsity {:>5.1}%   BPC {:.4}",
+            out.result.sparsity * 100.0,
+            out.result.metric
+        );
+        points.push(SparsityPoint {
+            threshold: t,
+            sparsity: out.result.sparsity,
+            metric: out.result.metric,
+        });
+    }
+
+    println!("\n{}", format_curve(&points, "BPC"));
+    let baseline = points[0].metric;
+    match sweet_spot(&points, baseline, 0.02) {
+        Some(s) => println!(
+            "sweet spot: {:.1}% of the state pruned with BPC {:.4} (dense: {:.4})",
+            s.sparsity * 100.0,
+            s.metric,
+            baseline
+        ),
+        None => println!("no sweet spot found — try more epochs or smaller thresholds"),
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: train a small pruned LSTM, measure its sparsity, and run
+//! it through the accelerator simulator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use zskip::accel::{InputKind, LstmWorkload, Simulator, SkipTrace};
+use zskip::core::train::{train_char, CharTaskConfig};
+use zskip::core::StatePruner;
+
+fn main() {
+    // 1. Train a char-level LSTM with the paper's pruning method: the
+    //    hidden state is thresholded in the forward pass (Eq. 5), and
+    //    gradients flow straight through to the dense state (Eq. 6).
+    let config = CharTaskConfig {
+        hidden: 64,
+        corpus_chars: 20_000,
+        batch: 8,
+        bptt: 32,
+        epochs: 3,
+        lr: 3e-3,
+        seed: 7,
+    };
+    let threshold = 0.2;
+    println!("training a {}-unit LSTM with pruning threshold {threshold} ...", config.hidden);
+    let dense = train_char(&config, 0.0);
+    let pruned = train_char(&config, threshold);
+    println!(
+        "dense  : BPC {:.3}  state sparsity {:>5.1}%",
+        dense.result.metric,
+        dense.result.sparsity * 100.0
+    );
+    println!(
+        "pruned : BPC {:.3}  state sparsity {:>5.1}%",
+        pruned.result.metric,
+        pruned.result.sparsity * 100.0
+    );
+
+    // 2. Collect a state trace from the pruned model and hand it to the
+    //    accelerator simulator as its skip schedule.
+    let lanes = 8;
+    let trace_states = zskip::core::train::char_state_trace(
+        &pruned.model,
+        &pruned.corpus,
+        lanes,
+        config.bptt,
+        &StatePruner::new(threshold),
+    );
+    let trace = SkipTrace::from_state_trace(&trace_states);
+
+    let workload = LstmWorkload {
+        dh: config.hidden,
+        dx: 50,
+        input: InputKind::OneHot,
+        seq_len: trace.len(),
+        batch: lanes,
+    };
+
+    // 3. Compare dense vs sparse execution on the simulated hardware.
+    let sim = Simulator::paper();
+    let dense_run = sim.run_dense(&workload);
+    let sparse_run = sim.run(&workload, &trace);
+    println!(
+        "\naccelerator ({} PEs @ {} MHz, LPDDR4):",
+        sim.arch().total_pes(),
+        sim.arch().clock_hz / 1e6
+    );
+    println!(
+        "dense  : {:>8.1} GOPS   {:>8.1} GOPS/W",
+        dense_run.effective_gops, dense_run.gops_per_watt
+    );
+    println!(
+        "sparse : {:>8.1} GOPS   {:>8.1} GOPS/W   ({:.2}x speedup, {:.2}x energy)",
+        sparse_run.effective_gops,
+        sparse_run.gops_per_watt,
+        sparse_run.speedup_over(&dense_run),
+        sparse_run.energy_improvement_over(&dense_run)
+    );
+}

@@ -1,0 +1,46 @@
+//! `zskip` — learning to skip ineffectual recurrent computations in LSTMs.
+//!
+//! A full reproduction of *Ardakani, Ji, Gross, "Learning to Skip
+//! Ineffectual Recurrent Computations in LSTMs" (DATE 2019)*: hidden-state
+//! threshold pruning with straight-through training, a zero-run offset
+//! encoding of the sparse state, and a cycle-level simulator of the
+//! proposed 4-tile / 192-PE accelerator together with ESE/CBSR baseline
+//! models and a figure-regeneration harness.
+//!
+//! This crate is a façade: it re-exports the workspace crates under one
+//! name so applications can depend on a single package.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `zskip-tensor` | matrices, 8-bit quantization, fixed point, LUT activations |
+//! | [`nn`] | `zskip-nn` | LSTM + BPTT, layers, optimizers, task models |
+//! | [`data`] | `zskip-data` | synthetic PTB-char/word and digit datasets |
+//! | [`core`] | `zskip-core` | state pruning, sparsity analysis, offset encoding, sweeps |
+//! | [`accel`] | `zskip-accel` | timing/energy/functional accelerator simulator |
+//! | [`baselines`] | `zskip-baselines` | ESE and CBSR analytic models |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zskip::accel::{LstmWorkload, Simulator, SkipTrace, SparsityProfile};
+//!
+//! // Simulate the paper's headline configuration: PTB-char, batch 8,
+//! // 81% joint sparsity.
+//! let sim = Simulator::paper();
+//! let w = LstmWorkload::ptb_char(8);
+//! let dense = sim.run_dense(&w);
+//! let trace = SkipTrace::from_profile(
+//!     w.dh, w.seq_len, w.batch, SparsityProfile::new(0.81, 0.0), 42);
+//! let sparse = sim.run(&w, &trace);
+//! assert!(sparse.speedup_over(&dense) > 4.5);
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs (training with pruning,
+//! running the simulator, stepping the dataflow).
+
+pub use zskip_accel as accel;
+pub use zskip_baselines as baselines;
+pub use zskip_core as core;
+pub use zskip_data as data;
+pub use zskip_nn as nn;
+pub use zskip_tensor as tensor;

@@ -1,0 +1,75 @@
+//! Hardware/software equivalence: the simulated accelerator datapath must
+//! be bit-identical to the quantized reference model, for *trained*
+//! weights, through the full encode → skip → compute path.
+
+use zskip::accel::FunctionalAccelerator;
+use zskip::core::train::{train_char, CharTaskConfig};
+use zskip::core::{OffsetEncoder, QuantizedLstm};
+
+fn trained_quantized(threshold: f32) -> QuantizedLstm {
+    let config = CharTaskConfig {
+        hidden: 40,
+        corpus_chars: 12_000,
+        batch: 4,
+        bptt: 20,
+        epochs: 2,
+        lr: 4e-3,
+        seed: 33,
+    };
+    let out = train_char(&config, threshold);
+    QuantizedLstm::from_cell(out.model.lstm().cell(), threshold)
+}
+
+fn one_hot_codes(q: &QuantizedLstm, id: usize) -> Vec<i8> {
+    let mut x = vec![0.0f32; q.input_dim()];
+    x[id % q.input_dim()] = 1.0;
+    q.quantize_input(&x)
+}
+
+#[test]
+fn trained_model_runs_bit_exact_on_simulated_hardware() {
+    let q = trained_quantized(0.25);
+    let accel = FunctionalAccelerator::new(q.clone());
+    let lanes = 4usize;
+    let steps = 30usize;
+    let inputs: Vec<Vec<Vec<i8>>> = (0..steps)
+        .map(|t| (0..lanes).map(|l| one_hot_codes(&q, t * 7 + l * 13)).collect())
+        .collect();
+    let hw = accel.run_sequence(&inputs);
+    for lane in 0..lanes {
+        let lane_inputs: Vec<Vec<i8>> = inputs.iter().map(|s| s[lane].clone()).collect();
+        let sw = q.run_sequence(&lane_inputs);
+        let last = sw.last().expect("steps");
+        assert_eq!(hw[lane].h, last.h, "lane {lane}: hidden state diverged");
+        assert_eq!(hw[lane].c, last.c, "lane {lane}: cell state diverged");
+    }
+}
+
+#[test]
+fn encoded_state_round_trips_through_hardware_encoder() {
+    let q = trained_quantized(0.3);
+    let accel = FunctionalAccelerator::new(q.clone());
+    let inputs: Vec<Vec<Vec<i8>>> = (0..12)
+        .map(|t| vec![one_hot_codes(&q, t * 3), one_hot_codes(&q, t * 5 + 1)])
+        .collect();
+    let states = accel.run_sequence(&inputs);
+    let lanes: Vec<Vec<i8>> = states.iter().map(|s| s.h.clone()).collect();
+    for bits in [4u8, 8, 12] {
+        let enc = OffsetEncoder::new(bits);
+        let encoded = enc.encode(&lanes);
+        assert_eq!(encoded.decode(), lanes, "{bits}-bit offsets corrupted state");
+    }
+}
+
+#[test]
+fn pruned_trained_state_is_sparse_in_hardware_codes() {
+    let q = trained_quantized(0.3);
+    let accel = FunctionalAccelerator::new(q.clone());
+    let inputs: Vec<Vec<Vec<i8>>> = (0..25)
+        .map(|t| vec![one_hot_codes(&q, t)])
+        .collect();
+    let states = accel.run_sequence(&inputs);
+    let zeros = states[0].h.iter().filter(|v| **v == 0).count();
+    let frac = zeros as f64 / states[0].h.len() as f64;
+    assert!(frac > 0.3, "hardware state sparsity only {frac:.2}");
+}

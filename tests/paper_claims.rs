@@ -1,0 +1,120 @@
+//! The paper's quantitative claims, asserted end-to-end through the
+//! public façade API (all simulator-based, fast).
+
+use zskip::accel::{LstmWorkload, Simulator, SkipTrace};
+use zskip::baselines::{CbsrModel, EseModel, Fig10Comparison};
+
+/// Paper Fig. 7 joint sparsity for (char, word, mnist) at batches 1/8/16.
+const FIG7: [(&str, [f64; 3]); 3] = [
+    ("char", [0.97, 0.81, 0.66]),
+    ("word", [0.93, 0.63, 0.41]),
+    ("mnist", [0.83, 0.55, 0.43]),
+];
+
+fn workload(task: &str, batch: usize) -> LstmWorkload {
+    match task {
+        "char" => LstmWorkload::ptb_char(batch),
+        "word" => LstmWorkload::ptb_word(batch),
+        _ => LstmWorkload::mnist(batch),
+    }
+}
+
+#[test]
+fn abstract_claim_up_to_5_2x_speedup_and_energy() {
+    let sim = Simulator::paper();
+    let mut best_dense: f64 = 0.0;
+    let mut best_sparse: f64 = 0.0;
+    let mut best_energy_ratio: f64 = 0.0;
+    for (task, sparsity) in FIG7 {
+        for (i, batch) in [1usize, 8, 16].into_iter().enumerate() {
+            let w = workload(task, batch);
+            let dense = sim.run_dense(&w);
+            let trace = SkipTrace::with_fraction(w.dh, w.seq_len, sparsity[i], 7);
+            let sparse = sim.run(&w, &trace);
+            best_dense = best_dense.max(dense.effective_gops);
+            best_sparse = best_sparse.max(sparse.effective_gops);
+            best_energy_ratio = best_energy_ratio.max(sparse.energy_improvement_over(&dense));
+        }
+    }
+    let headline = best_sparse / best_dense;
+    assert!(
+        (headline - 5.2).abs() < 0.6,
+        "headline speedup {headline:.2} vs paper 5.2"
+    );
+}
+
+#[test]
+fn section_iiic_peak_numbers() {
+    let sim = Simulator::paper();
+    assert!((sim.peak_gops() - 76.8).abs() < 1e-9, "peak GOPS");
+    assert!((sim.area_mm2() - 1.1).abs() < 0.1, "area {:.3}", sim.area_mm2());
+    let dense = sim.run_dense(&LstmWorkload::ptb_char(8));
+    assert!(
+        (dense.gops_per_watt - 925.3).abs() / 925.3 < 0.10,
+        "dense peak efficiency {:.1}",
+        dense.gops_per_watt
+    );
+}
+
+#[test]
+fn section_iv_related_work_ratios() {
+    let ese = EseModel::published();
+    let cbsr = CbsrModel::published();
+    assert!((ese.effective_tops() - 2.52).abs() < 0.05);
+    assert!((ese.dense_equivalent_gops_per_watt() - 61.5).abs() < 1.0);
+    // CBSR improves 25–30% over ESE.
+    let imp = cbsr.effective_tops() / ese.effective_tops();
+    assert!((1.25..=1.30).contains(&imp));
+
+    // Printed Fig. 10 ratios: 1.9× and 1.5×.
+    let sim = Simulator::paper();
+    let w = LstmWorkload::ptb_char(8);
+    let trace = SkipTrace::with_fraction(w.dh, w.seq_len, 0.81, 42);
+    let sparse = sim.run(&w, &trace);
+    let cmp = Fig10Comparison::from_report(&sparse);
+    assert!((cmp.ratio_over_ese() - 1.9).abs() < 0.3, "{}", cmp.ratio_over_ese());
+    assert!((cmp.ratio_over_cbsr() - 1.5).abs() < 0.25, "{}", cmp.ratio_over_cbsr());
+}
+
+#[test]
+fn word_task_batch1_matches_the_odd_17_9_bar() {
+    // Fig. 8's most diagnostic bar: PTB-word sparse at batch 1 is only
+    // 17.9 GOPS (1.86×) because the dense embedding input makes half the
+    // mat-vec work unskippable.
+    let sim = Simulator::paper();
+    let w = LstmWorkload::ptb_word(1);
+    let dense = sim.run_dense(&w);
+    let trace = SkipTrace::with_fraction(w.dh, w.seq_len, 0.93, 3);
+    let sparse = sim.run(&w, &trace);
+    assert!(
+        (sparse.effective_gops - 17.9).abs() < 1.5,
+        "word B=1 sparse {:.1} GOPS vs paper 17.9",
+        sparse.effective_gops
+    );
+}
+
+#[test]
+fn mnist_grid_matches_fig8() {
+    let sim = Simulator::paper();
+    let expect_dense = [9.6, 74.3, 74.3];
+    let expect_sparse = [50.5, 154.3, 124.9];
+    let sparsity = [0.83, 0.55, 0.43];
+    for (i, batch) in [1usize, 8, 16].into_iter().enumerate() {
+        let w = LstmWorkload::mnist(batch);
+        let dense = sim.run_dense(&w);
+        let trace = SkipTrace::with_fraction(w.dh, w.seq_len, sparsity[i], 11);
+        let sparse = sim.run(&w, &trace);
+        assert!(
+            (dense.effective_gops - expect_dense[i]).abs() / expect_dense[i] < 0.10,
+            "B={batch} dense {:.1} vs {}",
+            dense.effective_gops,
+            expect_dense[i]
+        );
+        assert!(
+            (sparse.effective_gops - expect_sparse[i]).abs() / expect_sparse[i] < 0.12,
+            "B={batch} sparse {:.1} vs {}",
+            sparse.effective_gops,
+            expect_sparse[i]
+        );
+    }
+}

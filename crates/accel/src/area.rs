@@ -36,9 +36,8 @@ impl AreaModel {
     /// Total area for an architecture, mm².
     pub fn total_mm2(&self, arch: &ArchConfig) -> f64 {
         let pes = arch.total_pes() as f64 * self.pe_mm2;
-        let sram_bits = arch.total_pes() as f64
-            * arch.scratch_entries as f64
-            * arch.scratch_bits as f64;
+        let sram_bits =
+            arch.total_pes() as f64 * arch.scratch_entries as f64 * arch.scratch_bits as f64;
         let sram = sram_bits * self.sram_mm2_per_bit;
         // One activation unit per PE column group: the paper draws one
         // sigmoid/tanh block per PE in Fig. 6's tile detail; we charge one

@@ -156,8 +156,7 @@ impl HardwareExecutor {
             assert_eq!(step_inputs.len(), lanes, "ragged lane count");
             // Encode the *current* states: this is what the hardware reads
             // back and what determines this step's skippable columns.
-            let lanes_h: Vec<Vec<i8>> =
-                lane_states.iter().map(|s| s.h.clone()).collect();
+            let lanes_h: Vec<Vec<i8>> = lane_states.iter().map(|s| s.h.clone()).collect();
             let encoded = self.functional.encode_state(&lanes_h);
             let stored = encoded.stored_columns();
             stored_columns.push(stored);

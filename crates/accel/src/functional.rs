@@ -282,13 +282,12 @@ mod tests {
         let q = quantized(5, 4, 32, 0.1);
         let exact = FunctionalAccelerator::new(q.clone());
         let acc_lsb = q.h_acc_scale();
-        let lossy = FunctionalAccelerator::new(q.clone()).with_scratch_precision(
-            ScratchPrecision {
+        let lossy =
+            FunctionalAccelerator::new(q.clone()).with_scratch_precision(ScratchPrecision {
                 format: QFormat::new(12, 7),
                 acc_lsb,
                 write_period: 8,
-            },
-        );
+            });
         let inputs = random_inputs(&q, 6, 1, 6);
         let a = exact.run_sequence(&inputs);
         let b = lossy.run_sequence(&inputs);

@@ -182,13 +182,8 @@ mod tests {
     fn sparse_effective_gops_exceeds_peak() {
         let sim = Simulator::paper();
         let w = LstmWorkload::ptb_char(8);
-        let trace = SkipTrace::from_profile(
-            w.dh,
-            w.seq_len,
-            w.batch,
-            SparsityProfile::new(0.81, 0.0),
-            1,
-        );
+        let trace =
+            SkipTrace::from_profile(w.dh, w.seq_len, w.batch, SparsityProfile::new(0.81, 0.0), 1);
         let r = sim.run(&w, &trace);
         assert!(r.effective_gops > sim.peak_gops());
         // Physical utilization stays below 1.

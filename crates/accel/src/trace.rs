@@ -160,9 +160,7 @@ impl SkipTrace {
         let step_masks = (0..steps)
             .map(|_| {
                 (0..dh)
-                    .map(|j| {
-                        dead[j] || (0..batch).all(|_| rng.coin(profile.dynamic))
-                    })
+                    .map(|j| dead[j] || (0..batch).all(|_| rng.coin(profile.dynamic)))
                     .collect()
             })
             .collect();
@@ -325,7 +323,13 @@ mod tests {
 
     #[test]
     fn with_fraction_bounds() {
-        assert_eq!(SkipTrace::with_fraction(50, 2, 0.0, 1).mean_skippable(), 0.0);
-        assert_eq!(SkipTrace::with_fraction(50, 2, 1.0, 1).mean_skippable(), 1.0);
+        assert_eq!(
+            SkipTrace::with_fraction(50, 2, 0.0, 1).mean_skippable(),
+            0.0
+        );
+        assert_eq!(
+            SkipTrace::with_fraction(50, 2, 1.0, 1).mean_skippable(),
+            1.0
+        );
     }
 }

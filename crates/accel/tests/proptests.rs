@@ -3,15 +3,17 @@
 use proptest::prelude::*;
 use zskip_accel::cycle::GemvPipelineSim;
 use zskip_accel::dataflow::DataflowModel;
-use zskip_accel::{
-    ArchConfig, InputKind, LstmWorkload, Simulator, SkipTrace, SparsityProfile,
-};
+use zskip_accel::{ArchConfig, InputKind, LstmWorkload, Simulator, SkipTrace, SparsityProfile};
 
 fn workload_strategy() -> impl Strategy<Value = LstmWorkload> {
     (
-        8usize..256,                       // dh
-        prop_oneof![Just(InputKind::OneHot), Just(InputKind::Dense), Just(InputKind::Scalar)],
-        1usize..16,                        // seq_len
+        8usize..256, // dh
+        prop_oneof![
+            Just(InputKind::OneHot),
+            Just(InputKind::Dense),
+            Just(InputKind::Scalar)
+        ],
+        1usize..16, // seq_len
         prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
     )
         .prop_map(|(dh, input, seq_len, batch)| {

@@ -71,5 +71,11 @@ fn bench_decode(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemv_skip, bench_prune, bench_encoder, bench_decode);
+criterion_group!(
+    benches,
+    bench_gemv_skip,
+    bench_prune,
+    bench_encoder,
+    bench_decode
+);
 criterion_main!(benches);

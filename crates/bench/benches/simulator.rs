@@ -15,13 +15,8 @@ fn bench_analytic_run(c: &mut Criterion) {
         ("ptb_word_b8", LstmWorkload::ptb_word(8)),
         ("mnist_b8", LstmWorkload::mnist(8)),
     ] {
-        let trace = SkipTrace::from_profile(
-            w.dh,
-            w.seq_len,
-            w.batch,
-            SparsityProfile::new(0.8, 0.0),
-            1,
-        );
+        let trace =
+            SkipTrace::from_profile(w.dh, w.seq_len, w.batch, SparsityProfile::new(0.8, 0.0), 1);
         group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
             b.iter(|| black_box(sim.run(black_box(w), black_box(&trace))))
         });

@@ -10,9 +10,7 @@
 //! Usage: `cargo run --release -p zskip-bench --bin ablation_training`
 
 use zskip_bench::report::{f, pct, table};
-use zskip_core::train::{
-    train_char_with, CharTaskConfig, GradientMode, ThresholdSchedule,
-};
+use zskip_core::train::{train_char_with, CharTaskConfig, GradientMode, ThresholdSchedule};
 
 fn main() {
     let config = CharTaskConfig {
@@ -25,7 +23,10 @@ fn main() {
         seed: 77,
     };
 
-    println!("== Ablation: pruning gradient (char-LM, dh={}) ==", config.hidden);
+    println!(
+        "== Ablation: pruning gradient (char-LM, dh={}) ==",
+        config.hidden
+    );
     let mut rows = Vec::new();
     for threshold in [0.15f32, 0.3, 0.5] {
         let ste = train_char_with(
@@ -51,7 +52,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["threshold", "STE sp%", "STE BPC", "masked sp%", "masked BPC"],
+            &[
+                "threshold",
+                "STE sp%",
+                "STE BPC",
+                "masked sp%",
+                "masked BPC"
+            ],
             &rows
         )
     );

@@ -45,7 +45,13 @@ fn bandwidth_sweep() {
     println!(
         "{}",
         table(
-            &["wt/cycle", "pipe depth", "B=1 GOPS", "B=8 GOPS", "B=16 GOPS"],
+            &[
+                "wt/cycle",
+                "pipe depth",
+                "B=1 GOPS",
+                "B=8 GOPS",
+                "B=16 GOPS"
+            ],
             &rows
         )
     );
@@ -85,10 +91,7 @@ fn offset_width_sweep() {
     let mut rows = Vec::new();
     for bits in [2u8, 4, 6, 8, 12] {
         let stored: usize = trace.stored_columns(bits).iter().sum();
-        let ideal: usize = trace
-            .stored_columns(16)
-            .iter()
-            .sum();
+        let ideal: usize = trace.stored_columns(16).iter().sum();
         let overhead = stored as f64 / ideal as f64 - 1.0;
         rows.push(vec![
             bits.to_string(),
@@ -98,7 +101,10 @@ fn offset_width_sweep() {
     }
     println!(
         "{}",
-        table(&["offset bits", "stored cols (100 steps)", "anchor overhead"], &rows)
+        table(
+            &["offset bits", "stored cols (100 steps)", "anchor overhead"],
+            &rows
+        )
     );
     println!("→ 8-bit offsets make anchors negligible even at 97% sparsity.\n");
 }
@@ -112,12 +118,8 @@ fn skip_granularity() {
         let w = LstmWorkload::ptb_char(batch);
         let dense = sim.run_dense(&w);
         // The hardware's rule: joint sparsity from the fitted profile.
-        let and_trace = SkipTrace::with_fraction(
-            w.dh,
-            w.seq_len,
-            profile.joint_sparsity(batch),
-            21,
-        );
+        let and_trace =
+            SkipTrace::with_fraction(w.dh, w.seq_len, profile.joint_sparsity(batch), 21);
         let and_run = sim.run(&w, &and_trace);
         // A hypothetical design with per-lane weight streams could skip at
         // the single-lane rate regardless of batch.
@@ -133,7 +135,12 @@ fn skip_granularity() {
     println!(
         "{}",
         table(
-            &["batch", "joint sparsity %", "AND-rule speedup", "per-lane oracle"],
+            &[
+                "batch",
+                "joint sparsity %",
+                "AND-rule speedup",
+                "per-lane oracle"
+            ],
             &rows
         )
     );

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use zskip_accel::{LstmWorkload, SimReport, Simulator, SkipTrace};
 use zskip_baselines::Fig10Comparison;
 use zskip_core::sparsity::grouped_joint_sparsity;
-use zskip_core::train::{
-    self, CharTaskConfig, DigitsTaskConfig, WordTaskConfig,
-};
+use zskip_core::train::{self, CharTaskConfig, DigitsTaskConfig, WordTaskConfig};
 use zskip_core::{sweet_spot, SparsityPoint, StatePruner};
 
 /// Experiment scale: laptop-sized defaults or the paper's dimensions.
@@ -36,14 +34,11 @@ pub mod paper {
     pub const FIG8_MNIST: ([f64; 3], [f64; 3]) = ([9.6, 74.3, 74.3], [50.5, 154.3, 124.9]);
 
     /// Fig. 9 GOPS/W (dense, sparse) at batches 1/8/16 for PTB-char.
-    pub const FIG9_CHAR: ([f64; 3], [f64; 3]) =
-        ([115.7, 920.5, 920.5], [3791.6, 4765.1, 2686.7]);
+    pub const FIG9_CHAR: ([f64; 3], [f64; 3]) = ([115.7, 920.5, 920.5], [3791.6, 4765.1, 2686.7]);
     /// Fig. 9, PTB-word.
-    pub const FIG9_WORD: ([f64; 3], [f64; 3]) =
-        ([115.7, 918.1, 918.1], [215.7, 1335.0, 1151.8]);
+    pub const FIG9_WORD: ([f64; 3], [f64; 3]) = ([115.7, 918.1, 918.1], [215.7, 1335.0, 1151.8]);
     /// Fig. 9, MNIST.
-    pub const FIG9_MNIST: ([f64; 3], [f64; 3]) =
-        ([115.7, 895.2, 895.2], [608.4, 1859.0, 1504.8]);
+    pub const FIG9_MNIST: ([f64; 3], [f64; 3]) = ([115.7, 895.2, 895.2], [608.4, 1859.0, 1504.8]);
 }
 
 // ---------------------------------------------------------------------------
@@ -78,9 +73,7 @@ impl SweepFigure {
                     f(p.threshold as f64, 3),
                     pct(p.sparsity),
                     f(p.metric, 4),
-                    if Some(p.sparsity)
-                        == self.sweet_spot.as_ref().map(|s| s.sparsity)
-                    {
+                    if Some(p.sparsity) == self.sweet_spot.as_ref().map(|s| s.sparsity) {
                         "<- sweet spot".into()
                     } else {
                         String::new()
@@ -468,9 +461,7 @@ pub fn print_fig8(grid: &[PerfFigure]) {
     println!(
         "{}",
         table(
-            &[
-                "task", "batch", "dense", "paper", "sparse", "paper", "speedup"
-            ],
+            &["task", "batch", "dense", "paper", "sparse", "paper", "speedup"],
             &rows
         )
     );
@@ -497,7 +488,13 @@ pub fn print_fig9(grid: &[PerfFigure]) {
         "{}",
         table(
             &[
-                "task", "batch", "dense", "paper", "sparse", "paper", "improvement"
+                "task",
+                "batch",
+                "dense",
+                "paper",
+                "sparse",
+                "paper",
+                "improvement"
             ],
             &rows
         )
@@ -594,7 +591,11 @@ pub fn table_implementation() -> ImplementationTable {
         table(
             &["quantity", "ours", "paper"],
             &[
-                vec!["area (mm^2)".into(), f(t.area_mm2, 3), f(t.paper_area_mm2, 1)],
+                vec![
+                    "area (mm^2)".into(),
+                    f(t.area_mm2, 3),
+                    f(t.paper_area_mm2, 1)
+                ],
                 vec![
                     "peak perf (GOPS)".into(),
                     f(t.peak_gops, 1),
@@ -606,7 +607,11 @@ pub fn table_implementation() -> ImplementationTable {
                     f(t.paper_dense_gops_per_watt, 1)
                 ],
                 vec!["clock (MHz)".into(), f(t.clock_mhz, 0), "200".into()],
-                vec!["technology".into(), "65 nm model".into(), "TSMC 65nm GP".into()],
+                vec![
+                    "technology".into(),
+                    "65 nm model".into(),
+                    "TSMC 65nm GP".into()
+                ],
             ],
         )
     );

@@ -61,10 +61,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -79,6 +76,6 @@ mod tests {
 
     #[test]
     fn f_rounds() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
     }
 }

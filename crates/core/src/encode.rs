@@ -190,11 +190,7 @@ impl OffsetEncoder {
     }
 
     /// Encodes a real-valued `B × dh` state matrix through a quantizer.
-    pub fn encode_f32(
-        &self,
-        states: &Matrix,
-        quantizer: zskip_tensor::Quantizer,
-    ) -> EncodedState {
+    pub fn encode_f32(&self, states: &Matrix, quantizer: zskip_tensor::Quantizer) -> EncodedState {
         let lanes: Vec<Vec<i8>> = (0..states.rows())
             .map(|r| quantizer.quantize_slice(states.row(r)))
             .collect();
@@ -239,7 +235,7 @@ mod tests {
         let enc = OffsetEncoder::new(2); // max run 3
         let mut lane = vec![0i8; 9];
         lane[8] = 5;
-        let state = enc.encode(&[lane.clone()]);
+        let state = enc.encode(std::slice::from_ref(&lane));
         // Runs: 3 zeros → anchor at col 3, 3 zeros → anchor at col 7,
         // then offset 1 before the value at col 8.
         assert_eq!(state.anchor_columns(), 2);
@@ -250,7 +246,7 @@ mod tests {
     fn all_zero_state_needs_only_anchors() {
         let enc = OffsetEncoder::new(4); // max run 15
         let lane = vec![0i8; 64];
-        let state = enc.encode(&[lane.clone()]);
+        let state = enc.encode(std::slice::from_ref(&lane));
         assert_eq!(state.stored_columns(), state.anchor_columns());
         assert_eq!(state.stored_columns(), 64 / 16);
         assert_eq!(state.decode(), vec![lane]);
@@ -260,7 +256,7 @@ mod tests {
     fn dense_state_stores_every_column() {
         let enc = OffsetEncoder::new(8);
         let lane: Vec<i8> = (1..=32).map(|v| v as i8).collect();
-        let state = enc.encode(&[lane.clone()]);
+        let state = enc.encode(std::slice::from_ref(&lane));
         assert_eq!(state.stored_columns(), 32);
         assert_eq!(state.skipped_columns(), 0);
         assert!(state.size_bits() > state.dense_size_bits());

@@ -265,7 +265,7 @@ mod tests {
         let c0 = Matrix::zeros(1, 12);
         let step_f = cell.forward(&xm, &h0, &c0);
 
-        let step_q = q.step(&xq, &vec![0; 12], &vec![0; 12]);
+        let step_q = q.step(&xq, &[0; 12], &[0; 12]);
         for j in 0..12 {
             let h_approx = q.h_quantizer().dequantize(step_q.h[j]);
             let h_exact = step_f.h()[(0, j)];
@@ -282,8 +282,8 @@ mod tests {
         let dense = QuantizedLstm::from_cell(&cell, 0.0);
         let pruned = QuantizedLstm::from_cell(&cell, 0.25);
         let x = dense.quantize_input(&[0.3, -0.9, 0.5, 0.1]);
-        let d = dense.step(&x, &vec![0; 16], &vec![0; 16]);
-        let p = pruned.step(&x, &vec![0; 16], &vec![0; 16]);
+        let d = dense.step(&x, &[0; 16], &[0; 16]);
+        let p = pruned.step(&x, &[0; 16], &[0; 16]);
         let zeros_d = d.h.iter().filter(|v| **v == 0).count();
         let zeros_p = p.h.iter().filter(|v| **v == 0).count();
         assert!(zeros_p >= zeros_d);
@@ -321,8 +321,8 @@ mod tests {
         // Manual sparse accumulation over non-zero positions only.
         let mut acc_sparse = vec![0i32; 40];
         for &j in &[2usize, 7] {
-            for k in 0..40 {
-                acc_sparse[k] += q.wh().get(j, k) as i32 * h[j] as i32;
+            for (k, acc) in acc_sparse.iter_mut().enumerate() {
+                *acc += q.wh().get(j, k) as i32 * h[j] as i32;
             }
         }
         assert_eq!(acc_full, acc_sparse);

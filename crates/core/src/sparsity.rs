@@ -129,13 +129,17 @@ mod tests {
     #[test]
     fn grouped_sparsity_decreases_with_group_size() {
         // Random-ish sparse pattern: per-lane sparsity 0.8.
-        let m = Matrix::from_fn(16, 64, |r, c| {
-            if (r * 31 + c * 17) % 5 == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let m = Matrix::from_fn(
+            16,
+            64,
+            |r, c| {
+                if (r * 31 + c * 17) % 5 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let trace = vec![m];
         let s1 = grouped_joint_sparsity(&trace, 1);
         let s4 = grouped_joint_sparsity(&trace, 4);
@@ -150,9 +154,7 @@ mod tests {
         let p = 0.9f64;
         let mut rng = zskip_tensor::SeedableStream::new(11);
         let trace: Vec<Matrix> = (0..64)
-            .map(|_| {
-                Matrix::from_fn(8, 128, |_, _| if rng.coin(p) { 0.0 } else { 1.0 })
-            })
+            .map(|_| Matrix::from_fn(8, 128, |_, _| if rng.coin(p) { 0.0 } else { 1.0 }))
             .collect();
         let s8 = grouped_joint_sparsity(&trace, 8);
         let expect = p.powi(8);

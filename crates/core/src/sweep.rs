@@ -48,14 +48,11 @@ pub fn sweet_spot(
     tolerance: f64,
 ) -> Option<&SparsityPoint> {
     let limit = baseline_metric * (1.0 + tolerance);
-    points
-        .iter()
-        .filter(|p| p.metric <= limit)
-        .max_by(|a, b| {
-            a.sparsity
-                .partial_cmp(&b.sparsity)
-                .expect("sparsity is finite")
-        })
+    points.iter().filter(|p| p.metric <= limit).max_by(|a, b| {
+        a.sparsity
+            .partial_cmp(&b.sparsity)
+            .expect("sparsity is finite")
+    })
 }
 
 /// Renders a sweep as an aligned text table (used by the figure binaries).

@@ -205,8 +205,7 @@ pub struct GruCharOutcome {
 pub fn train_char_gru(config: &CharTaskConfig, threshold: f32) -> GruCharOutcome {
     let corpus = CharCorpus::generate(config.corpus_chars, config.seed);
     let mut rng = SeedableStream::new(config.seed ^ 0xC0FFEE);
-    let mut model =
-        zskip_nn::models::GruCharLm::new(corpus.vocab_size(), config.hidden, &mut rng);
+    let mut model = zskip_nn::models::GruCharLm::new(corpus.vocab_size(), config.hidden, &mut rng);
     let pruner = StatePruner::new(threshold);
     let mut opt = Adam::new(config.lr);
 
@@ -752,8 +751,13 @@ mod tests {
         };
         let out = train_digits(&config, 0.05);
         assert!(out.result.metric >= 0.0 && out.result.metric <= 100.0);
-        let trace =
-            digits_state_trace(&out.model, &out.test_set, 16, &config, &StatePruner::new(0.05));
+        let trace = digits_state_trace(
+            &out.model,
+            &out.test_set,
+            16,
+            &config,
+            &StatePruner::new(0.05),
+        );
         assert_eq!(trace[0].rows(), 16);
     }
 }

@@ -16,10 +16,7 @@ fn state_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matri
 fn sparse_lanes() -> impl Strategy<Value = Vec<Vec<i8>>> {
     (1usize..=4, 1usize..=96).prop_flat_map(|(lanes, dh)| {
         proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![4 => Just(0i8), 1 => any::<i8>()],
-                dh,
-            ),
+            proptest::collection::vec(prop_oneof![4 => Just(0i8), 1 => any::<i8>()], dh),
             lanes,
         )
     })

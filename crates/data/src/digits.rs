@@ -52,7 +52,10 @@ impl DigitImage {
     ///
     /// Panics unless `factor` divides the side length.
     pub fn downsample(&self, factor: usize) -> DigitImage {
-        assert!(factor > 0 && self.side % factor == 0, "bad downsample factor");
+        assert!(
+            factor > 0 && self.side.is_multiple_of(factor),
+            "bad downsample factor"
+        );
         let new_side = self.side / factor;
         let mut pixels = vec![0.0f32; new_side * new_side];
         let inv = 1.0 / (factor * factor) as f32;
@@ -147,7 +150,10 @@ impl DigitSet {
         range: std::ops::Range<usize>,
         downsample: usize,
     ) -> (Vec<Vec<f32>>, Vec<usize>) {
-        assert!(!range.is_empty() && range.end <= self.images.len(), "bad range");
+        assert!(
+            !range.is_empty() && range.end <= self.images.len(),
+            "bad range"
+        );
         let selected: Vec<DigitImage> = range
             .clone()
             .map(|i| {
@@ -186,7 +192,10 @@ impl DigitSet {
         range: std::ops::Range<usize>,
         downsample: usize,
     ) -> (Vec<Vec<f32>>, Vec<usize>) {
-        assert!(!range.is_empty() && range.end <= self.images.len(), "bad range");
+        assert!(
+            !range.is_empty() && range.end <= self.images.len(),
+            "bad range"
+        );
         let selected: Vec<DigitImage> = range
             .clone()
             .map(|i| {

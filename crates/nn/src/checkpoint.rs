@@ -124,7 +124,7 @@ mod tests {
     fn load_missing_file_is_an_error() {
         let r: Result<CharLm, _> = load(tmp("missing.json"));
         assert!(r.is_err());
-        let msg = format!("{}", r.err().expect("error"));
+        let msg = format!("{}", r.expect_err("error"));
         assert!(msg.contains("io error"));
     }
 

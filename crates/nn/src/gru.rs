@@ -158,7 +158,12 @@ impl GruCell {
     /// One backward step: accumulates weight gradients and returns
     /// `(d_x, d_hp_prev)` given `d_h`, the gradient w.r.t. this step's raw
     /// output.
-    pub fn backward(&mut self, step: &GruStep, d_h: &Matrix, need_dx: bool) -> (Option<Matrix>, Matrix) {
+    pub fn backward(
+        &mut self,
+        step: &GruStep,
+        d_h: &Matrix,
+        need_dx: bool,
+    ) -> (Option<Matrix>, Matrix) {
         let b = step.h.rows();
         let dh = self.hidden;
         assert_eq!(d_h.rows(), b, "d_h batch mismatch");
@@ -492,8 +497,9 @@ mod tests {
         use zskip_tensor::stats;
         let cell = tiny(5);
         let mut rng = SeedableStream::new(6);
-        let xs: Vec<Matrix> =
-            (0..6).map(|_| Matrix::from_fn(1, 3, |_, _| rng.uniform(-1.0, 1.0))).collect();
+        let xs: Vec<Matrix> = (0..6)
+            .map(|_| Matrix::from_fn(1, 3, |_, _| rng.uniform(-1.0, 1.0)))
+            .collect();
         let h0 = Matrix::zeros(1, 4);
 
         /// Minimal inline pruner (core depends on nn, not vice versa).
@@ -530,7 +536,14 @@ mod tests {
         let loss_of = |layer: &GruLayer| -> f64 {
             let cache = layer.forward_sequence(&xs, &h0, &IdentityTransform);
             (0..cache.len())
-                .map(|t| cache.hp(t).as_slice().iter().map(|v| *v as f64).sum::<f64>())
+                .map(|t| {
+                    cache
+                        .hp(t)
+                        .as_slice()
+                        .iter()
+                        .map(|v| *v as f64)
+                        .sum::<f64>()
+                })
                 .sum()
         };
 

@@ -41,9 +41,8 @@ pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> SoftmaxLoss 
     let mut total = 0.0f64;
     let mut correct = 0usize;
     let inv_b = 1.0 / b as f32;
-    for r in 0..b {
+    for (r, &t) in targets.iter().enumerate() {
         let row = logits.row(r);
-        let t = targets[r];
         assert!(t < v, "target {t} out of range {v}");
         let lse = stats::log_sum_exp(row);
         total += (lse - row[t]) as f64;

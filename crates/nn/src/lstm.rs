@@ -618,7 +618,14 @@ mod tests {
         let loss_of = |layer: &LstmLayer| -> f64 {
             let cache = layer.forward_sequence(&xs, &h0, &c0, &IdentityTransform);
             (0..cache.len())
-                .map(|t| cache.hp(t).as_slice().iter().map(|v| *v as f64).sum::<f64>())
+                .map(|t| {
+                    cache
+                        .hp(t)
+                        .as_slice()
+                        .iter()
+                        .map(|v| *v as f64)
+                        .sum::<f64>()
+                })
                 .sum()
         };
 
@@ -656,7 +663,11 @@ mod tests {
                         }
                     }
                 }
-                layer.visit_params(&mut Poke { name, idx, delta: eps });
+                layer.visit_params(&mut Poke {
+                    name,
+                    idx,
+                    delta: eps,
+                });
                 let up = loss_of(&layer);
                 layer.visit_params(&mut Poke {
                     name,
@@ -664,7 +675,11 @@ mod tests {
                     delta: -2.0 * eps,
                 });
                 let down = loss_of(&layer);
-                layer.visit_params(&mut Poke { name, idx, delta: eps });
+                layer.visit_params(&mut Poke {
+                    name,
+                    idx,
+                    delta: eps,
+                });
                 let numeric = ((up - down) / (2.0 * eps as f64)) as f32;
                 let analytic = grads[idx];
                 let tol = 2e-2 * (1.0 + numeric.abs().max(analytic.abs()));

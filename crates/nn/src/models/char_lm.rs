@@ -85,7 +85,9 @@ impl CharLm {
     ) -> (crate::lstm::SequenceCache, Vec<Matrix>) {
         assert!(!inputs.is_empty(), "empty batch");
         let xs: Vec<Matrix> = inputs.iter().map(|ids| self.one_hot(ids)).collect();
-        let cache = self.lstm.forward_sequence(&xs, &state.h, &state.c, transform);
+        let cache = self
+            .lstm
+            .forward_sequence(&xs, &state.h, &state.c, transform);
         let logits: Vec<Matrix> = (0..cache.len())
             .map(|t| self.head.forward(cache.hp(t)))
             .collect();
@@ -125,8 +127,7 @@ impl CharLm {
             d_logits.scale(inv_t);
             d_hp.push(self.head.backward(cache.hp(t), &d_logits));
         }
-        self.lstm
-            .backward_sequence(&cache, &d_hp, transform, false);
+        self.lstm.backward_sequence(&cache, &d_hp, transform, false);
 
         state.h = cache.last_hp().clone();
         state.c = cache.last_c().clone();
@@ -196,7 +197,12 @@ mod tests {
     use crate::lstm::IdentityTransform;
     use crate::optim::{Adam, Optimizer};
 
-    fn toy_batch(t: usize, b: usize, vocab: usize, seed: u64) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    fn toy_batch(
+        t: usize,
+        b: usize,
+        vocab: usize,
+        seed: u64,
+    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
         let mut rng = SeedableStream::new(seed);
         let mk = |rng: &mut SeedableStream| {
             (0..t)
@@ -214,7 +220,11 @@ mod tests {
         let mut state = CarryState::zeros(3, 12);
         let stats = model.eval_batch(&inputs, &targets, &mut state, &IdentityTransform);
         let uniform = (10.0f32).ln();
-        assert!((stats.mean_nats - uniform).abs() < 0.5, "{}", stats.mean_nats);
+        assert!(
+            (stats.mean_nats - uniform).abs() < 0.5,
+            "{}",
+            stats.mean_nats
+        );
     }
 
     #[test]

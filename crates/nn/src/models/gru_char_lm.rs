@@ -93,12 +93,12 @@ impl GruCharLm {
         let mut correct = 0usize;
         let mut tokens = 0usize;
         let mut d_hp = Vec::with_capacity(t_len);
-        for t in 0..t_len {
+        for (t, step_targets) in targets.iter().enumerate() {
             let logits = self.head.forward(cache.hp(t));
-            let out = softmax_cross_entropy(&logits, &targets[t]);
+            let out = softmax_cross_entropy(&logits, step_targets);
             total_nats += out.loss as f64 * inv_t as f64;
             correct += out.correct;
-            tokens += targets[t].len();
+            tokens += step_targets.len();
             let mut d_logits = out.d_logits;
             d_logits.scale(inv_t);
             d_hp.push(self.head.backward(cache.hp(t), &d_logits));
@@ -129,12 +129,12 @@ impl GruCharLm {
         let mut total_nats = 0.0f64;
         let mut correct = 0usize;
         let mut tokens = 0usize;
-        for t in 0..t_len {
+        for (t, step_targets) in targets.iter().enumerate() {
             let logits = self.head.forward(cache.hp(t));
-            let out = softmax_cross_entropy(&logits, &targets[t]);
+            let out = softmax_cross_entropy(&logits, step_targets);
             total_nats += out.loss as f64 * inv_t as f64;
             correct += out.correct;
-            tokens += targets[t].len();
+            tokens += step_targets.len();
         }
         state.h = cache.last_hp().clone();
         BatchStats {

@@ -128,7 +128,7 @@ impl SeqClassifier {
         assert!(xs.iter().all(|m| m.rows() == b), "lane count mismatch");
         let h0 = Matrix::zeros(b, self.hidden);
         let c0 = Matrix::zeros(b, self.hidden);
-        let cache = self.lstm.forward_sequence(&xs, &h0, &c0, transform);
+        let cache = self.lstm.forward_sequence(xs, &h0, &c0, transform);
 
         let final_hp = cache.last_hp().clone();
         let logits = self.head.forward(&final_hp);
@@ -171,7 +171,7 @@ impl SeqClassifier {
         assert!(xs.iter().all(|m| m.rows() == b), "lane count mismatch");
         let h0 = Matrix::zeros(b, self.hidden);
         let c0 = Matrix::zeros(b, self.hidden);
-        let cache = self.lstm.forward_sequence(&xs, &h0, &c0, transform);
+        let cache = self.lstm.forward_sequence(xs, &h0, &c0, transform);
         let logits = self.head.forward(cache.last_hp());
         let out = softmax_cross_entropy(&logits, labels);
         BatchStats {
@@ -193,7 +193,7 @@ impl SeqClassifier {
         let b = xs[0].rows();
         let h0 = Matrix::zeros(b, self.hidden);
         let c0 = Matrix::zeros(b, self.hidden);
-        let cache = self.lstm.forward_sequence(&xs, &h0, &c0, transform);
+        let cache = self.lstm.forward_sequence(xs, &h0, &c0, transform);
         (0..cache.len()).map(|t| cache.hp(t).clone()).collect()
     }
 }

@@ -118,20 +118,22 @@ impl WordLm {
             in_masks.push(mask);
         }
 
-        let cache = self.lstm.forward_sequence(&xs, &state.h, &state.c, transform);
+        let cache = self
+            .lstm
+            .forward_sequence(&xs, &state.h, &state.c, transform);
 
         // Output-side dropout, head, loss.
         let mut total_nats = 0.0f64;
         let mut correct = 0usize;
         let mut tokens = 0usize;
         let mut d_hp = Vec::with_capacity(t_len);
-        for t in 0..t_len {
+        for (t, step_targets) in targets.iter().enumerate() {
             let (dropped_h, out_mask) = self.dropout.forward(cache.hp(t), rng);
             let logits = self.head.forward(&dropped_h);
-            let out = softmax_cross_entropy(&logits, &targets[t]);
+            let out = softmax_cross_entropy(&logits, step_targets);
             total_nats += out.loss as f64 * inv_t as f64;
             correct += out.correct;
-            tokens += targets[t].len();
+            tokens += step_targets.len();
             let mut d_logits = out.d_logits;
             d_logits.scale(inv_t);
             let d_dropped = self.head.backward(&dropped_h, &d_logits);
@@ -166,17 +168,22 @@ impl WordLm {
         assert!(!inputs.is_empty(), "empty batch");
         let t_len = inputs.len();
         let inv_t = 1.0 / t_len as f32;
-        let xs: Vec<Matrix> = inputs.iter().map(|ids| self.embedding.forward(ids)).collect();
-        let cache = self.lstm.forward_sequence(&xs, &state.h, &state.c, transform);
+        let xs: Vec<Matrix> = inputs
+            .iter()
+            .map(|ids| self.embedding.forward(ids))
+            .collect();
+        let cache = self
+            .lstm
+            .forward_sequence(&xs, &state.h, &state.c, transform);
         let mut total_nats = 0.0f64;
         let mut correct = 0usize;
         let mut tokens = 0usize;
-        for t in 0..t_len {
+        for (t, step_targets) in targets.iter().enumerate() {
             let logits = self.head.forward(cache.hp(t));
-            let out = softmax_cross_entropy(&logits, &targets[t]);
+            let out = softmax_cross_entropy(&logits, step_targets);
             total_nats += out.loss as f64 * inv_t as f64;
             correct += out.correct;
-            tokens += targets[t].len();
+            tokens += step_targets.len();
         }
         state.h = cache.last_hp().clone();
         state.c = cache.last_c().clone();
@@ -194,8 +201,13 @@ impl WordLm {
         state: &mut CarryState,
         transform: &dyn StateTransform,
     ) -> Vec<Matrix> {
-        let xs: Vec<Matrix> = inputs.iter().map(|ids| self.embedding.forward(ids)).collect();
-        let cache = self.lstm.forward_sequence(&xs, &state.h, &state.c, transform);
+        let xs: Vec<Matrix> = inputs
+            .iter()
+            .map(|ids| self.embedding.forward(ids))
+            .collect();
+        let cache = self
+            .lstm
+            .forward_sequence(&xs, &state.h, &state.c, transform);
         state.h = cache.last_hp().clone();
         state.c = cache.last_c().clone();
         (0..cache.len()).map(|t| cache.hp(t).clone()).collect()

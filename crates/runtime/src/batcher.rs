@@ -1,0 +1,386 @@
+//! The batched inference step: coalesces many sessions into one recurrent
+//! step and exploits the batch-joint skip pattern.
+//!
+//! Per step, the batcher:
+//!
+//! 1. packs the sessions' pruned hidden states into a `B × dh` matrix,
+//! 2. passes the previous step's zero-run offset encoding
+//!    ([`zskip_core::encode`]) to the sparse kernel
+//!    [`Matrix::matmul_sparse_rows`], so rows of `Wh` whose state column is
+//!    zero in **every** lane are never read (Section III-D batch-joint
+//!    skipping),
+//! 3. applies the LSTM non-linearity and the threshold pruner (Eq. 5),
+//! 4. re-encodes the new pruned state, producing the skip plan for the
+//!    *next* step — the same store-offsets-now, skip-weights-next-step
+//!    dataflow as the hardware.
+//!
+//! Per-lane outputs are **independent of batch composition**: batching
+//! only ever widens the active set (a column is skipped when every lane
+//! agrees it is zero), and extra active columns contribute exact zeros.
+//! That makes interleaving sessions into one batch bit-equivalent to
+//! stepping them in isolation — tested in `tests/proptests.rs`.
+
+use crate::weights::FrozenCharLm;
+use zskip_core::{OffsetEncoder, StatePruner};
+use zskip_nn::StateTransform;
+use zskip_tensor::{sigmoid, tanh, Matrix};
+
+/// Skip-path policy for the batched step.
+#[derive(Clone, Copy, Debug)]
+pub struct SkipPolicy {
+    /// Width of the offset field in the zero-run encoding (hardware: 8).
+    /// Saturating runs force stored anchor columns, exactly as on the
+    /// accelerator, and anchors are charged as fetched weight rows.
+    pub offset_bits: u8,
+    /// Use the dense kernel when more than this fraction of columns is
+    /// active — below ~that point the sparse bookkeeping costs more than
+    /// it saves.
+    pub dense_fallback: f64,
+}
+
+impl Default for SkipPolicy {
+    fn default() -> Self {
+        Self {
+            offset_bits: 8,
+            dense_fallback: 0.9,
+        }
+    }
+}
+
+/// Per-step sparsity accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepStats {
+    /// Batch lanes coalesced into this step.
+    pub lanes: usize,
+    /// Hidden size `dh`.
+    pub hidden: usize,
+    /// Weight rows fetched (stored columns, anchors included).
+    pub fetched_rows: usize,
+    /// Anchor columns forced by offset-field saturation.
+    pub anchor_columns: usize,
+    /// Fraction of `Wh` rows skipped this step.
+    pub skip_fraction: f64,
+    /// Whether the sparse kernel ran (`false` = dense fallback).
+    pub used_sparse_path: bool,
+}
+
+/// One step's worth of batched inputs, owned by the engine.
+pub struct BatchStep<'a> {
+    /// Pruned hidden states, one lane per row (`B × dh`).
+    pub h: &'a Matrix,
+    /// Cell states (`B × dh`).
+    pub c: &'a Matrix,
+    /// One input token id per lane.
+    pub tokens: &'a [usize],
+}
+
+/// Outputs of one batched step.
+pub struct BatchStepOutput {
+    /// Softmax-head logits (`B × vocab`).
+    pub logits: Matrix,
+    /// Next pruned hidden state (`B × dh`).
+    pub h: Matrix,
+    /// Next cell state (`B × dh`).
+    pub c: Matrix,
+    /// Sparsity accounting for this step.
+    pub stats: StepStats,
+}
+
+/// Stateless batched stepper over frozen weights.
+#[derive(Clone, Debug)]
+pub struct DynamicBatcher {
+    model: FrozenCharLm,
+    pruner: StatePruner,
+    encoder: OffsetEncoder,
+    policy: SkipPolicy,
+}
+
+impl DynamicBatcher {
+    /// Creates a batcher serving `model` with pruning threshold
+    /// `threshold` (use the threshold the model was trained with).
+    pub fn new(model: FrozenCharLm, threshold: f32, policy: SkipPolicy) -> Self {
+        Self {
+            model,
+            pruner: StatePruner::new(threshold),
+            encoder: OffsetEncoder::new(policy.offset_bits),
+            policy,
+        }
+    }
+
+    /// The frozen model being served.
+    pub fn model(&self) -> &FrozenCharLm {
+        &self.model
+    }
+
+    /// The pruning threshold applied to every produced hidden state.
+    pub fn threshold(&self) -> f32 {
+        self.pruner.threshold()
+    }
+
+    /// Derives the skip plan for a pruned state matrix: the stored column
+    /// indices of the zero-run offset encoding are the rows of `Wh` the
+    /// next step must fetch (anchors included — saturated offsets cost a
+    /// fetch on hardware too).
+    ///
+    /// This is an allocation-free replay of
+    /// [`OffsetEncoder::encode`](zskip_core::OffsetEncoder::encode) over
+    /// the joint zero/non-zero pattern (tested equivalent in this module);
+    /// materializing the `i8` lanes on the hot path cost more than the
+    /// skipping saved.
+    pub fn skip_plan(&self, h: &Matrix) -> (Vec<usize>, usize) {
+        let dh = h.cols();
+        let max_run = self.encoder.max_run();
+        let mut active = Vec::with_capacity(dh);
+        let mut anchors = 0usize;
+        let mut run: u16 = 0;
+        for j in 0..dh {
+            let all_zero = (0..h.rows()).all(|r| h[(r, j)] == 0.0);
+            if all_zero && run < max_run {
+                run += 1;
+                continue;
+            }
+            // Stored column: a real non-zero column, or an anchor forced
+            // by offset-field saturation (all_zero && run == max_run).
+            if all_zero {
+                anchors += 1;
+            }
+            active.push(j);
+            run = 0;
+        }
+        (active, anchors)
+    }
+
+    /// Runs one batched LSTM + head step.
+    ///
+    /// The arithmetic replicates `zskip_nn::LstmCell::forward` operation
+    /// for operation, so serving a frozen model is bit-identical to
+    /// evaluating the training model with the same pruner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, shapes disagree, or a token id is out
+    /// of vocabulary.
+    pub fn step(&self, batch: BatchStep<'_>) -> BatchStepOutput {
+        let lstm = self.model.lstm();
+        let (dh, vocab) = (lstm.hidden_dim(), self.model.vocab_size());
+        let b = batch.tokens.len();
+        assert!(b > 0, "step needs at least one lane");
+        assert_eq!(batch.h.rows(), b, "h batch mismatch");
+        assert_eq!(batch.h.cols(), dh, "h dim mismatch");
+        assert_eq!(batch.c.rows(), b, "c batch mismatch");
+        assert_eq!(batch.c.cols(), dh, "c dim mismatch");
+
+        // One-hot input ⇒ Wx·x degenerates to a row lookup (the paper's
+        // "implemented as a look-up table"). Bit-identical to the GEMM:
+        // multiplying by 1.0 is exact.
+        let mut z = Matrix::zeros(b, 4 * dh);
+        for (r, &tok) in batch.tokens.iter().enumerate() {
+            assert!(tok < vocab, "token {tok} out of vocab {vocab}");
+            z.row_mut(r).copy_from_slice(lstm.wx().row(tok));
+        }
+
+        // Recurrent product, skipping jointly-zero state columns.
+        let (active, anchors) = self.skip_plan(batch.h);
+        let use_sparse = (active.len() as f64) < self.policy.dense_fallback * dh as f64;
+        let hz = if use_sparse {
+            batch.h.matmul_sparse_rows(lstm.wh(), &active)
+        } else {
+            batch.h.matmul(lstm.wh())
+        };
+        z.add_assign(&hz);
+        z.add_row_broadcast(lstm.bias());
+
+        // Gate non-linearities, gate order [f | i | o | g].
+        for r in 0..b {
+            let row = z.row_mut(r);
+            for v in row.iter_mut().take(3 * dh) {
+                *v = sigmoid(*v);
+            }
+            for v in row.iter_mut().skip(3 * dh) {
+                *v = tanh(*v);
+            }
+        }
+
+        let mut c = Matrix::zeros(b, dh);
+        let mut h = Matrix::zeros(b, dh);
+        for r in 0..b {
+            let g_row = z.row(r);
+            let (f_g, rest) = g_row.split_at(dh);
+            let (i_g, rest) = rest.split_at(dh);
+            let (o_g, g_g) = rest.split_at(dh);
+            let cp = batch.c.row(r);
+            let c_row = c.row_mut(r);
+            for j in 0..dh {
+                c_row[j] = f_g[j] * cp[j] + i_g[j] * g_g[j];
+            }
+            // `c` and `h` are distinct matrices, so unlike the training
+            // cell no snapshot copy is needed between the two loops.
+            let h_row = h.row_mut(r);
+            for j in 0..dh {
+                h_row[j] = o_g[j] * tanh(c_row[j]);
+            }
+        }
+
+        // Threshold pruning (Eq. 5) — the state the head reads, the next
+        // step consumes, and the encoder stores.
+        let hp = self.pruner.apply(&h);
+
+        // Classifier head on the pruned state, mirroring `Linear::forward`.
+        let mut logits = hp.matmul(self.model.head_w());
+        logits.add_row_broadcast(self.model.head_b());
+
+        let stats = StepStats {
+            lanes: b,
+            hidden: dh,
+            fetched_rows: if use_sparse { active.len() } else { dh },
+            anchor_columns: anchors,
+            skip_fraction: if use_sparse {
+                1.0 - active.len() as f64 / dh as f64
+            } else {
+                0.0
+            },
+            used_sparse_path: use_sparse,
+        };
+        BatchStepOutput {
+            logits,
+            h: hp,
+            c,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_nn::models::CharLm;
+    use zskip_tensor::SeedableStream;
+
+    fn tiny() -> DynamicBatcher {
+        let mut rng = SeedableStream::new(5);
+        let mut model = CharLm::new(10, 12, &mut rng);
+        DynamicBatcher::new(
+            FrozenCharLm::freeze(&mut model),
+            0.15,
+            SkipPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn step_shapes() {
+        let b = tiny();
+        let h = Matrix::zeros(3, 12);
+        let c = Matrix::zeros(3, 12);
+        let out = b.step(BatchStep {
+            h: &h,
+            c: &c,
+            tokens: &[1, 2, 3],
+        });
+        assert_eq!((out.logits.rows(), out.logits.cols()), (3, 10));
+        assert_eq!((out.h.rows(), out.h.cols()), (3, 12));
+        assert_eq!(out.stats.lanes, 3);
+    }
+
+    #[test]
+    fn skip_plan_matches_offset_encoder_exactly() {
+        // The allocation-free walk must replay OffsetEncoder::encode on
+        // the zero/non-zero pattern, anchors and all — including offset
+        // saturation (small field width forces anchors).
+        let mut rng = zskip_tensor::SeedableStream::new(71);
+        let mut model = CharLm::new(6, 40, &mut rng);
+        for bits in [2u8, 4, 8] {
+            let batcher = DynamicBatcher::new(
+                FrozenCharLm::freeze(&mut model),
+                0.0,
+                SkipPolicy {
+                    offset_bits: bits,
+                    dense_fallback: 0.9,
+                },
+            );
+            for sparsity in [0.0f64, 0.5, 0.9, 1.0] {
+                let mut mask_rng = zskip_tensor::SeedableStream::new(bits as u64 ^ 99);
+                let h = Matrix::from_fn(
+                    3,
+                    40,
+                    |_, _| {
+                        if mask_rng.coin(sparsity) {
+                            0.0
+                        } else {
+                            0.7
+                        }
+                    },
+                );
+                let lanes: Vec<Vec<i8>> = (0..h.rows())
+                    .map(|r| h.row(r).iter().map(|v| i8::from(*v != 0.0)).collect())
+                    .collect();
+                let encoded = OffsetEncoder::new(bits).encode(&lanes);
+                let reference: Vec<usize> = encoded.columns().iter().map(|c| c.index).collect();
+                let (active, anchors) = batcher.skip_plan(&h);
+                assert_eq!(active, reference, "bits={bits} sparsity={sparsity}");
+                assert_eq!(anchors, encoded.anchor_columns());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_batch_is_rejected_with_a_clear_message() {
+        let b = tiny();
+        let h = Matrix::zeros(0, 12);
+        let c = Matrix::zeros(0, 12);
+        let _ = b.step(BatchStep {
+            h: &h,
+            c: &c,
+            tokens: &[],
+        });
+    }
+
+    #[test]
+    fn zero_state_skips_almost_everything() {
+        let b = tiny();
+        let h = Matrix::zeros(2, 12);
+        let (active, anchors) = b.skip_plan(&h);
+        // All-zero state: only saturation anchors are fetched.
+        assert_eq!(active.len(), anchors);
+        assert!(active.len() <= 12 / 2);
+    }
+
+    #[test]
+    fn produced_state_respects_threshold() {
+        let b = tiny();
+        let h = Matrix::from_fn(2, 12, |r, c| ((r + c) as f32 * 0.3).sin());
+        let c = Matrix::zeros(2, 12);
+        let out = b.step(BatchStep {
+            h: &b.pruner.apply(&h),
+            c: &c,
+            tokens: &[0, 9],
+        });
+        for v in out.h.as_slice() {
+            assert!(*v == 0.0 || v.abs() >= b.threshold());
+        }
+    }
+
+    #[test]
+    fn dense_fallback_reports_no_skip() {
+        let mut rng = SeedableStream::new(6);
+        let mut model = CharLm::new(8, 6, &mut rng);
+        let batcher = DynamicBatcher::new(
+            FrozenCharLm::freeze(&mut model),
+            0.0,
+            SkipPolicy {
+                offset_bits: 8,
+                dense_fallback: 0.0,
+            },
+        );
+        let h = Matrix::zeros(1, 6);
+        let c = Matrix::zeros(1, 6);
+        let out = batcher.step(BatchStep {
+            h: &h,
+            c: &c,
+            tokens: &[0],
+        });
+        assert!(!out.stats.used_sparse_path);
+        assert_eq!(out.stats.fetched_rows, 6);
+        assert_eq!(out.stats.skip_fraction, 0.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Serving front-end: sessions, a submit/poll API, and the step loop that
+//! drives the [`DynamicBatcher`].
+//!
+//! The engine models the paper's multi-user serving scenario: each client
+//! holds an [`SessionId`] with private `(h, c)` state and streams tokens
+//! one at a time; every [`Engine::step`] coalesces up to `max_batch`
+//! sessions with pending work into one batched recurrent step, so
+//! concurrent streams share each weight-row fetch (Section III-D's
+//! batch-processing dataflow).
+
+use crate::batcher::{BatchStep, DynamicBatcher, SkipPolicy, StepStats};
+use crate::weights::FrozenCharLm;
+use std::collections::VecDeque;
+use zskip_tensor::Matrix;
+
+/// Handle to one streaming decode session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// Errors from the submit/poll API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The session id was never issued by this engine, or was closed
+    /// (closing reclaims the slot, so the handle stops resolving).
+    UnknownSession,
+    /// The token id is outside the model's vocabulary.
+    TokenOutOfVocab,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownSession => write!(f, "unknown or closed session id"),
+            EngineError::TokenOutOfVocab => write!(f, "token id out of vocabulary"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One completed inference step for one session.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// The session this result belongs to.
+    pub session: SessionId,
+    /// The input token that was consumed.
+    pub token: usize,
+    /// Next-token logits (`vocab`).
+    pub logits: Vec<f32>,
+    /// Argmax of the logits — the greedy next token.
+    pub argmax: usize,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Pruning threshold the served model was trained with (Eq. 5).
+    pub threshold: f32,
+    /// Maximum sessions coalesced into one batched step.
+    pub max_batch: usize,
+    /// Skip-path policy (offset width, dense fallback).
+    pub policy: SkipPolicy,
+}
+
+impl EngineConfig {
+    /// Configuration for a model trained at `threshold`, batching up to 16
+    /// sessions per step.
+    pub fn for_threshold(threshold: f32) -> Self {
+        Self {
+            threshold,
+            max_batch: 16,
+            policy: SkipPolicy::default(),
+        }
+    }
+}
+
+/// Aggregate serving statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Batched steps executed.
+    pub steps: u64,
+    /// Tokens processed across all sessions.
+    pub tokens: u64,
+    /// Steps that took the sparse kernel.
+    pub sparse_steps: u64,
+    /// Steps that fell back to the dense kernel.
+    pub dense_steps: u64,
+    /// `Wh` rows actually fetched.
+    pub fetched_rows: u64,
+    /// `Wh` rows a dense engine would have fetched.
+    pub total_rows: u64,
+    /// Anchor columns forced by offset saturation.
+    pub anchor_columns: u64,
+}
+
+impl EngineStats {
+    /// Fraction of recurrent weight fetches (and MACs) skipped so far.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            1.0 - self.fetched_rows as f64 / self.total_rows as f64
+        }
+    }
+
+    fn absorb(&mut self, s: &StepStats) {
+        self.steps += 1;
+        self.tokens += s.lanes as u64;
+        if s.used_sparse_path {
+            self.sparse_steps += 1;
+        } else {
+            self.dense_steps += 1;
+        }
+        self.fetched_rows += s.fetched_rows as u64;
+        self.total_rows += s.hidden as u64;
+        self.anchor_columns += s.anchor_columns as u64;
+    }
+}
+
+struct SessionState {
+    h: Vec<f32>,
+    c: Vec<f32>,
+    queued: VecDeque<usize>,
+    outbox: VecDeque<StepResult>,
+    /// `false` once closed: the slot is on the free list awaiting reuse.
+    live: bool,
+    /// Bumped every time the slot is recycled; part of the [`SessionId`],
+    /// so handles to dead sessions fail instead of aliasing new ones.
+    generation: u32,
+}
+
+fn encode_id(index: usize, generation: u32) -> SessionId {
+    SessionId(((generation as u64) << 32) | index as u64)
+}
+
+fn decode_id(id: SessionId) -> (usize, u32) {
+    ((id.0 & 0xFFFF_FFFF) as usize, (id.0 >> 32) as u32)
+}
+
+/// The serving engine: frozen weights, private per-session state, dynamic
+/// batching.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::CharLm;
+/// use zskip_runtime::{Engine, EngineConfig, FrozenCharLm};
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(7);
+/// let mut model = CharLm::new(30, 24, &mut rng);
+/// let mut engine = Engine::new(
+///     FrozenCharLm::freeze(&mut model),
+///     EngineConfig::for_threshold(0.2),
+/// );
+/// let user = engine.open_session();
+/// engine.submit(user, 5).unwrap();
+/// engine.step();
+/// let result = engine.poll(user).unwrap().expect("one result");
+/// assert_eq!(result.logits.len(), 30);
+/// ```
+pub struct Engine {
+    batcher: DynamicBatcher,
+    max_batch: usize,
+    sessions: Vec<SessionState>,
+    /// Recycled slots: closed sessions whose results have been drained.
+    free: Vec<usize>,
+    cursor: usize,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an engine serving `model`.
+    pub fn new(model: FrozenCharLm, config: EngineConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        Self {
+            batcher: DynamicBatcher::new(model, config.threshold, config.policy),
+            max_batch: config.max_batch,
+            sessions: Vec::new(),
+            free: Vec::new(),
+            cursor: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The frozen model being served.
+    pub fn model(&self) -> &FrozenCharLm {
+        self.batcher.model()
+    }
+
+    /// Aggregate serving statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Opens a new session with zeroed `(h, c)` state, recycling the slot
+    /// of a fully drained closed session when one is available (so
+    /// open/close churn does not grow the engine).
+    pub fn open_session(&mut self) -> SessionId {
+        let dh = self.model().hidden_dim();
+        if let Some(index) = self.free.pop() {
+            let s = &mut self.sessions[index];
+            s.h = vec![0.0; dh];
+            s.c = vec![0.0; dh];
+            s.queued.clear();
+            s.outbox.clear();
+            s.live = true;
+            s.generation = s.generation.wrapping_add(1);
+            return encode_id(index, s.generation);
+        }
+        self.sessions.push(SessionState {
+            h: vec![0.0; dh],
+            c: vec![0.0; dh],
+            queued: VecDeque::new(),
+            outbox: VecDeque::new(),
+            live: true,
+            generation: 0,
+        });
+        encode_id(self.sessions.len() - 1, 0)
+    }
+
+    /// Closes a session: pending tokens, undelivered results and the
+    /// state buffers are all discarded and the slot is reclaimed
+    /// immediately (abandoned sessions cannot grow the engine). Poll
+    /// everything you need *before* closing; afterwards the handle stops
+    /// resolving.
+    pub fn close_session(&mut self, id: SessionId) -> Result<(), EngineError> {
+        let (index, _) = decode_id(id);
+        let s = self.session_mut(id)?;
+        s.live = false;
+        s.queued.clear();
+        s.outbox.clear();
+        s.h = Vec::new();
+        s.c = Vec::new();
+        self.free.push(index);
+        Ok(())
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut SessionState, EngineError> {
+        let (index, generation) = decode_id(id);
+        match self.sessions.get_mut(index) {
+            Some(s) if s.generation == generation && s.live => Ok(s),
+            _ => Err(EngineError::UnknownSession),
+        }
+    }
+
+    /// Enqueues one input token on a session. Session errors take
+    /// precedence over token validation.
+    pub fn submit(&mut self, id: SessionId, token: usize) -> Result<(), EngineError> {
+        let vocab = self.model().vocab_size();
+        let s = self.session_mut(id)?;
+        if token >= vocab {
+            return Err(EngineError::TokenOutOfVocab);
+        }
+        s.queued.push_back(token);
+        Ok(())
+    }
+
+    /// Number of tokens queued across all sessions.
+    pub fn pending(&self) -> usize {
+        self.sessions.iter().map(|s| s.queued.len()).sum()
+    }
+
+    /// Pops the oldest undelivered result for a session, if any.
+    pub fn poll(&mut self, id: SessionId) -> Result<Option<StepResult>, EngineError> {
+        Ok(self.session_mut(id)?.outbox.pop_front())
+    }
+
+    /// Executes one batched step over up to `max_batch` sessions with
+    /// pending tokens (round-robin for fairness). Each result is delivered
+    /// to its session's poll queue; the returned ids say which sessions
+    /// have a new result.
+    ///
+    /// Returns an empty vector when nothing is pending.
+    pub fn step(&mut self) -> Vec<SessionId> {
+        let n = self.sessions.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut picked: Vec<(usize, usize)> = Vec::new(); // (session index, token)
+        for offset in 0..n {
+            if picked.len() >= self.max_batch {
+                break;
+            }
+            let idx = (self.cursor + offset) % n;
+            let s = &mut self.sessions[idx];
+            if s.live {
+                if let Some(tok) = s.queued.pop_front() {
+                    picked.push((idx, tok));
+                }
+            }
+        }
+        if picked.is_empty() {
+            return Vec::new();
+        }
+        self.cursor = (picked.last().expect("non-empty").0 + 1) % n;
+
+        let dh = self.model().hidden_dim();
+        let b = picked.len();
+        let mut h = Matrix::zeros(b, dh);
+        let mut c = Matrix::zeros(b, dh);
+        for (r, (idx, _)) in picked.iter().enumerate() {
+            h.row_mut(r).copy_from_slice(&self.sessions[*idx].h);
+            c.row_mut(r).copy_from_slice(&self.sessions[*idx].c);
+        }
+        let tokens: Vec<usize> = picked.iter().map(|(_, t)| *t).collect();
+        let out = self.batcher.step(BatchStep {
+            h: &h,
+            c: &c,
+            tokens: &tokens,
+        });
+        self.stats.absorb(&out.stats);
+
+        let mut delivered = Vec::with_capacity(b);
+        for (r, (idx, tok)) in picked.iter().enumerate() {
+            let session = &mut self.sessions[*idx];
+            session.h.copy_from_slice(out.h.row(r));
+            session.c.copy_from_slice(out.c.row(r));
+            let logits = out.logits.row(r).to_vec();
+            // Same first-max tie-breaking as the training-side metrics.
+            let argmax = zskip_tensor::stats::argmax(&logits);
+            let id = encode_id(*idx, session.generation);
+            session.outbox.push_back(StepResult {
+                session: id,
+                token: *tok,
+                logits,
+                argmax,
+            });
+            delivered.push(id);
+        }
+        delivered
+    }
+
+    /// Steps until no session has pending tokens; returns the session ids
+    /// of all delivered results in completion order (poll each session to
+    /// collect them).
+    pub fn run_until_idle(&mut self) -> Vec<SessionId> {
+        let mut all = Vec::new();
+        loop {
+            let batch = self.step();
+            if batch.is_empty() {
+                return all;
+            }
+            all.extend(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_nn::models::CharLm;
+    use zskip_tensor::SeedableStream;
+
+    fn engine(threshold: f32, max_batch: usize) -> Engine {
+        let mut rng = SeedableStream::new(11);
+        let mut model = CharLm::new(16, 10, &mut rng);
+        let mut config = EngineConfig::for_threshold(threshold);
+        config.max_batch = max_batch;
+        Engine::new(FrozenCharLm::freeze(&mut model), config)
+    }
+
+    #[test]
+    fn submit_step_poll_round_trip() {
+        let mut e = engine(0.1, 8);
+        let a = e.open_session();
+        let b = e.open_session();
+        e.submit(a, 1).unwrap();
+        e.submit(b, 2).unwrap();
+        let results = e.step();
+        assert_eq!(results.len(), 2);
+        assert!(e.poll(a).unwrap().is_some());
+        assert!(e.poll(b).unwrap().is_some());
+        assert!(e.poll(a).unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_cap_is_honored_and_round_robin_catches_up() {
+        let mut e = engine(0.1, 2);
+        let ids: Vec<SessionId> = (0..5).map(|_| e.open_session()).collect();
+        for &id in &ids {
+            e.submit(id, 3).unwrap();
+        }
+        assert_eq!(e.step().len(), 2);
+        assert_eq!(e.step().len(), 2);
+        assert_eq!(e.step().len(), 1);
+        assert_eq!(e.step().len(), 0);
+        assert_eq!(e.stats().tokens, 5);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut e = engine(0.1, 4);
+        let id = e.open_session();
+        assert_eq!(e.submit(id, 999), Err(EngineError::TokenOutOfVocab));
+        assert_eq!(e.submit(SessionId(42), 1), Err(EngineError::UnknownSession));
+        // Session errors take precedence over token validation.
+        assert_eq!(
+            e.submit(SessionId(42), 999),
+            Err(EngineError::UnknownSession)
+        );
+        // Closing kills the handle for every operation.
+        e.close_session(id).unwrap();
+        assert_eq!(e.submit(id, 1), Err(EngineError::UnknownSession));
+        assert_eq!(e.close_session(id), Err(EngineError::UnknownSession));
+    }
+
+    #[test]
+    fn session_churn_recycles_slots_and_invalidates_old_ids() {
+        let mut e = engine(0.1, 4);
+        let mut first_id = None;
+        for round in 0..1000 {
+            let id = e.open_session();
+            first_id.get_or_insert(id);
+            e.submit(id, round % 16).unwrap();
+            e.step();
+            assert!(e.poll(id).unwrap().is_some());
+            e.close_session(id).unwrap();
+        }
+        // Churn must not grow the engine: every drained slot is reused.
+        assert_eq!(e.sessions.len(), 1);
+        // A recycled id must not alias the sessions that reused its slot.
+        assert_eq!(
+            e.submit(first_id.unwrap(), 1),
+            Err(EngineError::UnknownSession)
+        );
+    }
+
+    #[test]
+    fn abandoned_sessions_are_reclaimed_without_polling() {
+        // Close without ever polling (a disconnected client): queued
+        // tokens and undelivered results are discarded and the slot is
+        // recycled immediately.
+        let mut e = engine(0.1, 4);
+        for round in 0..100 {
+            let id = e.open_session();
+            e.submit(id, round % 16).unwrap();
+            e.step();
+            e.submit(id, (round + 1) % 16).unwrap(); // queued, never stepped
+            e.close_session(id).unwrap(); // outbox + queue dropped
+            assert!(matches!(e.poll(id), Err(EngineError::UnknownSession)));
+        }
+        assert_eq!(e.sessions.len(), 1, "abandonment grew the engine");
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn run_until_idle_drains_deep_queues() {
+        let mut e = engine(0.2, 4);
+        let id = e.open_session();
+        for t in 0..6 {
+            e.submit(id, t % 16).unwrap();
+        }
+        let results = e.run_until_idle();
+        // A single session only advances one token per batched step.
+        assert_eq!(results.len(), 6);
+        assert_eq!(e.stats().steps, 6);
+        assert!(e.stats().skip_fraction() > 0.0);
+    }
+}

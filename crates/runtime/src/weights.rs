@@ -1,0 +1,202 @@
+//! Frozen inference weights, extracted from trained `zskip-nn` models.
+//!
+//! Training models carry gradient buffers, caches and visitor plumbing the
+//! serving path never needs. [`FrozenCharLm`] is the runtime's own copy of
+//! the parameters — plain matrices, no `Option<Matrix>` gradient slots —
+//! extracted through the existing [`ParamVisitor`] traversal so the
+//! runtime stays decoupled from model internals.
+
+use serde::{Deserialize, Serialize};
+use zskip_nn::models::CharLm;
+use zskip_nn::{ParamVisitor, Parameterized};
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Frozen weights of one LSTM cell (gate order `[f, i, o, g]`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenLstm {
+    input: usize,
+    hidden: usize,
+    wx: Matrix,
+    wh: Matrix,
+    bias: Vec<f32>,
+}
+
+impl FrozenLstm {
+    /// Input dimension `dx`.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden dimension `dh`.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input weights `Wx` (`dx × 4dh`).
+    pub fn wx(&self) -> &Matrix {
+        &self.wx
+    }
+
+    /// Recurrent weights `Wh` (`dh × 4dh`) — the matrix the sparse kernel
+    /// skips rows of.
+    pub fn wh(&self) -> &Matrix {
+        &self.wh
+    }
+
+    /// Bias (`4dh`).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+}
+
+/// Frozen weights of a character-level LM: LSTM plus softmax head.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::CharLm;
+/// use zskip_runtime::FrozenCharLm;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let mut model = CharLm::new(20, 16, &mut rng);
+/// let frozen = FrozenCharLm::freeze(&mut model);
+/// assert_eq!(frozen.vocab_size(), 20);
+/// assert_eq!(frozen.hidden_dim(), 16);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenCharLm {
+    vocab: usize,
+    lstm: FrozenLstm,
+    head_w: Matrix,
+    head_b: Vec<f32>,
+}
+
+impl FrozenCharLm {
+    /// Extracts frozen weights from a trained [`CharLm`].
+    ///
+    /// The model is only borrowed mutably because [`Parameterized`] hands
+    /// out mutable slices; no parameter is modified.
+    pub fn freeze(model: &mut CharLm) -> Self {
+        struct Extract {
+            tensors: Vec<(String, Vec<f32>)>,
+        }
+        impl ParamVisitor for Extract {
+            fn visit(&mut self, name: &str, param: &mut [f32], _grad: &mut [f32]) {
+                self.tensors.push((name.to_string(), param.to_vec()));
+            }
+        }
+        let mut ex = Extract {
+            tensors: Vec::new(),
+        };
+        let (vocab, hidden) = (model.vocab_size(), model.hidden_dim());
+        model.visit_params(&mut ex);
+        let mut take = |expected: &str| -> Vec<f32> {
+            let (name, data) = ex.tensors.remove(0);
+            assert_eq!(name, expected, "unexpected parameter order in CharLm");
+            data
+        };
+        let wx = Matrix::from_vec(vocab, 4 * hidden, take("lstm.wx"));
+        let wh = Matrix::from_vec(hidden, 4 * hidden, take("lstm.wh"));
+        let bias = take("lstm.b");
+        let head_w = Matrix::from_vec(hidden, vocab, take("linear.w"));
+        let head_b = take("linear.b");
+        assert!(
+            ex.tensors.is_empty(),
+            "CharLm grew parameters the runtime does not freeze"
+        );
+        Self {
+            vocab,
+            lstm: FrozenLstm {
+                input: vocab,
+                hidden,
+                wx,
+                wh,
+                bias,
+            },
+            head_w,
+            head_b,
+        }
+    }
+
+    /// Random weights at serving shape — used by benchmarks that measure
+    /// kernel cost without paying for training first.
+    pub fn random(vocab: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let scale = (1.0 / hidden as f32).sqrt();
+        let mat = |rows: usize, cols: usize, rng: &mut SeedableStream| {
+            Matrix::from_fn(rows, cols, |_, _| rng.uniform(-scale, scale))
+        };
+        let wx = mat(vocab, 4 * hidden, &mut rng);
+        let wh = mat(hidden, 4 * hidden, &mut rng);
+        let head_w = mat(hidden, vocab, &mut rng);
+        Self {
+            vocab,
+            lstm: FrozenLstm {
+                input: vocab,
+                hidden,
+                wx,
+                wh,
+                bias: vec![0.0; 4 * hidden],
+            },
+            head_w,
+            head_b: vec![0.0; vocab],
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Hidden dimension `dh`.
+    pub fn hidden_dim(&self) -> usize {
+        self.lstm.hidden_dim()
+    }
+
+    /// The frozen LSTM cell.
+    pub fn lstm(&self) -> &FrozenLstm {
+        &self.lstm
+    }
+
+    /// Classifier head weights (`dh × vocab`).
+    pub fn head_w(&self) -> &Matrix {
+        &self.head_w
+    }
+
+    /// Classifier head bias (`vocab`).
+    pub fn head_b(&self) -> &[f32] {
+        &self.head_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_copies_shapes_and_values() {
+        let mut rng = SeedableStream::new(3);
+        let mut model = CharLm::new(12, 8, &mut rng);
+        let frozen = FrozenCharLm::freeze(&mut model);
+        assert_eq!(frozen.lstm().wx().rows(), 12);
+        assert_eq!(frozen.lstm().wx().cols(), 32);
+        assert_eq!(frozen.lstm().wh().rows(), 8);
+        assert_eq!(frozen.lstm().wh().cols(), 32);
+        assert_eq!(frozen.head_w().rows(), 8);
+        assert_eq!(frozen.head_w().cols(), 12);
+        assert_eq!(frozen.lstm().wx(), model.lstm().cell().wx());
+        assert_eq!(frozen.lstm().wh(), model.lstm().cell().wh());
+        assert_eq!(frozen.lstm().bias(), model.lstm().cell().bias());
+        assert_eq!(frozen.head_w(), model.head().weight());
+    }
+
+    #[test]
+    fn random_weights_have_serving_shape() {
+        let f = FrozenCharLm::random(50, 64, 9);
+        assert_eq!(f.vocab_size(), 50);
+        assert_eq!(f.hidden_dim(), 64);
+        assert_eq!(f.lstm().wh().rows(), 64);
+        assert_eq!(f.lstm().wh().cols(), 256);
+    }
+}

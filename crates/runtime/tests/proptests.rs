@@ -1,0 +1,160 @@
+//! Property tests for the serving runtime.
+//!
+//! The two contracts that make the runtime trustworthy:
+//!
+//! 1. **Training/serving equivalence** — a frozen engine step produces
+//!    bit-identical hidden state, cell state and logits to the training
+//!    stack (`LstmLayer::forward_sequence` + `StatePruner` + `Linear`),
+//!    and the sparse kernel path is bit-identical to the dense fallback.
+//! 2. **Batching transparency** — interleaving sessions into shared
+//!    batched steps produces exactly the outputs each session gets when
+//!    stepped alone.
+
+use proptest::prelude::*;
+use zskip_core::StatePruner;
+use zskip_nn::models::{CarryState, CharLm};
+use zskip_nn::StateTransform;
+use zskip_runtime::{BatchStep, DynamicBatcher, Engine, EngineConfig, FrozenCharLm, SkipPolicy};
+use zskip_tensor::{Matrix, SeedableStream};
+
+fn frozen(vocab: usize, hidden: usize, seed: u64) -> (CharLm, FrozenCharLm) {
+    let mut rng = SeedableStream::new(seed);
+    let mut model = CharLm::new(vocab, hidden, &mut rng);
+    let f = FrozenCharLm::freeze(&mut model);
+    (model, f)
+}
+
+fn batcher(f: FrozenCharLm, threshold: f32, dense_fallback: f64) -> DynamicBatcher {
+    DynamicBatcher::new(
+        f,
+        threshold,
+        SkipPolicy {
+            offset_bits: 8,
+            dense_fallback,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sparse path and the forced-dense path agree bit-for-bit for
+    /// random shapes, sparsity levels and thresholds.
+    #[test]
+    fn sparse_and_dense_paths_are_bitwise_identical(
+        seed in 0u64..1000,
+        vocab in 4usize..24,
+        hidden in 1usize..48,
+        b in 1usize..6,
+        threshold in 0.0f32..0.8,
+    ) {
+        let (_, f) = frozen(vocab, hidden, seed);
+        let sparse = batcher(f.clone(), threshold, 1.1);  // always sparse
+        let dense = batcher(f, threshold, 0.0);           // always dense
+        let pruner = StatePruner::new(threshold);
+        let mut rng = SeedableStream::new(seed ^ 0xABCD);
+        let h = pruner.apply(&Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0)));
+        let c = Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0));
+        let tokens: Vec<usize> = (0..b).map(|_| rng.index(vocab)).collect();
+
+        let s = sparse.step(BatchStep { h: &h, c: &c, tokens: &tokens });
+        let d = dense.step(BatchStep { h: &h, c: &c, tokens: &tokens });
+        prop_assert!(s.stats.used_sparse_path);
+        prop_assert!(!d.stats.used_sparse_path);
+        for (a, b) in s.h.as_slice().iter().zip(d.h.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s.c.as_slice().iter().zip(d.c.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s.logits.as_slice().iter().zip(d.logits.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// A frozen engine session replays the training model's forward pass
+    /// bit-for-bit: same pruned states, same logits, token by token.
+    #[test]
+    fn engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        vocab in 4usize..20,
+        hidden in 2usize..32,
+        steps in 1usize..8,
+        threshold in 0.0f32..0.6,
+    ) {
+        let (model, f) = frozen(vocab, hidden, seed);
+        let mut engine = Engine::new(f, EngineConfig::for_threshold(threshold));
+        let id = engine.open_session();
+        let mut rng = SeedableStream::new(seed ^ 0x5151);
+        let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
+        for &t in &tokens {
+            engine.submit(id, t).unwrap();
+        }
+        let delivered = engine.run_until_idle();
+        prop_assert_eq!(delivered.len(), steps);
+
+        // Reference: the training model, one window of the same tokens.
+        let pruner = StatePruner::new(threshold);
+        let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
+        let mut state = CarryState::zeros(1, hidden);
+        let trace = model.state_trace(&inputs, &mut state, &pruner);
+        for (t, state) in trace.iter().enumerate() {
+            let result = engine.poll(id).unwrap().expect("one result per step");
+            let reference = model.head().forward(state);
+            for (a, b) in result.logits.iter().zip(reference.row(0)) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(),
+                    "step {} logits diverge: {} vs {}", t, a, b);
+            }
+        }
+    }
+
+    /// Interleaved sessions sharing batched steps get exactly the outputs
+    /// they would get when stepped in isolation, token order preserved.
+    #[test]
+    fn interleaved_sessions_match_isolated_sessions(
+        seed in 0u64..1000,
+        vocab in 4usize..20,
+        hidden in 2usize..32,
+        sessions in 2usize..5,
+        steps in 1usize..6,
+        threshold in 0.0f32..0.6,
+        max_batch in 1usize..6,
+    ) {
+        let (_, f) = frozen(vocab, hidden, seed);
+        let mut rng = SeedableStream::new(seed ^ 0xBA7C);
+        let streams: Vec<Vec<usize>> = (0..sessions)
+            .map(|_| (0..steps).map(|_| rng.index(vocab)).collect())
+            .collect();
+
+        // Interleaved: all sessions share one engine with a batch cap.
+        let mut config = EngineConfig::for_threshold(threshold);
+        config.max_batch = max_batch;
+        let mut shared = Engine::new(f.clone(), config);
+        let ids: Vec<_> = (0..sessions).map(|_| shared.open_session()).collect();
+        for (stream, &id) in streams.iter().zip(&ids) {
+            for &tok in stream {
+                shared.submit(id, tok).unwrap();
+            }
+        }
+        shared.run_until_idle();
+
+        // Isolated: each session gets a private engine.
+        for (s, &id) in ids.iter().enumerate() {
+            let mut solo = Engine::new(f.clone(), EngineConfig::for_threshold(threshold));
+            let solo_id = solo.open_session();
+            for &tok in &streams[s] {
+                solo.submit(solo_id, tok).unwrap();
+            }
+            solo.run_until_idle();
+            for t in 0..steps {
+                let shared_result = shared.poll(id).unwrap().expect("shared result");
+                let solo_result = solo.poll(solo_id).unwrap().expect("solo result");
+                prop_assert_eq!(shared_result.token, solo_result.token);
+                for (a, b) in shared_result.logits.iter().zip(&solo_result.logits) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "session {} step {}: {} vs {}", s, t, a, b);
+                }
+            }
+        }
+    }
+}

@@ -186,9 +186,7 @@ impl FixedPoint {
     pub fn saturating_mul(&self, other: FixedPoint) -> FixedPoint {
         assert_eq!(self.format, other.format, "fixed-point format mismatch");
         let wide = self.raw as i64 * other.raw as i64;
-        let raw = self
-            .format
-            .requantize_raw(wide, self.format.frac_bits * 2);
+        let raw = self.format.requantize_raw(wide, self.format.frac_bits * 2);
         FixedPoint {
             raw,
             format: self.format,

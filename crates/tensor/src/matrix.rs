@@ -154,7 +154,9 @@ impl Matrix {
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "col {c} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns the transpose as a new matrix.
@@ -206,7 +208,64 @@ impl Matrix {
             for i in 0..m {
                 let a_row = &self.data[i * k..(i + 1) * k];
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for kk in k0..k1 {
+                for (kk, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                    for (o, b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs` that reads only the rows of `rhs` listed
+    /// in `active_rows` — the sparse recurrent kernel of the serving
+    /// runtime.
+    ///
+    /// `self` is `m × k` (batch of states, one lane per row), `rhs` is
+    /// `k × n` (recurrent weights `Wh`), and `active_rows` holds the state
+    /// indices that are non-zero in at least one lane, in strictly
+    /// increasing order — exactly what `zskip-core`'s offset encoding
+    /// stores. Rows of `rhs` absent from `active_rows` are never touched,
+    /// which is where the wall-clock win comes from: at joint sparsity `s`
+    /// only `(1-s)·k` rows of the weight matrix are streamed through the
+    /// cache.
+    ///
+    /// The result is **bit-identical** to [`Self::matmul`] whenever
+    /// `active_rows` covers every column of `self` containing a non-zero:
+    /// both kernels accumulate along `k` in increasing order and both skip
+    /// zero multiplicands, so the sequence of floating-point additions per
+    /// output element is the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `active_rows` is not strictly
+    /// increasing and within `0..rhs.rows()`.
+    pub fn matmul_sparse_rows(&self, rhs: &Matrix, active_rows: &[usize]) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_sparse_rows dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert!(
+            active_rows.windows(2).all(|w| w[0] < w[1]),
+            "active_rows must be strictly increasing"
+        );
+        if let Some(&last) = active_rows.last() {
+            assert!(last < rhs.rows, "active row {last} out of bounds");
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        const KB: usize = 64;
+        for chunk in active_rows.chunks(KB) {
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for &kk in chunk {
                     let a = a_row[kk];
                     if a == 0.0 {
                         continue;
@@ -219,6 +278,19 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Indices of columns that hold a non-zero in **any** row — the
+    /// batch-joint skip pattern of the paper's Section III-D, in the form
+    /// [`Self::matmul_sparse_rows`] consumes.
+    pub fn jointly_nonzero_columns(&self) -> Vec<usize> {
+        let mut active = Vec::with_capacity(self.cols);
+        for c in 0..self.cols {
+            if (0..self.rows).any(|r| self.data[r * self.cols + c] != 0.0) {
+                active.push(c);
+            }
+        }
+        active
     }
 
     /// Accumulates `alpha · lhsᵀ · rhs` into `self`.
@@ -239,8 +311,8 @@ impl Matrix {
         for kk in 0..k {
             let l_row = &lhs.data[kk * m..(kk + 1) * m];
             let r_row = &rhs.data[kk * n..(kk + 1) * n];
-            for i in 0..m {
-                let a = alpha * l_row[i];
+            for (i, lv) in l_row.iter().enumerate() {
+                let a = alpha * lv;
                 if a == 0.0 {
                     continue;
                 }
@@ -455,6 +527,54 @@ mod tests {
         for (a, b) in acc.as_slice().iter().zip(expect.as_slice()) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn matmul_sparse_rows_with_full_active_set_matches_dense() {
+        let a = Matrix::from_fn(3, 5, |r, c| ((r * 5 + c) as f32 * 0.7).sin());
+        let b = Matrix::from_fn(5, 4, |r, c| ((r + c * 3) as f32 * 0.3).cos());
+        let all: Vec<usize> = (0..5).collect();
+        assert_eq!(a.matmul_sparse_rows(&b, &all), a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_sparse_rows_is_bitwise_equal_on_pruned_state() {
+        // Zero out columns 1 and 3 across every lane, then skip them.
+        let mut a = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.17).sin());
+        for r in 0..4 {
+            a[(r, 1)] = 0.0;
+            a[(r, 3)] = 0.0;
+        }
+        let b = Matrix::from_fn(6, 8, |r, c| ((r * 8 + c) as f32 * 0.05).cos());
+        let active = a.jointly_nonzero_columns();
+        assert_eq!(active, vec![0, 2, 4, 5]);
+        let sparse = a.matmul_sparse_rows(&b, &active);
+        let dense = a.matmul(&b);
+        for (s, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert_eq!(s.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_sparse_rows_empty_active_set_is_zero() {
+        let a = Matrix::zeros(2, 4);
+        let b = Matrix::from_fn(4, 3, |_, _| 1.0);
+        let out = a.matmul_sparse_rows(&b, &[]);
+        assert!(out.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn matmul_sparse_rows_rejects_unsorted_active_set() {
+        let a = Matrix::zeros(1, 3);
+        let b = Matrix::zeros(3, 2);
+        let _ = a.matmul_sparse_rows(&b, &[2, 0]);
+    }
+
+    #[test]
+    fn jointly_nonzero_columns_unions_lanes() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 0.0, 2.0]]);
+        assert_eq!(m.jointly_nonzero_columns(), vec![1, 3]);
     }
 
     #[test]

@@ -349,9 +349,9 @@ mod tests {
         let fast = qm.gemv_t_i32(&x);
         // Slow path: transpose the float matrix, re-quantize row-major.
         let mut slow = vec![0i32; 5];
-        for c in 0..5 {
+        for (c, out) in slow.iter_mut().enumerate() {
             for (r, xv) in x.iter().enumerate() {
-                slow[c] += qm.get(r, c) as i32 * *xv as i32;
+                *out += qm.get(r, c) as i32 * *xv as i32;
             }
         }
         assert_eq!(fast, slow);

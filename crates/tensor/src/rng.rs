@@ -4,12 +4,13 @@
 //! dropout masks, synthetic corpora, digit rendering) draws from a
 //! [`SeedableStream`] so that a fixed seed reproduces a run bit-for-bit —
 //! a requirement for the figure-regeneration harness.
+//!
+//! The generator is a self-contained xoshiro256** seeded through
+//! splitmix64 (no external dependency; the build container has no
+//! network access to pull `rand`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A seeded random stream wrapping [`StdRng`] with the handful of sampling
-/// helpers the workspace needs.
+/// A seeded random stream with the handful of sampling helpers the
+/// workspace needs.
 ///
 /// # Example
 ///
@@ -22,22 +23,56 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct SeedableStream {
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeedableStream {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut s = seed;
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
     /// Derives an independent child stream; `label` decorrelates children
     /// created from the same parent seed.
     pub fn child(&mut self, label: u64) -> Self {
-        let s = self.rng.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.bits() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::new(s)
+    }
+
+    /// Raw 64-bit sample (xoshiro256**).
+    pub fn bits(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let mut n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.bits() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -47,7 +82,15 @@ impl SeedableStream {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         assert!(lo < hi, "uniform bounds must satisfy lo < hi");
-        self.rng.gen_range(lo..hi)
+        // Work in f64 so `hi - lo` cannot overflow to infinity for any
+        // pair of finite f32 bounds.
+        let v = (lo as f64 + self.unit_f64() * (hi as f64 - lo as f64)) as f32;
+        // Rounding back to f32 can land exactly on `hi`; fold it back.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
     }
 
     /// Fills a slice with uniform samples in `[lo, hi)`.
@@ -59,8 +102,8 @@ impl SeedableStream {
 
     /// Standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> f32 {
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let u1 = self.unit_f64().max(f64::EPSILON) as f32;
+        let u2 = self.unit_f64() as f32;
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -71,17 +114,21 @@ impl SeedableStream {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.rng.gen_range(0..n)
+        // Rejection sampling over the largest multiple of `n` below 2^64
+        // keeps the draw exactly uniform.
+        let n = n as u64;
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.bits();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Bernoulli sample with probability `p` of `true`.
     pub fn coin(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
-    }
-
-    /// Raw 64-bit sample.
-    pub fn bits(&mut self) -> u64 {
-        self.rng.gen()
+        self.unit_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Samples an index from an (unnormalized) non-negative weight table.
@@ -95,7 +142,7 @@ impl SeedableStream {
             total > 0.0 && !weights.is_empty(),
             "weighted_index needs positive total weight"
         );
-        let mut draw = self.rng.gen_range(0.0..total);
+        let mut draw = self.unit_f64() * total;
         for (i, w) in weights.iter().enumerate() {
             if draw < *w {
                 return i;
@@ -142,6 +189,26 @@ mod tests {
             let v = s.uniform(-0.5, 0.25);
             assert!((-0.5..0.25).contains(&v));
         }
+    }
+
+    #[test]
+    fn uniform_handles_ranges_wider_than_f32_max() {
+        // `hi - lo` overflows f32 here; the draw must stay finite, inside
+        // the bounds, and non-constant.
+        let mut s = SeedableStream::new(23);
+        let mut seen_positive = false;
+        let mut seen_negative = false;
+        for _ in 0..1000 {
+            let v = s.uniform(f32::MIN, f32::MAX);
+            assert!(v.is_finite());
+            assert!((f32::MIN..f32::MAX).contains(&v));
+            seen_positive |= v > 0.0;
+            seen_negative |= v < 0.0;
+        }
+        assert!(
+            seen_positive && seen_negative,
+            "distribution collapsed to one sign"
+        );
     }
 
     #[test]

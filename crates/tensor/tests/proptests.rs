@@ -80,7 +80,7 @@ proptest! {
         let x: Vec<i8> = (0..m.cols())
             .map(|i| {
                 let v = (i as u32).wrapping_mul(2654435761).wrapping_add(seed as u32);
-                if v % 3 == 0 { (v % 251) as i8 } else { 0 }
+                if v.is_multiple_of(3) { (v % 251) as i8 } else { 0 }
             })
             .collect();
         prop_assert_eq!(qm.gemv_i32(&x), qm.gemv_i32_skip_zero(&x));
@@ -107,6 +107,35 @@ proptest! {
         let raw = q.requantize_raw(acc as i64, frac);
         prop_assert!(raw <= q.max_raw());
         prop_assert!(raw >= q.min_raw());
+    }
+
+    #[test]
+    fn sparse_rows_matmul_is_bitwise_identical_to_dense(
+        m in small_matrix(12),
+        cols in 1usize..12,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        // Prune whole columns of the left operand (every lane), then skip
+        // exactly the jointly-zero columns — the serving runtime's sparse
+        // recurrent kernel must be bit-identical to the dense product.
+        let mut h = m.clone();
+        let mut mask_rng = seed;
+        for c in 0..h.cols() {
+            mask_rng = mask_rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (mask_rng >> 33) as f64 / (1u64 << 31) as f64 <= sparsity {
+                for r in 0..h.rows() {
+                    h[(r, c)] = 0.0;
+                }
+            }
+        }
+        let w = Matrix::from_fn(h.cols(), cols, |r, c| ((r * cols + c) as f32 * 0.13).sin());
+        let active = h.jointly_nonzero_columns();
+        let sparse = h.matmul_sparse_rows(&w, &active);
+        let dense = h.matmul(&w);
+        for (s, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            prop_assert_eq!(s.to_bits(), d.to_bits(), "{} vs {}", s, d);
+        }
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Vendored, minimal criterion-compatible benchmark harness.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_with_input`/`bench_function`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros — backed by a
+//! simple wall-clock sampler: each benchmark is auto-calibrated so one
+//! sample takes a few milliseconds, a fixed number of samples is
+//! collected, and the median ns/iteration is printed in a
+//! criterion-like format:
+//!
+//! ```text
+//! group/bench/param       time: [median 12.345 µs] (30 samples × 512 iters)
+//! ```
+//!
+//! There is no statistical regression analysis; the median is the number
+//! `docs/BENCH_RESULTS.md` records.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 30;
+const TARGET_SAMPLE_NANOS: u128 = 2_000_000;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Runs one benchmark body and records its timing.
+pub struct Bencher {
+    median_nanos: f64,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating the iteration count per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the iteration count until one sample is slow
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= TARGET_SAMPLE_NANOS || iters >= 1 << 24 {
+                break;
+            }
+            // Aim straight for the target, at least doubling each round.
+            iters = match (iters as u128 * TARGET_SAMPLE_NANOS).checked_div(elapsed) {
+                Some(aim) => (iters * 2).max(aim as u64),
+                None => iters * 16,
+            };
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_nanos = samples[samples.len() / 2];
+        self.iters_per_sample = iters;
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_id: &str, body: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        median_nanos: 0.0,
+        iters_per_sample: 0,
+    };
+    body(&mut b);
+    println!(
+        "{full_id:<48} time: [median {}] ({SAMPLES} samples x {} iters)",
+        format_nanos(b.median_nanos),
+        b.iters_per_sample
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs a benchmark that receives a reference to `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without an input payload.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b));
+        self
+    }
+
+    /// Accepted for API parity; the vendored harness uses a fixed count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

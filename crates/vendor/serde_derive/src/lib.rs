@@ -1,0 +1,291 @@
+//! Vendored `Serialize`/`Deserialize` derive macros.
+//!
+//! Implemented with hand-rolled token parsing because `syn`/`quote` are
+//! not available offline. Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, honoring `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path")]` field attributes,
+//! * unit (C-like) enums, serialized as the variant name string.
+//!
+//! Anything else (generics, tuple structs, enum payloads) is rejected at
+//! compile time with a descriptive panic so the gap is obvious.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Consumes leading `#[...]` attribute groups, returning the serde-relevant
+/// ones as raw token strings.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut serde_attrs = Vec::new();
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            serde_attrs.push(args.stream().to_string());
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (serde_attrs, i)
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (serde_attrs, next) = take_attrs(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: tuple structs are not supported (field `{name}`)"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let mut skip = false;
+        let mut default_path = None;
+        for attr in &serde_attrs {
+            if attr.contains("skip") {
+                skip = true;
+            }
+            if let Some(pos) = attr.find("default") {
+                // `default = "path"` — grab the string literal after `=`.
+                let rest = &attr[pos..];
+                if let Some(start) = rest.find('"') {
+                    if let Some(len) = rest[start + 1..].find('"') {
+                        default_path = Some(rest[start + 1..start + 1 + len].to_string());
+                    }
+                }
+            }
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default_path,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, next) = take_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected enum variant, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde_derive: only unit enum variants are supported \
+                 (variant `{name}` followed by `{other}`)"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (_, mut i) = take_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            return Item::Struct {
+                name,
+                fields: Vec::new(),
+            }
+        }
+        other => panic!("serde_derive: `{name}`: unsupported item body {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         let _ = &mut fields;\n\
+                         ::serde::value::Value::Map(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => ::serde::value::Value::Str(\"{v}\".to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    match &f.default_path {
+                        Some(path) => inits.push_str(&format!("{n}: {path}(),\n", n = f.name)),
+                        None => inits.push_str(&format!(
+                            "{n}: ::core::default::Default::default(),\n",
+                            n = f.name
+                        )),
+                    }
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::de::field(v, \"{n}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_map().is_none() {{\n\
+                             return ::core::result::Result::Err(::serde::DeError(\n\
+                                 format!(\"expected map for {name}\")));\n\
+                         }}\n\
+                         ::core::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => ::core::result::Result::Err(::serde::DeError(\n\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => ::core::result::Result::Err(::serde::DeError(\n\
+                                 format!(\"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}

@@ -7,12 +7,13 @@
 //! cargo run --release --example accelerator_demo
 //! ```
 
-use zskip::accel::{
-    FunctionalAccelerator, LstmWorkload, Simulator, SkipTrace, SparsityProfile,
-};
+use zskip::accel::{FunctionalAccelerator, LstmWorkload, Simulator, SkipTrace, SparsityProfile};
 use zskip::core::QuantizedLstm;
 use zskip::nn::LstmCell;
 use zskip::tensor::SeedableStream;
+
+/// One benchmark task: label, workload constructor, Fig. 7 sparsities.
+type TaskRow = (&'static str, fn(usize) -> LstmWorkload, [f64; 3]);
 
 fn main() {
     let sim = Simulator::paper();
@@ -26,7 +27,7 @@ fn main() {
     );
 
     // Timing/energy across the paper's three tasks.
-    let tasks: [(&str, fn(usize) -> LstmWorkload, [f64; 3]); 3] = [
+    let tasks: [TaskRow; 3] = [
         ("PTB-char ", LstmWorkload::ptb_char, [0.97, 0.81, 0.66]),
         ("PTB-word ", LstmWorkload::ptb_word, [0.93, 0.63, 0.41]),
         ("seq-MNIST", LstmWorkload::mnist, [0.83, 0.55, 0.43]),
@@ -73,11 +74,18 @@ fn main() {
         let reference = q.run_sequence(&lane_inputs);
         all_match &= reference.last().expect("steps").h == hw[lane].h;
     }
-    let zeros: usize = hw.iter().map(|s| s.h.iter().filter(|v| **v == 0).count()).sum();
+    let zeros: usize = hw
+        .iter()
+        .map(|s| s.h.iter().filter(|v| **v == 0).count())
+        .sum();
     println!(
         "\nfunctional check: hardware output {} the quantized reference \
          (final state sparsity {:.0}%)",
-        if all_match { "bit-matches" } else { "DIVERGES from" },
+        if all_match {
+            "bit-matches"
+        } else {
+            "DIVERGES from"
+        },
         100.0 * zeros as f64 / (4.0 * 64.0)
     );
     let profile = SparsityProfile::fit(0.97, 0.81, 8);

@@ -16,8 +16,11 @@ fn main() {
     let dh = 96;
     let cols = dh;
 
-    println!("Fig. 5 on the paper's architecture ({} PEs, {} weights/cycle):\n",
-        arch.total_pes(), arch.weights_per_cycle);
+    println!(
+        "Fig. 5 on the paper's architecture ({} PEs, {} weights/cycle):\n",
+        arch.total_pes(),
+        arch.weights_per_cycle
+    );
     println!("dense GEMV over {dh} state columns, cycle-stepped pipeline:");
     println!("batch  cycles  MACs/cycle  utilization");
     for batch in [1usize, 2, 4, 8, 16] {
@@ -29,7 +32,10 @@ fn main() {
             100.0 * per_cycle / arch.total_pes() as f64
         );
     }
-    println!("\n→ batch 8 fills the {}-deep weight-reuse pipeline (Fig. 5c);", arch.pipeline_depth());
+    println!(
+        "\n→ batch 8 fills the {}-deep weight-reuse pipeline (Fig. 5c);",
+        arch.pipeline_depth()
+    );
     println!("  batch 1 leaves the PEs {:.0}% idle (Fig. 5b).\n", 87.5);
 
     // The skip-legality rule of Fig. 5d: a column is skippable only when

@@ -23,7 +23,10 @@ fn main() {
         seed: 7,
     };
     let threshold = 0.2;
-    println!("training a {}-unit LSTM with pruning threshold {threshold} ...", config.hidden);
+    println!(
+        "training a {}-unit LSTM with pruning threshold {threshold} ...",
+        config.hidden
+    );
     let dense = train_char(&config, 0.0);
     let pruned = train_char(&config, threshold);
     println!(

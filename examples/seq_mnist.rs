@@ -27,7 +27,10 @@ fn main() {
         ScanOrder::Pixel => (28 / config.downsample) * (28 / config.downsample),
         ScanOrder::Row => 28 / config.downsample,
     };
-    println!("sequence length: {steps} steps per image ({:?} scan)", config.scan);
+    println!(
+        "sequence length: {steps} steps per image ({:?} scan)",
+        config.scan
+    );
     for threshold in [0.0f32, 0.1, 0.2] {
         let out = train_digits(&config, threshold);
         println!(

@@ -18,6 +18,7 @@
 //! | [`core`] | `zskip-core` | state pruning, sparsity analysis, offset encoding, sweeps |
 //! | [`accel`] | `zskip-accel` | timing/energy/functional accelerator simulator |
 //! | [`baselines`] | `zskip-baselines` | ESE and CBSR analytic models |
+//! | [`runtime`] | `zskip-runtime` | batched CPU serving engine that skips ineffectual MACs |
 //!
 //! # Quickstart
 //!
@@ -35,12 +36,36 @@
 //! assert!(sparse.speedup_over(&dense) > 4.5);
 //! ```
 //!
+//! # Serving
+//!
+//! Trained pruned models can be served on CPU with real skipping — see
+//! [`runtime`] for the train → freeze → serve quickstart and
+//! `examples/serve_char_lm.rs` for a multi-stream serving demo:
+//!
+//! ```
+//! use zskip::nn::models::CharLm;
+//! use zskip::runtime::{Engine, EngineConfig, FrozenCharLm};
+//! use zskip::tensor::SeedableStream;
+//!
+//! let mut rng = SeedableStream::new(1);
+//! let mut model = CharLm::new(30, 24, &mut rng);
+//! let mut engine = Engine::new(
+//!     FrozenCharLm::freeze(&mut model),
+//!     EngineConfig::for_threshold(0.2),
+//! );
+//! let user = engine.open_session();
+//! engine.submit(user, 5).unwrap();
+//! engine.step();
+//! assert!(engine.poll(user).unwrap().is_some());
+//! ```
+//!
 //! See `examples/` for end-to-end walkthroughs (training with pruning,
-//! running the simulator, stepping the dataflow).
+//! running the simulator, stepping the dataflow, serving).
 
 pub use zskip_accel as accel;
 pub use zskip_baselines as baselines;
 pub use zskip_core as core;
 pub use zskip_data as data;
 pub use zskip_nn as nn;
+pub use zskip_runtime as runtime;
 pub use zskip_tensor as tensor;

@@ -33,7 +33,11 @@ fn trained_model_runs_bit_exact_on_simulated_hardware() {
     let lanes = 4usize;
     let steps = 30usize;
     let inputs: Vec<Vec<Vec<i8>>> = (0..steps)
-        .map(|t| (0..lanes).map(|l| one_hot_codes(&q, t * 7 + l * 13)).collect())
+        .map(|t| {
+            (0..lanes)
+                .map(|l| one_hot_codes(&q, t * 7 + l * 13))
+                .collect()
+        })
         .collect();
     let hw = accel.run_sequence(&inputs);
     for lane in 0..lanes {
@@ -57,7 +61,11 @@ fn encoded_state_round_trips_through_hardware_encoder() {
     for bits in [4u8, 8, 12] {
         let enc = OffsetEncoder::new(bits);
         let encoded = enc.encode(&lanes);
-        assert_eq!(encoded.decode(), lanes, "{bits}-bit offsets corrupted state");
+        assert_eq!(
+            encoded.decode(),
+            lanes,
+            "{bits}-bit offsets corrupted state"
+        );
     }
 }
 
@@ -65,9 +73,7 @@ fn encoded_state_round_trips_through_hardware_encoder() {
 fn pruned_trained_state_is_sparse_in_hardware_codes() {
     let q = trained_quantized(0.3);
     let accel = FunctionalAccelerator::new(q.clone());
-    let inputs: Vec<Vec<Vec<i8>>> = (0..25)
-        .map(|t| vec![one_hot_codes(&q, t)])
-        .collect();
+    let inputs: Vec<Vec<Vec<i8>>> = (0..25).map(|t| vec![one_hot_codes(&q, t)]).collect();
     let states = accel.run_sequence(&inputs);
     let zeros = states[0].h.iter().filter(|v| **v == 0).count();
     let frac = zeros as f64 / states[0].h.len() as f64;

@@ -47,7 +47,11 @@ fn abstract_claim_up_to_5_2x_speedup_and_energy() {
 fn section_iiic_peak_numbers() {
     let sim = Simulator::paper();
     assert!((sim.peak_gops() - 76.8).abs() < 1e-9, "peak GOPS");
-    assert!((sim.area_mm2() - 1.1).abs() < 0.1, "area {:.3}", sim.area_mm2());
+    assert!(
+        (sim.area_mm2() - 1.1).abs() < 0.1,
+        "area {:.3}",
+        sim.area_mm2()
+    );
     let dense = sim.run_dense(&LstmWorkload::ptb_char(8));
     assert!(
         (dense.gops_per_watt - 925.3).abs() / 925.3 < 0.10,
@@ -72,8 +76,16 @@ fn section_iv_related_work_ratios() {
     let trace = SkipTrace::with_fraction(w.dh, w.seq_len, 0.81, 42);
     let sparse = sim.run(&w, &trace);
     let cmp = Fig10Comparison::from_report(&sparse);
-    assert!((cmp.ratio_over_ese() - 1.9).abs() < 0.3, "{}", cmp.ratio_over_ese());
-    assert!((cmp.ratio_over_cbsr() - 1.5).abs() < 0.25, "{}", cmp.ratio_over_cbsr());
+    assert!(
+        (cmp.ratio_over_ese() - 1.9).abs() < 0.3,
+        "{}",
+        cmp.ratio_over_ese()
+    );
+    assert!(
+        (cmp.ratio_over_cbsr() - 1.5).abs() < 0.25,
+        "{}",
+        cmp.ratio_over_cbsr()
+    );
 }
 
 #[test]
@@ -83,7 +95,6 @@ fn word_task_batch1_matches_the_odd_17_9_bar() {
     // mat-vec work unskippable.
     let sim = Simulator::paper();
     let w = LstmWorkload::ptb_word(1);
-    let dense = sim.run_dense(&w);
     let trace = SkipTrace::with_fraction(w.dh, w.seq_len, 0.93, 3);
     let sparse = sim.run(&w, &trace);
     assert!(

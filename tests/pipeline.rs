@@ -30,9 +30,9 @@ fn pruned_training_reaches_high_sparsity_with_bounded_loss() {
         "sparsity only {:.2}",
         pruned.result.sparsity
     ); // measured ≈0.51 at this scale
-    // ...and not catastrophically worse than dense (the paper's central
-    // claim at its sweet spot is *no* degradation; at our micro scale we
-    // allow a modest band).
+       // ...and not catastrophically worse than dense (the paper's central
+       // claim at its sweet spot is *no* degradation; at our micro scale we
+       // allow a modest band).
     assert!(
         pruned.result.metric < dense.result.metric * 1.25,
         "pruned BPC {:.3} vs dense {:.3}",
@@ -90,7 +90,10 @@ fn joint_sparsity_decreases_with_batch_on_trained_model() {
     let s1 = sparsity::grouped_joint_sparsity(&states, 1);
     let s8 = sparsity::grouped_joint_sparsity(&states, 8);
     let s16 = sparsity::grouped_joint_sparsity(&states, 16);
-    assert!(s1 >= s8 && s8 >= s16, "Fig. 7 ordering violated: {s1} {s8} {s16}");
+    assert!(
+        s1 >= s8 && s8 >= s16,
+        "Fig. 7 ordering violated: {s1} {s8} {s16}"
+    );
     assert!(s1 > 0.2, "trained model shows no usable sparsity: {s1}");
 }
 

@@ -1,0 +1,86 @@
+//! End-to-end serving integration: train with pruning → freeze → serve
+//! concurrent streams — the full train-to-production path through the
+//! public façade.
+
+use zskip::core::train::{train_char, CharTaskConfig};
+use zskip::core::StatePruner;
+use zskip::nn::models::CarryState;
+use zskip::runtime::{Engine, EngineConfig, FrozenCharLm};
+
+fn quick_config() -> CharTaskConfig {
+    CharTaskConfig {
+        hidden: 48,
+        corpus_chars: 16_000,
+        batch: 8,
+        bptt: 24,
+        epochs: 2,
+        lr: 4e-3,
+        seed: 33,
+    }
+}
+
+#[test]
+fn trained_model_serves_with_real_skipping() {
+    let threshold = 0.4;
+    let mut outcome = train_char(&quick_config(), threshold);
+    let frozen = FrozenCharLm::freeze(&mut outcome.model);
+    let mut engine = Engine::new(frozen, EngineConfig::for_threshold(threshold));
+
+    // Three concurrent greedy decoders.
+    let ids: Vec<_> = (0..3).map(|_| engine.open_session()).collect();
+    let mut current: Vec<usize> = vec![1, 5, 9];
+    for _ in 0..40 {
+        for (slot, &id) in current.iter().zip(&ids) {
+            engine.submit(id, *slot).unwrap();
+        }
+        engine.step();
+        for (slot, &id) in current.iter_mut().zip(&ids) {
+            *slot = engine.poll(id).unwrap().expect("result").argmax;
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.tokens, 120);
+    // A model trained at threshold 0.4 must produce real skip traffic.
+    assert!(
+        stats.skip_fraction() > 0.2,
+        "only {:.1}% of weight fetches skipped",
+        stats.skip_fraction() * 100.0
+    );
+    assert!(stats.sparse_steps > 0);
+}
+
+#[test]
+fn frozen_engine_replays_training_eval_bitwise() {
+    let threshold = 0.3;
+    let mut outcome = train_char(&quick_config(), threshold);
+    let pruner = StatePruner::new(threshold);
+
+    // Reference: the training model's own forward trace on a token stream.
+    let tokens: Vec<usize> = (0..20).map(|t| (t * 3 + 1) % 50).collect();
+    let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
+    let mut state = CarryState::zeros(1, quick_config().hidden);
+    let trace = outcome.model.state_trace(&inputs, &mut state, &pruner);
+
+    // Serving path on the same stream.
+    let frozen = FrozenCharLm::freeze(&mut outcome.model);
+    let mut engine = Engine::new(frozen, EngineConfig::for_threshold(threshold));
+    let id = engine.open_session();
+    for &t in &tokens {
+        engine.submit(id, t).unwrap();
+    }
+    let delivered = engine.run_until_idle();
+    assert_eq!(delivered.len(), tokens.len());
+
+    // The serving logits must equal head(trace state) bit-for-bit.
+    for (t, _) in tokens.iter().enumerate() {
+        let result = engine.poll(id).unwrap().expect("one result per token");
+        let reference = outcome.model.head().forward(&trace[t]);
+        for (served, trained) in result.logits.iter().zip(reference.row(0)) {
+            assert_eq!(
+                served.to_bits(),
+                trained.to_bits(),
+                "step {t}: serving diverged from training forward"
+            );
+        }
+    }
+}

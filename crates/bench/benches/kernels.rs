@@ -38,6 +38,37 @@ fn bench_gemv_skip(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sparse_rows(c: &mut Criterion) {
+    // The f32 serving kernel at serving shape (`dh = 512`, `Wh` is
+    // 512 × 2048): dense baseline plus the offset-plan sparse-rows
+    // product at increasing joint sparsity. Tracks the satellite
+    // optimization of `matmul_sparse_rows` — record medians in
+    // `docs/BENCH_RESULTS.md` before and after kernel changes.
+    let dh = 512;
+    let wh = Matrix::from_fn(dh, 4 * dh, |r, k| ((r * 13 + k * 7) as f32 * 0.001).sin());
+    let mut rng = SeedableStream::new(17);
+    for b in [1usize, 8] {
+        let mut group = c.benchmark_group(format!("matmul_sparse_rows_512x2048_b{b}"));
+        for sparsity in [0.0f64, 0.5, 0.8, 0.95] {
+            let zero_cols: Vec<bool> = (0..dh).map(|_| rng.coin(sparsity)).collect();
+            let h = Matrix::from_fn(b, dh, |_, c| {
+                if zero_cols[c] {
+                    0.0
+                } else {
+                    rng.uniform(0.1, 1.0)
+                }
+            });
+            let active = h.jointly_nonzero_columns();
+            group.bench_with_input(
+                BenchmarkId::new("active_rows", format!("{:.0}%", sparsity * 100.0)),
+                &h,
+                |bench, h| bench.iter(|| black_box(h.matmul_sparse_rows(&wh, black_box(&active)))),
+            );
+        }
+        group.finish();
+    }
+}
+
 fn bench_prune(c: &mut Criterion) {
     let h = Matrix::from_fn(64, 1000, |r, k| ((r + k) as f32 * 0.003).sin());
     let pruner = StatePruner::new(0.2);
@@ -74,6 +105,7 @@ fn bench_decode(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gemv_skip,
+    bench_sparse_rows,
     bench_prune,
     bench_encoder,
     bench_decode

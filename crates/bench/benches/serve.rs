@@ -1,0 +1,76 @@
+//! Benchmarks of the sharded serving layer.
+//!
+//! * `serve_1024_streams` — end-to-end throughput of a [`Server`] under
+//!   `LoadGenerator` traffic (1024 concurrent streams, mixed churn) as a
+//!   function of shard count, at fixed model/threshold (so the skip
+//!   sparsity is held constant across shard counts). Record
+//!   streams/sec + tokens/sec per shard count in `docs/BENCH_RESULTS.md`.
+//! * `engine_step_8_active` — the ready-queue refactor's win: one
+//!   batched step with 8 active streams while N-8 open sessions sit
+//!   idle. Before the intrusive ready list the engine scanned every open
+//!   session per step (`O(open)`); now idle sessions cost nothing
+//!   (`O(batch)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zskip_runtime::{Engine, EngineConfig, FrozenCharLm};
+use zskip_serve::{LoadConfig, LoadGenerator, ServeConfig, Server};
+
+const VOCAB: usize = 64;
+const DH: usize = 256;
+
+fn bench_streams_vs_shards(c: &mut Criterion) {
+    let model = FrozenCharLm::random(VOCAB, DH, 42);
+    let mut group = c.benchmark_group(format!("serve_1024_streams_dh{DH}"));
+    for shards in [1usize, 2, 4, 8] {
+        let server = Server::start(
+            model.clone(),
+            ServeConfig::for_threshold(0.3)
+                .with_shards(shards)
+                .with_queue_capacity(4096),
+        );
+        let generator = LoadGenerator::new(LoadConfig {
+            streams: 1024,
+            tokens_per_round: 2,
+            rounds: 2,
+            churn: 0.05,
+            seed: 9,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &generator,
+            |b, generator| b.iter(|| black_box(generator.run(&server).expect("load run"))),
+        );
+        server.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_idle_sessions(c: &mut Criterion) {
+    let model = FrozenCharLm::random(VOCAB, DH, 42);
+    let mut group = c.benchmark_group(format!("engine_step_8_active_dh{DH}"));
+    for open in [8usize, 1024, 8192] {
+        let mut engine = Engine::new(model.clone(), EngineConfig::for_threshold(0.3));
+        let ids: Vec<_> = (0..open).map(|_| engine.open_session()).collect();
+        let active: Vec<_> = ids.iter().copied().take(8).collect();
+        group.bench_with_input(
+            BenchmarkId::new("open_sessions", open),
+            &active,
+            move |b, active| {
+                b.iter(|| {
+                    for (i, &id) in active.iter().enumerate() {
+                        engine.submit(id, i % VOCAB).unwrap();
+                    }
+                    for id in engine.step() {
+                        // Drain outboxes so state stays flat across iters.
+                        black_box(engine.poll(id).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streams_vs_shards, bench_idle_sessions);
+criterion_main!(benches);

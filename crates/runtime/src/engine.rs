@@ -39,7 +39,7 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// One completed inference step for one session.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StepResult {
     /// The session this result belongs to.
     pub session: SessionId,
@@ -117,6 +117,9 @@ impl EngineStats {
     }
 }
 
+/// Sentinel for "no next slot" in the intrusive ready list.
+const READY_NONE: usize = usize::MAX;
+
 struct SessionState {
     h: Vec<f32>,
     c: Vec<f32>,
@@ -127,6 +130,15 @@ struct SessionState {
     /// Bumped every time the slot is recycled; part of the [`SessionId`],
     /// so handles to dead sessions fail instead of aliasing new ones.
     generation: u32,
+    /// Intrusive ready-list link: the next slot index in FIFO order, or
+    /// [`READY_NONE`] for the tail.
+    next_ready: usize,
+    /// Whether this *slot* currently sits in the ready list. Tracked per
+    /// slot (not per session) and deliberately **not** reset on close or
+    /// recycle: a stale list entry keeps representing the slot until it is
+    /// popped, which keeps the "at most one entry per slot" invariant that
+    /// stops a session from being batched twice in one step.
+    in_ready: bool,
 }
 
 fn encode_id(index: usize, generation: u32) -> SessionId {
@@ -165,7 +177,14 @@ pub struct Engine {
     sessions: Vec<SessionState>,
     /// Recycled slots: closed sessions whose results have been drained.
     free: Vec<usize>,
-    cursor: usize,
+    /// Head/tail of the intrusive FIFO of slots with (potentially) queued
+    /// tokens. `step` pops from the head, so idle sessions are never
+    /// visited — the per-step cost is `O(ready)`, not `O(open sessions)`.
+    ready_head: usize,
+    ready_tail: usize,
+    /// Tokens queued across all sessions, maintained incrementally so
+    /// [`Engine::pending`] is `O(1)`.
+    queued_tokens: usize,
     stats: EngineStats,
 }
 
@@ -178,7 +197,9 @@ impl Engine {
             max_batch: config.max_batch,
             sessions: Vec::new(),
             free: Vec::new(),
-            cursor: 0,
+            ready_head: READY_NONE,
+            ready_tail: READY_NONE,
+            queued_tokens: 0,
             stats: EngineStats::default(),
         }
     }
@@ -206,6 +227,8 @@ impl Engine {
             s.outbox.clear();
             s.live = true;
             s.generation = s.generation.wrapping_add(1);
+            // `in_ready` is intentionally preserved: the slot may still
+            // hold a (stale) ready-list entry from its previous life.
             return encode_id(index, s.generation);
         }
         self.sessions.push(SessionState {
@@ -215,6 +238,8 @@ impl Engine {
             outbox: VecDeque::new(),
             live: true,
             generation: 0,
+            next_ready: READY_NONE,
+            in_ready: false,
         });
         encode_id(self.sessions.len() - 1, 0)
     }
@@ -228,10 +253,14 @@ impl Engine {
         let (index, _) = decode_id(id);
         let s = self.session_mut(id)?;
         s.live = false;
+        let discarded = s.queued.len();
         s.queued.clear();
         s.outbox.clear();
         s.h = Vec::new();
         s.c = Vec::new();
+        // A stale ready-list entry for this slot (if any) is dropped
+        // lazily the next time `step` pops it.
+        self.queued_tokens -= discarded;
         self.free.push(index);
         Ok(())
     }
@@ -248,17 +277,52 @@ impl Engine {
     /// precedence over token validation.
     pub fn submit(&mut self, id: SessionId, token: usize) -> Result<(), EngineError> {
         let vocab = self.model().vocab_size();
+        let (index, _) = decode_id(id);
         let s = self.session_mut(id)?;
         if token >= vocab {
             return Err(EngineError::TokenOutOfVocab);
         }
         s.queued.push_back(token);
+        self.queued_tokens += 1;
+        self.push_ready(index);
         Ok(())
     }
 
-    /// Number of tokens queued across all sessions.
+    /// Number of tokens queued across all sessions (`O(1)`).
     pub fn pending(&self) -> usize {
-        self.sessions.iter().map(|s| s.queued.len()).sum()
+        self.queued_tokens
+    }
+
+    /// Appends a slot to the ready list unless it already holds an entry.
+    fn push_ready(&mut self, index: usize) {
+        let s = &mut self.sessions[index];
+        if s.in_ready {
+            return;
+        }
+        s.in_ready = true;
+        s.next_ready = READY_NONE;
+        if self.ready_tail == READY_NONE {
+            self.ready_head = index;
+        } else {
+            self.sessions[self.ready_tail].next_ready = index;
+        }
+        self.ready_tail = index;
+    }
+
+    /// Pops the head of the ready list, if any.
+    fn pop_ready(&mut self) -> Option<usize> {
+        let index = self.ready_head;
+        if index == READY_NONE {
+            return None;
+        }
+        let s = &mut self.sessions[index];
+        self.ready_head = s.next_ready;
+        if self.ready_head == READY_NONE {
+            self.ready_tail = READY_NONE;
+        }
+        s.next_ready = READY_NONE;
+        s.in_ready = false;
+        Some(index)
     }
 
     /// Pops the oldest undelivered result for a session, if any.
@@ -266,34 +330,43 @@ impl Engine {
         Ok(self.session_mut(id)?.outbox.pop_front())
     }
 
-    /// Executes one batched step over up to `max_batch` sessions with
-    /// pending tokens (round-robin for fairness). Each result is delivered
-    /// to its session's poll queue; the returned ids say which sessions
-    /// have a new result.
+    /// Executes one batched step over up to `max_batch` sessions popped
+    /// from the ready list (FIFO round-robin: a session with more tokens
+    /// re-enters at the tail, so no ready session waits more than
+    /// `ceil(open_slots / max_batch)` steps). Each result is delivered to
+    /// its session's poll queue; the returned ids say which sessions have
+    /// a new result.
+    ///
+    /// Idle sessions are never visited: the step costs `O(batch)`, not
+    /// `O(open sessions)` — what lets one engine hold thousands of open
+    /// but quiet streams.
     ///
     /// Returns an empty vector when nothing is pending.
     pub fn step(&mut self) -> Vec<SessionId> {
-        let n = self.sessions.len();
-        if n == 0 {
-            return Vec::new();
-        }
         let mut picked: Vec<(usize, usize)> = Vec::new(); // (session index, token)
-        for offset in 0..n {
-            if picked.len() >= self.max_batch {
-                break;
-            }
-            let idx = (self.cursor + offset) % n;
+        let mut requeue: Vec<usize> = Vec::new();
+        while picked.len() < self.max_batch {
+            let Some(idx) = self.pop_ready() else { break };
             let s = &mut self.sessions[idx];
-            if s.live {
-                if let Some(tok) = s.queued.pop_front() {
-                    picked.push((idx, tok));
-                }
+            if !s.live {
+                continue; // stale entry of a closed slot — dropped lazily
             }
+            if let Some(tok) = s.queued.pop_front() {
+                self.queued_tokens -= 1;
+                if !s.queued.is_empty() {
+                    requeue.push(idx);
+                }
+                picked.push((idx, tok));
+            }
+        }
+        // Re-append *after* picking so one session cannot occupy two
+        // lanes of the same batch.
+        for idx in requeue {
+            self.push_ready(idx);
         }
         if picked.is_empty() {
             return Vec::new();
         }
-        self.cursor = (picked.last().expect("non-empty").0 + 1) % n;
 
         let dh = self.model().hidden_dim();
         let b = picked.len();

@@ -20,8 +20,12 @@
 //!   [`Matrix::matmul_sparse_rows`](zskip_tensor::Matrix::matmul_sparse_rows)
 //!   with a dense fallback,
 //! * [`Engine`] — the multi-user front-end: per-session `(h, c)` state,
-//!   a submit/poll API, round-robin coalescing, aggregate
-//!   [`EngineStats`].
+//!   a submit/poll API, FIFO ready-queue coalescing (idle sessions cost
+//!   nothing per step, so one engine can hold thousands of open
+//!   streams), aggregate [`EngineStats`].
+//!
+//! For multi-threaded serving — shards, backpressure, TTLs — see the
+//! `zskip-serve` crate, which drives one `Engine` per worker thread.
 //!
 //! Serving is **bit-identical** to evaluating the training model with the
 //! same pruner: the step replicates `LstmCell::forward` operation for

@@ -9,12 +9,20 @@
 //! 2. **Batching transparency** — interleaving sessions into shared
 //!    batched steps produces exactly the outputs each session gets when
 //!    stepped alone.
+//! 3. **Scheduler fairness** — under arbitrary open/submit/close churn,
+//!    the ready-queue steps every session with queued tokens within a
+//!    bounded number of engine steps, and no stale generational
+//!    [`SessionId`] is ever delivered or resolved.
 
 use proptest::prelude::*;
+use std::collections::HashMap;
 use zskip_core::StatePruner;
 use zskip_nn::models::{CarryState, CharLm};
 use zskip_nn::StateTransform;
-use zskip_runtime::{BatchStep, DynamicBatcher, Engine, EngineConfig, FrozenCharLm, SkipPolicy};
+use zskip_runtime::{
+    BatchStep, DynamicBatcher, Engine, EngineConfig, EngineError, FrozenCharLm, SessionId,
+    SkipPolicy,
+};
 use zskip_tensor::{Matrix, SeedableStream};
 
 fn frozen(vocab: usize, hidden: usize, seed: u64) -> (CharLm, FrozenCharLm) {
@@ -155,6 +163,104 @@ proptest! {
                         "session {} step {}: {} vs {}", s, t, a, b);
                 }
             }
+        }
+    }
+
+    /// Scheduler fairness under churn: with arbitrary interleavings of
+    /// open / submit / close / step, (a) every session with queued tokens
+    /// receives a result within `ceil(peak_sessions / max_batch)` engine
+    /// steps of becoming ready, (b) `step` only ever delivers ids that are
+    /// live at delivery time, (c) closed generational ids never resolve
+    /// again, and (d) the engine's `O(1)` pending counter stays exact.
+    #[test]
+    fn scheduler_fairness_and_stale_ids_under_churn(
+        seed in 0u64..500,
+        max_batch in 1usize..5,
+        ops in collection::vec((0u8..4u8, any::<u64>()), 1..150),
+    ) {
+        let (_, f) = frozen(8, 6, seed);
+        let mut config = EngineConfig::for_threshold(0.2);
+        config.max_batch = max_batch;
+        let mut engine = Engine::new(f, config);
+
+        let mut live: Vec<SessionId> = Vec::new();
+        let mut queued: HashMap<SessionId, usize> = HashMap::new();
+        // Steps a ready session has waited without receiving a result.
+        let mut waited: HashMap<SessionId, usize> = HashMap::new();
+        let mut closed: Vec<SessionId> = Vec::new();
+        let mut peak_live = 0usize;
+        let mut expected_pending = 0usize;
+
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    if live.len() < 12 {
+                        let id = engine.open_session();
+                        prop_assert!(!live.contains(&id), "open aliased a live id");
+                        prop_assert!(!closed.contains(&id), "generational id reused");
+                        live.push(id);
+                        queued.insert(id, 0);
+                        peak_live = peak_live.max(live.len());
+                    }
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let id = live[(arg as usize) % live.len()];
+                        engine.submit(id, (arg % 8) as usize).unwrap();
+                        let q = queued.get_mut(&id).unwrap();
+                        if *q == 0 {
+                            waited.insert(id, 0);
+                        }
+                        *q += 1;
+                        expected_pending += 1;
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove((arg as usize) % live.len());
+                        expected_pending -= queued.remove(&id).unwrap();
+                        waited.remove(&id);
+                        engine.close_session(id).unwrap();
+                        closed.push(id);
+                    }
+                }
+                _ => {
+                    let delivered = engine.step();
+                    prop_assert!(delivered.len() <= max_batch);
+                    for id in &delivered {
+                        prop_assert!(live.contains(id), "stale id delivered by step");
+                        let q = queued.get_mut(id).unwrap();
+                        prop_assert!(*q > 0, "delivery without a queued token");
+                        *q -= 1;
+                        expected_pending -= 1;
+                        if *q > 0 {
+                            waited.insert(*id, 0); // re-entered at the tail
+                        } else {
+                            waited.remove(id);
+                        }
+                        let r = engine.poll(*id).unwrap().expect("delivered result pollable");
+                        prop_assert_eq!(r.session, *id);
+                    }
+                    let bound = peak_live.div_ceil(max_batch);
+                    for (id, w) in waited.iter_mut() {
+                        if !delivered.contains(id) {
+                            *w += 1;
+                            prop_assert!(
+                                *w <= bound,
+                                "session {:?} starved: waited {} steps, bound {}",
+                                id, w, bound
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(engine.pending(), expected_pending);
+        }
+
+        // Closed generational handles must never resolve again.
+        for id in &closed {
+            prop_assert_eq!(engine.submit(*id, 0), Err(EngineError::UnknownSession));
+            prop_assert!(matches!(engine.poll(*id), Err(EngineError::UnknownSession)));
         }
     }
 }

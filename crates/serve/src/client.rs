@@ -1,0 +1,196 @@
+//! The blocking client handle: open / send / recv / close.
+
+use crate::error::ServeError;
+use crate::server::{Request, ShardHandle};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zskip_runtime::{EngineError, SessionId, StepResult};
+
+/// Handle to one open stream: the owning shard plus the shard engine's
+/// generational [`SessionId`]. Routing derives from the id itself, so a
+/// handle to a closed stream keeps failing instead of aliasing a new one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId {
+    pub(crate) shard: u32,
+    pub(crate) session: SessionId,
+}
+
+impl StreamId {
+    /// The shard this stream lives on.
+    pub fn shard(&self) -> usize {
+        self.shard as usize
+    }
+
+    /// The generational per-shard session id.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+}
+
+/// A blocking client of a [`crate::Server`].
+///
+/// Each open stream owns a private result channel; `recv` pops results in
+/// submit order. Clients are independent — create one per driving thread
+/// via [`crate::Server::client`].
+pub struct Client {
+    shards: Arc<Vec<ShardHandle>>,
+    open_counter: Arc<AtomicU64>,
+    vocab: usize,
+    result_capacity: usize,
+    streams: HashMap<StreamId, Receiver<StepResult>>,
+    recv_timeout: Option<Duration>,
+}
+
+impl Client {
+    pub(crate) fn new(
+        shards: Arc<Vec<ShardHandle>>,
+        open_counter: Arc<AtomicU64>,
+        vocab: usize,
+        result_capacity: usize,
+    ) -> Self {
+        Self {
+            shards,
+            open_counter,
+            vocab,
+            result_capacity,
+            streams: HashMap::new(),
+            recv_timeout: None,
+        }
+    }
+
+    /// Sets a timeout for blocking [`Client::recv`] calls
+    /// ([`ServeError::RecvTimeout`] once exceeded).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// The served model's vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Streams this client currently holds open.
+    pub fn open_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Opens a new stream. Placement hashes the global open ticket onto a
+    /// shard; the returned [`StreamId`] then pins the stream to that
+    /// shard's engine for its whole life. Blocks while the shard's queue
+    /// is full.
+    pub fn open(&mut self) -> Result<StreamId, ServeError> {
+        let ticket = self.open_counter.fetch_add(1, Ordering::Relaxed);
+        let shard = (zskip_tensor::rng::mix64(ticket) % self.shards.len() as u64) as u32;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        // Bounded: a stream that submits without recv-ing fills this and
+        // is evicted rather than buffering results without limit.
+        let (result_tx, result_rx) = mpsc::sync_channel(self.result_capacity);
+        self.send_request(
+            shard,
+            Request::Open {
+                reply: reply_tx,
+                results: result_tx,
+            },
+            true,
+        )?;
+        let session = reply_rx.recv().map_err(|_| ServeError::ServerClosed)?;
+        let id = StreamId { shard, session };
+        self.streams.insert(id, result_rx);
+        Ok(id)
+    }
+
+    /// Feeds one token to a stream, blocking while the shard's queue is
+    /// full (backpressure).
+    pub fn send(&mut self, id: StreamId, token: usize) -> Result<(), ServeError> {
+        self.submit(id, token, true)
+    }
+
+    /// Non-blocking [`Client::send`]: fails with
+    /// [`ServeError::Backpressure`] instead of stalling when the shard's
+    /// queue is full.
+    pub fn try_send(&mut self, id: StreamId, token: usize) -> Result<(), ServeError> {
+        self.submit(id, token, false)
+    }
+
+    fn submit(&mut self, id: StreamId, token: usize, blocking: bool) -> Result<(), ServeError> {
+        if !self.streams.contains_key(&id) {
+            return Err(ServeError::UnknownStream);
+        }
+        if token >= self.vocab {
+            return Err(EngineError::TokenOutOfVocab.into());
+        }
+        self.send_request(
+            id.shard,
+            Request::Submit {
+                id: id.session,
+                token,
+                enqueued: Instant::now(),
+            },
+            blocking,
+        )
+    }
+
+    /// Pops the oldest undelivered result of a stream, blocking until one
+    /// arrives (bounded by the receive timeout, when set).
+    pub fn recv(&mut self, id: StreamId) -> Result<StepResult, ServeError> {
+        let rx = self.streams.get(&id).ok_or(ServeError::UnknownStream)?;
+        let outcome = match self.recv_timeout {
+            None => rx.recv().map_err(|_| ServeError::Evicted),
+            Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
+                RecvTimeoutError::Timeout => ServeError::RecvTimeout,
+                RecvTimeoutError::Disconnected => ServeError::Evicted,
+            }),
+        };
+        if matches!(outcome, Err(ServeError::Evicted)) {
+            // The worker dropped our channel: the session is gone.
+            self.streams.remove(&id);
+        }
+        outcome
+    }
+
+    /// Closes a stream: undelivered results are dropped and the shard
+    /// reclaims the session slot.
+    pub fn close(&mut self, id: StreamId) -> Result<(), ServeError> {
+        self.streams.remove(&id).ok_or(ServeError::UnknownStream)?;
+        self.send_request(id.shard, Request::Close { id: id.session }, true)
+    }
+
+    fn send_request(&self, shard: u32, request: Request, blocking: bool) -> Result<(), ServeError> {
+        let handle = &self.shards[shard as usize];
+        handle.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let sent = if blocking {
+            handle
+                .tx
+                .send(request)
+                .map_err(|_| ServeError::ServerClosed)
+        } else {
+            handle.tx.try_send(request).map_err(|e| match e {
+                TrySendError::Full(_) => ServeError::Backpressure,
+                TrySendError::Disconnected(_) => ServeError::ServerClosed,
+            })
+        };
+        if sent.is_err() {
+            handle.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        sent
+    }
+}
+
+impl Drop for Client {
+    /// Closes every stream this client still holds, so dropping a client
+    /// (including via an early `?` return) cannot leak sessions in the
+    /// shard engines — eviction by TTL is a safety net, not the cleanup
+    /// path.
+    fn drop(&mut self) {
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        self.streams.clear();
+        for id in ids {
+            // Best-effort: the server may already be gone.
+            let _ = self.send_request(id.shard, Request::Close { id: id.session }, true);
+        }
+    }
+}

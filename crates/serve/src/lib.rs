@@ -1,0 +1,57 @@
+//! `zskip-serve` — an async, sharded serving layer that scales skip-sparse
+//! inference to thousands of concurrent streams.
+//!
+//! `zskip-runtime` made the paper's skip-sparsity (Ardakani, Ji & Gross,
+//! DATE 2019) pay off inside one synchronous [`Engine`](zskip_runtime::Engine);
+//! this crate puts a production front on it:
+//!
+//! * [`Server`] — N worker threads, each owning a private engine *shard*
+//!   over a clone of the frozen model, fed by bounded `sync_channel`
+//!   request queues (full queue ⇒ backpressure, not unbounded buffering),
+//! * [`Client`] — a blocking handle (`open` / `send` / `recv` / `close`);
+//!   streams hash onto a shard at open and stay pinned there via the
+//!   generational [`StreamId`]; result channels are bounded too, so a
+//!   consumer that stops `recv`ing is evicted instead of buffering
+//!   results without limit,
+//! * per-session TTL eviction and per-token deadline-miss accounting,
+//! * [`ServerStats`] — a cross-shard aggregate (throughput, skip
+//!   fraction, queue depth, deadline misses, evictions),
+//! * [`LoadGenerator`] — sustained mixed open/submit/close traffic for
+//!   benches and examples.
+//!
+//! Sharding is **transparent**: batching inside one engine never changes
+//! per-stream outputs (the runtime's proptests), and shards are fully
+//! independent engines over identical weights — so a sharded server's
+//! logits are bit-for-bit the logits of a single engine replaying the
+//! same per-session token streams (`tests/determinism.rs`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zskip_runtime::FrozenCharLm;
+//! use zskip_serve::{ServeConfig, Server};
+//!
+//! let server = Server::start(
+//!     FrozenCharLm::random(32, 16, 1),
+//!     ServeConfig::for_threshold(0.2).with_shards(2),
+//! );
+//! let mut client = server.client();
+//! let stream = client.open().unwrap();
+//! client.send(stream, 7).unwrap();
+//! let next = client.recv(stream).unwrap();
+//! assert_eq!(next.logits.len(), 32);
+//! client.close(stream).unwrap();
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, StreamId};
+pub use error::ServeError;
+pub use loadgen::{LoadConfig, LoadGenerator, LoadReport};
+pub use server::{ServeConfig, Server};
+pub use stats::{ServerStats, ShardStats};

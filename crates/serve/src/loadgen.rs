@@ -1,0 +1,125 @@
+//! Synthetic traffic driver: sustained waves of open / submit / recv /
+//! close against a running [`Server`].
+//!
+//! Used by `examples/serve_many.rs` and the `serve` benchmark to measure
+//! streams/sec and tokens/sec at a given shard count.
+
+use crate::{ServeError, Server, StreamId};
+use std::time::{Duration, Instant};
+use zskip_tensor::SeedableStream;
+
+/// Traffic shape for one [`LoadGenerator`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Concurrent streams held open for the whole run.
+    pub streams: usize,
+    /// Tokens each stream submits per round.
+    pub tokens_per_round: usize,
+    /// Submit/recv rounds.
+    pub rounds: usize,
+    /// Per-round probability a stream is closed and replaced by a fresh
+    /// one (open/close churn mixed into steady traffic).
+    pub churn: f64,
+    /// RNG seed for tokens and churn decisions.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            streams: 64,
+            tokens_per_round: 4,
+            rounds: 4,
+            churn: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// Measured outcome of one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Wall-clock duration of the traffic (excluding initial opens).
+    pub elapsed: Duration,
+    /// Results received.
+    pub tokens: u64,
+    /// Streams opened (initial plus churn replacements).
+    pub opened: u64,
+    /// Streams closed (churn plus final teardown).
+    pub closed: u64,
+    /// Results received per second.
+    pub tokens_per_sec: f64,
+    /// Completed stream-rounds per second (`streams × rounds / elapsed`).
+    pub stream_rounds_per_sec: f64,
+}
+
+/// Drives mixed open/submit/recv/close traffic through a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct LoadGenerator {
+    config: LoadConfig,
+}
+
+impl LoadGenerator {
+    /// A generator producing `config`-shaped traffic.
+    pub fn new(config: LoadConfig) -> Self {
+        assert!(config.streams > 0, "load needs at least one stream");
+        Self { config }
+    }
+
+    /// Runs the traffic against `server` and reports throughput.
+    ///
+    /// Every round: a churn pass closes/reopens a random subset of
+    /// streams, a submit wave feeds `tokens_per_round` tokens to every
+    /// stream, and a recv wave collects every result. All streams are
+    /// closed at the end, so back-to-back runs do not accumulate
+    /// sessions.
+    pub fn run(&self, server: &Server) -> Result<LoadReport, ServeError> {
+        let cfg = self.config;
+        let mut client = server.client();
+        let vocab = client.vocab_size();
+        let mut rng = SeedableStream::new(cfg.seed);
+        let mut streams: Vec<StreamId> = Vec::with_capacity(cfg.streams);
+        for _ in 0..cfg.streams {
+            streams.push(client.open()?);
+        }
+        let (mut opened, mut closed, mut tokens) = (cfg.streams as u64, 0u64, 0u64);
+
+        let start = Instant::now();
+        for _ in 0..cfg.rounds {
+            for slot in streams.iter_mut() {
+                if rng.coin(cfg.churn) {
+                    client.close(*slot)?;
+                    closed += 1;
+                    *slot = client.open()?;
+                    opened += 1;
+                }
+            }
+            for &id in &streams {
+                for _ in 0..cfg.tokens_per_round {
+                    client.send(id, rng.index(vocab))?;
+                }
+            }
+            for &id in &streams {
+                for _ in 0..cfg.tokens_per_round {
+                    client.recv(id)?;
+                    tokens += 1;
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        for id in streams {
+            client.close(id)?;
+            closed += 1;
+        }
+
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        Ok(LoadReport {
+            elapsed,
+            tokens,
+            opened,
+            closed,
+            tokens_per_sec: tokens as f64 / secs,
+            stream_rounds_per_sec: (cfg.streams * cfg.rounds) as f64 / secs,
+        })
+    }
+}

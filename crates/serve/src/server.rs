@@ -1,0 +1,523 @@
+//! The sharded server: N worker threads, each owning a private [`Engine`],
+//! fed by bounded request queues.
+//!
+//! ```text
+//!               ┌────────────── Server ──────────────┐
+//!  Client ──┬──▶ queue 0 ─▶ worker 0: Engine shard 0 ─┬─▶ per-stream
+//!  Client ──┼──▶ queue 1 ─▶ worker 1: Engine shard 1 ─┼─▶ result
+//!   ...     └──▶ queue k ─▶ worker k: Engine shard k ─┘   channels
+//! ```
+//!
+//! Each worker drains its queue, coalesces every ready session into
+//! batched engine steps, forwards results to the owning stream's channel,
+//! and sweeps idle sessions past the TTL. Queues are `sync_channel`s with
+//! a fixed capacity, so a flooded shard pushes back on producers instead
+//! of buffering without bound.
+
+use crate::client::Client;
+use crate::stats::{ServerStats, ShardShared};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use zskip_runtime::{Engine, EngineConfig, FrozenCharLm, SessionId, StepResult};
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Per-shard engine configuration (threshold, batch cap, skip policy).
+    pub engine: EngineConfig,
+    /// Worker threads, each owning one engine shard.
+    pub shards: usize,
+    /// Capacity of each shard's bounded request queue — the backpressure
+    /// knob: blocking `send`s stall and `try_send`s fail once a queue
+    /// holds this many requests.
+    pub queue_capacity: usize,
+    /// Capacity of each stream's bounded result channel. A consumer that
+    /// stops `recv`ing while submitting is **evicted** once its channel
+    /// fills — results are never buffered without bound.
+    pub result_capacity: usize,
+    /// Evict sessions idle longer than this (no submit and no delivery).
+    /// `None` disables eviction.
+    pub session_ttl: Option<Duration>,
+    /// Per-token latency target: deliveries later than this after submit
+    /// count as deadline misses in [`ServerStats`]. Tokens are still
+    /// processed — the counter is the alarm, not a drop policy, so
+    /// outputs stay deterministic.
+    pub token_deadline: Option<Duration>,
+    /// How often an idle worker wakes to sweep TTLs.
+    pub idle_tick: Duration,
+}
+
+impl ServeConfig {
+    /// Serving configuration for a model trained at `threshold`:
+    /// one shard per available core (capped at 8), queues of 1024
+    /// requests, no TTL, no deadline.
+    pub fn for_threshold(threshold: f32) -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        Self {
+            engine: EngineConfig::for_threshold(threshold),
+            shards,
+            queue_capacity: 1024,
+            result_capacity: 1024,
+            session_ttl: None,
+            token_deadline: None,
+            idle_tick: Duration::from_millis(20),
+        }
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-stream result-channel capacity.
+    pub fn with_result_capacity(mut self, capacity: usize) -> Self {
+        self.result_capacity = capacity;
+        self
+    }
+
+    /// Sets the idle-session TTL.
+    pub fn with_session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = Some(ttl);
+        self
+    }
+
+    /// Sets the per-token deadline.
+    pub fn with_token_deadline(mut self, deadline: Duration) -> Self {
+        self.token_deadline = Some(deadline);
+        self
+    }
+}
+
+/// One request travelling a shard queue (crate-internal).
+pub(crate) enum Request {
+    /// Open a session; reply with its generational id and register the
+    /// stream's (bounded) result channel.
+    Open {
+        reply: Sender<SessionId>,
+        results: SyncSender<StepResult>,
+    },
+    /// Feed one token to a session.
+    Submit {
+        id: SessionId,
+        token: usize,
+        enqueued: Instant,
+    },
+    /// Close a session and drop its result channel.
+    Close { id: SessionId },
+    /// Stop the worker after the queue drained up to this request.
+    Shutdown,
+}
+
+/// A shard's client-facing half (crate-internal).
+pub(crate) struct ShardHandle {
+    pub tx: SyncSender<Request>,
+    pub shared: Arc<ShardShared>,
+}
+
+/// The sharded serving layer.
+///
+/// A `Server` owns `shards` worker threads, each running a private
+/// [`Engine`] over a clone of the frozen model. Streams are placed on a
+/// shard by hashing their open ticket; from then on the stream's
+/// [`crate::StreamId`] carries the shard plus the engine's generational
+/// [`SessionId`], so every later request routes to the same engine and
+/// stale handles keep failing loudly.
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops the
+/// workers after their queues drain.
+pub struct Server {
+    shards: Arc<Vec<ShardHandle>>,
+    open_counter: Arc<AtomicU64>,
+    workers: Vec<JoinHandle<()>>,
+    vocab: usize,
+    result_capacity: usize,
+}
+
+impl Server {
+    /// Starts `config.shards` worker threads serving clones of `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.queue_capacity` is zero.
+    pub fn start(model: FrozenCharLm, config: ServeConfig) -> Self {
+        assert!(config.shards > 0, "server needs at least one shard");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(
+            config.result_capacity > 0,
+            "result capacity must be positive"
+        );
+        let vocab = model.vocab_size();
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
+            let shared = Arc::new(ShardShared::default());
+            let worker = Worker {
+                engine: Engine::new(model.clone(), config.engine),
+                rx,
+                shared: Arc::clone(&shared),
+                sessions: HashMap::new(),
+                session_ttl: config.session_ttl,
+                token_deadline: config.token_deadline,
+                idle_tick: config.idle_tick,
+                last_sweep: Instant::now(),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("zskip-serve-{shard}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker"),
+            );
+            shards.push(ShardHandle { tx, shared });
+        }
+        Self {
+            shards: Arc::new(shards),
+            open_counter: Arc::new(AtomicU64::new(0)),
+            workers,
+            vocab,
+            result_capacity: config.result_capacity,
+        }
+    }
+
+    /// Creates a blocking client handle. Clients are independent; create
+    /// one per driving thread.
+    pub fn client(&self) -> Client {
+        Client::new(
+            Arc::clone(&self.shards),
+            Arc::clone(&self.open_counter),
+            self.vocab,
+            self.result_capacity,
+        )
+    }
+
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The served model's vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Snapshots aggregate statistics across all shards.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.shared.snapshot(i))
+                .collect(),
+        }
+    }
+
+    /// Stops all workers after their queues drain and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        for shard in self.shards.iter() {
+            // Keep the queue-depth counter balanced: the worker
+            // decrements it for every dequeued request, Shutdown
+            // included.
+            shard
+                .shared
+                .queue_depth
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // A full queue still delivers Shutdown eventually; a
+            // disconnected one means the worker is already gone.
+            if shard.tx.send(Request::Shutdown).is_err() {
+                shard
+                    .shared
+                    .queue_depth
+                    .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Book-keeping one worker holds per open session.
+struct SessionEntry {
+    results: SyncSender<StepResult>,
+    last_active: Instant,
+    /// Submit timestamps of queued tokens, for deadline accounting.
+    enqueued_at: std::collections::VecDeque<Instant>,
+}
+
+/// One shard's worker loop state.
+struct Worker {
+    engine: Engine,
+    rx: Receiver<Request>,
+    shared: Arc<ShardShared>,
+    sessions: HashMap<u64, SessionEntry>,
+    session_ttl: Option<Duration>,
+    token_deadline: Option<Duration>,
+    idle_tick: Duration,
+    last_sweep: Instant,
+}
+
+impl Worker {
+    fn run(mut self) {
+        loop {
+            // Park until a request arrives (bounded, so TTL sweeps still
+            // happen while idle).
+            match self.rx.recv_timeout(self.idle_tick) {
+                Ok(req) => {
+                    if self.handle(req) {
+                        return self.final_drain_and_flush();
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            // Serve until idle: drain whatever queued, then run one
+            // batched step, repeating so fresh submits coalesce into the
+            // next batch instead of waiting for the queue to empty.
+            loop {
+                if self.drain() {
+                    return self.final_drain_and_flush();
+                }
+                if self.engine.pending() == 0 {
+                    break;
+                }
+                let delivered = self.engine.step();
+                let now = Instant::now();
+                for id in delivered {
+                    self.deliver(id, now);
+                }
+                self.shared.publish_engine(self.engine.stats());
+                self.sweep_ttl();
+            }
+            self.sweep_ttl();
+        }
+    }
+
+    /// Winds the shard down: the `Shutdown` marker is the linearization
+    /// point. Every request the worker dequeued *before* it was served
+    /// normally, and every token the engine accepted is stepped to its
+    /// result here; requests raced in *behind* the marker are rejected
+    /// (opens fail, submits count as rejected, closes still honored) so
+    /// intake really stops and shutdown cannot be held open by a client
+    /// that keeps sending.
+    fn final_drain_and_flush(&mut self) {
+        loop {
+            while let Ok(req) = self.rx.try_recv() {
+                self.reject(req);
+            }
+            if self.engine.pending() == 0 {
+                break;
+            }
+            let delivered = self.engine.step();
+            let now = Instant::now();
+            for id in delivered {
+                self.deliver(id, now);
+            }
+        }
+        self.shared.publish_engine(self.engine.stats());
+    }
+
+    /// Disposes of a request that arrived after shutdown began. Intake
+    /// requests fail fast (the dropped `reply` sender surfaces as
+    /// `ServerClosed` to a waiting `open`); closes are still applied so
+    /// the session accounting stays truthful to the end.
+    fn reject(&mut self, req: Request) {
+        use std::sync::atomic::Ordering;
+        self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        match req {
+            Request::Open { .. } => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Request::Submit { .. } => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Request::Close { id } => {
+                if self.engine.close_session(id).is_ok() {
+                    self.sessions.remove(&id.0);
+                    self.shared
+                        .open_sessions
+                        .store(self.sessions.len(), Ordering::Relaxed);
+                }
+            }
+            Request::Shutdown => {}
+        }
+    }
+
+    /// Handles queued requests without blocking; `true` means shutdown.
+    fn drain(&mut self) -> bool {
+        loop {
+            match self.rx.try_recv() {
+                Ok(req) => {
+                    if self.handle(req) {
+                        return true;
+                    }
+                }
+                Err(TryRecvError::Empty) => return false,
+                Err(TryRecvError::Disconnected) => return true,
+            }
+        }
+    }
+
+    /// Applies one request; `true` means shutdown.
+    fn handle(&mut self, req: Request) -> bool {
+        use std::sync::atomic::Ordering;
+        self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let now = Instant::now();
+        match req {
+            Request::Open { reply, results } => {
+                let id = self.engine.open_session();
+                self.sessions.insert(
+                    id.0,
+                    SessionEntry {
+                        results,
+                        last_active: now,
+                        enqueued_at: std::collections::VecDeque::new(),
+                    },
+                );
+                self.shared
+                    .open_sessions
+                    .store(self.sessions.len(), Ordering::Relaxed);
+                // The client may have died while waiting (it never saw the
+                // id, so its Drop cannot close this session); the TTL
+                // sweep reclaims the orphan when a TTL is configured.
+                let _ = reply.send(id);
+            }
+            Request::Submit {
+                id,
+                token,
+                enqueued,
+            } => match self.engine.submit(id, token) {
+                Ok(()) => {
+                    let entry = self
+                        .sessions
+                        .get_mut(&id.0)
+                        .expect("engine accepted a session the worker does not track");
+                    entry.last_active = now;
+                    entry.enqueued_at.push_back(enqueued);
+                    self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Request::Close { id } => {
+                if self.engine.close_session(id).is_ok() {
+                    self.sessions.remove(&id.0);
+                    self.shared
+                        .open_sessions
+                        .store(self.sessions.len(), Ordering::Relaxed);
+                } else {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Request::Shutdown => return true,
+        }
+        false
+    }
+
+    /// Forwards one freshly delivered engine result to its stream.
+    fn deliver(&mut self, id: SessionId, now: Instant) {
+        use std::sync::atomic::Ordering;
+        use std::sync::mpsc::TrySendError;
+        let result = self
+            .engine
+            .poll(id)
+            .expect("delivered session resolves")
+            .expect("delivered session has a result");
+        let entry = self
+            .sessions
+            .get_mut(&id.0)
+            .expect("delivered session is tracked");
+        entry.last_active = now;
+        // Pop unconditionally — the token was processed either way, and
+        // the queue must stay aligned with future deliveries.
+        let missed_deadline = match (entry.enqueued_at.pop_front(), self.token_deadline) {
+            (Some(enqueued), Some(deadline)) => now.duration_since(enqueued) > deadline,
+            _ => false,
+        };
+        // Count before sending so the gauge never lags a result a client
+        // has already received; un-count on the paths where the result
+        // could not reach the stream.
+        self.shared.delivered.fetch_add(1, Ordering::Relaxed);
+        if missed_deadline {
+            self.shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        match entry.results.try_send(result) {
+            Ok(()) => {}
+            // The stream's result channel is full: the consumer stopped
+            // recv-ing while submitting. Evict instead of buffering
+            // without bound — the worker must never block on a client.
+            Err(TrySendError::Full(_)) => {
+                self.shared.delivered.fetch_sub(1, Ordering::Relaxed);
+                if missed_deadline {
+                    self.shared.deadline_misses.fetch_sub(1, Ordering::Relaxed);
+                }
+                let _ = self.engine.close_session(id);
+                self.sessions.remove(&id.0);
+                self.shared.evicted_sessions.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .open_sessions
+                    .store(self.sessions.len(), Ordering::Relaxed);
+            }
+            // A dropped receiver just means the client abandoned the
+            // stream; the result is undeliverable but the session stays
+            // live until closed or TTL-evicted.
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.delivered.fetch_sub(1, Ordering::Relaxed);
+                if missed_deadline {
+                    self.shared.deadline_misses.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Closes sessions idle past the TTL. Rate-limited to one scan per
+    /// idle tick so steady load does not pay a full-table sweep per step.
+    fn sweep_ttl(&mut self) {
+        use std::sync::atomic::Ordering;
+        let Some(ttl) = self.session_ttl else { return };
+        let now = Instant::now();
+        if now.duration_since(self.last_sweep) < self.idle_tick {
+            return;
+        }
+        self.last_sweep = now;
+        let expired: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.last_active) > ttl)
+            .map(|(&raw, _)| raw)
+            .collect();
+        for raw in expired {
+            let _ = self.engine.close_session(SessionId(raw));
+            self.sessions.remove(&raw);
+            self.shared.evicted_sessions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared
+            .open_sessions
+            .store(self.sessions.len(), Ordering::Relaxed);
+    }
+}

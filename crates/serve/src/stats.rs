@@ -1,0 +1,153 @@
+//! Cross-shard serving statistics.
+//!
+//! Each worker publishes its counters into an [`ShardShared`] block of
+//! atomics; [`crate::Server::stats`] snapshots every shard into a
+//! [`ServerStats`] aggregate without stopping the workers.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use zskip_runtime::EngineStats;
+
+/// Lock-free counters one worker thread publishes (crate-internal).
+#[derive(Default)]
+pub(crate) struct ShardShared {
+    /// Requests in flight toward the shard: sitting in its bounded queue
+    /// *plus* blocking `send`s stalled on a full queue (can exceed the
+    /// queue capacity — that excess is the backpressure signal).
+    pub queue_depth: AtomicUsize,
+    /// Sessions currently open on the shard's engine.
+    pub open_sessions: AtomicUsize,
+    /// Tokens accepted into the engine.
+    pub submitted: AtomicU64,
+    /// Results delivered to client streams.
+    pub delivered: AtomicU64,
+    /// Deliveries that exceeded the configured per-token deadline.
+    pub deadline_misses: AtomicU64,
+    /// Sessions closed server-side after idling past the TTL.
+    pub evicted_sessions: AtomicU64,
+    /// Requests that addressed an unknown/closed session.
+    pub rejected: AtomicU64,
+    // Mirror of the shard engine's `EngineStats`.
+    pub steps: AtomicU64,
+    pub tokens: AtomicU64,
+    pub sparse_steps: AtomicU64,
+    pub dense_steps: AtomicU64,
+    pub fetched_rows: AtomicU64,
+    pub total_rows: AtomicU64,
+    pub anchor_columns: AtomicU64,
+}
+
+impl ShardShared {
+    pub(crate) fn publish_engine(&self, s: &EngineStats) {
+        self.steps.store(s.steps, Ordering::Relaxed);
+        self.tokens.store(s.tokens, Ordering::Relaxed);
+        self.sparse_steps.store(s.sparse_steps, Ordering::Relaxed);
+        self.dense_steps.store(s.dense_steps, Ordering::Relaxed);
+        self.fetched_rows.store(s.fetched_rows, Ordering::Relaxed);
+        self.total_rows.store(s.total_rows, Ordering::Relaxed);
+        self.anchor_columns
+            .store(s.anchor_columns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            open_sessions: self.open_sessions.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            evicted_sessions: self.evicted_sessions.load(Ordering::Relaxed),
+            rejected_requests: self.rejected.load(Ordering::Relaxed),
+            engine: EngineStats {
+                steps: self.steps.load(Ordering::Relaxed),
+                tokens: self.tokens.load(Ordering::Relaxed),
+                sparse_steps: self.sparse_steps.load(Ordering::Relaxed),
+                dense_steps: self.dense_steps.load(Ordering::Relaxed),
+                fetched_rows: self.fetched_rows.load(Ordering::Relaxed),
+                total_rows: self.total_rows.load(Ordering::Relaxed),
+                anchor_columns: self.anchor_columns.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// A point-in-time snapshot of one shard's serving counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests in flight toward the shard: queued plus blocking sends
+    /// stalled on a full queue (values above the queue capacity mean
+    /// producers are experiencing backpressure).
+    pub queue_depth: usize,
+    /// Sessions open on the shard's engine.
+    pub open_sessions: usize,
+    /// Tokens accepted into the engine.
+    pub submitted: u64,
+    /// Results delivered to client streams.
+    pub delivered: u64,
+    /// Deliveries later than the configured per-token deadline.
+    pub deadline_misses: u64,
+    /// Sessions evicted after idling past the TTL.
+    pub evicted_sessions: u64,
+    /// Requests addressed to unknown/closed sessions.
+    pub rejected_requests: u64,
+    /// The shard engine's own step/skip accounting.
+    pub engine: EngineStats,
+}
+
+/// Aggregate statistics across every shard of a [`crate::Server`].
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServerStats {
+    /// Requests in flight toward all shards (queued + stalled sends).
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Sessions open across all shards.
+    pub fn open_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.open_sessions).sum()
+    }
+
+    /// Tokens accepted across all shards.
+    pub fn submitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.submitted).sum()
+    }
+
+    /// Results delivered across all shards.
+    pub fn delivered(&self) -> u64 {
+        self.shards.iter().map(|s| s.delivered).sum()
+    }
+
+    /// Deadline misses across all shards.
+    pub fn deadline_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.deadline_misses).sum()
+    }
+
+    /// TTL evictions across all shards.
+    pub fn evicted_sessions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evicted_sessions).sum()
+    }
+
+    /// Batched engine steps across all shards.
+    pub fn steps(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.steps).sum()
+    }
+
+    /// Fraction of recurrent weight fetches skipped, aggregated over all
+    /// shard engines.
+    pub fn skip_fraction(&self) -> f64 {
+        let fetched: u64 = self.shards.iter().map(|s| s.engine.fetched_rows).sum();
+        let total: u64 = self.shards.iter().map(|s| s.engine.total_rows).sum();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - fetched as f64 / total as f64
+        }
+    }
+}

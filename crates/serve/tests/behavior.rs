@@ -1,0 +1,298 @@
+//! Behavioral contracts of the serving layer: backpressure, TTL
+//! eviction, deadline accounting, stale handles, stats, shutdown.
+
+use std::time::Duration;
+use zskip_runtime::{EngineError, FrozenCharLm};
+use zskip_serve::{LoadConfig, LoadGenerator, ServeConfig, ServeError, Server};
+
+fn model() -> FrozenCharLm {
+    FrozenCharLm::random(20, 16, 5)
+}
+
+#[test]
+fn round_trip_and_stats() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(2));
+    let mut client = server.client();
+    let a = client.open().unwrap();
+    let b = client.open().unwrap();
+    for t in 0..5 {
+        client.send(a, t).unwrap();
+        client.send(b, t + 5).unwrap();
+    }
+    for _ in 0..5 {
+        assert_eq!(client.recv(a).unwrap().logits.len(), 20);
+        assert_eq!(client.recv(b).unwrap().logits.len(), 20);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(stats.submitted(), 10);
+    assert_eq!(stats.delivered(), 10);
+    assert_eq!(stats.open_sessions(), 2);
+    assert!(stats.steps() > 0);
+    // Every submitted request was dequeued (its result arrived), so the
+    // depth gauge must be back to zero — and must not have underflowed.
+    assert_eq!(stats.queue_depth(), 0);
+    client.close(a).unwrap();
+    client.close(b).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn results_arrive_in_submit_order() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    let tokens: Vec<usize> = (0..12).map(|t| (t * 3 + 1) % 20).collect();
+    for &t in &tokens {
+        client.send(s, t).unwrap();
+    }
+    for &t in &tokens {
+        assert_eq!(client.recv(s).unwrap().token, t);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn try_send_reports_backpressure_on_a_full_queue() {
+    // Capacity-1 queue, and the worker is likely parked between requests;
+    // flooding with try_send must eventually see a full queue rather than
+    // buffer without bound.
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_queue_capacity(1),
+    );
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    let mut saw_backpressure = false;
+    for t in 0..200 {
+        match client.try_send(s, t % 20) {
+            Ok(()) => {}
+            Err(ServeError::Backpressure) => {
+                saw_backpressure = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(
+        saw_backpressure,
+        "200 try_sends never hit a capacity-1 queue"
+    );
+    // Blocking send still gets through.
+    client.send(s, 3).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_ttl_evicted_and_recv_reports_it() {
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_session_ttl(Duration::from_millis(30)),
+    );
+    let mut client = server.client().with_recv_timeout(Duration::from_secs(2));
+    let s = client.open().unwrap();
+    client.send(s, 1).unwrap();
+    assert!(client.recv(s).is_ok());
+    // Go idle past the TTL; the worker's sweep closes the session and
+    // drops our result channel.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(client.recv(s), Err(ServeError::Evicted));
+    // The handle is forgotten client-side too.
+    assert_eq!(client.recv(s), Err(ServeError::UnknownStream));
+    let stats = server.stats();
+    assert_eq!(stats.evicted_sessions(), 1);
+    assert_eq!(stats.open_sessions(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_misses_are_counted_but_tokens_still_served() {
+    // A zero-ish deadline: every delivery is "late", yet every token is
+    // processed (the deadline is an SLO alarm, not a drop policy).
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_token_deadline(Duration::from_nanos(1)),
+    );
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    for t in 0..6 {
+        client.send(s, t).unwrap();
+    }
+    for _ in 0..6 {
+        client.recv(s).unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.delivered(), 6);
+    assert_eq!(stats.deadline_misses(), 6);
+    server.shutdown();
+}
+
+#[test]
+fn stale_and_foreign_handles_fail_loudly() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(2));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    client.close(s).unwrap();
+    assert_eq!(client.send(s, 1), Err(ServeError::UnknownStream));
+    assert_eq!(client.close(s), Err(ServeError::UnknownStream));
+    assert!(matches!(client.recv(s), Err(ServeError::UnknownStream)));
+    // Out-of-vocab tokens are rejected client-side with the engine error.
+    let s2 = client.open().unwrap();
+    assert_eq!(
+        client.send(s2, 999),
+        Err(ServeError::Engine(EngineError::TokenOutOfVocab))
+    );
+    server.shutdown();
+}
+
+#[test]
+fn recv_timeout_fires_when_nothing_was_submitted() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client().with_recv_timeout(Duration::from_millis(30));
+    let s = client.open().unwrap();
+    assert_eq!(client.recv(s), Err(ServeError::RecvTimeout));
+    server.shutdown();
+}
+
+#[test]
+fn slow_consumers_are_evicted_not_buffered_without_bound() {
+    // A stream that submits without ever recv-ing fills its bounded
+    // result channel and is evicted — backpressure holds end-to-end.
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_result_capacity(4),
+    );
+    let mut client = server.client().with_recv_timeout(Duration::from_secs(2));
+    let s = client.open().unwrap();
+    for t in 0..20 {
+        client.send(s, t % 20).unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().evicted_sessions() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.stats().evicted_sessions(), 1);
+    // The buffered results (exactly the channel capacity) drain, then
+    // the eviction surfaces.
+    let mut got = 0;
+    loop {
+        match client.recv(s) {
+            Ok(_) => got += 1,
+            Err(ServeError::Evicted) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert_eq!(got, 4);
+    server.shutdown();
+}
+
+#[test]
+fn dropping_a_client_closes_its_sessions() {
+    // No TTL configured: cleanup must come from the client's Drop, not
+    // the eviction safety net.
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(2));
+    {
+        let mut client = server.client();
+        for _ in 0..6 {
+            client.open().unwrap();
+        }
+        assert_eq!(client.open_streams(), 6);
+    } // client dropped without closing anything
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().open_sessions() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        server.stats().open_sessions(),
+        0,
+        "dropped client leaked sessions"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_flushes_tokens_the_engine_already_accepted() {
+    // A send that returned Ok must produce a result even when shutdown
+    // lands right behind it in the queue: shutdown stops intake, not
+    // in-flight work.
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    for t in 0..4 {
+        client.send(s, t).unwrap();
+    }
+    server.shutdown(); // joins the worker; results were flushed first
+    for t in 0..4 {
+        assert_eq!(client.recv(s).unwrap().token, t);
+    }
+}
+
+#[test]
+fn shutdown_terminates_under_sustained_traffic() {
+    // A client that never stops sending must not be able to hold
+    // shutdown open: the Shutdown marker stops intake, later submits are
+    // rejected, and the worker joins.
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut flooder = server.client();
+    let s = flooder.open().unwrap();
+    let driver = std::thread::spawn(move || {
+        let mut sent = 0u64;
+        while flooder.send(s, (sent % 20) as usize).is_ok() {
+            sent += 1;
+        }
+        sent
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown(); // must return despite the continuous sends
+    let sent = driver.join().unwrap();
+    assert!(sent > 0, "flooder never got a send through");
+}
+
+#[test]
+fn server_shutdown_surfaces_as_server_closed() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    server.shutdown();
+    assert_eq!(client.send(s, 1), Err(ServeError::ServerClosed));
+    assert!(client.open().is_err());
+}
+
+#[test]
+fn load_generator_sustains_mixed_traffic() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(2));
+    let report = LoadGenerator::new(LoadConfig {
+        streams: 100,
+        tokens_per_round: 2,
+        rounds: 3,
+        churn: 0.3,
+        seed: 11,
+    })
+    .run(&server)
+    .unwrap();
+    assert_eq!(report.tokens, 600);
+    assert!(report.opened > 100, "churn produced no reopens");
+    assert_eq!(report.closed, report.opened);
+    // Closes are asynchronous: wait for the shard queues to drain before
+    // checking that nothing leaked.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().open_sessions() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.delivered(), 600);
+    assert_eq!(stats.open_sessions(), 0, "load run leaked sessions");
+    // Both shards saw traffic (placement hashing spreads 100+ streams).
+    for shard in &stats.shards {
+        assert!(shard.delivered > 0, "shard {} starved", shard.shard);
+    }
+    server.shutdown();
+}

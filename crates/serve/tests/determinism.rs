@@ -1,0 +1,138 @@
+//! The serving layer's headline contract: sharding is invisible in the
+//! outputs. A `Server` with any shard count produces **bit-for-bit** the
+//! logits a single single-threaded `Engine` produces when it replays the
+//! same per-session token streams.
+//!
+//! Why this holds: batching inside one engine never changes a lane's
+//! output (proven by `zskip-runtime`'s proptests), and shards are fully
+//! independent engines over clones of the same weights — so neither the
+//! shard a stream lands on nor the traffic interleaving can move a bit.
+
+use zskip_runtime::{Engine, EngineConfig, FrozenCharLm};
+use zskip_serve::{ServeConfig, Server, StreamId};
+
+const VOCAB: usize = 24;
+const HIDDEN: usize = 32;
+const STREAMS: usize = 12;
+const TOKENS: usize = 9;
+
+fn token_streams() -> Vec<Vec<usize>> {
+    // Deterministic, distinct per-stream token sequences.
+    (0..STREAMS)
+        .map(|s| (0..TOKENS).map(|t| (s * 7 + t * 5 + 3) % VOCAB).collect())
+        .collect()
+}
+
+/// Reference: one synchronous engine replaying every stream.
+fn single_engine_logits(model: &FrozenCharLm, threshold: f32) -> Vec<Vec<Vec<f32>>> {
+    let mut engine = Engine::new(model.clone(), EngineConfig::for_threshold(threshold));
+    let streams = token_streams();
+    let ids: Vec<_> = streams.iter().map(|_| engine.open_session()).collect();
+    for (tokens, &id) in streams.iter().zip(&ids) {
+        for &tok in tokens {
+            engine.submit(id, tok).unwrap();
+        }
+    }
+    engine.run_until_idle();
+    ids.iter()
+        .map(|&id| {
+            (0..TOKENS)
+                .map(|_| engine.poll(id).unwrap().expect("result").logits)
+                .collect()
+        })
+        .collect()
+}
+
+/// Serving path: a sharded server fed the same streams, interleaved one
+/// token per stream per wave so cross-stream batching really happens.
+fn served_logits(model: &FrozenCharLm, threshold: f32, shards: usize) -> Vec<Vec<Vec<f32>>> {
+    let server = Server::start(
+        model.clone(),
+        ServeConfig::for_threshold(threshold).with_shards(shards),
+    );
+    let mut client = server.client();
+    let streams = token_streams();
+    let ids: Vec<StreamId> = streams.iter().map(|_| client.open().unwrap()).collect();
+    let mut collected: Vec<Vec<Vec<f32>>> = vec![Vec::new(); STREAMS];
+    for wave in 0..TOKENS {
+        for (tokens, &id) in streams.iter().zip(&ids) {
+            client.send(id, tokens[wave]).unwrap();
+        }
+        for ((tokens, &id), out) in streams.iter().zip(&ids).zip(collected.iter_mut()) {
+            let result = client.recv(id).unwrap();
+            assert_eq!(result.token, tokens[wave], "results out of order");
+            out.push(result.logits);
+        }
+    }
+    for id in ids {
+        client.close(id).unwrap();
+    }
+    server.shutdown();
+    collected
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_to_a_single_engine() {
+    let threshold = 0.25;
+    let model = FrozenCharLm::random(VOCAB, HIDDEN, 99);
+    let reference = single_engine_logits(&model, threshold);
+    for shards in [1usize, 2, 3, 5] {
+        let served = served_logits(&model, threshold, shards);
+        for s in 0..STREAMS {
+            for t in 0..TOKENS {
+                assert_eq!(
+                    reference[s][t].len(),
+                    served[s][t].len(),
+                    "shards={shards} stream={s} step={t}: logit width"
+                );
+                for (r, v) in reference[s][t].iter().zip(&served[s][t]) {
+                    assert_eq!(
+                        r.to_bits(),
+                        v.to_bits(),
+                        "shards={shards} stream={s} step={t}: {r} vs {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn determinism_survives_churned_reopens() {
+    // Closing streams and opening new ones mid-traffic must not disturb
+    // the surviving streams' outputs.
+    let threshold = 0.2;
+    let model = FrozenCharLm::random(VOCAB, HIDDEN, 123);
+    let reference = single_engine_logits(&model, threshold);
+
+    let server = Server::start(
+        model.clone(),
+        ServeConfig::for_threshold(threshold).with_shards(3),
+    );
+    let mut client = server.client();
+    let streams = token_streams();
+    let ids: Vec<StreamId> = streams.iter().map(|_| client.open().unwrap()).collect();
+    let mut collected: Vec<Vec<Vec<f32>>> = vec![Vec::new(); STREAMS];
+    for wave in 0..TOKENS {
+        // Noise traffic: an unrelated stream opens, speaks, and dies.
+        let noise = client.open().unwrap();
+        client.send(noise, wave % VOCAB).unwrap();
+        for (tokens, &id) in streams.iter().zip(&ids) {
+            client.send(id, tokens[wave]).unwrap();
+        }
+        client.recv(noise).unwrap();
+        client.close(noise).unwrap();
+        for (&id, out) in ids.iter().zip(collected.iter_mut()) {
+            out.push(client.recv(id).unwrap().logits);
+        }
+    }
+    server.shutdown();
+
+    for s in 0..STREAMS {
+        for t in 0..TOKENS {
+            for (r, v) in reference[s][t].iter().zip(&collected[s][t]) {
+                assert_eq!(r.to_bits(), v.to_bits(), "stream={s} step={t}");
+            }
+        }
+    }
+}

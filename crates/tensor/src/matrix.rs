@@ -260,20 +260,58 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
+        // Row-blocked accumulation: per output row, gather the non-zero
+        // (coefficient, weight row) pairs of a chunk of active rows, then
+        // accumulate four weight rows per pass over the output row. The
+        // output row is loaded and stored once per four `Wh` rows instead
+        // of once per row, and the four-term update autovectorizes.
+        //
+        // Bit-exactness: within each output element the additions still
+        // happen one at a time in increasing `k` order (`s += a0*b0` then
+        // `s += a1*b1`, …), so the float result is unchanged from the
+        // unblocked loop — and therefore still bit-identical to `matmul`.
         const KB: usize = 64;
+        let mut coeff = [0.0f32; KB];
+        let mut brow = [0usize; KB];
         for chunk in active_rows.chunks(KB) {
             for i in 0..m {
                 let a_row = &self.data[i * k..(i + 1) * k];
                 let out_row = &mut out.data[i * n..(i + 1) * n];
+                let mut cnt = 0usize;
                 for &kk in chunk {
                     let a = a_row[kk];
-                    if a == 0.0 {
-                        continue;
+                    if a != 0.0 {
+                        coeff[cnt] = a;
+                        brow[cnt] = kk;
+                        cnt += 1;
                     }
-                    let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                }
+                let mut p = 0usize;
+                while p + 4 <= cnt {
+                    let (a0, a1, a2, a3) = (coeff[p], coeff[p + 1], coeff[p + 2], coeff[p + 3]);
+                    let b0 = &rhs.data[brow[p] * n..brow[p] * n + n];
+                    let b1 = &rhs.data[brow[p + 1] * n..brow[p + 1] * n + n];
+                    let b2 = &rhs.data[brow[p + 2] * n..brow[p + 2] * n + n];
+                    let b3 = &rhs.data[brow[p + 3] * n..brow[p + 3] * n + n];
+                    for ((((o, b0), b1), b2), b3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        let mut s = *o;
+                        s += a0 * b0;
+                        s += a1 * b1;
+                        s += a2 * b2;
+                        s += a3 * b3;
+                        *o = s;
+                    }
+                    p += 4;
+                }
+                while p < cnt {
+                    let a = coeff[p];
+                    let b_row = &rhs.data[brow[p] * n..brow[p] * n + n];
                     for (o, b) in out_row.iter_mut().zip(b_row) {
                         *o += a * b;
                     }
+                    p += 1;
                 }
             }
         }

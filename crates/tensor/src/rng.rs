@@ -34,6 +34,14 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Stateless splitmix64 finalizer: mixes `x` into a well-distributed
+/// 64-bit value. The workspace's canonical integer hash — use this for
+/// hash-based placement instead of re-deriving the constants.
+pub fn mix64(x: u64) -> u64 {
+    let mut state = x;
+    splitmix64(&mut state)
+}
+
 impl SeedableStream {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {

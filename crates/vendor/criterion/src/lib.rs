@@ -14,6 +14,11 @@
 //!
 //! There is no statistical regression analysis; the median is the number
 //! `docs/BENCH_RESULTS.md` records.
+//!
+//! Setting `ZSKIP_BENCH_SMOKE=1` switches every benchmark to a
+//! one-sample, one-iteration smoke run: the numbers are meaningless, but
+//! every bench body executes, so CI can prove bench code still compiles
+//! and runs without paying for real measurements.
 
 use std::fmt::Display;
 use std::time::Instant;
@@ -23,6 +28,12 @@ pub use std::hint::black_box;
 
 const SAMPLES: usize = 30;
 const TARGET_SAMPLE_NANOS: u128 = 2_000_000;
+
+/// `true` when `ZSKIP_BENCH_SMOKE=1`: run each bench body once, skip
+/// calibration and sampling.
+fn smoke_mode() -> bool {
+    std::env::var("ZSKIP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
 
 /// Identifier of one benchmark within a group.
 #[derive(Clone, Debug)]
@@ -67,6 +78,13 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, auto-calibrating the iteration count per sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke_mode() {
+            let start = Instant::now();
+            black_box(f());
+            self.median_nanos = start.elapsed().as_nanos() as f64;
+            self.iters_per_sample = 1;
+            return;
+        }
         // Calibrate: grow the iteration count until one sample is slow
         // enough to time reliably.
         let mut iters: u64 = 1;
@@ -118,8 +136,9 @@ fn run_one(full_id: &str, body: impl FnOnce(&mut Bencher)) {
         iters_per_sample: 0,
     };
     body(&mut b);
+    let samples = if smoke_mode() { 1 } else { SAMPLES };
     println!(
-        "{full_id:<48} time: [median {}] ({SAMPLES} samples x {} iters)",
+        "{full_id:<48} time: [median {}] ({samples} samples x {} iters)",
         format_nanos(b.median_nanos),
         b.iters_per_sample
     );

@@ -19,6 +19,7 @@
 //! | [`accel`] | `zskip-accel` | timing/energy/functional accelerator simulator |
 //! | [`baselines`] | `zskip-baselines` | ESE and CBSR analytic models |
 //! | [`runtime`] | `zskip-runtime` | batched CPU serving engine that skips ineffectual MACs |
+//! | [`serve`] | `zskip-serve` | sharded multi-threaded serving layer: workers, backpressure, TTL, stats |
 //!
 //! # Quickstart
 //!
@@ -68,4 +69,5 @@ pub use zskip_core as core;
 pub use zskip_data as data;
 pub use zskip_nn as nn;
 pub use zskip_runtime as runtime;
+pub use zskip_serve as serve;
 pub use zskip_tensor as tensor;

@@ -7,7 +7,7 @@
 //! integer accumulators are identical to a dense evaluation — this module
 //! proves that by re-implementing the computation tile-by-tile and the
 //! test suite asserts bit-equality against
-//! [`QuantizedLstm`](zskip_core::QuantizedLstm).
+//! [`zskip_core::QuantizedLstm`].
 //!
 //! The optional [`ScratchPrecision`] models the 16×12-bit per-PE scratch:
 //! partial sums are requantized to the scratch format every

@@ -8,8 +8,8 @@
 //!   and skips all-lane-zero columns outright; validated against the
 //!   cycle-stepped pipeline of [`GemvPipelineSim`](cycle::GemvPipelineSim)
 //!   (Fig. 5's dataflow at single-cycle granularity).
-//! * **Energy/area** — [`EnergyModel`](energy::EnergyModel) and
-//!   [`AreaModel`](area::AreaModel), calibrated to the paper's reported
+//! * **Energy/area** — [`energy::EnergyModel`] and
+//!   [`area::AreaModel`], calibrated to the paper's reported
 //!   operating points (1.1 mm², 76.8 GOPS peak, 925.3 GOPS/W dense).
 //! * **Functional** — [`FunctionalAccelerator`], a tile-by-tile 8-bit
 //!   datapath that is bit-identical to the

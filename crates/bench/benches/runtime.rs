@@ -11,7 +11,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use zskip_runtime::{BatchStep, DynamicBatcher, FrozenCharLm, SkipPolicy};
+use zskip_runtime::{
+    BatchStep, DynamicBatcher, FrozenCharLm, FrozenGruCharLm, FrozenWordLm, SkipPolicy,
+};
 use zskip_tensor::{Matrix, SeedableStream};
 
 const DH: usize = 512;
@@ -54,7 +56,7 @@ fn bench_inference_step(c: &mut Criterion) {
                     black_box(batcher.step(BatchStep {
                         h: black_box(h),
                         c: &cell,
-                        tokens: &[3],
+                        inputs: &[3],
                     }))
                 })
             },
@@ -80,7 +82,63 @@ fn bench_inference_step_batched(c: &mut Criterion) {
                     black_box(batcher.step(BatchStep {
                         h: black_box(h),
                         c: &cell,
-                        tokens: &tokens,
+                        inputs: &tokens,
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inference_step_gru(c: &mut Criterion) {
+    // The GRU family through the same generic batcher: a 3-gate Wh
+    // (dh × 3dh — 25% less recurrent work than the LSTM's 4 gates) and
+    // no cell state. Sparse vs dense at the served sparsities; the
+    // dense/sparse ratio is the family's skip speedup.
+    let model = FrozenGruCharLm::random(VOCAB, DH, 42);
+    let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
+    let cell = Matrix::zeros(1, 0); // GRU sessions carry no cell state
+    let mut group = c.benchmark_group(format!("runtime_gru_dh{DH}_b1"));
+    for sparsity in SPARSITIES {
+        let h = sparse_state(1, DH, sparsity, 7);
+        group.bench_with_input(
+            BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    black_box(batcher.step(BatchStep {
+                        h: black_box(h),
+                        c: &cell,
+                        inputs: &[3],
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inference_step_word_lm(c: &mut Criterion) {
+    // The word-LM family: the input is an embedding row pushed through a
+    // dense Wx GEMM every step (paper Fig. 8's smaller-speedup case), so
+    // only the Wh half of the step shrinks with sparsity.
+    const EMB: usize = 64;
+    let model = FrozenWordLm::random(VOCAB, EMB, DH, 42);
+    let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
+    let cell = Matrix::from_fn(1, DH, |_, j| ((j as f32) * 0.013).sin());
+    let mut group = c.benchmark_group(format!("runtime_word_lm_dh{DH}_emb{EMB}_b1"));
+    for sparsity in SPARSITIES {
+        let h = sparse_state(1, DH, sparsity, 7);
+        group.bench_with_input(
+            BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    black_box(batcher.step(BatchStep {
+                        h: black_box(h),
+                        c: &cell,
+                        inputs: &[3],
                     }))
                 })
             },
@@ -120,6 +178,8 @@ criterion_group!(
     benches,
     bench_inference_step,
     bench_inference_step_batched,
+    bench_inference_step_gru,
+    bench_inference_step_word_lm,
     bench_recurrent_kernel
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 //!
 //! while the parameter update sees the dense state: the derivative of the
 //! discontinuous rectangular gate is approximated by the identity
-//! (`∂L/∂h ≈ ∂L/∂hp`), the technique BinaryConnect [14] introduced for
+//! (`∂L/∂h ≈ ∂L/∂hp`), the technique BinaryConnect \[14\] introduced for
 //! binarized weights, applied here to activations. Keeping the dense value
 //! alive under the threshold is what lets "state values initially lied
 //! within the threshold" re-emerge later in training.

@@ -466,7 +466,7 @@ pub fn word_state_trace(
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScanOrder {
     /// One pixel per timestep (784 steps at full resolution) — the
-    /// paper's protocol (Le et al. [15]). Needs long training to learn.
+    /// paper's protocol (Le et al. \[15\]). Needs long training to learn.
     Pixel,
     /// One image row per timestep (28 steps of 28-wide inputs) — the
     /// scaled-down protocol used at quick experiment scale so the sweep

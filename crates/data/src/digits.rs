@@ -5,7 +5,7 @@
 //! translation), stamps the strokes with a soft Gaussian pen, and adds
 //! light pixel noise. Images are 28×28 like MNIST and are consumed in
 //! scan-line order, one pixel per LSTM timestep, exactly as in the paper's
-//! Section II-B3 / Le et al. [15].
+//! Section II-B3 / Le et al. \[15\].
 
 use zskip_tensor::SeedableStream;
 

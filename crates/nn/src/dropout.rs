@@ -1,7 +1,7 @@
 //! Inverted dropout on non-recurrent connections.
 //!
 //! The paper applies "the dropout probability of 0.5 on the non-recurrent
-//! connections similar to [17]" (Zaremba et al.) for the word-level task:
+//! connections similar to \[17\]" (Zaremba et al.) for the word-level task:
 //! dropout sits between the embedding and the LSTM input, and between the
 //! LSTM output and the classifier — never on the `h[t-1] → h[t]` path.
 

@@ -91,6 +91,21 @@ impl GruCell {
         self.hidden
     }
 
+    /// Input weights `Wx` (`dx × 3dh`).
+    pub fn wx(&self) -> &Matrix {
+        &self.wx
+    }
+
+    /// Recurrent weights `Wh` (`dh × 3dh`).
+    pub fn wh(&self) -> &Matrix {
+        &self.wh
+    }
+
+    /// Bias (`3dh`, gate order `[z, r, n]`).
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
     /// One forward step on a batch (`x: B × dx`, `hp_prev: B × dh`).
     ///
     /// # Panics

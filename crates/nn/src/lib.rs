@@ -16,6 +16,8 @@
 //!   decay, driven through a parameter-visitor so optimizers stay decoupled
 //!   from model structure,
 //! * [`models`] — the paper's three task models,
+//! * [`Freezable`] — the stable parameter-export contract the serving
+//!   runtime's per-family freezers consume,
 //! * [`metrics`] — bits-per-character, perplexity-per-word,
 //!   misclassification error rate.
 //!
@@ -40,6 +42,7 @@
 pub mod checkpoint;
 pub mod dropout;
 pub mod embedding;
+pub mod freeze;
 pub mod gru;
 pub mod init;
 pub mod linear;
@@ -53,6 +56,7 @@ pub mod stack;
 
 pub use dropout::{Dropout, DropoutMask};
 pub use embedding::Embedding;
+pub use freeze::Freezable;
 pub use gru::{GruCell, GruLayer, GruSequenceCache, GruStep};
 pub use linear::Linear;
 pub use lstm::{IdentityTransform, LstmCell, LstmLayer, LstmStep, SequenceCache, StateTransform};

@@ -191,6 +191,10 @@ impl Parameterized for CharLm {
     }
 }
 
+/// Tensor contract: `lstm.wx` (`vocab × 4dh`), `lstm.wh` (`dh × 4dh`),
+/// `lstm.b` (`4dh`), `linear.w` (`dh × vocab`), `linear.b` (`vocab`).
+impl crate::Freezable for CharLm {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

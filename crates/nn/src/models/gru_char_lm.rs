@@ -61,6 +61,16 @@ impl GruCharLm {
         self.hidden
     }
 
+    /// The recurrent layer.
+    pub fn gru(&self) -> &GruLayer {
+        &self.gru
+    }
+
+    /// The classifier head.
+    pub fn head(&self) -> &Linear {
+        &self.head
+    }
+
     fn one_hot(&self, ids: &[usize]) -> Matrix {
         let mut m = Matrix::zeros(ids.len(), self.vocab);
         for (r, &id) in ids.iter().enumerate() {
@@ -164,6 +174,10 @@ impl Parameterized for GruCharLm {
         self.head.visit_params(visitor);
     }
 }
+
+/// Tensor contract: `gru.wx` (`vocab × 3dh`), `gru.wh` (`dh × 3dh`),
+/// `gru.b` (`3dh`), `linear.w` (`dh × vocab`), `linear.b` (`vocab`).
+impl crate::Freezable for GruCharLm {}
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,7 @@ use zskip_tensor::{Matrix, SeedableStream};
 
 /// Pixel-by-pixel sequence classifier: one scalar pixel per timestep into
 /// an LSTM, with a softmax read-out from the final hidden state — the
-/// sequential-MNIST setup of Le et al. [15] the paper follows.
+/// sequential-MNIST setup of Le et al. \[15\] the paper follows.
 ///
 /// For this task `dx = 1`, so virtually all recurrent work is the
 /// skippable `Wh·h` product — which is why MNIST shows large sparse
@@ -82,6 +82,11 @@ impl SeqClassifier {
     /// The recurrent layer.
     pub fn lstm(&self) -> &LstmLayer {
         &self.lstm
+    }
+
+    /// The classifier head.
+    pub fn head(&self) -> &Linear {
+        &self.head
     }
 
     fn to_xs(pixels: &[Vec<f32>]) -> Vec<Matrix> {
@@ -204,6 +209,10 @@ impl Parameterized for SeqClassifier {
         self.head.visit_params(visitor);
     }
 }
+
+/// Tensor contract: `lstm.wx` (`dx × 4dh`), `lstm.wh` (`dh × 4dh`),
+/// `lstm.b` (`4dh`), `linear.w` (`dh × classes`), `linear.b` (`classes`).
+impl crate::Freezable for SeqClassifier {}
 
 #[cfg(test)]
 mod tests {

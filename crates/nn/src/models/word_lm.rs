@@ -13,7 +13,7 @@ use zskip_tensor::{Matrix, SeedableStream};
 /// Embedding → dropout → LSTM → dropout → softmax classifier.
 ///
 /// Dropout is applied only on the non-recurrent connections, exactly as in
-/// Zaremba et al. [17], with a fresh mask per timestep. Because the input
+/// Zaremba et al. \[17\], with a fresh mask per timestep. Because the input
 /// after the embedding is a dense real vector, the accelerator cannot skip
 /// the `Wx·x` half of the recurrent computation for this task — the source
 /// of the smaller speedups in Fig. 8.
@@ -88,6 +88,16 @@ impl WordLm {
     /// The recurrent layer.
     pub fn lstm(&self) -> &LstmLayer {
         &self.lstm
+    }
+
+    /// The embedding table.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// The classifier head.
+    pub fn head(&self) -> &Linear {
+        &self.head
     }
 
     /// Forward + backward over one BPTT window with dropout active.
@@ -221,6 +231,11 @@ impl Parameterized for WordLm {
         self.head.visit_params(visitor);
     }
 }
+
+/// Tensor contract: `embedding.table` (`vocab × emb`), `lstm.wx`
+/// (`emb × 4dh`), `lstm.wh` (`dh × 4dh`), `lstm.b` (`4dh`), `linear.w`
+/// (`dh × vocab`), `linear.b` (`vocab`).
+impl crate::Freezable for WordLm {}
 
 #[cfg(test)]
 mod tests {

@@ -9,10 +9,15 @@
 //!    [`Matrix::matmul_sparse_rows`], so rows of `Wh` whose state column is
 //!    zero in **every** lane are never read (Section III-D batch-joint
 //!    skipping),
-//! 3. applies the LSTM non-linearity and the threshold pruner (Eq. 5),
+//! 3. applies the family's recurrent non-linearity
+//!    ([`FrozenModel::recurrent_step`]) and the threshold pruner (Eq. 5),
 //! 4. re-encodes the new pruned state, producing the skip plan for the
 //!    *next* step — the same store-offsets-now, skip-weights-next-step
 //!    dataflow as the hardware.
+//!
+//! The batcher is generic over [`FrozenModel`], so the same skip
+//! machinery serves the LSTM char-LM, the 3-gate GRU, the embedding-input
+//! word-LM and the pixel-streaming classifier.
 //!
 //! Per-lane outputs are **independent of batch composition**: batching
 //! only ever widens the active set (a column is skipped when every lane
@@ -20,10 +25,11 @@
 //! That makes interleaving sessions into one batch bit-equivalent to
 //! stepping them in isolation — tested in `tests/proptests.rs`.
 
+use crate::model::{FrozenModel, SkipPlan};
 use crate::weights::FrozenCharLm;
 use zskip_core::{OffsetEncoder, StatePruner};
 use zskip_nn::StateTransform;
-use zskip_tensor::{sigmoid, tanh, Matrix};
+use zskip_tensor::Matrix;
 
 /// Skip-path policy for the batched step.
 #[derive(Clone, Copy, Debug)]
@@ -65,40 +71,40 @@ pub struct StepStats {
 }
 
 /// One step's worth of batched inputs, owned by the engine.
-pub struct BatchStep<'a> {
+pub struct BatchStep<'a, I> {
     /// Pruned hidden states, one lane per row (`B × dh`).
     pub h: &'a Matrix,
-    /// Cell states (`B × dh`).
+    /// Cell states (`B × cell_dim` — zero-width for the GRU family).
     pub c: &'a Matrix,
-    /// One input token id per lane.
-    pub tokens: &'a [usize],
+    /// One input unit per lane (token id or pixel).
+    pub inputs: &'a [I],
 }
 
 /// Outputs of one batched step.
 pub struct BatchStepOutput {
-    /// Softmax-head logits (`B × vocab`).
+    /// Head logits (`B × output_dim`).
     pub logits: Matrix,
     /// Next pruned hidden state (`B × dh`).
     pub h: Matrix,
-    /// Next cell state (`B × dh`).
+    /// Next cell state (`B × cell_dim`).
     pub c: Matrix,
     /// Sparsity accounting for this step.
     pub stats: StepStats,
 }
 
-/// Stateless batched stepper over frozen weights.
+/// Stateless batched stepper over frozen weights of any model family.
 #[derive(Clone, Debug)]
-pub struct DynamicBatcher {
-    model: FrozenCharLm,
+pub struct DynamicBatcher<M: FrozenModel = FrozenCharLm> {
+    model: M,
     pruner: StatePruner,
     encoder: OffsetEncoder,
     policy: SkipPolicy,
 }
 
-impl DynamicBatcher {
+impl<M: FrozenModel> DynamicBatcher<M> {
     /// Creates a batcher serving `model` with pruning threshold
     /// `threshold` (use the threshold the model was trained with).
-    pub fn new(model: FrozenCharLm, threshold: f32, policy: SkipPolicy) -> Self {
+    pub fn new(model: M, threshold: f32, policy: SkipPolicy) -> Self {
         Self {
             model,
             pruner: StatePruner::new(threshold),
@@ -108,7 +114,7 @@ impl DynamicBatcher {
     }
 
     /// The frozen model being served.
-    pub fn model(&self) -> &FrozenCharLm {
+    pub fn model(&self) -> &M {
         &self.model
     }
 
@@ -150,92 +156,61 @@ impl DynamicBatcher {
         (active, anchors)
     }
 
-    /// Runs one batched LSTM + head step.
+    /// Runs one batched recurrent + head step.
     ///
-    /// The arithmetic replicates `zskip_nn::LstmCell::forward` operation
-    /// for operation, so serving a frozen model is bit-identical to
-    /// evaluating the training model with the same pruner.
+    /// The arithmetic replicates the family's training-side forward pass
+    /// operation for operation, so serving a frozen model is
+    /// bit-identical to evaluating the training model with the same
+    /// pruner.
     ///
     /// # Panics
     ///
-    /// Panics if the batch is empty, shapes disagree, or a token id is out
-    /// of vocabulary.
-    pub fn step(&self, batch: BatchStep<'_>) -> BatchStepOutput {
-        let lstm = self.model.lstm();
-        let (dh, vocab) = (lstm.hidden_dim(), self.model.vocab_size());
-        let b = batch.tokens.len();
+    /// Panics if the batch is empty, shapes disagree, or an input fails
+    /// the model's validation (out-of-vocab token, non-finite pixel).
+    pub fn step(&self, batch: BatchStep<'_, M::Input>) -> BatchStepOutput {
+        let dh = self.model.hidden_dim();
+        let b = batch.inputs.len();
         assert!(b > 0, "step needs at least one lane");
         assert_eq!(batch.h.rows(), b, "h batch mismatch");
         assert_eq!(batch.h.cols(), dh, "h dim mismatch");
         assert_eq!(batch.c.rows(), b, "c batch mismatch");
-        assert_eq!(batch.c.cols(), dh, "c dim mismatch");
-
-        // One-hot input ⇒ Wx·x degenerates to a row lookup (the paper's
-        // "implemented as a look-up table"). Bit-identical to the GEMM:
-        // multiplying by 1.0 is exact.
-        let mut z = Matrix::zeros(b, 4 * dh);
-        for (r, &tok) in batch.tokens.iter().enumerate() {
-            assert!(tok < vocab, "token {tok} out of vocab {vocab}");
-            z.row_mut(r).copy_from_slice(lstm.wx().row(tok));
+        assert_eq!(batch.c.cols(), self.model.cell_dim(), "c dim mismatch");
+        for input in batch.inputs {
+            assert!(
+                self.model.validate_input(input),
+                "input {input:?} rejected by the served model"
+            );
         }
+
+        // Family-specific x-side encoding (one-hot lookup, embedding
+        // lookup + GEMM, or pixel GEMM).
+        let zx = self.model.input_encode(batch.inputs);
 
         // Recurrent product, skipping jointly-zero state columns.
         let (active, anchors) = self.skip_plan(batch.h);
         let use_sparse = (active.len() as f64) < self.policy.dense_fallback * dh as f64;
-        let hz = if use_sparse {
-            batch.h.matmul_sparse_rows(lstm.wh(), &active)
-        } else {
-            batch.h.matmul(lstm.wh())
+        let fetched_rows = if use_sparse { active.len() } else { dh };
+        let plan = SkipPlan {
+            active,
+            anchors,
+            use_sparse,
         };
-        z.add_assign(&hz);
-        z.add_row_broadcast(lstm.bias());
-
-        // Gate non-linearities, gate order [f | i | o | g].
-        for r in 0..b {
-            let row = z.row_mut(r);
-            for v in row.iter_mut().take(3 * dh) {
-                *v = sigmoid(*v);
-            }
-            for v in row.iter_mut().skip(3 * dh) {
-                *v = tanh(*v);
-            }
-        }
-
-        let mut c = Matrix::zeros(b, dh);
-        let mut h = Matrix::zeros(b, dh);
-        for r in 0..b {
-            let g_row = z.row(r);
-            let (f_g, rest) = g_row.split_at(dh);
-            let (i_g, rest) = rest.split_at(dh);
-            let (o_g, g_g) = rest.split_at(dh);
-            let cp = batch.c.row(r);
-            let c_row = c.row_mut(r);
-            for j in 0..dh {
-                c_row[j] = f_g[j] * cp[j] + i_g[j] * g_g[j];
-            }
-            // `c` and `h` are distinct matrices, so unlike the training
-            // cell no snapshot copy is needed between the two loops.
-            let h_row = h.row_mut(r);
-            for j in 0..dh {
-                h_row[j] = o_g[j] * tanh(c_row[j]);
-            }
-        }
+        let (h_raw, c) = self.model.recurrent_step(zx, batch.h, batch.c, &plan);
 
         // Threshold pruning (Eq. 5) — the state the head reads, the next
         // step consumes, and the encoder stores.
-        let hp = self.pruner.apply(&h);
+        let hp = self.pruner.apply(&h_raw);
 
-        // Classifier head on the pruned state, mirroring `Linear::forward`.
-        let mut logits = hp.matmul(self.model.head_w());
-        logits.add_row_broadcast(self.model.head_b());
+        // Family head on the pruned state.
+        let logits = self.model.head(&hp);
 
         let stats = StepStats {
             lanes: b,
             hidden: dh,
-            fetched_rows: if use_sparse { active.len() } else { dh },
+            fetched_rows,
             anchor_columns: anchors,
             skip_fraction: if use_sparse {
-                1.0 - active.len() as f64 / dh as f64
+                1.0 - fetched_rows as f64 / dh as f64
             } else {
                 0.0
             },
@@ -253,6 +228,8 @@ impl DynamicBatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::weights::FrozenGruCharLm;
+    use zskip_core::OffsetEncoder;
     use zskip_nn::models::CharLm;
     use zskip_tensor::SeedableStream;
 
@@ -274,11 +251,26 @@ mod tests {
         let out = b.step(BatchStep {
             h: &h,
             c: &c,
-            tokens: &[1, 2, 3],
+            inputs: &[1, 2, 3],
         });
         assert_eq!((out.logits.rows(), out.logits.cols()), (3, 10));
         assert_eq!((out.h.rows(), out.h.cols()), (3, 12));
         assert_eq!(out.stats.lanes, 3);
+    }
+
+    #[test]
+    fn gru_step_has_no_cell_state() {
+        let model = FrozenGruCharLm::random(10, 12, 3);
+        let b = DynamicBatcher::new(model, 0.15, SkipPolicy::default());
+        let h = Matrix::zeros(2, 12);
+        let c = Matrix::zeros(2, 0);
+        let out = b.step(BatchStep {
+            h: &h,
+            c: &c,
+            inputs: &[1, 2],
+        });
+        assert_eq!((out.logits.rows(), out.logits.cols()), (2, 10));
+        assert_eq!((out.c.rows(), out.c.cols()), (2, 0));
     }
 
     #[test]
@@ -331,7 +323,7 @@ mod tests {
         let _ = b.step(BatchStep {
             h: &h,
             c: &c,
-            tokens: &[],
+            inputs: &[],
         });
     }
 
@@ -353,7 +345,7 @@ mod tests {
         let out = b.step(BatchStep {
             h: &b.pruner.apply(&h),
             c: &c,
-            tokens: &[0, 9],
+            inputs: &[0, 9],
         });
         for v in out.h.as_slice() {
             assert!(*v == 0.0 || v.abs() >= b.threshold());
@@ -377,7 +369,7 @@ mod tests {
         let out = batcher.step(BatchStep {
             h: &h,
             c: &c,
-            tokens: &[0],
+            inputs: &[0],
         });
         assert!(!out.stats.used_sparse_path);
         assert_eq!(out.stats.fetched_rows, 6);

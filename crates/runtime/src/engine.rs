@@ -2,13 +2,18 @@
 //! drives the [`DynamicBatcher`].
 //!
 //! The engine models the paper's multi-user serving scenario: each client
-//! holds an [`SessionId`] with private `(h, c)` state and streams tokens
+//! holds an [`SessionId`] with private `(h, c)` state and streams inputs
 //! one at a time; every [`Engine::step`] coalesces up to `max_batch`
 //! sessions with pending work into one batched recurrent step, so
 //! concurrent streams share each weight-row fetch (Section III-D's
 //! batch-processing dataflow).
+//!
+//! The engine is generic over [`FrozenModel`], so the same scheduler —
+//! intrusive ready-queue, generational session slots, `O(1)` pending
+//! counter — serves every model family.
 
 use crate::batcher::{BatchStep, DynamicBatcher, SkipPolicy, StepStats};
+use crate::model::FrozenModel;
 use crate::weights::FrozenCharLm;
 use std::collections::VecDeque;
 use zskip_tensor::Matrix;
@@ -23,15 +28,20 @@ pub enum EngineError {
     /// The session id was never issued by this engine, or was closed
     /// (closing reclaims the slot, so the handle stops resolving).
     UnknownSession,
-    /// The token id is outside the model's vocabulary.
-    TokenOutOfVocab,
+    /// The input failed the served model's validation: an
+    /// out-of-vocabulary token for the language-model families, a
+    /// non-finite pixel for the sequential classifier.
+    InvalidInput,
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::UnknownSession => write!(f, "unknown or closed session id"),
-            EngineError::TokenOutOfVocab => write!(f, "token id out of vocabulary"),
+            EngineError::InvalidInput => write!(
+                f,
+                "input rejected by the served model (out-of-vocabulary token or non-finite value)"
+            ),
         }
     }
 }
@@ -40,14 +50,15 @@ impl std::error::Error for EngineError {}
 
 /// One completed inference step for one session.
 #[derive(Clone, Debug, PartialEq)]
-pub struct StepResult {
+pub struct StepResult<I = usize> {
     /// The session this result belongs to.
     pub session: SessionId,
-    /// The input token that was consumed.
-    pub token: usize,
-    /// Next-token logits (`vocab`).
+    /// The input that was consumed (token id or pixel).
+    pub input: I,
+    /// Head logits (`output_dim`).
     pub logits: Vec<f32>,
-    /// Argmax of the logits — the greedy next token.
+    /// Argmax of the logits — the greedy next token, or the running
+    /// class prediction for the classifier family.
     pub argmax: usize,
 }
 
@@ -79,7 +90,7 @@ impl EngineConfig {
 pub struct EngineStats {
     /// Batched steps executed.
     pub steps: u64,
-    /// Tokens processed across all sessions.
+    /// Inputs processed across all sessions.
     pub tokens: u64,
     /// Steps that took the sparse kernel.
     pub sparse_steps: u64,
@@ -120,11 +131,11 @@ impl EngineStats {
 /// Sentinel for "no next slot" in the intrusive ready list.
 const READY_NONE: usize = usize::MAX;
 
-struct SessionState {
+struct SessionState<I> {
     h: Vec<f32>,
     c: Vec<f32>,
-    queued: VecDeque<usize>,
-    outbox: VecDeque<StepResult>,
+    queued: VecDeque<I>,
+    outbox: VecDeque<StepResult<I>>,
     /// `false` once closed: the slot is on the free list awaiting reuse.
     live: bool,
     /// Bumped every time the slot is recycled; part of the [`SessionId`],
@@ -150,7 +161,7 @@ fn decode_id(id: SessionId) -> (usize, u32) {
 }
 
 /// The serving engine: frozen weights, private per-session state, dynamic
-/// batching.
+/// batching — generic over the served [`FrozenModel`] family.
 ///
 /// # Example
 ///
@@ -171,26 +182,42 @@ fn decode_id(id: SessionId) -> (usize, u32) {
 /// let result = engine.poll(user).unwrap().expect("one result");
 /// assert_eq!(result.logits.len(), 30);
 /// ```
-pub struct Engine {
-    batcher: DynamicBatcher,
+///
+/// The same engine serves a GRU (note: no cell state) without any code
+/// change on the caller's side:
+///
+/// ```
+/// use zskip_runtime::{Engine, EngineConfig, FrozenGruCharLm};
+///
+/// let mut engine = Engine::new(
+///     FrozenGruCharLm::random(30, 24, 1),
+///     EngineConfig::for_threshold(0.2),
+/// );
+/// let user = engine.open_session();
+/// engine.submit(user, 5).unwrap();
+/// engine.step();
+/// assert!(engine.poll(user).unwrap().is_some());
+/// ```
+pub struct Engine<M: FrozenModel = FrozenCharLm> {
+    batcher: DynamicBatcher<M>,
     max_batch: usize,
-    sessions: Vec<SessionState>,
+    sessions: Vec<SessionState<M::Input>>,
     /// Recycled slots: closed sessions whose results have been drained.
     free: Vec<usize>,
     /// Head/tail of the intrusive FIFO of slots with (potentially) queued
-    /// tokens. `step` pops from the head, so idle sessions are never
+    /// inputs. `step` pops from the head, so idle sessions are never
     /// visited — the per-step cost is `O(ready)`, not `O(open sessions)`.
     ready_head: usize,
     ready_tail: usize,
-    /// Tokens queued across all sessions, maintained incrementally so
+    /// Inputs queued across all sessions, maintained incrementally so
     /// [`Engine::pending`] is `O(1)`.
     queued_tokens: usize,
     stats: EngineStats,
 }
 
-impl Engine {
+impl<M: FrozenModel> Engine<M> {
     /// Creates an engine serving `model`.
-    pub fn new(model: FrozenCharLm, config: EngineConfig) -> Self {
+    pub fn new(model: M, config: EngineConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
         Self {
             batcher: DynamicBatcher::new(model, config.threshold, config.policy),
@@ -205,7 +232,7 @@ impl Engine {
     }
 
     /// The frozen model being served.
-    pub fn model(&self) -> &FrozenCharLm {
+    pub fn model(&self) -> &M {
         self.batcher.model()
     }
 
@@ -219,10 +246,11 @@ impl Engine {
     /// open/close churn does not grow the engine).
     pub fn open_session(&mut self) -> SessionId {
         let dh = self.model().hidden_dim();
+        let dc = self.model().cell_dim();
         if let Some(index) = self.free.pop() {
             let s = &mut self.sessions[index];
             s.h = vec![0.0; dh];
-            s.c = vec![0.0; dh];
+            s.c = vec![0.0; dc];
             s.queued.clear();
             s.outbox.clear();
             s.live = true;
@@ -233,7 +261,7 @@ impl Engine {
         }
         self.sessions.push(SessionState {
             h: vec![0.0; dh],
-            c: vec![0.0; dh],
+            c: vec![0.0; dc],
             queued: VecDeque::new(),
             outbox: VecDeque::new(),
             live: true,
@@ -244,7 +272,7 @@ impl Engine {
         encode_id(self.sessions.len() - 1, 0)
     }
 
-    /// Closes a session: pending tokens, undelivered results and the
+    /// Closes a session: pending inputs, undelivered results and the
     /// state buffers are all discarded and the slot is reclaimed
     /// immediately (abandoned sessions cannot grow the engine). Poll
     /// everything you need *before* closing; afterwards the handle stops
@@ -265,7 +293,7 @@ impl Engine {
         Ok(())
     }
 
-    fn session_mut(&mut self, id: SessionId) -> Result<&mut SessionState, EngineError> {
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut SessionState<M::Input>, EngineError> {
         let (index, generation) = decode_id(id);
         match self.sessions.get_mut(index) {
             Some(s) if s.generation == generation && s.live => Ok(s),
@@ -273,22 +301,22 @@ impl Engine {
         }
     }
 
-    /// Enqueues one input token on a session. Session errors take
-    /// precedence over token validation.
-    pub fn submit(&mut self, id: SessionId, token: usize) -> Result<(), EngineError> {
-        let vocab = self.model().vocab_size();
+    /// Enqueues one input on a session. Session errors take precedence
+    /// over input validation.
+    pub fn submit(&mut self, id: SessionId, input: M::Input) -> Result<(), EngineError> {
+        let valid = self.model().validate_input(&input);
         let (index, _) = decode_id(id);
         let s = self.session_mut(id)?;
-        if token >= vocab {
-            return Err(EngineError::TokenOutOfVocab);
+        if !valid {
+            return Err(EngineError::InvalidInput);
         }
-        s.queued.push_back(token);
+        s.queued.push_back(input);
         self.queued_tokens += 1;
         self.push_ready(index);
         Ok(())
     }
 
-    /// Number of tokens queued across all sessions (`O(1)`).
+    /// Number of inputs queued across all sessions (`O(1)`).
     pub fn pending(&self) -> usize {
         self.queued_tokens
     }
@@ -326,12 +354,12 @@ impl Engine {
     }
 
     /// Pops the oldest undelivered result for a session, if any.
-    pub fn poll(&mut self, id: SessionId) -> Result<Option<StepResult>, EngineError> {
+    pub fn poll(&mut self, id: SessionId) -> Result<Option<StepResult<M::Input>>, EngineError> {
         Ok(self.session_mut(id)?.outbox.pop_front())
     }
 
     /// Executes one batched step over up to `max_batch` sessions popped
-    /// from the ready list (FIFO round-robin: a session with more tokens
+    /// from the ready list (FIFO round-robin: a session with more inputs
     /// re-enters at the tail, so no ready session waits more than
     /// `ceil(open_slots / max_batch)` steps). Each result is delivered to
     /// its session's poll queue; the returned ids say which sessions have
@@ -343,7 +371,7 @@ impl Engine {
     ///
     /// Returns an empty vector when nothing is pending.
     pub fn step(&mut self) -> Vec<SessionId> {
-        let mut picked: Vec<(usize, usize)> = Vec::new(); // (session index, token)
+        let mut picked: Vec<(usize, M::Input)> = Vec::new(); // (session index, input)
         let mut requeue: Vec<usize> = Vec::new();
         while picked.len() < self.max_batch {
             let Some(idx) = self.pop_ready() else { break };
@@ -351,12 +379,12 @@ impl Engine {
             if !s.live {
                 continue; // stale entry of a closed slot — dropped lazily
             }
-            if let Some(tok) = s.queued.pop_front() {
+            if let Some(input) = s.queued.pop_front() {
                 self.queued_tokens -= 1;
                 if !s.queued.is_empty() {
                     requeue.push(idx);
                 }
-                picked.push((idx, tok));
+                picked.push((idx, input));
             }
         }
         // Re-append *after* picking so one session cannot occupy two
@@ -369,23 +397,24 @@ impl Engine {
         }
 
         let dh = self.model().hidden_dim();
+        let dc = self.model().cell_dim();
         let b = picked.len();
         let mut h = Matrix::zeros(b, dh);
-        let mut c = Matrix::zeros(b, dh);
+        let mut c = Matrix::zeros(b, dc);
         for (r, (idx, _)) in picked.iter().enumerate() {
             h.row_mut(r).copy_from_slice(&self.sessions[*idx].h);
             c.row_mut(r).copy_from_slice(&self.sessions[*idx].c);
         }
-        let tokens: Vec<usize> = picked.iter().map(|(_, t)| *t).collect();
+        let inputs: Vec<M::Input> = picked.iter().map(|(_, t)| *t).collect();
         let out = self.batcher.step(BatchStep {
             h: &h,
             c: &c,
-            tokens: &tokens,
+            inputs: &inputs,
         });
         self.stats.absorb(&out.stats);
 
         let mut delivered = Vec::with_capacity(b);
-        for (r, (idx, tok)) in picked.iter().enumerate() {
+        for (r, (idx, input)) in picked.iter().enumerate() {
             let session = &mut self.sessions[*idx];
             session.h.copy_from_slice(out.h.row(r));
             session.c.copy_from_slice(out.c.row(r));
@@ -395,7 +424,7 @@ impl Engine {
             let id = encode_id(*idx, session.generation);
             session.outbox.push_back(StepResult {
                 session: id,
-                token: *tok,
+                input: *input,
                 logits,
                 argmax,
             });
@@ -404,7 +433,7 @@ impl Engine {
         delivered
     }
 
-    /// Steps until no session has pending tokens; returns the session ids
+    /// Steps until no session has pending inputs; returns the session ids
     /// of all delivered results in completion order (poll each session to
     /// collect them).
     pub fn run_until_idle(&mut self) -> Vec<SessionId> {
@@ -422,6 +451,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::weights::{FrozenGruCharLm, FrozenSeqClassifier};
     use zskip_nn::models::CharLm;
     use zskip_tensor::SeedableStream;
 
@@ -465,9 +495,9 @@ mod tests {
     fn errors_are_reported() {
         let mut e = engine(0.1, 4);
         let id = e.open_session();
-        assert_eq!(e.submit(id, 999), Err(EngineError::TokenOutOfVocab));
+        assert_eq!(e.submit(id, 999), Err(EngineError::InvalidInput));
         assert_eq!(e.submit(SessionId(42), 1), Err(EngineError::UnknownSession));
-        // Session errors take precedence over token validation.
+        // Session errors take precedence over input validation.
         assert_eq!(
             e.submit(SessionId(42), 999),
             Err(EngineError::UnknownSession)
@@ -476,6 +506,39 @@ mod tests {
         e.close_session(id).unwrap();
         assert_eq!(e.submit(id, 1), Err(EngineError::UnknownSession));
         assert_eq!(e.close_session(id), Err(EngineError::UnknownSession));
+    }
+
+    #[test]
+    fn gru_engine_serves_tokens_and_rejects_oov() {
+        let mut e = Engine::new(
+            FrozenGruCharLm::random(12, 8, 2),
+            EngineConfig::for_threshold(0.2),
+        );
+        let id = e.open_session();
+        assert_eq!(e.submit(id, 12), Err(EngineError::InvalidInput));
+        e.submit(id, 3).unwrap();
+        e.step();
+        let r = e.poll(id).unwrap().expect("gru result");
+        assert_eq!(r.logits.len(), 12);
+        assert_eq!(r.input, 3);
+    }
+
+    #[test]
+    fn classifier_engine_streams_pixels_and_rejects_nan() {
+        let mut e = Engine::new(
+            FrozenSeqClassifier::random(4, 6, 3),
+            EngineConfig::for_threshold(0.1),
+        );
+        let id = e.open_session();
+        assert_eq!(e.submit(id, f32::NAN), Err(EngineError::InvalidInput));
+        for pixel in [0.1f32, 0.9, 0.4] {
+            e.submit(id, pixel).unwrap();
+        }
+        let delivered = e.run_until_idle();
+        assert_eq!(delivered.len(), 3);
+        let r = e.poll(id).unwrap().expect("classifier result");
+        assert_eq!(r.logits.len(), 4);
+        assert!(r.argmax < 4);
     }
 
     #[test]
@@ -502,7 +565,7 @@ mod tests {
     #[test]
     fn abandoned_sessions_are_reclaimed_without_polling() {
         // Close without ever polling (a disconnected client): queued
-        // tokens and undelivered results are discarded and the slot is
+        // inputs and undelivered results are discarded and the slot is
         // recycled immediately.
         let mut e = engine(0.1, 4);
         for round in 0..100 {

@@ -9,10 +9,14 @@
 //! state columns, so the predicted gains become measurable CPU gains
 //! (`cargo bench -p zskip-bench --bench runtime`).
 //!
-//! Three layers:
+//! Three layers, all generic over the served model family:
 //!
-//! * [`FrozenCharLm`] — inference-only weights extracted from a trained
-//!   model via the existing `ParamVisitor` traversal (no grad buffers),
+//! * [`FrozenModel`] + the frozen weights ([`FrozenCharLm`],
+//!   [`FrozenGruCharLm`], [`FrozenWordLm`], [`FrozenSeqClassifier`]) —
+//!   inference-only parameter bundles extracted from trained models via
+//!   the [`Freezable`](zskip_nn::Freezable) export (no grad buffers),
+//!   each exposing the family's `input_encode` / `recurrent_step` /
+//!   `head` arithmetic,
 //! * [`DynamicBatcher`] — one batched recurrent step: packs many sessions
 //!   into a `B × dh` state matrix, derives the skip plan from the
 //!   zero-run offset encoding of the *previous* step's pruned state
@@ -62,8 +66,13 @@
 
 pub mod batcher;
 pub mod engine;
+pub mod model;
 pub mod weights;
 
 pub use batcher::{BatchStep, BatchStepOutput, DynamicBatcher, SkipPolicy, StepStats};
 pub use engine::{Engine, EngineConfig, EngineError, EngineStats, SessionId, StepResult};
-pub use weights::{FrozenCharLm, FrozenLstm};
+pub use model::{FrozenModel, InputSpec, ScalarDomain, SkipPlan, TokenDomain};
+pub use weights::{
+    FrozenCharLm, FrozenGru, FrozenGruCharLm, FrozenHead, FrozenLstm, FrozenSeqClassifier,
+    FrozenWordLm,
+};

@@ -1,0 +1,163 @@
+//! The frozen-model abstraction the generic serving stack is built on.
+//!
+//! [`DynamicBatcher`](crate::DynamicBatcher), [`Engine`](crate::Engine)
+//! and the `zskip-serve` front-end are generic over [`FrozenModel`]: a
+//! family-specific bundle of inference weights that knows how to
+//!
+//! 1. **encode** a batch of per-step inputs into the x-side
+//!    pre-activation ([`FrozenModel::input_encode`]),
+//! 2. run one **recurrent step** whose `Wh` product honours a row skip
+//!    plan ([`FrozenModel::recurrent_step`]), and
+//! 3. apply the classifier **head** to a pruned state
+//!    ([`FrozenModel::head`]).
+//!
+//! Each method must replicate the corresponding training-side arithmetic
+//! *operation for operation* (including the order in which the bias and
+//! the recurrent product are accumulated — LSTM and GRU cells differ
+//! here), so that serving a frozen model is bit-identical to evaluating
+//! the training model with the same pruner. The per-family equivalence
+//! proptests in `tests/proptests.rs` enforce this.
+
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// The skip plan for one batched recurrent step: which rows of `Wh` must
+/// be fetched, derived from the zero-run offset encoding of the previous
+/// step's jointly-pruned state (see
+/// [`DynamicBatcher::skip_plan`](crate::DynamicBatcher::skip_plan)).
+#[derive(Clone, Debug)]
+pub struct SkipPlan {
+    /// Stored (fetched) row indices of `Wh`, strictly increasing.
+    pub active: Vec<usize>,
+    /// How many of `active` are anchors forced by offset-field
+    /// saturation rather than real non-zero columns.
+    pub anchors: usize,
+    /// Whether the sparse kernel should run (`false` = the batcher's
+    /// dense-fallback policy decided skipping would not pay).
+    pub use_sparse: bool,
+}
+
+impl SkipPlan {
+    /// The recurrent product under this plan — the one place the skip
+    /// decision is applied, shared by every model family.
+    pub fn matmul(&self, h: &Matrix, wh: &Matrix) -> Matrix {
+        if self.use_sparse {
+            h.matmul_sparse_rows(wh, &self.active)
+        } else {
+            h.matmul(wh)
+        }
+    }
+}
+
+/// Cheap, `Copy` description of a family's valid input domain — what
+/// client-side validation and load generation need, without holding a
+/// copy of the weights (a serving front-end keeps one of these per
+/// server instead of an extra multi-megabyte model clone).
+pub trait InputSpec<I>: Copy + Send + Sync + 'static {
+    /// Whether `input` is servable (in-vocabulary token, finite pixel).
+    fn validate(&self, input: &I) -> bool;
+
+    /// Draws a uniformly random valid input.
+    fn sample(&self, rng: &mut SeedableStream) -> I;
+}
+
+/// Input domain of the token-fed families: ids in `0..vocab`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenDomain {
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl InputSpec<usize> for TokenDomain {
+    fn validate(&self, input: &usize) -> bool {
+        *input < self.vocab
+    }
+
+    fn sample(&self, rng: &mut SeedableStream) -> usize {
+        rng.index(self.vocab)
+    }
+}
+
+/// Input domain of the pixel-streaming classifier: any finite scalar
+/// (NaN/∞ would poison the state of every lane sharing the batch's
+/// skip plan downstream); samples are intensities in `[0, 1)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScalarDomain;
+
+impl InputSpec<f32> for ScalarDomain {
+    fn validate(&self, input: &f32) -> bool {
+        input.is_finite()
+    }
+
+    fn sample(&self, rng: &mut SeedableStream) -> f32 {
+        rng.uniform(0.0, 1.0)
+    }
+}
+
+/// Frozen inference weights of one model family.
+///
+/// Implementations are plain data (cloneable, shareable across serving
+/// shards) extracted from a trained `zskip-nn` model through the
+/// [`Freezable`](zskip_nn::Freezable) export, or generated at serving
+/// shape via each family's `random` constructor for benches.
+pub trait FrozenModel: Clone + Send + Sync + 'static {
+    /// One per-step input unit: a token id for the language models, a
+    /// pixel value for the sequential classifier.
+    type Input: Copy + Send + Sync + std::fmt::Debug + 'static;
+
+    /// The family's weight-free input-domain descriptor.
+    type Spec: InputSpec<Self::Input>;
+
+    /// Hidden dimension `dh` — the width of the pruned state and the
+    /// row count of `Wh`.
+    fn hidden_dim(&self) -> usize;
+
+    /// Width of the per-session cell state (`dh` for LSTM families, `0`
+    /// for the GRU, whose only memory is the pruned `h`).
+    fn cell_dim(&self) -> usize {
+        self.hidden_dim()
+    }
+
+    /// Width of the head output (vocabulary or class count).
+    fn output_dim(&self) -> usize;
+
+    /// The input domain, detached from the weights — serving layers keep
+    /// this `Copy` descriptor instead of an extra model clone.
+    fn input_spec(&self) -> Self::Spec;
+
+    /// Whether `input` may enter a session queue. Rejected inputs
+    /// surface as
+    /// [`EngineError::InvalidInput`](crate::EngineError::InvalidInput).
+    fn validate_input(&self, input: &Self::Input) -> bool {
+        self.input_spec().validate(input)
+    }
+
+    /// Draws a uniformly random valid input — what load generators and
+    /// benches feed a server without knowing the family.
+    fn sample_input(&self, rng: &mut SeedableStream) -> Self::Input {
+        self.input_spec().sample(rng)
+    }
+
+    /// Encodes one batch of inputs into the x-side pre-activation the
+    /// recurrent step consumes (`B × gate-width`), exactly as the
+    /// training cell computes it before the recurrent contribution is
+    /// merged. Families differ in where the bias lands: the LSTM adds it
+    /// *after* the recurrent product, the GRU *before* — each frozen
+    /// family replicates its own cell's order.
+    fn input_encode(&self, inputs: &[Self::Input]) -> Matrix;
+
+    /// One batched recurrent step: consumes the x-side encoding `zx`,
+    /// the previous pruned state `h` (`B × dh`), the cell state `c`
+    /// (`B × cell_dim`) and the skip plan over `Wh` rows; returns the
+    /// raw next hidden state and the next cell state.
+    fn recurrent_step(
+        &self,
+        zx: Matrix,
+        h: &Matrix,
+        c: &Matrix,
+        plan: &SkipPlan,
+    ) -> (Matrix, Matrix);
+
+    /// Classifier head on a pruned state: `B × dh` → `B × output_dim`
+    /// logits.
+    fn head(&self, hp: &Matrix) -> Matrix;
+}

@@ -1,0 +1,255 @@
+//! Frozen recurrent cells and the shared classifier head.
+//!
+//! The per-family frozen models compose these: every LSTM family
+//! (char-LM, word-LM, sequential classifier) shares one recurrent-step
+//! implementation over [`FrozenLstm`], the GRU family uses
+//! [`FrozenGru`], and all heads are a [`FrozenHead`]. Each step
+//! replicates the corresponding `zskip-nn` training cell operation for
+//! operation — including accumulation order — so frozen serving is
+//! bit-identical to the training forward pass.
+
+use crate::model::SkipPlan;
+use serde::{Deserialize, Serialize};
+use zskip_tensor::{sigmoid, tanh, Matrix};
+
+/// Frozen weights of one LSTM cell (gate order `[f, i, o, g]`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenLstm {
+    input: usize,
+    hidden: usize,
+    wx: Matrix,
+    wh: Matrix,
+    bias: Vec<f32>,
+}
+
+impl FrozenLstm {
+    /// Bundles LSTM weights at serving shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shape disagrees with `input`/`hidden`.
+    pub fn new(input: usize, hidden: usize, wx: Matrix, wh: Matrix, bias: Vec<f32>) -> Self {
+        assert_eq!((wx.rows(), wx.cols()), (input, 4 * hidden), "Wx shape");
+        assert_eq!((wh.rows(), wh.cols()), (hidden, 4 * hidden), "Wh shape");
+        assert_eq!(bias.len(), 4 * hidden, "bias shape");
+        Self {
+            input,
+            hidden,
+            wx,
+            wh,
+            bias,
+        }
+    }
+
+    /// Input dimension `dx`.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden dimension `dh`.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input weights `Wx` (`dx × 4dh`).
+    pub fn wx(&self) -> &Matrix {
+        &self.wx
+    }
+
+    /// Recurrent weights `Wh` (`dh × 4dh`) — the matrix the sparse kernel
+    /// skips rows of.
+    pub fn wh(&self) -> &Matrix {
+        &self.wh
+    }
+
+    /// Bias (`4dh`).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// One batched LSTM step, replicating `zskip_nn::LstmCell::forward`
+    /// bit-for-bit: `z = zx + h·Wh` (skip plan applied) `+ b`, gate
+    /// non-linearities, then the cell/hidden update.
+    ///
+    /// `zx` is the x-side pre-activation **without** bias (`B × 4dh`);
+    /// consumed as the accumulator. Returns `(h_raw, c_next)`.
+    pub fn recurrent_step(
+        &self,
+        mut z: Matrix,
+        h: &Matrix,
+        c_prev: &Matrix,
+        plan: &SkipPlan,
+    ) -> (Matrix, Matrix) {
+        let dh = self.hidden;
+        let b = h.rows();
+        let hz = plan.matmul(h, &self.wh);
+        z.add_assign(&hz);
+        z.add_row_broadcast(&self.bias);
+
+        // Gate non-linearities, gate order [f | i | o | g].
+        for r in 0..b {
+            let row = z.row_mut(r);
+            for v in row.iter_mut().take(3 * dh) {
+                *v = sigmoid(*v);
+            }
+            for v in row.iter_mut().skip(3 * dh) {
+                *v = tanh(*v);
+            }
+        }
+
+        let mut c = Matrix::zeros(b, dh);
+        let mut h_next = Matrix::zeros(b, dh);
+        for r in 0..b {
+            let g_row = z.row(r);
+            let (f_g, rest) = g_row.split_at(dh);
+            let (i_g, rest) = rest.split_at(dh);
+            let (o_g, g_g) = rest.split_at(dh);
+            let cp = c_prev.row(r);
+            let c_row = c.row_mut(r);
+            for j in 0..dh {
+                c_row[j] = f_g[j] * cp[j] + i_g[j] * g_g[j];
+            }
+            // `c` and `h_next` are distinct matrices, so unlike the
+            // training cell no snapshot copy is needed between the loops.
+            let h_row = h_next.row_mut(r);
+            for j in 0..dh {
+                h_row[j] = o_g[j] * tanh(c_row[j]);
+            }
+        }
+        (h_next, c)
+    }
+}
+
+/// Frozen weights of one GRU cell (gate order `[z, r, n]`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenGru {
+    input: usize,
+    hidden: usize,
+    wx: Matrix,
+    wh: Matrix,
+    bias: Vec<f32>,
+}
+
+impl FrozenGru {
+    /// Bundles GRU weights at serving shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shape disagrees with `input`/`hidden`.
+    pub fn new(input: usize, hidden: usize, wx: Matrix, wh: Matrix, bias: Vec<f32>) -> Self {
+        assert_eq!((wx.rows(), wx.cols()), (input, 3 * hidden), "Wx shape");
+        assert_eq!((wh.rows(), wh.cols()), (hidden, 3 * hidden), "Wh shape");
+        assert_eq!(bias.len(), 3 * hidden, "bias shape");
+        Self {
+            input,
+            hidden,
+            wx,
+            wh,
+            bias,
+        }
+    }
+
+    /// Input dimension `dx`.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden dimension `dh`.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input weights `Wx` (`dx × 3dh`).
+    pub fn wx(&self) -> &Matrix {
+        &self.wx
+    }
+
+    /// Recurrent weights `Wh` (`dh × 3dh`).
+    pub fn wh(&self) -> &Matrix {
+        &self.wh
+    }
+
+    /// Bias (`3dh`).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// One batched GRU step, replicating `zskip_nn::GruCell::forward`
+    /// bit-for-bit. Note the family difference baked into the training
+    /// cell: the bias is added to the x-side **before** the recurrent
+    /// contribution is merged per gate, so `zx` here must already carry
+    /// it (`B × 3dh`, see the family's `input_encode`). Returns the raw
+    /// next hidden state; the GRU carries no cell state.
+    pub fn recurrent_step(&self, zx: Matrix, h: &Matrix, plan: &SkipPlan) -> Matrix {
+        let dh = self.hidden;
+        let b = h.rows();
+        let zh = plan.matmul(h, &self.wh);
+
+        let mut gates = Matrix::zeros(b, 3 * dh);
+        let mut h_next = Matrix::zeros(b, dh);
+        for r in 0..b {
+            let zx_row = zx.row(r);
+            let zh_row = zh.row(r);
+            let hp = h.row(r);
+            // z and r gates take the plain sum of contributions.
+            let g_row = gates.row_mut(r);
+            for j in 0..2 * dh {
+                g_row[j] = sigmoid(zx_row[j] + zh_row[j]);
+            }
+            // n gate: reset gate scales the recurrent contribution.
+            for j in 0..dh {
+                let r_g = g_row[dh + j];
+                g_row[2 * dh + j] = tanh(zx_row[2 * dh + j] + r_g * zh_row[2 * dh + j]);
+            }
+            let h_row = h_next.row_mut(r);
+            for j in 0..dh {
+                let z_g = g_row[j];
+                let n_g = g_row[2 * dh + j];
+                h_row[j] = (1.0 - z_g) * n_g + z_g * hp[j];
+            }
+        }
+        h_next
+    }
+}
+
+/// Frozen classifier head: `logits = hp·W + b`, replicating
+/// `zskip_nn::Linear::forward`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenHead {
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+impl FrozenHead {
+    /// Bundles head weights (`W : dh × out`, `b : out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != w.cols()`.
+    pub fn new(w: Matrix, b: Vec<f32>) -> Self {
+        assert_eq!(b.len(), w.cols(), "head bias shape");
+        Self { w, b }
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Head weights (`dh × out`).
+    pub fn weight(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Head bias (`out`).
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Applies the head to a batch of pruned states.
+    pub fn forward(&self, hp: &Matrix) -> Matrix {
+        let mut logits = hp.matmul(&self.w);
+        logits.add_row_broadcast(&self.b);
+        logits
+    }
+}

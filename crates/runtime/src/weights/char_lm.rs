@@ -1,0 +1,171 @@
+//! Frozen character-level LM: one-hot LSTM plus softmax head.
+
+use super::cells::{FrozenHead, FrozenLstm};
+use super::TensorBag;
+use crate::model::{FrozenModel, SkipPlan, TokenDomain};
+use serde::{Deserialize, Serialize};
+use zskip_nn::models::CharLm;
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Frozen weights of a character-level LM: LSTM plus softmax head.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::CharLm;
+/// use zskip_runtime::{FrozenCharLm, FrozenModel};
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let mut model = CharLm::new(20, 16, &mut rng);
+/// let frozen = FrozenCharLm::freeze(&mut model);
+/// assert_eq!(frozen.vocab_size(), 20);
+/// assert_eq!(frozen.hidden_dim(), 16);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenCharLm {
+    vocab: usize,
+    lstm: FrozenLstm,
+    head: FrozenHead,
+}
+
+impl FrozenCharLm {
+    /// Extracts frozen weights from a trained [`CharLm`] (mutable borrow
+    /// explained on [`zskip_nn::Freezable`]).
+    pub fn freeze(model: &mut CharLm) -> Self {
+        let (vocab, hidden) = (model.vocab_size(), model.hidden_dim());
+        let mut bag = TensorBag::export(model, "CharLm");
+        let wx = bag.take_matrix("lstm.wx", vocab, 4 * hidden);
+        let wh = bag.take_matrix("lstm.wh", hidden, 4 * hidden);
+        let bias = bag.take_vec("lstm.b", 4 * hidden);
+        let head_w = bag.take_matrix("linear.w", hidden, vocab);
+        let head_b = bag.take_vec("linear.b", vocab);
+        bag.finish();
+        Self {
+            vocab,
+            lstm: FrozenLstm::new(vocab, hidden, wx, wh, bias),
+            head: FrozenHead::new(head_w, head_b),
+        }
+    }
+
+    /// Random weights at serving shape — used by benchmarks that measure
+    /// kernel cost without paying for training first.
+    pub fn random(vocab: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let scale = (1.0 / hidden as f32).sqrt();
+        let wx = super::random_matrix(vocab, 4 * hidden, scale, &mut rng);
+        let wh = super::random_matrix(hidden, 4 * hidden, scale, &mut rng);
+        let head_w = super::random_matrix(hidden, vocab, scale, &mut rng);
+        Self {
+            vocab,
+            lstm: FrozenLstm::new(vocab, hidden, wx, wh, vec![0.0; 4 * hidden]),
+            head: FrozenHead::new(head_w, vec![0.0; vocab]),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// The frozen LSTM cell.
+    pub fn lstm(&self) -> &FrozenLstm {
+        &self.lstm
+    }
+
+    /// Classifier head weights (`dh × vocab`).
+    pub fn head_w(&self) -> &Matrix {
+        self.head.weight()
+    }
+
+    /// Classifier head bias (`vocab`).
+    pub fn head_b(&self) -> &[f32] {
+        self.head.bias()
+    }
+}
+
+impl FrozenModel for FrozenCharLm {
+    type Input = usize;
+
+    fn hidden_dim(&self) -> usize {
+        self.lstm.hidden_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.vocab
+    }
+
+    type Spec = TokenDomain;
+
+    fn input_spec(&self) -> TokenDomain {
+        TokenDomain { vocab: self.vocab }
+    }
+
+    /// One-hot input ⇒ `Wx·x` degenerates to a row lookup (the paper's
+    /// "implemented as a look-up table"). Bit-identical to the GEMM:
+    /// multiplying by 1.0 is exact.
+    fn input_encode(&self, inputs: &[usize]) -> Matrix {
+        let dh = self.lstm.hidden_dim();
+        let mut z = Matrix::zeros(inputs.len(), 4 * dh);
+        for (r, &tok) in inputs.iter().enumerate() {
+            z.row_mut(r).copy_from_slice(self.lstm.wx().row(tok));
+        }
+        z
+    }
+
+    fn recurrent_step(
+        &self,
+        zx: Matrix,
+        h: &Matrix,
+        c: &Matrix,
+        plan: &SkipPlan,
+    ) -> (Matrix, Matrix) {
+        self.lstm.recurrent_step(zx, h, c, plan)
+    }
+
+    fn head(&self, hp: &Matrix) -> Matrix {
+        self.head.forward(hp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_copies_shapes_and_values() {
+        let mut rng = SeedableStream::new(3);
+        let mut model = CharLm::new(12, 8, &mut rng);
+        let frozen = FrozenCharLm::freeze(&mut model);
+        assert_eq!(frozen.lstm().wx().rows(), 12);
+        assert_eq!(frozen.lstm().wx().cols(), 32);
+        assert_eq!(frozen.lstm().wh().rows(), 8);
+        assert_eq!(frozen.lstm().wh().cols(), 32);
+        assert_eq!(frozen.head_w().rows(), 8);
+        assert_eq!(frozen.head_w().cols(), 12);
+        assert_eq!(frozen.lstm().wx(), model.lstm().cell().wx());
+        assert_eq!(frozen.lstm().wh(), model.lstm().cell().wh());
+        assert_eq!(frozen.lstm().bias(), model.lstm().cell().bias());
+        assert_eq!(frozen.head_w(), model.head().weight());
+    }
+
+    #[test]
+    fn random_weights_have_serving_shape() {
+        let f = FrozenCharLm::random(50, 64, 9);
+        assert_eq!(f.vocab_size(), 50);
+        assert_eq!(f.hidden_dim(), 64);
+        assert_eq!(f.lstm().wh().rows(), 64);
+        assert_eq!(f.lstm().wh().cols(), 256);
+    }
+
+    #[test]
+    fn input_validation_is_the_vocab_bound() {
+        let f = FrozenCharLm::random(10, 4, 1);
+        assert!(f.validate_input(&9));
+        assert!(!f.validate_input(&10));
+        let mut rng = SeedableStream::new(2);
+        for _ in 0..50 {
+            assert!(f.validate_input(&f.sample_input(&mut rng)));
+        }
+    }
+}

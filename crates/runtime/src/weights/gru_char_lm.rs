@@ -1,0 +1,155 @@
+//! Frozen GRU character-level LM: 3-gate recurrent cell, no cell state.
+
+use super::cells::{FrozenGru, FrozenHead};
+use super::TensorBag;
+use crate::model::{FrozenModel, SkipPlan, TokenDomain};
+use serde::{Deserialize, Serialize};
+use zskip_nn::models::GruCharLm;
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Frozen weights of the GRU char-LM: a 3-gate `Wh` (`dh × 3dh`, gate
+/// order `[z, r, n]`) plus softmax head. The GRU's only memory is the
+/// pruned hidden state, so [`FrozenModel::cell_dim`] is zero and
+/// sessions carry no cell state.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::GruCharLm;
+/// use zskip_runtime::FrozenGruCharLm;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let mut model = GruCharLm::new(20, 16, &mut rng);
+/// let frozen = FrozenGruCharLm::freeze(&mut model);
+/// assert_eq!(frozen.vocab_size(), 20);
+/// assert_eq!(frozen.gru().wh().cols(), 48);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenGruCharLm {
+    vocab: usize,
+    gru: FrozenGru,
+    head: FrozenHead,
+}
+
+impl FrozenGruCharLm {
+    /// Extracts frozen weights from a trained [`GruCharLm`] (mutable
+    /// borrow explained on [`zskip_nn::Freezable`]).
+    pub fn freeze(model: &mut GruCharLm) -> Self {
+        let (vocab, hidden) = (model.vocab_size(), model.hidden_dim());
+        let mut bag = TensorBag::export(model, "GruCharLm");
+        let wx = bag.take_matrix("gru.wx", vocab, 3 * hidden);
+        let wh = bag.take_matrix("gru.wh", hidden, 3 * hidden);
+        let bias = bag.take_vec("gru.b", 3 * hidden);
+        let head_w = bag.take_matrix("linear.w", hidden, vocab);
+        let head_b = bag.take_vec("linear.b", vocab);
+        bag.finish();
+        Self {
+            vocab,
+            gru: FrozenGru::new(vocab, hidden, wx, wh, bias),
+            head: FrozenHead::new(head_w, head_b),
+        }
+    }
+
+    /// Random weights at serving shape, for benchmarks.
+    pub fn random(vocab: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let scale = (1.0 / hidden as f32).sqrt();
+        let wx = super::random_matrix(vocab, 3 * hidden, scale, &mut rng);
+        let wh = super::random_matrix(hidden, 3 * hidden, scale, &mut rng);
+        let head_w = super::random_matrix(hidden, vocab, scale, &mut rng);
+        Self {
+            vocab,
+            gru: FrozenGru::new(vocab, hidden, wx, wh, vec![0.0; 3 * hidden]),
+            head: FrozenHead::new(head_w, vec![0.0; vocab]),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// The frozen GRU cell.
+    pub fn gru(&self) -> &FrozenGru {
+        &self.gru
+    }
+}
+
+impl FrozenModel for FrozenGruCharLm {
+    type Input = usize;
+
+    fn hidden_dim(&self) -> usize {
+        self.gru.hidden_dim()
+    }
+
+    /// The GRU keeps no cell state.
+    fn cell_dim(&self) -> usize {
+        0
+    }
+
+    fn output_dim(&self) -> usize {
+        self.vocab
+    }
+
+    type Spec = TokenDomain;
+
+    fn input_spec(&self) -> TokenDomain {
+        TokenDomain { vocab: self.vocab }
+    }
+
+    /// One-hot row lookup, **plus the bias**: `GruCell::forward` folds
+    /// the bias into the x-side pre-activation before merging the
+    /// recurrent contribution, so the frozen path must too.
+    fn input_encode(&self, inputs: &[usize]) -> Matrix {
+        let dh = self.gru.hidden_dim();
+        let mut z = Matrix::zeros(inputs.len(), 3 * dh);
+        for (r, &tok) in inputs.iter().enumerate() {
+            z.row_mut(r).copy_from_slice(self.gru.wx().row(tok));
+        }
+        z.add_row_broadcast(self.gru.bias());
+        z
+    }
+
+    fn recurrent_step(
+        &self,
+        zx: Matrix,
+        h: &Matrix,
+        _c: &Matrix,
+        plan: &SkipPlan,
+    ) -> (Matrix, Matrix) {
+        let h_next = self.gru.recurrent_step(zx, h, plan);
+        let b = h.rows();
+        (h_next, Matrix::zeros(b, 0))
+    }
+
+    fn head(&self, hp: &Matrix) -> Matrix {
+        self.head.forward(hp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_copies_shapes_and_values() {
+        let mut rng = SeedableStream::new(4);
+        let mut model = GruCharLm::new(14, 6, &mut rng);
+        let frozen = FrozenGruCharLm::freeze(&mut model);
+        assert_eq!(frozen.gru().wx().rows(), 14);
+        assert_eq!(frozen.gru().wx().cols(), 18);
+        assert_eq!(frozen.gru().wh().rows(), 6);
+        assert_eq!(frozen.gru().wh().cols(), 18);
+        assert_eq!(frozen.gru().wx(), model.gru().cell().wx());
+        assert_eq!(frozen.gru().wh(), model.gru().cell().wh());
+        assert_eq!(frozen.gru().bias(), model.gru().cell().bias());
+    }
+
+    #[test]
+    fn sessions_carry_no_cell_state() {
+        let f = FrozenGruCharLm::random(10, 8, 3);
+        assert_eq!(f.cell_dim(), 0);
+        assert_eq!(f.hidden_dim(), 8);
+    }
+}

@@ -1,0 +1,103 @@
+//! Frozen inference weights, extracted from trained `zskip-nn` models.
+//!
+//! Training models carry gradient buffers, caches and visitor plumbing
+//! the serving path never needs. Each *family* here is the runtime's own
+//! copy of the parameters — plain matrices, no `Option<Matrix>` gradient
+//! slots — extracted through the [`zskip_nn::Freezable`]
+//! export (stable tensor names, matched exactly) and implementing
+//! [`FrozenModel`](crate::FrozenModel) so the generic
+//! [`Engine`](crate::Engine) and `zskip-serve` stack can serve any of
+//! them:
+//!
+//! | frozen family | trains as | input | head |
+//! |---|---|---|---|
+//! | [`FrozenCharLm`] | `CharLm` | one-hot token → `Wx` row lookup | next-char logits |
+//! | [`FrozenGruCharLm`] | `GruCharLm` | one-hot token → `Wx` row lookup | next-char logits |
+//! | [`FrozenWordLm`] | `WordLm` | embedding row lookup → dense `Wx` GEMM | next-word logits |
+//! | [`FrozenSeqClassifier`] | `SeqClassifier` | one scalar pixel per step | running class logits |
+
+mod cells;
+mod char_lm;
+mod gru_char_lm;
+mod seq_classifier;
+mod word_lm;
+
+pub use cells::{FrozenGru, FrozenHead, FrozenLstm};
+pub use char_lm::FrozenCharLm;
+pub use gru_char_lm::FrozenGruCharLm;
+pub use seq_classifier::FrozenSeqClassifier;
+pub use word_lm::FrozenWordLm;
+
+use std::collections::VecDeque;
+use zskip_nn::Freezable;
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Uniform random matrix in `±scale`, shared by every family's `random`
+/// bench-weight constructor so the initialization lives in one place.
+pub(crate) fn random_matrix(
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    rng: &mut SeedableStream,
+) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-scale, scale))
+}
+
+/// Ordered tensor stream of one [`Freezable`] export, consumed by the
+/// per-family freezers: tensors are taken front-to-back by **exact
+/// name**, so a model that reorders or grows parameters fails loudly
+/// instead of freezing garbage.
+pub(crate) struct TensorBag {
+    family: &'static str,
+    tensors: VecDeque<(String, Vec<f32>)>,
+}
+
+impl TensorBag {
+    /// Exports `model`'s parameters (see [`Freezable::export_tensors`]
+    /// for why the borrow is mutable).
+    pub(crate) fn export(model: &mut impl Freezable, family: &'static str) -> Self {
+        Self {
+            family,
+            tensors: model.export_tensors().into(),
+        }
+    }
+
+    /// Takes the next tensor as a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the next tensor's name or length disagrees.
+    pub(crate) fn take_matrix(&mut self, name: &str, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_vec(name, rows * cols))
+    }
+
+    /// Takes the next tensor as a flat vector of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the next tensor's name or length disagrees.
+    pub(crate) fn take_vec(&mut self, name: &str, len: usize) -> Vec<f32> {
+        let (got, data) = self
+            .tensors
+            .pop_front()
+            .unwrap_or_else(|| panic!("{} export exhausted before {name}", self.family));
+        assert_eq!(got, name, "unexpected parameter order in {}", self.family);
+        assert_eq!(
+            data.len(),
+            len,
+            "{}: {name} has unexpected size",
+            self.family
+        );
+        data
+    }
+
+    /// Asserts every exported tensor was consumed.
+    pub(crate) fn finish(self) {
+        assert!(
+            self.tensors.is_empty(),
+            "{} grew parameters the runtime does not freeze: {:?}",
+            self.family,
+            self.tensors.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Frozen sequential classifier: one scalar pixel per step, class head.
+
+use super::cells::{FrozenHead, FrozenLstm};
+use super::TensorBag;
+use crate::model::{FrozenModel, ScalarDomain, SkipPlan};
+use serde::{Deserialize, Serialize};
+use zskip_nn::models::SeqClassifier;
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Frozen weights of the sequential (pixel-by-pixel) classifier.
+///
+/// Streaming input is one `f32` pixel per engine step (`dx = 1`, as in
+/// the paper's sequential-MNIST setup, where virtually all recurrent
+/// work is the skippable `Wh·h` product). The training model applies its
+/// head only to the *final* state; a streaming server does not know
+/// which step is final, so each step's delivered logits are that
+/// **final-state head applied to the state so far** — the class
+/// prediction as if the sequence ended at that step, bit-identical to
+/// training's head on the same state prefix.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::SeqClassifier;
+/// use zskip_runtime::FrozenSeqClassifier;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let mut model = SeqClassifier::new(10, 8, &mut rng);
+/// let frozen = FrozenSeqClassifier::freeze(&mut model);
+/// assert_eq!(frozen.class_count(), 10);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenSeqClassifier {
+    classes: usize,
+    lstm: FrozenLstm,
+    head: FrozenHead,
+}
+
+impl FrozenSeqClassifier {
+    /// Extracts frozen weights from a trained [`SeqClassifier`] (mutable
+    /// borrow explained on [`zskip_nn::Freezable`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was built with `input_dim != 1`: streaming
+    /// serving consumes one scalar pixel per step, so only the paper's
+    /// pixel-scan variant can be frozen.
+    pub fn freeze(model: &mut SeqClassifier) -> Self {
+        assert_eq!(
+            model.input_dim(),
+            1,
+            "streaming serving consumes one pixel per step; freeze the scalar-input model"
+        );
+        let (classes, hidden) = (model.class_count(), model.hidden_dim());
+        let mut bag = TensorBag::export(model, "SeqClassifier");
+        let wx = bag.take_matrix("lstm.wx", 1, 4 * hidden);
+        let wh = bag.take_matrix("lstm.wh", hidden, 4 * hidden);
+        let bias = bag.take_vec("lstm.b", 4 * hidden);
+        let head_w = bag.take_matrix("linear.w", hidden, classes);
+        let head_b = bag.take_vec("linear.b", classes);
+        bag.finish();
+        Self {
+            classes,
+            lstm: FrozenLstm::new(1, hidden, wx, wh, bias),
+            head: FrozenHead::new(head_w, head_b),
+        }
+    }
+
+    /// Random weights at serving shape, for benchmarks.
+    pub fn random(classes: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let scale = (1.0 / hidden as f32).sqrt();
+        let wx = super::random_matrix(1, 4 * hidden, scale, &mut rng);
+        let wh = super::random_matrix(hidden, 4 * hidden, scale, &mut rng);
+        let head_w = super::random_matrix(hidden, classes, scale, &mut rng);
+        Self {
+            classes,
+            lstm: FrozenLstm::new(1, hidden, wx, wh, vec![0.0; 4 * hidden]),
+            head: FrozenHead::new(head_w, vec![0.0; classes]),
+        }
+    }
+
+    /// Number of output classes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// The frozen LSTM cell.
+    pub fn lstm(&self) -> &FrozenLstm {
+        &self.lstm
+    }
+}
+
+impl FrozenModel for FrozenSeqClassifier {
+    type Input = f32;
+
+    fn hidden_dim(&self) -> usize {
+        self.lstm.hidden_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.classes
+    }
+
+    type Spec = ScalarDomain;
+
+    fn input_spec(&self) -> ScalarDomain {
+        ScalarDomain
+    }
+
+    /// Packs the pixels into the training path's `B × 1` step matrix and
+    /// runs the same `x·Wx` GEMM.
+    fn input_encode(&self, inputs: &[f32]) -> Matrix {
+        let x = Matrix::from_vec(inputs.len(), 1, inputs.to_vec());
+        x.matmul(self.lstm.wx())
+    }
+
+    fn recurrent_step(
+        &self,
+        zx: Matrix,
+        h: &Matrix,
+        c: &Matrix,
+        plan: &SkipPlan,
+    ) -> (Matrix, Matrix) {
+        self.lstm.recurrent_step(zx, h, c, plan)
+    }
+
+    fn head(&self, hp: &Matrix) -> Matrix {
+        self.head.forward(hp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_copies_shapes_and_values() {
+        let mut rng = SeedableStream::new(7);
+        let mut model = SeqClassifier::new(4, 6, &mut rng);
+        let frozen = FrozenSeqClassifier::freeze(&mut model);
+        assert_eq!(frozen.lstm().wx().rows(), 1);
+        assert_eq!(frozen.lstm().wx().cols(), 24);
+        assert_eq!(frozen.lstm().wh().rows(), 6);
+        assert_eq!(frozen.lstm().wx(), model.lstm().cell().wx());
+        assert_eq!(frozen.lstm().wh(), model.lstm().cell().wh());
+        assert_eq!(frozen.head(&Matrix::zeros(2, 6)).cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pixel per step")]
+    fn row_input_models_cannot_be_frozen() {
+        let mut rng = SeedableStream::new(8);
+        let mut model = SeqClassifier::with_input_dim(4, 7, 6, &mut rng);
+        let _ = FrozenSeqClassifier::freeze(&mut model);
+    }
+
+    #[test]
+    fn non_finite_pixels_are_rejected() {
+        let f = FrozenSeqClassifier::random(3, 5, 2);
+        assert!(f.validate_input(&0.5));
+        assert!(f.validate_input(&-2.0));
+        assert!(!f.validate_input(&f32::NAN));
+        assert!(!f.validate_input(&f32::INFINITY));
+    }
+}

@@ -1,0 +1,182 @@
+//! Frozen word-level LM: embedding lookup into a dense-input LSTM.
+
+use super::cells::{FrozenHead, FrozenLstm};
+use super::TensorBag;
+use crate::model::{FrozenModel, SkipPlan, TokenDomain};
+use serde::{Deserialize, Serialize};
+use zskip_nn::models::WordLm;
+use zskip_tensor::{Matrix, SeedableStream};
+
+/// Frozen weights of the word-level LM: embedding table, LSTM over dense
+/// embedded inputs, softmax head.
+///
+/// Because the embedded input is a dense real vector, the `Wx·x` half of
+/// the recurrent computation cannot be skipped for this family (the
+/// paper's Fig. 8 smaller-speedup case) — only the `Wh` rows of
+/// jointly-zero state columns are.
+///
+/// Dropout exists only at training time; the frozen path is the
+/// dropout-free `eval` forward, which is what the equivalence proptests
+/// pin it to.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::WordLm;
+/// use zskip_runtime::FrozenWordLm;
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let mut model = WordLm::new(100, 16, 12, 0.5, &mut rng);
+/// let frozen = FrozenWordLm::freeze(&mut model);
+/// assert_eq!(frozen.vocab_size(), 100);
+/// assert_eq!(frozen.embedding_dim(), 16);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenWordLm {
+    vocab: usize,
+    emb_dim: usize,
+    embedding: Matrix,
+    lstm: FrozenLstm,
+    head: FrozenHead,
+}
+
+impl FrozenWordLm {
+    /// Extracts frozen weights from a trained [`WordLm`] (mutable borrow
+    /// explained on [`zskip_nn::Freezable`]).
+    pub fn freeze(model: &mut WordLm) -> Self {
+        let (vocab, emb_dim, hidden) = (
+            model.vocab_size(),
+            model.embedding_dim(),
+            model.hidden_dim(),
+        );
+        let mut bag = TensorBag::export(model, "WordLm");
+        let embedding = bag.take_matrix("embedding.table", vocab, emb_dim);
+        let wx = bag.take_matrix("lstm.wx", emb_dim, 4 * hidden);
+        let wh = bag.take_matrix("lstm.wh", hidden, 4 * hidden);
+        let bias = bag.take_vec("lstm.b", 4 * hidden);
+        let head_w = bag.take_matrix("linear.w", hidden, vocab);
+        let head_b = bag.take_vec("linear.b", vocab);
+        bag.finish();
+        Self {
+            vocab,
+            emb_dim,
+            embedding,
+            lstm: FrozenLstm::new(emb_dim, hidden, wx, wh, bias),
+            head: FrozenHead::new(head_w, head_b),
+        }
+    }
+
+    /// Random weights at serving shape, for benchmarks.
+    pub fn random(vocab: usize, emb_dim: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let scale = (1.0 / hidden as f32).sqrt();
+        let embedding = super::random_matrix(vocab, emb_dim, scale, &mut rng);
+        let wx = super::random_matrix(emb_dim, 4 * hidden, scale, &mut rng);
+        let wh = super::random_matrix(hidden, 4 * hidden, scale, &mut rng);
+        let head_w = super::random_matrix(hidden, vocab, scale, &mut rng);
+        Self {
+            vocab,
+            emb_dim,
+            embedding,
+            lstm: FrozenLstm::new(emb_dim, hidden, wx, wh, vec![0.0; 4 * hidden]),
+            head: FrozenHead::new(head_w, vec![0.0; vocab]),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension (`dx` as seen by the LSTM).
+    pub fn embedding_dim(&self) -> usize {
+        self.emb_dim
+    }
+
+    /// The embedding table (`vocab × emb`).
+    pub fn embedding(&self) -> &Matrix {
+        &self.embedding
+    }
+
+    /// The frozen LSTM cell.
+    pub fn lstm(&self) -> &FrozenLstm {
+        &self.lstm
+    }
+}
+
+impl FrozenModel for FrozenWordLm {
+    type Input = usize;
+
+    fn hidden_dim(&self) -> usize {
+        self.lstm.hidden_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.vocab
+    }
+
+    type Spec = TokenDomain;
+
+    fn input_spec(&self) -> TokenDomain {
+        TokenDomain { vocab: self.vocab }
+    }
+
+    /// Embedding row lookup (bit-identical to `Embedding::forward`,
+    /// which also copies rows), then the training cell's dense
+    /// `x·Wx` GEMM on the embedded batch.
+    fn input_encode(&self, inputs: &[usize]) -> Matrix {
+        let mut e = Matrix::zeros(inputs.len(), self.emb_dim);
+        for (r, &tok) in inputs.iter().enumerate() {
+            e.row_mut(r).copy_from_slice(self.embedding.row(tok));
+        }
+        e.matmul(self.lstm.wx())
+    }
+
+    fn recurrent_step(
+        &self,
+        zx: Matrix,
+        h: &Matrix,
+        c: &Matrix,
+        plan: &SkipPlan,
+    ) -> (Matrix, Matrix) {
+        self.lstm.recurrent_step(zx, h, c, plan)
+    }
+
+    fn head(&self, hp: &Matrix) -> Matrix {
+        self.head.forward(hp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_copies_shapes_and_values() {
+        let mut rng = SeedableStream::new(5);
+        let mut model = WordLm::new(30, 8, 6, 0.5, &mut rng);
+        let frozen = FrozenWordLm::freeze(&mut model);
+        assert_eq!(frozen.embedding().rows(), 30);
+        assert_eq!(frozen.embedding().cols(), 8);
+        assert_eq!(frozen.lstm().wx().rows(), 8);
+        assert_eq!(frozen.lstm().wh().rows(), 6);
+        assert_eq!(frozen.lstm().wx(), model.lstm().cell().wx());
+        assert_eq!(frozen.lstm().wh(), model.lstm().cell().wh());
+        assert_eq!(frozen.head(&Matrix::zeros(1, 6)).cols(), 30);
+    }
+
+    #[test]
+    fn input_encode_matches_embedding_then_gemm() {
+        let mut rng = SeedableStream::new(6);
+        let mut model = WordLm::new(12, 4, 5, 0.0, &mut rng);
+        let frozen = FrozenWordLm::freeze(&mut model);
+        let ids = [3usize, 11, 3];
+        let e = model.embedding().forward(&ids);
+        let reference = e.matmul(model.lstm().cell().wx());
+        let got = frozen.input_encode(&ids);
+        for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,27 +1,30 @@
 //! Property tests for the serving runtime.
 //!
-//! The two contracts that make the runtime trustworthy:
+//! The contracts that make the runtime trustworthy:
 //!
-//! 1. **Training/serving equivalence** — a frozen engine step produces
-//!    bit-identical hidden state, cell state and logits to the training
-//!    stack (`LstmLayer::forward_sequence` + `StatePruner` + `Linear`),
-//!    and the sparse kernel path is bit-identical to the dense fallback.
-//! 2. **Batching transparency** — interleaving sessions into shared
+//! 1. **Training/serving equivalence, per family** — a frozen engine
+//!    session produces bit-identical pruned states and logits to the
+//!    training stack's forward pass (dense and pruned thresholds alike),
+//!    for every served family: LSTM char-LM, 3-gate GRU char-LM,
+//!    embedding-input word-LM and the pixel-streaming classifier.
+//! 2. **Sparse/dense kernel equivalence** — the skip path is
+//!    bit-identical to the dense fallback on the same state.
+//! 3. **Batching transparency** — interleaving sessions into shared
 //!    batched steps produces exactly the outputs each session gets when
 //!    stepped alone.
-//! 3. **Scheduler fairness** — under arbitrary open/submit/close churn,
-//!    the ready-queue steps every session with queued tokens within a
+//! 4. **Scheduler fairness** — under arbitrary open/submit/close churn,
+//!    the ready-queue steps every session with queued inputs within a
 //!    bounded number of engine steps, and no stale generational
 //!    [`SessionId`] is ever delivered or resolved.
 
 use proptest::prelude::*;
 use std::collections::HashMap;
 use zskip_core::StatePruner;
-use zskip_nn::models::{CarryState, CharLm};
+use zskip_nn::models::{CarryState, CharLm, GruCharLm, SeqClassifier, WordLm};
 use zskip_nn::StateTransform;
 use zskip_runtime::{
-    BatchStep, DynamicBatcher, Engine, EngineConfig, EngineError, FrozenCharLm, SessionId,
-    SkipPolicy,
+    BatchStep, DynamicBatcher, Engine, EngineConfig, EngineError, FrozenCharLm, FrozenGruCharLm,
+    FrozenModel, FrozenSeqClassifier, FrozenWordLm, SessionId, SkipPolicy,
 };
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -32,7 +35,7 @@ fn frozen(vocab: usize, hidden: usize, seed: u64) -> (CharLm, FrozenCharLm) {
     (model, f)
 }
 
-fn batcher(f: FrozenCharLm, threshold: f32, dense_fallback: f64) -> DynamicBatcher {
+fn batcher<M: FrozenModel>(f: M, threshold: f32, dense_fallback: f64) -> DynamicBatcher<M> {
     DynamicBatcher::new(
         f,
         threshold,
@@ -43,11 +46,45 @@ fn batcher(f: FrozenCharLm, threshold: f32, dense_fallback: f64) -> DynamicBatch
     )
 }
 
+/// Asserts two logit slices are bit-for-bit equal.
+fn assert_bits(a: &[f32], b: &[f32], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: width");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: {x} vs {y}");
+    }
+}
+
+/// Runs `tokens` through a fresh engine over `frozen` and compares every
+/// delivered logit row bit-for-bit against `reference` (one row per step).
+fn engine_replays_reference<M: FrozenModel<Input = usize>>(
+    frozen: M,
+    threshold: f32,
+    tokens: &[usize],
+    reference: &[Matrix],
+    family: &str,
+) {
+    let mut engine = Engine::new(frozen, EngineConfig::for_threshold(threshold));
+    let id = engine.open_session();
+    for &t in tokens {
+        engine.submit(id, t).unwrap();
+    }
+    let delivered = engine.run_until_idle();
+    prop_assert_eq!(delivered.len(), tokens.len());
+    for (t, step_ref) in reference.iter().enumerate() {
+        let result = engine.poll(id).unwrap().expect("one result per step");
+        assert_bits(
+            &result.logits,
+            step_ref.row(0),
+            &format!("{family} step {t}"),
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The sparse path and the forced-dense path agree bit-for-bit for
-    /// random shapes, sparsity levels and thresholds.
+    /// random shapes, sparsity levels and thresholds (LSTM family).
     #[test]
     fn sparse_and_dense_paths_are_bitwise_identical(
         seed in 0u64..1000,
@@ -65,23 +102,46 @@ proptest! {
         let c = Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0));
         let tokens: Vec<usize> = (0..b).map(|_| rng.index(vocab)).collect();
 
-        let s = sparse.step(BatchStep { h: &h, c: &c, tokens: &tokens });
-        let d = dense.step(BatchStep { h: &h, c: &c, tokens: &tokens });
+        let s = sparse.step(BatchStep { h: &h, c: &c, inputs: &tokens });
+        let d = dense.step(BatchStep { h: &h, c: &c, inputs: &tokens });
         prop_assert!(s.stats.used_sparse_path);
         prop_assert!(!d.stats.used_sparse_path);
-        for (a, b) in s.h.as_slice().iter().zip(d.h.as_slice()) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
-        }
-        for (a, b) in s.c.as_slice().iter().zip(d.c.as_slice()) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
-        }
-        for (a, b) in s.logits.as_slice().iter().zip(d.logits.as_slice()) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
-        }
+        assert_bits(s.h.as_slice(), d.h.as_slice(), "h");
+        assert_bits(s.c.as_slice(), d.c.as_slice(), "c");
+        assert_bits(s.logits.as_slice(), d.logits.as_slice(), "logits");
     }
 
-    /// A frozen engine session replays the training model's forward pass
-    /// bit-for-bit: same pruned states, same logits, token by token.
+    /// GRU variant of the kernel equivalence: the 3-gate `Wh` product
+    /// under the skip plan is bit-identical to the dense product.
+    #[test]
+    fn gru_sparse_and_dense_paths_are_bitwise_identical(
+        seed in 0u64..1000,
+        vocab in 4usize..24,
+        hidden in 1usize..48,
+        b in 1usize..6,
+        threshold in 0.0f32..0.8,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = GruCharLm::new(vocab, hidden, &mut rng);
+        let f = FrozenGruCharLm::freeze(&mut model);
+        let sparse = batcher(f.clone(), threshold, 1.1);
+        let dense = batcher(f, threshold, 0.0);
+        let pruner = StatePruner::new(threshold);
+        let mut rng = SeedableStream::new(seed ^ 0x77);
+        let h = pruner.apply(&Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0)));
+        let c = Matrix::zeros(b, 0);
+        let tokens: Vec<usize> = (0..b).map(|_| rng.index(vocab)).collect();
+
+        let s = sparse.step(BatchStep { h: &h, c: &c, inputs: &tokens });
+        let d = dense.step(BatchStep { h: &h, c: &c, inputs: &tokens });
+        prop_assert!(s.stats.used_sparse_path);
+        prop_assert!(!d.stats.used_sparse_path);
+        assert_bits(s.h.as_slice(), d.h.as_slice(), "h");
+        assert_bits(s.logits.as_slice(), d.logits.as_slice(), "logits");
+    }
+
+    /// A frozen engine session replays the LSTM char-LM training forward
+    /// pass bit-for-bit: same pruned states, same logits, token by token.
     #[test]
     fn engine_matches_training_forward_bitwise(
         seed in 0u64..1000,
@@ -91,28 +151,101 @@ proptest! {
         threshold in 0.0f32..0.6,
     ) {
         let (model, f) = frozen(vocab, hidden, seed);
-        let mut engine = Engine::new(f, EngineConfig::for_threshold(threshold));
-        let id = engine.open_session();
         let mut rng = SeedableStream::new(seed ^ 0x5151);
         let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
-        for &t in &tokens {
-            engine.submit(id, t).unwrap();
-        }
-        let delivered = engine.run_until_idle();
-        prop_assert_eq!(delivered.len(), steps);
 
         // Reference: the training model, one window of the same tokens.
         let pruner = StatePruner::new(threshold);
         let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
         let mut state = CarryState::zeros(1, hidden);
         let trace = model.state_trace(&inputs, &mut state, &pruner);
+        let reference: Vec<Matrix> =
+            trace.iter().map(|s| model.head().forward(s)).collect();
+        engine_replays_reference(f, threshold, &tokens, &reference, "char-lm");
+    }
+
+    /// The GRU family: frozen engine stepping replays
+    /// `GruCharLm::state_trace` + head bit-for-bit (dense and pruned).
+    #[test]
+    fn gru_engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        vocab in 4usize..20,
+        hidden in 2usize..32,
+        steps in 1usize..8,
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = GruCharLm::new(vocab, hidden, &mut rng);
+        let f = FrozenGruCharLm::freeze(&mut model);
+        let mut rng = SeedableStream::new(seed ^ 0x1DE);
+        let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
+
+        let pruner = StatePruner::new(threshold);
+        let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
+        let mut state = CarryState::zeros(1, hidden);
+        let trace = model.state_trace(&inputs, &mut state, &pruner);
+        let reference: Vec<Matrix> =
+            trace.iter().map(|s| model.head().forward(s)).collect();
+        engine_replays_reference(f, threshold, &tokens, &reference, "gru");
+    }
+
+    /// The word-LM family: embedding lookup input, dense `Wx` GEMM —
+    /// frozen engine stepping replays the dropout-free eval forward
+    /// bit-for-bit.
+    #[test]
+    fn word_lm_engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        vocab in 6usize..40,
+        emb in 2usize..12,
+        hidden in 2usize..24,
+        steps in 1usize..8,
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = WordLm::new(vocab, emb, hidden, 0.5, &mut rng);
+        let f = FrozenWordLm::freeze(&mut model);
+        let mut rng = SeedableStream::new(seed ^ 0x60D);
+        let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
+
+        let pruner = StatePruner::new(threshold);
+        let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
+        let mut state = CarryState::zeros(1, hidden);
+        let trace = model.state_trace(&inputs, &mut state, &pruner);
+        let reference: Vec<Matrix> =
+            trace.iter().map(|s| model.head().forward(s)).collect();
+        engine_replays_reference(f, threshold, &tokens, &reference, "word-lm");
+    }
+
+    /// The classifier family: one pixel per engine step; each delivered
+    /// logit row is the final-state head applied to the state prefix,
+    /// bit-identical to `SeqClassifier::state_trace` + head.
+    #[test]
+    fn seq_classifier_engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        classes in 2usize..8,
+        hidden in 2usize..24,
+        pixels in proptest::collection::vec(0.0f32..1.0, 1..8),
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = SeqClassifier::new(classes, hidden, &mut rng);
+        let f = FrozenSeqClassifier::freeze(&mut model);
+
+        let pruner = StatePruner::new(threshold);
+        let steps: Vec<Vec<f32>> = pixels.iter().map(|p| vec![*p]).collect();
+        let trace = model.state_trace(&steps, &pruner);
+
+        let mut engine = Engine::new(f, EngineConfig::for_threshold(threshold));
+        let id = engine.open_session();
+        for &p in &pixels {
+            engine.submit(id, p).unwrap();
+        }
+        let delivered = engine.run_until_idle();
+        prop_assert_eq!(delivered.len(), pixels.len());
         for (t, state) in trace.iter().enumerate() {
-            let result = engine.poll(id).unwrap().expect("one result per step");
+            let result = engine.poll(id).unwrap().expect("one result per pixel");
             let reference = model.head().forward(state);
-            for (a, b) in result.logits.iter().zip(reference.row(0)) {
-                prop_assert_eq!(a.to_bits(), b.to_bits(),
-                    "step {} logits diverge: {} vs {}", t, a, b);
-            }
+            assert_bits(&result.logits, reference.row(0), &format!("classifier step {t}"));
         }
     }
 
@@ -157,17 +290,18 @@ proptest! {
             for t in 0..steps {
                 let shared_result = shared.poll(id).unwrap().expect("shared result");
                 let solo_result = solo.poll(solo_id).unwrap().expect("solo result");
-                prop_assert_eq!(shared_result.token, solo_result.token);
-                for (a, b) in shared_result.logits.iter().zip(&solo_result.logits) {
-                    prop_assert_eq!(a.to_bits(), b.to_bits(),
-                        "session {} step {}: {} vs {}", s, t, a, b);
-                }
+                prop_assert_eq!(shared_result.input, solo_result.input);
+                assert_bits(
+                    &shared_result.logits,
+                    &solo_result.logits,
+                    &format!("session {s} step {t}"),
+                );
             }
         }
     }
 
     /// Scheduler fairness under churn: with arbitrary interleavings of
-    /// open / submit / close / step, (a) every session with queued tokens
+    /// open / submit / close / step, (a) every session with queued inputs
     /// receives a result within `ceil(peak_sessions / max_batch)` engine
     /// steps of becoming ready, (b) `step` only ever delivers ids that are
     /// live at delivery time, (c) closed generational ids never resolve
@@ -230,7 +364,7 @@ proptest! {
                     for id in &delivered {
                         prop_assert!(live.contains(id), "stale id delivered by step");
                         let q = queued.get_mut(id).unwrap();
-                        prop_assert!(*q > 0, "delivery without a queued token");
+                        prop_assert!(*q > 0, "delivery without a queued input");
                         *q -= 1;
                         expected_pending -= 1;
                         if *q > 0 {

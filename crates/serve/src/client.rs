@@ -1,13 +1,13 @@
-//! The blocking client handle: open / send / recv / close.
+//! The blocking client handle: open / send / recv / recv_any / close.
 
 use crate::error::ServeError;
 use crate::server::{Request, ShardHandle};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zskip_runtime::{EngineError, SessionId, StepResult};
+use zskip_runtime::{EngineError, FrozenCharLm, FrozenModel, InputSpec, SessionId, StepResult};
 
 /// Handle to one open stream: the owning shard plus the shard engine's
 /// generational [`SessionId`]. Routing derives from the id itself, so a
@@ -30,34 +30,45 @@ impl StreamId {
     }
 }
 
-/// A blocking client of a [`crate::Server`].
+/// How long `recv_any` parks between sweeps once every stream came up
+/// empty — long enough not to burn a core, short enough that a freshly
+/// delivered result is picked up promptly.
+const RECV_ANY_PARK: Duration = Duration::from_micros(200);
+
+/// A blocking client of a [`crate::Server`], generic over the served
+/// model family (the input type follows: token ids for the LM families,
+/// pixels for the classifier).
 ///
 /// Each open stream owns a private result channel; `recv` pops results in
-/// submit order. Clients are independent — create one per driving thread
-/// via [`crate::Server::client`].
-pub struct Client {
-    shards: Arc<Vec<ShardHandle>>,
+/// submit order, [`Client::recv_any`] pops the next result from *any*
+/// stream. Clients are independent — create one per driving thread via
+/// [`crate::Server::client`].
+pub struct Client<M: FrozenModel = FrozenCharLm> {
+    shards: Arc<Vec<ShardHandle<M::Input>>>,
     open_counter: Arc<AtomicU64>,
-    vocab: usize,
+    spec: M::Spec,
     result_capacity: usize,
-    streams: HashMap<StreamId, Receiver<StepResult>>,
+    streams: HashMap<StreamId, Receiver<StepResult<M::Input>>>,
     recv_timeout: Option<Duration>,
+    /// Rotating fairness cursor for [`Client::recv_any`].
+    recv_any_cursor: usize,
 }
 
-impl Client {
+impl<M: FrozenModel> Client<M> {
     pub(crate) fn new(
-        shards: Arc<Vec<ShardHandle>>,
+        shards: Arc<Vec<ShardHandle<M::Input>>>,
         open_counter: Arc<AtomicU64>,
-        vocab: usize,
+        spec: M::Spec,
         result_capacity: usize,
     ) -> Self {
         Self {
             shards,
             open_counter,
-            vocab,
+            spec,
             result_capacity,
             streams: HashMap::new(),
             recv_timeout: None,
+            recv_any_cursor: 0,
         }
     }
 
@@ -68,9 +79,10 @@ impl Client {
         self
     }
 
-    /// The served model's vocabulary size.
-    pub fn vocab_size(&self) -> usize {
-        self.vocab
+    /// The served family's input-domain descriptor (for validation and
+    /// load-generation sampling — no weights attached).
+    pub fn input_spec(&self) -> M::Spec {
+        self.spec
     }
 
     /// Streams this client currently holds open.
@@ -103,31 +115,31 @@ impl Client {
         Ok(id)
     }
 
-    /// Feeds one token to a stream, blocking while the shard's queue is
+    /// Feeds one input to a stream, blocking while the shard's queue is
     /// full (backpressure).
-    pub fn send(&mut self, id: StreamId, token: usize) -> Result<(), ServeError> {
-        self.submit(id, token, true)
+    pub fn send(&mut self, id: StreamId, input: M::Input) -> Result<(), ServeError> {
+        self.submit(id, input, true)
     }
 
     /// Non-blocking [`Client::send`]: fails with
     /// [`ServeError::Backpressure`] instead of stalling when the shard's
     /// queue is full.
-    pub fn try_send(&mut self, id: StreamId, token: usize) -> Result<(), ServeError> {
-        self.submit(id, token, false)
+    pub fn try_send(&mut self, id: StreamId, input: M::Input) -> Result<(), ServeError> {
+        self.submit(id, input, false)
     }
 
-    fn submit(&mut self, id: StreamId, token: usize, blocking: bool) -> Result<(), ServeError> {
+    fn submit(&mut self, id: StreamId, input: M::Input, blocking: bool) -> Result<(), ServeError> {
         if !self.streams.contains_key(&id) {
             return Err(ServeError::UnknownStream);
         }
-        if token >= self.vocab {
-            return Err(EngineError::TokenOutOfVocab.into());
+        if !self.spec.validate(&input) {
+            return Err(EngineError::InvalidInput.into());
         }
         self.send_request(
             id.shard,
             Request::Submit {
                 id: id.session,
-                token,
+                input,
                 enqueued: Instant::now(),
             },
             blocking,
@@ -136,7 +148,7 @@ impl Client {
 
     /// Pops the oldest undelivered result of a stream, blocking until one
     /// arrives (bounded by the receive timeout, when set).
-    pub fn recv(&mut self, id: StreamId) -> Result<StepResult, ServeError> {
+    pub fn recv(&mut self, id: StreamId) -> Result<StepResult<M::Input>, ServeError> {
         let rx = self.streams.get(&id).ok_or(ServeError::UnknownStream)?;
         let outcome = match self.recv_timeout {
             None => rx.recv().map_err(|_| ServeError::Evicted),
@@ -152,6 +164,72 @@ impl Client {
         outcome
     }
 
+    /// Select-style receive: blocks until **any** of this client's open
+    /// streams has a result and returns `(stream, result)` — so one
+    /// driver thread can own many streams without round-robin `recv`
+    /// polling of its own.
+    ///
+    /// Fairness: consecutive calls rotate the stream checked first, so a
+    /// chatty stream cannot starve the others. Streams found evicted
+    /// server-side during the wait are dropped from the client (exactly
+    /// as [`Client::recv`] does) and the wait continues on the rest;
+    /// subsequent calls for the dropped id report
+    /// [`ServeError::UnknownStream`].
+    ///
+    /// Errors: [`ServeError::UnknownStream`] when no stream is open
+    /// (including when every stream was evicted mid-wait),
+    /// [`ServeError::RecvTimeout`] when `timeout` elapses first.
+    pub fn recv_any(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<(StreamId, StepResult<M::Input>), ServeError> {
+        let deadline = Instant::now() + timeout;
+        // Stable rotated order, built once per call: StreamId is Ord, so
+        // the sweep order is deterministic and the cursor rotates who
+        // goes first on consecutive calls. The set only shrinks on
+        // eviction, so the list is rebuilt only then — not per sweep
+        // (a client may own thousands of streams and sweep 5000×/s).
+        let mut ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        if !ids.is_empty() {
+            ids.sort_unstable();
+            let start = self.recv_any_cursor % ids.len();
+            ids.rotate_left(start);
+            self.recv_any_cursor = self.recv_any_cursor.wrapping_add(1);
+        }
+        loop {
+            if ids.is_empty() {
+                return Err(ServeError::UnknownStream);
+            }
+            let mut evicted = false;
+            let mut hit = None;
+            for &id in &ids {
+                match self.streams[&id].try_recv() {
+                    Ok(result) => {
+                        hit = Some((id, result));
+                        break;
+                    }
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => {
+                        self.streams.remove(&id);
+                        evicted = true;
+                    }
+                }
+            }
+            if evicted {
+                ids.retain(|id| self.streams.contains_key(id));
+            }
+            if let Some(hit) = hit {
+                return Ok(hit);
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::RecvTimeout);
+            }
+            std::thread::sleep(
+                RECV_ANY_PARK.min(deadline.saturating_duration_since(Instant::now())),
+            );
+        }
+    }
+
     /// Closes a stream: undelivered results are dropped and the shard
     /// reclaims the session slot.
     pub fn close(&mut self, id: StreamId) -> Result<(), ServeError> {
@@ -159,7 +237,12 @@ impl Client {
         self.send_request(id.shard, Request::Close { id: id.session }, true)
     }
 
-    fn send_request(&self, shard: u32, request: Request, blocking: bool) -> Result<(), ServeError> {
+    fn send_request(
+        &self,
+        shard: u32,
+        request: Request<M::Input>,
+        blocking: bool,
+    ) -> Result<(), ServeError> {
         let handle = &self.shards[shard as usize];
         handle.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
         let sent = if blocking {
@@ -180,7 +263,7 @@ impl Client {
     }
 }
 
-impl Drop for Client {
+impl<M: FrozenModel> Drop for Client<M> {
     /// Closes every stream this client still holds, so dropping a client
     /// (including via an early `?` return) cannot leak sessions in the
     /// shard engines — eviction by TTL is a safety net, not the cleanup

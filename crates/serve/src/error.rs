@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn displays_are_stable_and_source_chains() {
         use std::error::Error;
-        let e = ServeError::from(EngineError::TokenOutOfVocab);
+        let e = ServeError::from(EngineError::InvalidInput);
         assert!(e.to_string().contains("vocabulary"));
         assert!(e.source().is_some());
         assert!(ServeError::Backpressure.source().is_none());

@@ -3,16 +3,20 @@
 //!
 //! `zskip-runtime` made the paper's skip-sparsity (Ardakani, Ji & Gross,
 //! DATE 2019) pay off inside one synchronous [`Engine`](zskip_runtime::Engine);
-//! this crate puts a production front on it:
+//! this crate puts a production front on it. The whole stack is generic
+//! over the served [`FrozenModel`](zskip_runtime::FrozenModel) family —
+//! the LSTM char-LM, the 3-gate GRU, the embedding-input word-LM and the
+//! pixel-streaming classifier all serve through the same front-end:
 //!
 //! * [`Server`] — N worker threads, each owning a private engine *shard*
 //!   over a clone of the frozen model, fed by bounded `sync_channel`
 //!   request queues (full queue ⇒ backpressure, not unbounded buffering),
-//! * [`Client`] — a blocking handle (`open` / `send` / `recv` / `close`);
-//!   streams hash onto a shard at open and stay pinned there via the
-//!   generational [`StreamId`]; result channels are bounded too, so a
-//!   consumer that stops `recv`ing is evicted instead of buffering
-//!   results without limit,
+//! * [`Client`] — a blocking handle (`open` / `send` / `recv` / `close`,
+//!   plus the select-style [`Client::recv_any`] so one driver thread can
+//!   own many streams); streams hash onto a shard at open and stay
+//!   pinned there via the generational [`StreamId`]; result channels are
+//!   bounded too, so a consumer that stops `recv`ing is evicted instead
+//!   of buffering results without limit,
 //! * per-session TTL eviction and per-token deadline-miss accounting,
 //! * [`ServerStats`] — a cross-shard aggregate (throughput, skip
 //!   fraction, queue depth, deadline misses, evictions),
@@ -23,7 +27,9 @@
 //! per-stream outputs (the runtime's proptests), and shards are fully
 //! independent engines over identical weights — so a sharded server's
 //! logits are bit-for-bit the logits of a single engine replaying the
-//! same per-session token streams (`tests/determinism.rs`).
+//! same per-session token streams, for every family
+//! (`tests/determinism.rs` runs the harness over both the LSTM and the
+//! GRU char-LMs).
 //!
 //! # Quickstart
 //!

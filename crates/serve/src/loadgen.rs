@@ -6,6 +6,7 @@
 
 use crate::{ServeError, Server, StreamId};
 use std::time::{Duration, Instant};
+use zskip_runtime::{FrozenModel, InputSpec};
 use zskip_tensor::SeedableStream;
 
 /// Traffic shape for one [`LoadGenerator`] run.
@@ -68,15 +69,18 @@ impl LoadGenerator {
 
     /// Runs the traffic against `server` and reports throughput.
     ///
+    /// Works against any served model family: inputs are drawn through
+    /// the server's [`InputSpec`], so the same generator drives token
+    /// streams into an LM server and pixel streams into a classifier.
+    ///
     /// Every round: a churn pass closes/reopens a random subset of
-    /// streams, a submit wave feeds `tokens_per_round` tokens to every
+    /// streams, a submit wave feeds `tokens_per_round` inputs to every
     /// stream, and a recv wave collects every result. All streams are
     /// closed at the end, so back-to-back runs do not accumulate
     /// sessions.
-    pub fn run(&self, server: &Server) -> Result<LoadReport, ServeError> {
+    pub fn run<M: FrozenModel>(&self, server: &Server<M>) -> Result<LoadReport, ServeError> {
         let cfg = self.config;
         let mut client = server.client();
-        let vocab = client.vocab_size();
         let mut rng = SeedableStream::new(cfg.seed);
         let mut streams: Vec<StreamId> = Vec::with_capacity(cfg.streams);
         for _ in 0..cfg.streams {
@@ -96,7 +100,8 @@ impl LoadGenerator {
             }
             for &id in &streams {
                 for _ in 0..cfg.tokens_per_round {
-                    client.send(id, rng.index(vocab))?;
+                    let input = client.input_spec().sample(&mut rng);
+                    client.send(id, input)?;
                 }
             }
             for &id in &streams {

@@ -22,7 +22,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvErr
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use zskip_runtime::{Engine, EngineConfig, FrozenCharLm, SessionId, StepResult};
+use zskip_runtime::{Engine, EngineConfig, FrozenCharLm, FrozenModel, SessionId, StepResult};
 
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
@@ -102,18 +102,19 @@ impl ServeConfig {
     }
 }
 
-/// One request travelling a shard queue (crate-internal).
-pub(crate) enum Request {
+/// One request travelling a shard queue (crate-internal), generic over
+/// the served family's input type.
+pub(crate) enum Request<I> {
     /// Open a session; reply with its generational id and register the
     /// stream's (bounded) result channel.
     Open {
         reply: Sender<SessionId>,
-        results: SyncSender<StepResult>,
+        results: SyncSender<StepResult<I>>,
     },
-    /// Feed one token to a session.
+    /// Feed one input to a session.
     Submit {
         id: SessionId,
-        token: usize,
+        input: I,
         enqueued: Instant,
     },
     /// Close a session and drop its result channel.
@@ -123,12 +124,14 @@ pub(crate) enum Request {
 }
 
 /// A shard's client-facing half (crate-internal).
-pub(crate) struct ShardHandle {
-    pub tx: SyncSender<Request>,
+pub(crate) struct ShardHandle<I> {
+    pub tx: SyncSender<Request<I>>,
     pub shared: Arc<ShardShared>,
 }
 
-/// The sharded serving layer.
+/// The sharded serving layer, generic over the served [`FrozenModel`]
+/// family (LSTM char-LM by default; GRU, word-LM and classifier models
+/// serve through the identical front-end).
 ///
 /// A `Server` owns `shards` worker threads, each running a private
 /// [`Engine`] over a clone of the frozen model. Streams are placed on a
@@ -139,35 +142,46 @@ pub(crate) struct ShardHandle {
 ///
 /// Dropping the server (or calling [`Server::shutdown`]) stops the
 /// workers after their queues drain.
-pub struct Server {
-    shards: Arc<Vec<ShardHandle>>,
+pub struct Server<M: FrozenModel = FrozenCharLm> {
+    shards: Arc<Vec<ShardHandle<M::Input>>>,
     open_counter: Arc<AtomicU64>,
     workers: Vec<JoinHandle<()>>,
-    vocab: usize,
+    /// Weight-free input-domain descriptor — what clients validate and
+    /// sample against. Kept instead of an extra full model clone: the
+    /// shard engines hold the only weight copies.
+    spec: M::Spec,
     result_capacity: usize,
 }
 
-impl Server {
+impl<M: FrozenModel> Server<M> {
     /// Starts `config.shards` worker threads serving clones of `model`.
     ///
     /// # Panics
     ///
     /// Panics if `config.shards` or `config.queue_capacity` is zero.
-    pub fn start(model: FrozenCharLm, config: ServeConfig) -> Self {
+    pub fn start(model: M, config: ServeConfig) -> Self {
         assert!(config.shards > 0, "server needs at least one shard");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(
             config.result_capacity > 0,
             "result capacity must be positive"
         );
-        let vocab = model.vocab_size();
+        let spec = model.input_spec();
         let mut shards = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
+        // The last shard takes the model by value, the rest clone — so a
+        // server retains exactly one weight copy per shard, no more.
+        let mut model = Some(model);
         for shard in 0..config.shards {
+            let shard_model = if shard + 1 == config.shards {
+                model.take().expect("one model per shard")
+            } else {
+                model.as_ref().expect("model available").clone()
+            };
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
             let shared = Arc::new(ShardShared::default());
             let worker = Worker {
-                engine: Engine::new(model.clone(), config.engine),
+                engine: Engine::new(shard_model, config.engine),
                 rx,
                 shared: Arc::clone(&shared),
                 sessions: HashMap::new(),
@@ -188,18 +202,18 @@ impl Server {
             shards: Arc::new(shards),
             open_counter: Arc::new(AtomicU64::new(0)),
             workers,
-            vocab,
+            spec,
             result_capacity: config.result_capacity,
         }
     }
 
     /// Creates a blocking client handle. Clients are independent; create
     /// one per driving thread.
-    pub fn client(&self) -> Client {
+    pub fn client(&self) -> Client<M> {
         Client::new(
             Arc::clone(&self.shards),
             Arc::clone(&self.open_counter),
-            self.vocab,
+            self.spec,
             self.result_capacity,
         )
     }
@@ -209,9 +223,9 @@ impl Server {
         self.shards.len()
     }
 
-    /// The served model's vocabulary size.
-    pub fn vocab_size(&self) -> usize {
-        self.vocab
+    /// The served family's input-domain descriptor.
+    pub fn input_spec(&self) -> M::Spec {
+        self.spec
     }
 
     /// Snapshots aggregate statistics across all shards.
@@ -255,33 +269,33 @@ impl Server {
     }
 }
 
-impl Drop for Server {
+impl<M: FrozenModel> Drop for Server<M> {
     fn drop(&mut self) {
         self.shutdown_impl();
     }
 }
 
 /// Book-keeping one worker holds per open session.
-struct SessionEntry {
-    results: SyncSender<StepResult>,
+struct SessionEntry<I> {
+    results: SyncSender<StepResult<I>>,
     last_active: Instant,
-    /// Submit timestamps of queued tokens, for deadline accounting.
+    /// Submit timestamps of queued inputs, for deadline accounting.
     enqueued_at: std::collections::VecDeque<Instant>,
 }
 
 /// One shard's worker loop state.
-struct Worker {
-    engine: Engine,
-    rx: Receiver<Request>,
+struct Worker<M: FrozenModel> {
+    engine: Engine<M>,
+    rx: Receiver<Request<M::Input>>,
     shared: Arc<ShardShared>,
-    sessions: HashMap<u64, SessionEntry>,
+    sessions: HashMap<u64, SessionEntry<M::Input>>,
     session_ttl: Option<Duration>,
     token_deadline: Option<Duration>,
     idle_tick: Duration,
     last_sweep: Instant,
 }
 
-impl Worker {
+impl<M: FrozenModel> Worker<M> {
     fn run(mut self) {
         loop {
             // Park until a request arrives (bounded, so TTL sweeps still
@@ -345,7 +359,7 @@ impl Worker {
     /// requests fail fast (the dropped `reply` sender surfaces as
     /// `ServerClosed` to a waiting `open`); closes are still applied so
     /// the session accounting stays truthful to the end.
-    fn reject(&mut self, req: Request) {
+    fn reject(&mut self, req: Request<M::Input>) {
         use std::sync::atomic::Ordering;
         self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
         match req {
@@ -383,7 +397,7 @@ impl Worker {
     }
 
     /// Applies one request; `true` means shutdown.
-    fn handle(&mut self, req: Request) -> bool {
+    fn handle(&mut self, req: Request<M::Input>) -> bool {
         use std::sync::atomic::Ordering;
         self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let now = Instant::now();
@@ -408,9 +422,9 @@ impl Worker {
             }
             Request::Submit {
                 id,
-                token,
+                input,
                 enqueued,
-            } => match self.engine.submit(id, token) {
+            } => match self.engine.submit(id, input) {
                 Ok(()) => {
                     let entry = self
                         .sessions

@@ -1,8 +1,9 @@
 //! Cross-shard serving statistics.
 //!
-//! Each worker publishes its counters into an [`ShardShared`] block of
-//! atomics; [`crate::Server::stats`] snapshots every shard into a
-//! [`ServerStats`] aggregate without stopping the workers.
+//! Each worker publishes its counters into a crate-internal
+//! `ShardShared` block of atomics; [`crate::Server::stats`] snapshots
+//! every shard into a [`ServerStats`] aggregate without stopping the
+//! workers.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use zskip_runtime::EngineStats;

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 use zskip_runtime::{EngineError, FrozenCharLm};
-use zskip_serve::{LoadConfig, LoadGenerator, ServeConfig, ServeError, Server};
+use zskip_serve::{LoadConfig, LoadGenerator, ServeConfig, ServeError, Server, StreamId};
 
 fn model() -> FrozenCharLm {
     FrozenCharLm::random(20, 16, 5)
@@ -47,8 +47,81 @@ fn results_arrive_in_submit_order() {
         client.send(s, t).unwrap();
     }
     for &t in &tokens {
-        assert_eq!(client.recv(s).unwrap().token, t);
+        assert_eq!(client.recv(s).unwrap().input, t);
     }
+    server.shutdown();
+}
+
+#[test]
+fn recv_any_returns_the_next_result_from_any_stream() {
+    // One driver thread owns several streams; recv_any surfaces whichever
+    // stream produced a result, without the driver polling each one.
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(2));
+    let mut client = server.client();
+    let streams: Vec<_> = (0..3).map(|_| client.open().unwrap()).collect();
+
+    // Only the middle stream speaks: recv_any must attribute the result
+    // to it.
+    client.send(streams[1], 4).unwrap();
+    let (id, result) = client.recv_any(Duration::from_secs(5)).unwrap();
+    assert_eq!(id, streams[1]);
+    assert_eq!(result.input, 4);
+
+    // All streams speak: three recv_any calls drain one result each, and
+    // every stream is represented exactly once (the rotating cursor keeps
+    // a chatty stream from shadowing the rest).
+    for (i, &s) in streams.iter().enumerate() {
+        client.send(s, i).unwrap();
+    }
+    let mut seen: Vec<StreamId> = (0..3)
+        .map(|_| client.recv_any(Duration::from_secs(5)).unwrap().0)
+        .collect();
+    seen.sort_unstable();
+    let mut expected = streams.clone();
+    expected.sort_unstable();
+    assert_eq!(seen, expected);
+    server.shutdown();
+}
+
+#[test]
+fn recv_any_times_out_and_reports_an_empty_stream_set() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    // No streams at all: nothing could ever arrive.
+    assert_eq!(
+        client.recv_any(Duration::from_millis(10)),
+        Err(ServeError::UnknownStream)
+    );
+    // Streams open but silent: the timeout fires.
+    let _s = client.open().unwrap();
+    assert_eq!(
+        client.recv_any(Duration::from_millis(30)),
+        Err(ServeError::RecvTimeout)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn recv_any_drops_evicted_streams_and_keeps_waiting_on_the_rest() {
+    // One stream is TTL-evicted while another still produces: recv_any
+    // must forget the dead stream (like recv does) and deliver from the
+    // live one.
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_session_ttl(Duration::from_millis(30)),
+    );
+    let mut client = server.client();
+    let dead = client.open().unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // `dead` expires
+    let live = client.open().unwrap();
+    client.send(live, 2).unwrap();
+    let (id, result) = client.recv_any(Duration::from_secs(5)).unwrap();
+    assert_eq!(id, live);
+    assert_eq!(result.input, 2);
+    // The evicted stream was dropped from the client during the wait.
+    assert_eq!(client.recv(dead), Err(ServeError::UnknownStream));
     server.shutdown();
 }
 
@@ -146,7 +219,7 @@ fn stale_and_foreign_handles_fail_loudly() {
     let s2 = client.open().unwrap();
     assert_eq!(
         client.send(s2, 999),
-        Err(ServeError::Engine(EngineError::TokenOutOfVocab))
+        Err(ServeError::Engine(EngineError::InvalidInput))
     );
     server.shutdown();
 }
@@ -231,7 +304,7 @@ fn shutdown_flushes_tokens_the_engine_already_accepted() {
     }
     server.shutdown(); // joins the worker; results were flushed first
     for t in 0..4 {
-        assert_eq!(client.recv(s).unwrap().token, t);
+        assert_eq!(client.recv(s).unwrap().input, t);
     }
 }
 

@@ -1,14 +1,16 @@
 //! The serving layer's headline contract: sharding is invisible in the
-//! outputs. A `Server` with any shard count produces **bit-for-bit** the
-//! logits a single single-threaded `Engine` produces when it replays the
-//! same per-session token streams.
+//! outputs, for every served model family. A `Server` with any shard
+//! count produces **bit-for-bit** the logits a single single-threaded
+//! `Engine` produces when it replays the same per-session token streams.
 //!
 //! Why this holds: batching inside one engine never changes a lane's
 //! output (proven by `zskip-runtime`'s proptests), and shards are fully
 //! independent engines over clones of the same weights — so neither the
 //! shard a stream lands on nor the traffic interleaving can move a bit.
+//! The helpers below are generic over the family, so the LSTM char-LM
+//! and the 3-gate GRU run through the identical harness.
 
-use zskip_runtime::{Engine, EngineConfig, FrozenCharLm};
+use zskip_runtime::{Engine, EngineConfig, FrozenCharLm, FrozenGruCharLm, FrozenModel};
 use zskip_serve::{ServeConfig, Server, StreamId};
 
 const VOCAB: usize = 24;
@@ -24,7 +26,10 @@ fn token_streams() -> Vec<Vec<usize>> {
 }
 
 /// Reference: one synchronous engine replaying every stream.
-fn single_engine_logits(model: &FrozenCharLm, threshold: f32) -> Vec<Vec<Vec<f32>>> {
+fn single_engine_logits<M: FrozenModel<Input = usize>>(
+    model: &M,
+    threshold: f32,
+) -> Vec<Vec<Vec<f32>>> {
     let mut engine = Engine::new(model.clone(), EngineConfig::for_threshold(threshold));
     let streams = token_streams();
     let ids: Vec<_> = streams.iter().map(|_| engine.open_session()).collect();
@@ -45,7 +50,11 @@ fn single_engine_logits(model: &FrozenCharLm, threshold: f32) -> Vec<Vec<Vec<f32
 
 /// Serving path: a sharded server fed the same streams, interleaved one
 /// token per stream per wave so cross-stream batching really happens.
-fn served_logits(model: &FrozenCharLm, threshold: f32, shards: usize) -> Vec<Vec<Vec<f32>>> {
+fn served_logits<M: FrozenModel<Input = usize>>(
+    model: &M,
+    threshold: f32,
+    shards: usize,
+) -> Vec<Vec<Vec<f32>>> {
     let server = Server::start(
         model.clone(),
         ServeConfig::for_threshold(threshold).with_shards(shards),
@@ -60,7 +69,7 @@ fn served_logits(model: &FrozenCharLm, threshold: f32, shards: usize) -> Vec<Vec
         }
         for ((tokens, &id), out) in streams.iter().zip(&ids).zip(collected.iter_mut()) {
             let result = client.recv(id).unwrap();
-            assert_eq!(result.token, tokens[wave], "results out of order");
+            assert_eq!(result.input, tokens[wave], "results out of order");
             out.push(result.logits);
         }
     }
@@ -71,30 +80,45 @@ fn served_logits(model: &FrozenCharLm, threshold: f32, shards: usize) -> Vec<Vec
     collected
 }
 
-#[test]
-fn sharded_serving_is_bit_identical_to_a_single_engine() {
-    let threshold = 0.25;
-    let model = FrozenCharLm::random(VOCAB, HIDDEN, 99);
-    let reference = single_engine_logits(&model, threshold);
+/// Asserts a sharded server matches the single-engine reference
+/// bit-for-bit at several shard counts.
+fn assert_sharding_invisible<M: FrozenModel<Input = usize>>(
+    model: &M,
+    threshold: f32,
+    family: &str,
+) {
+    let reference = single_engine_logits(model, threshold);
     for shards in [1usize, 2, 3, 5] {
-        let served = served_logits(&model, threshold, shards);
+        let served = served_logits(model, threshold, shards);
         for s in 0..STREAMS {
             for t in 0..TOKENS {
                 assert_eq!(
                     reference[s][t].len(),
                     served[s][t].len(),
-                    "shards={shards} stream={s} step={t}: logit width"
+                    "{family} shards={shards} stream={s} step={t}: logit width"
                 );
                 for (r, v) in reference[s][t].iter().zip(&served[s][t]) {
                     assert_eq!(
                         r.to_bits(),
                         v.to_bits(),
-                        "shards={shards} stream={s} step={t}: {r} vs {v}"
+                        "{family} shards={shards} stream={s} step={t}: {r} vs {v}"
                     );
                 }
             }
         }
     }
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_to_a_single_engine() {
+    let model = FrozenCharLm::random(VOCAB, HIDDEN, 99);
+    assert_sharding_invisible(&model, 0.25, "char-lm");
+}
+
+#[test]
+fn sharded_gru_serving_is_bit_identical_to_a_single_engine() {
+    let model = FrozenGruCharLm::random(VOCAB, HIDDEN, 77);
+    assert_sharding_invisible(&model, 0.25, "gru");
 }
 
 #[test]

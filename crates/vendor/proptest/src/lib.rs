@@ -279,7 +279,7 @@ pub fn any<T: arbitrary::Arbitrary>() -> AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count specification for [`vec`]: an exact count or a range.
+    /// Element-count specification for [`vec()`](fn@vec): an exact count or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -18,8 +18,8 @@
 //! | [`core`] | `zskip-core` | state pruning, sparsity analysis, offset encoding, sweeps |
 //! | [`accel`] | `zskip-accel` | timing/energy/functional accelerator simulator |
 //! | [`baselines`] | `zskip-baselines` | ESE and CBSR analytic models |
-//! | [`runtime`] | `zskip-runtime` | batched CPU serving engine that skips ineffectual MACs |
-//! | [`serve`] | `zskip-serve` | sharded multi-threaded serving layer: workers, backpressure, TTL, stats |
+//! | [`runtime`] | `zskip-runtime` | batched CPU serving engine that skips ineffectual MACs — generic over the model family (LSTM/GRU char-LM, word-LM, classifier) |
+//! | [`serve`] | `zskip-serve` | sharded multi-threaded serving layer: workers, backpressure, TTL, stats, `recv_any` multiplexing |
 //!
 //! # Quickstart
 //!
@@ -40,8 +40,12 @@
 //! # Serving
 //!
 //! Trained pruned models can be served on CPU with real skipping — see
-//! [`runtime`] for the train → freeze → serve quickstart and
-//! `examples/serve_char_lm.rs` for a multi-stream serving demo:
+//! [`runtime`] for the train → freeze → serve quickstart,
+//! `examples/serve_char_lm.rs` for a multi-stream serving demo, and
+//! `examples/serve_word_lm.rs` for the embedding-input family through
+//! the sharded `serve` front-end. All four task-model families (char-LM,
+//! GRU char-LM, word-LM, sequential classifier) freeze via
+//! `zskip::nn::Freezable` and serve through the same generic engine:
 //!
 //! ```
 //! use zskip::nn::models::CharLm;

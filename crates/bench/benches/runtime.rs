@@ -12,7 +12,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use zskip_runtime::{
-    BatchStep, DynamicBatcher, FrozenCharLm, FrozenGruCharLm, FrozenWordLm, SkipPolicy,
+    BatchStep, DynamicBatcher, FrozenCharLm, FrozenGruCharLm, FrozenQuantizedCharLm, FrozenWordLm,
+    SkipPolicy, StateLanes,
 };
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -44,10 +45,10 @@ fn sparse_state(b: usize, dh: usize, sparsity: f64, seed: u64) -> Matrix {
 fn bench_inference_step(c: &mut Criterion) {
     let model = FrozenCharLm::random(VOCAB, DH, 42);
     let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
-    let cell = Matrix::from_fn(1, DH, |_, j| ((j as f32) * 0.013).sin());
+    let cell = StateLanes::from(Matrix::from_fn(1, DH, |_, j| ((j as f32) * 0.013).sin()));
     let mut group = c.benchmark_group(format!("inference_step_dh{DH}_b1"));
     for sparsity in SPARSITIES {
-        let h = sparse_state(1, DH, sparsity, 7);
+        let h = StateLanes::from(sparse_state(1, DH, sparsity, 7));
         group.bench_with_input(
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
@@ -69,11 +70,11 @@ fn bench_inference_step_batched(c: &mut Criterion) {
     let model = FrozenCharLm::random(VOCAB, DH, 42);
     let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
     let b8 = 8usize;
-    let cell = Matrix::from_fn(b8, DH, |_, j| ((j as f32) * 0.013).sin());
+    let cell = StateLanes::from(Matrix::from_fn(b8, DH, |_, j| ((j as f32) * 0.013).sin()));
     let tokens: Vec<usize> = (0..b8).map(|i| i * 5 % VOCAB).collect();
     let mut group = c.benchmark_group(format!("inference_step_dh{DH}_b8"));
     for sparsity in SPARSITIES {
-        let h = sparse_state(b8, DH, sparsity, 11);
+        let h = StateLanes::from(sparse_state(b8, DH, sparsity, 11));
         group.bench_with_input(
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
@@ -98,10 +99,10 @@ fn bench_inference_step_gru(c: &mut Criterion) {
     // dense/sparse ratio is the family's skip speedup.
     let model = FrozenGruCharLm::random(VOCAB, DH, 42);
     let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
-    let cell = Matrix::zeros(1, 0); // GRU sessions carry no cell state
+    let cell = StateLanes::zeros(1, 0); // GRU sessions carry no cell state
     let mut group = c.benchmark_group(format!("runtime_gru_dh{DH}_b1"));
     for sparsity in SPARSITIES {
-        let h = sparse_state(1, DH, sparsity, 7);
+        let h = StateLanes::from(sparse_state(1, DH, sparsity, 7));
         group.bench_with_input(
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
@@ -126,10 +127,45 @@ fn bench_inference_step_word_lm(c: &mut Criterion) {
     const EMB: usize = 64;
     let model = FrozenWordLm::random(VOCAB, EMB, DH, 42);
     let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
-    let cell = Matrix::from_fn(1, DH, |_, j| ((j as f32) * 0.013).sin());
+    let cell = StateLanes::from(Matrix::from_fn(1, DH, |_, j| ((j as f32) * 0.013).sin()));
     let mut group = c.benchmark_group(format!("runtime_word_lm_dh{DH}_emb{EMB}_b1"));
     for sparsity in SPARSITIES {
-        let h = sparse_state(1, DH, sparsity, 7);
+        let h = StateLanes::from(sparse_state(1, DH, sparsity, 7));
+        group.bench_with_input(
+            BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    black_box(batcher.step(BatchStep {
+                        h: black_box(h),
+                        c: &cell,
+                        inputs: &[3],
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inference_step_quantized(c: &mut Criterion) {
+    // The 8-bit quantized family: i8 codes in, i8x i8 -> i32 skip-aware
+    // accumulators, LUT gates, quantized head. Same dh/vocab/sparsities
+    // as the f32 `inference_step_dh512_b1` lane so the two are directly
+    // comparable: the quantized step moves a quarter of the weight bytes
+    // per fetched row.
+    let model = FrozenQuantizedCharLm::random(VOCAB, DH, 0.1, 42);
+    let h_quant = model.quantized().h_quantizer();
+    let c_quant = model.quantized().c_quantizer();
+    let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
+    let cell = StateLanes::from_fn(1, DH, |_, j| c_quant.quantize(((j as f32) * 0.013).sin()));
+    let mut group = c.benchmark_group(format!("runtime_quantized_dh{DH}_b1"));
+    for sparsity in SPARSITIES {
+        // The same column-correlated sparse pattern as the f32 lanes,
+        // stored as codes (survivors are >= 0.1, so they never quantize
+        // to code 0 and the sparsity carries over exactly).
+        let hf = sparse_state(1, DH, sparsity, 7);
+        let h = StateLanes::from_fn(1, DH, |r, j| h_quant.quantize(hf[(r, j)]));
         group.bench_with_input(
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
@@ -180,6 +216,7 @@ criterion_group!(
     bench_inference_step_batched,
     bench_inference_step_gru,
     bench_inference_step_word_lm,
+    bench_inference_step_quantized,
     bench_recurrent_kernel
 );
 criterion_main!(benches);

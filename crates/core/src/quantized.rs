@@ -114,6 +114,26 @@ impl QuantizedLstm {
         &self.wx
     }
 
+    /// The full-precision bias (`4·dh`, gate order `[f, i, o, g]`).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// The hardware sigmoid table (gates `f`, `i`, `o`).
+    pub fn sigmoid_lut(&self) -> &ActivationLut {
+        &self.sigmoid
+    }
+
+    /// The hardware tanh table (gate `g` and the cell non-linearity).
+    pub fn tanh_lut(&self) -> &ActivationLut {
+        &self.tanh
+    }
+
+    /// The input quantizer.
+    pub fn x_quantizer(&self) -> Quantizer {
+        self.x_quant
+    }
+
     /// The hidden-state quantizer.
     pub fn h_quantizer(&self) -> Quantizer {
         self.h_quant
@@ -135,11 +155,13 @@ impl QuantizedLstm {
     }
 
     /// Combined scale of an `x`-side accumulator LSB.
+    #[inline]
     pub fn x_acc_scale(&self) -> f32 {
         self.wx.quantizer().step() * self.x_quant.step()
     }
 
     /// Combined scale of an `h`-side accumulator LSB.
+    #[inline]
     pub fn h_acc_scale(&self) -> f32 {
         self.wh.quantizer().step() * self.h_quant.step()
     }
@@ -158,6 +180,7 @@ impl QuantizedLstm {
     /// Gate pre-activation for flat gate index `k` (`0 ≤ k < 4·dh`, gate
     /// order `[f, i, o, g]` blocked by `dh`): rescales the two integer
     /// accumulators and adds the full-precision bias.
+    #[inline]
     pub fn preactivation(&self, k: usize, acc_x: i32, acc_h: i32) -> f32 {
         acc_x as f32 * self.x_acc_scale() + acc_h as f32 * self.h_acc_scale() + self.bias[k]
     }
@@ -168,6 +191,7 @@ impl QuantizedLstm {
     /// # Panics
     ///
     /// Panics if `gate > 3`.
+    #[inline]
     pub fn activation(&self, gate: usize, z: f32) -> f32 {
         match gate {
             0..=2 => self.sigmoid.eval(z),
@@ -181,6 +205,7 @@ impl QuantizedLstm {
     /// cell value), threshold pruning (Eq. 5) and 8-bit state
     /// quantization. Shared verbatim by the accelerator's functional
     /// tiles so that simulator and reference agree bit-for-bit.
+    #[inline]
     pub fn pointwise(&self, f: f32, i: f32, o: f32, g: f32, c_prev_code: i8) -> (i8, i8) {
         let c_prev = self.c_quant.dequantize(c_prev_code);
         let c_val = f * c_prev + i * g;

@@ -61,6 +61,11 @@ impl Linear {
         &self.w
     }
 
+    /// The bias vector (`out`).
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
     /// Forward pass on a `B × in` batch; returns `B × out`.
     ///
     /// # Panics

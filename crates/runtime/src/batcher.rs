@@ -3,21 +3,26 @@
 //!
 //! Per step, the batcher:
 //!
-//! 1. packs the sessions' pruned hidden states into a `B × dh` matrix,
+//! 1. packs the sessions' pruned hidden states into `B × dh` lanes of the
+//!    family's state scalar ([`FrozenModel::State`] — `f32` for the float
+//!    families, `i8` codes for the quantized family),
 //! 2. passes the previous step's zero-run offset encoding
-//!    ([`zskip_core::encode`]) to the sparse kernel
-//!    [`Matrix::matmul_sparse_rows`], so rows of `Wh` whose state column is
-//!    zero in **every** lane are never read (Section III-D batch-joint
-//!    skipping),
-//! 3. applies the family's recurrent non-linearity
-//!    ([`FrozenModel::recurrent_step`]) and the threshold pruner (Eq. 5),
+//!    ([`zskip_core::encode`]) to the family's sparse kernel
+//!    ([`Matrix::matmul_sparse_rows`](zskip_tensor::Matrix::matmul_sparse_rows)
+//!    or `QMatrix::gemm_t_i32_sparse_rows`), so rows of `Wh` whose state
+//!    column is zero in **every** lane are never read (Section III-D
+//!    batch-joint skipping),
+//! 3. applies the family's recurrent non-linearity **and pruner**
+//!    ([`FrozenModel::recurrent_step`] — families disagree on where Eq. 5
+//!    lands, so the pruner travels with the step),
 //! 4. re-encodes the new pruned state, producing the skip plan for the
 //!    *next* step — the same store-offsets-now, skip-weights-next-step
 //!    dataflow as the hardware.
 //!
 //! The batcher is generic over [`FrozenModel`], so the same skip
 //! machinery serves the LSTM char-LM, the 3-gate GRU, the embedding-input
-//! word-LM and the pixel-streaming classifier.
+//! word-LM, the pixel-streaming classifier and the 8-bit quantized
+//! char-LM.
 //!
 //! Per-lane outputs are **independent of batch composition**: batching
 //! only ever widens the active set (a column is skipped when every lane
@@ -25,10 +30,9 @@
 //! That makes interleaving sessions into one batch bit-equivalent to
 //! stepping them in isolation — tested in `tests/proptests.rs`.
 
-use crate::model::{FrozenModel, SkipPlan};
+use crate::model::{FrozenModel, SkipPlan, StateLanes};
 use crate::weights::FrozenCharLm;
 use zskip_core::{OffsetEncoder, StatePruner};
-use zskip_nn::StateTransform;
 use zskip_tensor::Matrix;
 
 /// Skip-path policy for the batched step.
@@ -71,23 +75,23 @@ pub struct StepStats {
 }
 
 /// One step's worth of batched inputs, owned by the engine.
-pub struct BatchStep<'a, I> {
+pub struct BatchStep<'a, I, S> {
     /// Pruned hidden states, one lane per row (`B × dh`).
-    pub h: &'a Matrix,
+    pub h: &'a StateLanes<S>,
     /// Cell states (`B × cell_dim` — zero-width for the GRU family).
-    pub c: &'a Matrix,
+    pub c: &'a StateLanes<S>,
     /// One input unit per lane (token id or pixel).
     pub inputs: &'a [I],
 }
 
 /// Outputs of one batched step.
-pub struct BatchStepOutput {
+pub struct BatchStepOutput<S> {
     /// Head logits (`B × output_dim`).
     pub logits: Matrix,
     /// Next pruned hidden state (`B × dh`).
-    pub h: Matrix,
+    pub h: StateLanes<S>,
     /// Next cell state (`B × cell_dim`).
-    pub c: Matrix,
+    pub c: StateLanes<S>,
     /// Sparsity accounting for this step.
     pub stats: StepStats,
 }
@@ -103,7 +107,8 @@ pub struct DynamicBatcher<M: FrozenModel = FrozenCharLm> {
 
 impl<M: FrozenModel> DynamicBatcher<M> {
     /// Creates a batcher serving `model` with pruning threshold
-    /// `threshold` (use the threshold the model was trained with).
+    /// `threshold` (use the threshold the model was trained — or, for
+    /// the quantized family, frozen — with).
     pub fn new(model: M, threshold: f32, policy: SkipPolicy) -> Self {
         Self {
             model,
@@ -123,7 +128,7 @@ impl<M: FrozenModel> DynamicBatcher<M> {
         self.pruner.threshold()
     }
 
-    /// Derives the skip plan for a pruned state matrix: the stored column
+    /// Derives the skip plan for pruned state lanes: the stored column
     /// indices of the zero-run offset encoding are the rows of `Wh` the
     /// next step must fetch (anchors included — saturated offsets cost a
     /// fetch on hardware too).
@@ -132,15 +137,17 @@ impl<M: FrozenModel> DynamicBatcher<M> {
     /// [`OffsetEncoder::encode`](zskip_core::OffsetEncoder::encode) over
     /// the joint zero/non-zero pattern (tested equivalent in this module);
     /// materializing the `i8` lanes on the hot path cost more than the
-    /// skipping saved.
-    pub fn skip_plan(&self, h: &Matrix) -> (Vec<usize>, usize) {
+    /// skipping saved. It is generic over the state scalar: "zero" is
+    /// `0.0` for float lanes and code `0` for quantized lanes — the
+    /// offset encoding and the symmetric quantizer agree on it.
+    pub fn skip_plan(&self, h: &StateLanes<M::State>) -> (Vec<usize>, usize) {
         let dh = h.cols();
         let max_run = self.encoder.max_run();
         let mut active = Vec::with_capacity(dh);
         let mut anchors = 0usize;
         let mut run: u16 = 0;
         for j in 0..dh {
-            let all_zero = (0..h.rows()).all(|r| h[(r, j)] == 0.0);
+            let all_zero = h.column_is_jointly_zero(j);
             if all_zero && run < max_run {
                 run += 1;
                 continue;
@@ -158,16 +165,16 @@ impl<M: FrozenModel> DynamicBatcher<M> {
 
     /// Runs one batched recurrent + head step.
     ///
-    /// The arithmetic replicates the family's training-side forward pass
+    /// The arithmetic replicates the family's reference forward pass
     /// operation for operation, so serving a frozen model is
-    /// bit-identical to evaluating the training model with the same
+    /// bit-identical to evaluating the reference model with the same
     /// pruner.
     ///
     /// # Panics
     ///
     /// Panics if the batch is empty, shapes disagree, or an input fails
     /// the model's validation (out-of-vocab token, non-finite pixel).
-    pub fn step(&self, batch: BatchStep<'_, M::Input>) -> BatchStepOutput {
+    pub fn step(&self, batch: BatchStep<'_, M::Input, M::State>) -> BatchStepOutput<M::State> {
         let dh = self.model.hidden_dim();
         let b = batch.inputs.len();
         assert!(b > 0, "step needs at least one lane");
@@ -183,10 +190,11 @@ impl<M: FrozenModel> DynamicBatcher<M> {
         }
 
         // Family-specific x-side encoding (one-hot lookup, embedding
-        // lookup + GEMM, or pixel GEMM).
+        // lookup + GEMM, pixel GEMM, or integer accumulators).
         let zx = self.model.input_encode(batch.inputs);
 
-        // Recurrent product, skipping jointly-zero state columns.
+        // Recurrent product, skipping jointly-zero state columns; the
+        // family applies its own pruning exactly as its reference does.
         let (active, anchors) = self.skip_plan(batch.h);
         let use_sparse = (active.len() as f64) < self.policy.dense_fallback * dh as f64;
         let fetched_rows = if use_sparse { active.len() } else { dh };
@@ -195,11 +203,9 @@ impl<M: FrozenModel> DynamicBatcher<M> {
             anchors,
             use_sparse,
         };
-        let (h_raw, c) = self.model.recurrent_step(zx, batch.h, batch.c, &plan);
-
-        // Threshold pruning (Eq. 5) — the state the head reads, the next
-        // step consumes, and the encoder stores.
-        let hp = self.pruner.apply(&h_raw);
+        let (hp, c) = self
+            .model
+            .recurrent_step(zx, batch.h, batch.c, &plan, &self.pruner);
 
         // Family head on the pruned state.
         let logits = self.model.head(&hp);
@@ -246,8 +252,8 @@ mod tests {
     #[test]
     fn step_shapes() {
         let b = tiny();
-        let h = Matrix::zeros(3, 12);
-        let c = Matrix::zeros(3, 12);
+        let h = StateLanes::zeros(3, 12);
+        let c = StateLanes::zeros(3, 12);
         let out = b.step(BatchStep {
             h: &h,
             c: &c,
@@ -262,8 +268,8 @@ mod tests {
     fn gru_step_has_no_cell_state() {
         let model = FrozenGruCharLm::random(10, 12, 3);
         let b = DynamicBatcher::new(model, 0.15, SkipPolicy::default());
-        let h = Matrix::zeros(2, 12);
-        let c = Matrix::zeros(2, 0);
+        let h = StateLanes::zeros(2, 12);
+        let c = StateLanes::zeros(2, 0);
         let out = b.step(BatchStep {
             h: &h,
             c: &c,
@@ -291,7 +297,7 @@ mod tests {
             );
             for sparsity in [0.0f64, 0.5, 0.9, 1.0] {
                 let mut mask_rng = zskip_tensor::SeedableStream::new(bits as u64 ^ 99);
-                let h = Matrix::from_fn(
+                let h = StateLanes::from_fn(
                     3,
                     40,
                     |_, _| {
@@ -318,8 +324,8 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn empty_batch_is_rejected_with_a_clear_message() {
         let b = tiny();
-        let h = Matrix::zeros(0, 12);
-        let c = Matrix::zeros(0, 12);
+        let h = StateLanes::zeros(0, 12);
+        let c = StateLanes::zeros(0, 12);
         let _ = b.step(BatchStep {
             h: &h,
             c: &c,
@@ -330,7 +336,7 @@ mod tests {
     #[test]
     fn zero_state_skips_almost_everything() {
         let b = tiny();
-        let h = Matrix::zeros(2, 12);
+        let h = StateLanes::zeros(2, 12);
         let (active, anchors) = b.skip_plan(&h);
         // All-zero state: only saturation anchors are fetched.
         assert_eq!(active.len(), anchors);
@@ -340,10 +346,12 @@ mod tests {
     #[test]
     fn produced_state_respects_threshold() {
         let b = tiny();
-        let h = Matrix::from_fn(2, 12, |r, c| ((r + c) as f32 * 0.3).sin());
-        let c = Matrix::zeros(2, 12);
+        let raw = Matrix::from_fn(2, 12, |r, c| ((r + c) as f32 * 0.3).sin());
+        let mut pruned = raw.clone();
+        b.pruner.prune_slice(pruned.as_mut_slice());
+        let c = StateLanes::zeros(2, 12);
         let out = b.step(BatchStep {
-            h: &b.pruner.apply(&h),
+            h: &StateLanes::from(pruned),
             c: &c,
             inputs: &[0, 9],
         });
@@ -364,8 +372,8 @@ mod tests {
                 dense_fallback: 0.0,
             },
         );
-        let h = Matrix::zeros(1, 6);
-        let c = Matrix::zeros(1, 6);
+        let h = StateLanes::zeros(1, 6);
+        let c = StateLanes::zeros(1, 6);
         let out = batcher.step(BatchStep {
             h: &h,
             c: &c,

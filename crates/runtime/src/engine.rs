@@ -13,10 +13,9 @@
 //! counter — serves every model family.
 
 use crate::batcher::{BatchStep, DynamicBatcher, SkipPolicy, StepStats};
-use crate::model::FrozenModel;
+use crate::model::{FrozenModel, StateLanes, StateScalar};
 use crate::weights::FrozenCharLm;
 use std::collections::VecDeque;
-use zskip_tensor::Matrix;
 
 /// Handle to one streaming decode session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -131,9 +130,12 @@ impl EngineStats {
 /// Sentinel for "no next slot" in the intrusive ready list.
 const READY_NONE: usize = usize::MAX;
 
-struct SessionState<I> {
-    h: Vec<f32>,
-    c: Vec<f32>,
+struct SessionState<I, S> {
+    /// Pruned hidden-state lane in the family's state scalar (`f32`
+    /// values or `i8` codes).
+    h: Vec<S>,
+    /// Cell-state lane (empty for the GRU family).
+    c: Vec<S>,
     queued: VecDeque<I>,
     outbox: VecDeque<StepResult<I>>,
     /// `false` once closed: the slot is on the free list awaiting reuse.
@@ -201,7 +203,7 @@ fn decode_id(id: SessionId) -> (usize, u32) {
 pub struct Engine<M: FrozenModel = FrozenCharLm> {
     batcher: DynamicBatcher<M>,
     max_batch: usize,
-    sessions: Vec<SessionState<M::Input>>,
+    sessions: Vec<SessionState<M::Input, M::State>>,
     /// Recycled slots: closed sessions whose results have been drained.
     free: Vec<usize>,
     /// Head/tail of the intrusive FIFO of slots with (potentially) queued
@@ -249,8 +251,8 @@ impl<M: FrozenModel> Engine<M> {
         let dc = self.model().cell_dim();
         if let Some(index) = self.free.pop() {
             let s = &mut self.sessions[index];
-            s.h = vec![0.0; dh];
-            s.c = vec![0.0; dc];
+            s.h = vec![M::State::ZERO; dh];
+            s.c = vec![M::State::ZERO; dc];
             s.queued.clear();
             s.outbox.clear();
             s.live = true;
@@ -260,8 +262,8 @@ impl<M: FrozenModel> Engine<M> {
             return encode_id(index, s.generation);
         }
         self.sessions.push(SessionState {
-            h: vec![0.0; dh],
-            c: vec![0.0; dc],
+            h: vec![M::State::ZERO; dh],
+            c: vec![M::State::ZERO; dc],
             queued: VecDeque::new(),
             outbox: VecDeque::new(),
             live: true,
@@ -293,7 +295,10 @@ impl<M: FrozenModel> Engine<M> {
         Ok(())
     }
 
-    fn session_mut(&mut self, id: SessionId) -> Result<&mut SessionState<M::Input>, EngineError> {
+    fn session_mut(
+        &mut self,
+        id: SessionId,
+    ) -> Result<&mut SessionState<M::Input, M::State>, EngineError> {
         let (index, generation) = decode_id(id);
         match self.sessions.get_mut(index) {
             Some(s) if s.generation == generation && s.live => Ok(s),
@@ -399,8 +404,8 @@ impl<M: FrozenModel> Engine<M> {
         let dh = self.model().hidden_dim();
         let dc = self.model().cell_dim();
         let b = picked.len();
-        let mut h = Matrix::zeros(b, dh);
-        let mut c = Matrix::zeros(b, dc);
+        let mut h = StateLanes::zeros(b, dh);
+        let mut c = StateLanes::zeros(b, dc);
         for (r, (idx, _)) in picked.iter().enumerate() {
             h.row_mut(r).copy_from_slice(&self.sessions[*idx].h);
             c.row_mut(r).copy_from_slice(&self.sessions[*idx].c);

@@ -12,9 +12,11 @@
 //! Three layers, all generic over the served model family:
 //!
 //! * [`FrozenModel`] + the frozen weights ([`FrozenCharLm`],
-//!   [`FrozenGruCharLm`], [`FrozenWordLm`], [`FrozenSeqClassifier`]) —
-//!   inference-only parameter bundles extracted from trained models via
-//!   the [`Freezable`](zskip_nn::Freezable) export (no grad buffers),
+//!   [`FrozenGruCharLm`], [`FrozenWordLm`], [`FrozenSeqClassifier`],
+//!   and the 8-bit [`FrozenQuantizedCharLm`], whose session state is
+//!   `i8` codes — [`FrozenModel::State`]) — inference-only parameter
+//!   bundles extracted from trained models via the
+//!   [`Freezable`](zskip_nn::Freezable) export (no grad buffers),
 //!   each exposing the family's `input_encode` / `recurrent_step` /
 //!   `head` arithmetic,
 //! * [`DynamicBatcher`] — one batched recurrent step: packs many sessions
@@ -71,8 +73,10 @@ pub mod weights;
 
 pub use batcher::{BatchStep, BatchStepOutput, DynamicBatcher, SkipPolicy, StepStats};
 pub use engine::{Engine, EngineConfig, EngineError, EngineStats, SessionId, StepResult};
-pub use model::{FrozenModel, InputSpec, ScalarDomain, SkipPlan, TokenDomain};
+pub use model::{
+    FrozenModel, InputSpec, ScalarDomain, SkipPlan, StateLanes, StateScalar, TokenDomain,
+};
 pub use weights::{
-    FrozenCharLm, FrozenGru, FrozenGruCharLm, FrozenHead, FrozenLstm, FrozenSeqClassifier,
-    FrozenWordLm,
+    FrozenCharLm, FrozenGru, FrozenGruCharLm, FrozenHead, FrozenLstm, FrozenQuantizedCharLm,
+    FrozenSeqClassifier, FrozenWordLm,
 };

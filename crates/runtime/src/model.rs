@@ -11,14 +11,218 @@
 //! 3. apply the classifier **head** to a pruned state
 //!    ([`FrozenModel::head`]).
 //!
-//! Each method must replicate the corresponding training-side arithmetic
+//! Each method must replicate the corresponding reference arithmetic
 //! *operation for operation* (including the order in which the bias and
 //! the recurrent product are accumulated — LSTM and GRU cells differ
 //! here), so that serving a frozen model is bit-identical to evaluating
-//! the training model with the same pruner. The per-family equivalence
+//! the reference model with the same pruner. The per-family equivalence
 //! proptests in `tests/proptests.rs` enforce this.
+//!
+//! Families also pick their **state scalar** via
+//! [`FrozenModel::State`]: the f32 families carry `f32` lanes, the
+//! quantized family carries `i8` codes — the engine, the batcher and the
+//! skip plan are generic over [`StateScalar`], so the same scheduler
+//! serves both number systems. The one property skipping relies on is
+//! shared: a zero scalar ([`StateScalar::is_zero`]) contributes nothing
+//! to the recurrent product, whether the zero is a float or a code.
 
+use zskip_core::StatePruner;
 use zskip_tensor::{Matrix, SeedableStream};
+
+/// A scalar a session's recurrent state can be stored in: `f32` lanes
+/// for the float families, `i8` codes for the quantized family.
+///
+/// The skip machinery only needs two facts about a state scalar: what
+/// zero is (fresh sessions start there) and how to recognize it (a
+/// column that is zero in every lane is a `Wh` row nobody fetches).
+pub trait StateScalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// The additive-identity state value a fresh session starts from.
+    const ZERO: Self;
+
+    /// Whether this value is *exactly* zero — the skippable case: for
+    /// `f32` the pruned `0.0`, for `i8` the code `0` (the offset
+    /// encoding and the symmetric quantizer agree on it).
+    fn is_zero(self) -> bool;
+}
+
+impl StateScalar for f32 {
+    const ZERO: Self = 0.0;
+
+    fn is_zero(self) -> bool {
+        self == 0.0
+    }
+}
+
+impl StateScalar for i8 {
+    const ZERO: Self = 0;
+
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+}
+
+/// A batch of per-session state lanes, one lane per row (`B × width`),
+/// generic over the family's [`StateScalar`] — the shape the batcher
+/// packs hidden and cell states into.
+///
+/// For `f32` this is a plain row-major matrix (convertible to/from
+/// [`Matrix`]); for `i8` it is the stored-code layout the integer
+/// kernels consume directly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateLanes<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: StateScalar> StateLanes<S> {
+    /// Creates `rows × cols` lanes of [`StateScalar::ZERO`].
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("lane dimensions overflow usize");
+        Self {
+            rows,
+            cols,
+            data: vec![S::ZERO; len],
+        }
+    }
+
+    /// Creates lanes from a generator called as `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut lanes = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                lanes.data[r * cols + c] = f(r, c);
+            }
+        }
+        lanes
+    }
+
+    /// Creates lanes that take ownership of `data` interpreted row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "lane data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of lanes (batch rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Lane width (state units per lane).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the lanes hold no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the row-major storage (lane-by-lane — the layout the
+    /// batched kernels consume).
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Borrows lane `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[S] {
+        assert!(
+            r < self.rows,
+            "lane {r} out of bounds ({} lanes)",
+            self.rows
+        );
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows lane `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [S] {
+        assert!(
+            r < self.rows,
+            "lane {r} out of bounds ({} lanes)",
+            self.rows
+        );
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Whether state unit `j` is zero in **every** lane — the batch-joint
+    /// skip condition of the paper's Section III-D.
+    pub fn column_is_jointly_zero(&self, j: usize) -> bool {
+        assert!(j < self.cols, "column {j} out of bounds");
+        (0..self.rows).all(|r| self.data[r * self.cols + j].is_zero())
+    }
+
+    /// Consumes the lanes and returns the row-major storage.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+}
+
+impl StateLanes<f32> {
+    /// Clones the lanes into a [`Matrix`] (the f32 families' kernels run
+    /// on matrices).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.clone())
+    }
+}
+
+impl From<Matrix> for StateLanes<f32> {
+    /// Zero-copy: takes over the matrix's row-major storage.
+    fn from(m: Matrix) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        Self {
+            rows,
+            cols,
+            data: m.into_vec(),
+        }
+    }
+}
+
+impl<S: StateScalar> std::ops::Index<(usize, usize)> for StateLanes<S> {
+    type Output = S;
+
+    fn index(&self, (r, c): (usize, usize)) -> &S {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<S: StateScalar> std::ops::IndexMut<(usize, usize)> for StateLanes<S> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut S {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
 
 /// The skip plan for one batched recurrent step: which rows of `Wh` must
 /// be fetched, derived from the zero-run offset encoding of the previous
@@ -37,13 +241,38 @@ pub struct SkipPlan {
 }
 
 impl SkipPlan {
-    /// The recurrent product under this plan — the one place the skip
-    /// decision is applied, shared by every model family.
+    /// The f32 recurrent product under this plan — the one place the
+    /// skip decision is applied for the float families.
     pub fn matmul(&self, h: &Matrix, wh: &Matrix) -> Matrix {
         if self.use_sparse {
             h.matmul_sparse_rows(wh, &self.active)
         } else {
             h.matmul(wh)
+        }
+    }
+
+    /// [`Self::matmul`] directly on `f32` state lanes — the batched step
+    /// takes this entry so no `Matrix` copy of the batch is made.
+    pub fn matmul_lanes(&self, h: &StateLanes<f32>, wh: &Matrix) -> Matrix {
+        if self.use_sparse {
+            Matrix::matmul_sparse_rows_from(h.as_slice(), h.rows(), wh, &self.active)
+        } else {
+            Matrix::matmul_from_rows(h.as_slice(), h.rows(), wh)
+        }
+    }
+
+    /// The integer recurrent accumulators under this plan: `lanes`
+    /// stored-code state vectors against a quantized `Wh`
+    /// (`rows × gate-width`), returning `lanes × gate-width` raw `i32`
+    /// accumulators — the quantized family's counterpart of
+    /// [`SkipPlan::matmul`]. Bit-identical either way the decision
+    /// falls: integer addition is associative and skipped codes are
+    /// exact zeros.
+    pub fn gemm_t_i32(&self, h: &StateLanes<i8>, wh: &zskip_tensor::QMatrix) -> Vec<i32> {
+        if self.use_sparse {
+            wh.gemm_t_i32_sparse_rows(h.as_slice(), h.rows(), &self.active)
+        } else {
+            wh.gemm_t_i32(h.as_slice(), h.rows())
         }
     }
 }
@@ -107,6 +336,12 @@ pub trait FrozenModel: Clone + Send + Sync + 'static {
     /// The family's weight-free input-domain descriptor.
     type Spec: InputSpec<Self::Input>;
 
+    /// The scalar a session's recurrent state is stored in between
+    /// steps: `f32` for the float families, `i8` codes for the
+    /// quantized family (whose state lives in 8-bit storage exactly as
+    /// on the simulated accelerator's DRAM).
+    type State: StateScalar;
+
     /// Hidden dimension `dh` — the width of the pruned state and the
     /// row count of `Wh`.
     fn hidden_dim(&self) -> usize;
@@ -137,27 +372,38 @@ pub trait FrozenModel: Clone + Send + Sync + 'static {
         self.input_spec().sample(rng)
     }
 
-    /// Encodes one batch of inputs into the x-side pre-activation the
+    /// Encodes one batch of inputs into the x-side contribution the
     /// recurrent step consumes (`B × gate-width`), exactly as the
-    /// training cell computes it before the recurrent contribution is
-    /// merged. Families differ in where the bias lands: the LSTM adds it
-    /// *after* the recurrent product, the GRU *before* — each frozen
-    /// family replicates its own cell's order.
+    /// family's reference computes it before the recurrent contribution
+    /// is merged. Families differ in what this carries: the LSTM's is
+    /// the bias-free pre-activation, the GRU's already includes the
+    /// bias, and the quantized family's holds raw `i32` x-side
+    /// accumulators (exactly representable in `f32` — one `i8 × i8`
+    /// product per element).
     fn input_encode(&self, inputs: &[Self::Input]) -> Matrix;
 
     /// One batched recurrent step: consumes the x-side encoding `zx`,
-    /// the previous pruned state `h` (`B × dh`), the cell state `c`
-    /// (`B × cell_dim`) and the skip plan over `Wh` rows; returns the
-    /// raw next hidden state and the next cell state.
+    /// the previous pruned state `h` (`B × dh` lanes of
+    /// [`Self::State`]), the cell state `c` (`B × cell_dim`) and the
+    /// skip plan over `Wh` rows; returns the next **already-pruned**
+    /// hidden state and the next cell state.
+    ///
+    /// Pruning lives here — not in the batcher — because the families
+    /// disagree on where it happens: the float families threshold the
+    /// raw `f32` state *after* the step, while the quantized family
+    /// prunes inside its pointwise stage, on the real value *before* it
+    /// is re-quantized to storage codes (`QuantizedLstm::pointwise`).
+    /// Each family must apply `pruner` exactly as its reference does.
     fn recurrent_step(
         &self,
         zx: Matrix,
-        h: &Matrix,
-        c: &Matrix,
+        h: &StateLanes<Self::State>,
+        c: &StateLanes<Self::State>,
         plan: &SkipPlan,
-    ) -> (Matrix, Matrix);
+        pruner: &StatePruner,
+    ) -> (StateLanes<Self::State>, StateLanes<Self::State>);
 
-    /// Classifier head on a pruned state: `B × dh` → `B × output_dim`
-    /// logits.
-    fn head(&self, hp: &Matrix) -> Matrix;
+    /// Classifier head on a pruned state: `B × dh` lanes →
+    /// `B × output_dim` f32 logits.
+    fn head(&self, hp: &StateLanes<Self::State>) -> Matrix;
 }

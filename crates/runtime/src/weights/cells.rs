@@ -8,8 +8,9 @@
 //! operation — including accumulation order — so frozen serving is
 //! bit-identical to the training forward pass.
 
-use crate::model::SkipPlan;
+use crate::model::{SkipPlan, StateLanes};
 use serde::{Deserialize, Serialize};
+use zskip_core::StatePruner;
 use zskip_tensor::{sigmoid, tanh, Matrix};
 
 /// Frozen weights of one LSTM cell (gate order `[f, i, o, g]`).
@@ -72,17 +73,18 @@ impl FrozenLstm {
     /// non-linearities, then the cell/hidden update.
     ///
     /// `zx` is the x-side pre-activation **without** bias (`B × 4dh`);
-    /// consumed as the accumulator. Returns `(h_raw, c_next)`.
+    /// consumed as the accumulator. States are `f32` lanes (borrowed
+    /// straight from the batch — no copy). Returns `(h_raw, c_next)`.
     pub fn recurrent_step(
         &self,
         mut z: Matrix,
-        h: &Matrix,
-        c_prev: &Matrix,
+        h: &StateLanes<f32>,
+        c_prev: &StateLanes<f32>,
         plan: &SkipPlan,
     ) -> (Matrix, Matrix) {
         let dh = self.hidden;
         let b = h.rows();
-        let hz = plan.matmul(h, &self.wh);
+        let hz = plan.matmul_lanes(h, &self.wh);
         z.add_assign(&hz);
         z.add_row_broadcast(&self.bias);
 
@@ -117,6 +119,25 @@ impl FrozenLstm {
             }
         }
         (h_next, c)
+    }
+
+    /// [`Self::recurrent_step`] on `f32` state lanes, with the
+    /// family-side threshold pruning (Eq. 5) applied to the raw next
+    /// state — the form [`FrozenModel::recurrent_step`](crate::FrozenModel::recurrent_step)
+    /// requires. Shared by every LSTM family.
+    pub fn recurrent_step_pruned(
+        &self,
+        zx: Matrix,
+        h: &StateLanes<f32>,
+        c_prev: &StateLanes<f32>,
+        plan: &SkipPlan,
+        pruner: &StatePruner,
+    ) -> (StateLanes<f32>, StateLanes<f32>) {
+        let (mut h_raw, c) = self.recurrent_step(zx, h, c_prev, plan);
+        // Same arithmetic as the training pruner's `apply` (which clones
+        // then prunes in place).
+        pruner.prune_slice(h_raw.as_mut_slice());
+        (h_raw.into(), c.into())
     }
 }
 
@@ -178,12 +199,13 @@ impl FrozenGru {
     /// bit-for-bit. Note the family difference baked into the training
     /// cell: the bias is added to the x-side **before** the recurrent
     /// contribution is merged per gate, so `zx` here must already carry
-    /// it (`B × 3dh`, see the family's `input_encode`). Returns the raw
+    /// it (`B × 3dh`, see the family's `input_encode`). The state is
+    /// `f32` lanes borrowed straight from the batch. Returns the raw
     /// next hidden state; the GRU carries no cell state.
-    pub fn recurrent_step(&self, zx: Matrix, h: &Matrix, plan: &SkipPlan) -> Matrix {
+    pub fn recurrent_step(&self, zx: Matrix, h: &StateLanes<f32>, plan: &SkipPlan) -> Matrix {
         let dh = self.hidden;
         let b = h.rows();
-        let zh = plan.matmul(h, &self.wh);
+        let zh = plan.matmul_lanes(h, &self.wh);
 
         let mut gates = Matrix::zeros(b, 3 * dh);
         let mut h_next = Matrix::zeros(b, dh);
@@ -209,6 +231,22 @@ impl FrozenGru {
             }
         }
         h_next
+    }
+
+    /// [`Self::recurrent_step`] on `f32` state lanes with family-side
+    /// threshold pruning, mirroring
+    /// [`FrozenLstm::recurrent_step_pruned`]. The GRU carries no cell
+    /// state, so only the pruned hidden lanes come back.
+    pub fn recurrent_step_pruned(
+        &self,
+        zx: Matrix,
+        h: &StateLanes<f32>,
+        plan: &SkipPlan,
+        pruner: &StatePruner,
+    ) -> StateLanes<f32> {
+        let mut h_raw = self.recurrent_step(zx, h, plan);
+        pruner.prune_slice(h_raw.as_mut_slice());
+        h_raw.into()
     }
 }
 
@@ -249,6 +287,13 @@ impl FrozenHead {
     /// Applies the head to a batch of pruned states.
     pub fn forward(&self, hp: &Matrix) -> Matrix {
         let mut logits = hp.matmul(&self.w);
+        logits.add_row_broadcast(&self.b);
+        logits
+    }
+
+    /// [`Self::forward`] on `f32` state lanes, copy-free.
+    pub fn forward_lanes(&self, hp: &StateLanes<f32>) -> Matrix {
+        let mut logits = Matrix::matmul_from_rows(hp.as_slice(), hp.rows(), &self.w);
         logits.add_row_broadcast(&self.b);
         logits
     }

@@ -2,8 +2,9 @@
 
 use super::cells::{FrozenHead, FrozenLstm};
 use super::TensorBag;
-use crate::model::{FrozenModel, SkipPlan, TokenDomain};
+use crate::model::{FrozenModel, SkipPlan, StateLanes, TokenDomain};
 use serde::{Deserialize, Serialize};
+use zskip_core::StatePruner;
 use zskip_nn::models::CharLm;
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -87,6 +88,9 @@ impl FrozenCharLm {
 impl FrozenModel for FrozenCharLm {
     type Input = usize;
 
+    /// Float lanes: sessions carry `f32` state between steps.
+    type State = f32;
+
     fn hidden_dim(&self) -> usize {
         self.lstm.hidden_dim()
     }
@@ -116,15 +120,16 @@ impl FrozenModel for FrozenCharLm {
     fn recurrent_step(
         &self,
         zx: Matrix,
-        h: &Matrix,
-        c: &Matrix,
+        h: &StateLanes<f32>,
+        c: &StateLanes<f32>,
         plan: &SkipPlan,
-    ) -> (Matrix, Matrix) {
-        self.lstm.recurrent_step(zx, h, c, plan)
+        pruner: &StatePruner,
+    ) -> (StateLanes<f32>, StateLanes<f32>) {
+        self.lstm.recurrent_step_pruned(zx, h, c, plan, pruner)
     }
 
-    fn head(&self, hp: &Matrix) -> Matrix {
-        self.head.forward(hp)
+    fn head(&self, hp: &StateLanes<f32>) -> Matrix {
+        self.head.forward_lanes(hp)
     }
 }
 

@@ -2,8 +2,9 @@
 
 use super::cells::{FrozenGru, FrozenHead};
 use super::TensorBag;
-use crate::model::{FrozenModel, SkipPlan, TokenDomain};
+use crate::model::{FrozenModel, SkipPlan, StateLanes, TokenDomain};
 use serde::{Deserialize, Serialize};
+use zskip_core::StatePruner;
 use zskip_nn::models::GruCharLm;
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -79,6 +80,9 @@ impl FrozenGruCharLm {
 impl FrozenModel for FrozenGruCharLm {
     type Input = usize;
 
+    /// Float lanes: sessions carry `f32` state between steps.
+    type State = f32;
+
     fn hidden_dim(&self) -> usize {
         self.gru.hidden_dim()
     }
@@ -114,17 +118,18 @@ impl FrozenModel for FrozenGruCharLm {
     fn recurrent_step(
         &self,
         zx: Matrix,
-        h: &Matrix,
-        _c: &Matrix,
+        h: &StateLanes<f32>,
+        _c: &StateLanes<f32>,
         plan: &SkipPlan,
-    ) -> (Matrix, Matrix) {
-        let h_next = self.gru.recurrent_step(zx, h, plan);
+        pruner: &StatePruner,
+    ) -> (StateLanes<f32>, StateLanes<f32>) {
+        let h_next = self.gru.recurrent_step_pruned(zx, h, plan, pruner);
         let b = h.rows();
-        (h_next, Matrix::zeros(b, 0))
+        (h_next, StateLanes::zeros(b, 0))
     }
 
-    fn head(&self, hp: &Matrix) -> Matrix {
-        self.head.forward(hp)
+    fn head(&self, hp: &StateLanes<f32>) -> Matrix {
+        self.head.forward_lanes(hp)
     }
 }
 

@@ -15,16 +15,23 @@
 //! | [`FrozenGruCharLm`] | `GruCharLm` | one-hot token → `Wx` row lookup | next-char logits |
 //! | [`FrozenWordLm`] | `WordLm` | embedding row lookup → dense `Wx` GEMM | next-word logits |
 //! | [`FrozenSeqClassifier`] | `SeqClassifier` | one scalar pixel per step | running class logits |
+//! | [`FrozenQuantizedCharLm`] | `CharLm` (8-bit quantized) | one-hot token → integer `Wx` row lookup | next-char logits (i8×i8→i32 head) |
+//!
+//! All but the last carry `f32` session state; the quantized family's
+//! state is `i8` codes ([`FrozenModel::State`](crate::FrozenModel::State)),
+//! stepping with the accelerator's integer arithmetic.
 
 mod cells;
 mod char_lm;
 mod gru_char_lm;
+mod quantized_char_lm;
 mod seq_classifier;
 mod word_lm;
 
 pub use cells::{FrozenGru, FrozenHead, FrozenLstm};
 pub use char_lm::FrozenCharLm;
 pub use gru_char_lm::FrozenGruCharLm;
+pub use quantized_char_lm::FrozenQuantizedCharLm;
 pub use seq_classifier::FrozenSeqClassifier;
 pub use word_lm::FrozenWordLm;
 

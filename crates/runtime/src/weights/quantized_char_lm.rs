@@ -1,0 +1,465 @@
+//! Frozen 8-bit quantized character-level LM: the integer serving path.
+//!
+//! This family serves the arithmetic the simulated accelerator performs —
+//! `i8 × i8 → i32` gate accumulators, LUT non-linearities, 8-bit state
+//! storage — instead of the float path the other families take. It
+//! *embeds* [`zskip_core::QuantizedLstm`], the golden functional model the
+//! accelerator's `FunctionalTile` is verified bit-for-bit against, and
+//! reuses its `preactivation` / `activation` / `pointwise` stages
+//! verbatim; the only thing this module adds is the **batched, skip-aware
+//! accumulator**: `QMatrix::gemm_t_i32_sparse_rows` under the engine's
+//! [`SkipPlan`], which is bit-free because integer addition is
+//! associative and a code-0 unit contributes exact zeros.
+//!
+//! Sessions therefore carry `i8` codes between steps
+//! ([`FrozenModel::State`]` = i8`), exactly as hidden and cell states live
+//! in 8-bit DRAM between timesteps on the hardware — a served stream's
+//! state traffic is one quarter of the float families'.
+
+use crate::model::{FrozenModel, SkipPlan, StateLanes, TokenDomain};
+use serde::{Deserialize, Serialize};
+use zskip_core::{QuantizedLstm, StatePruner};
+use zskip_nn::models::CharLm;
+use zskip_nn::LstmCell;
+use zskip_tensor::{Matrix, QMatrix, SeedableStream};
+
+/// Frozen weights of the quantized char-LM: the golden
+/// [`QuantizedLstm`] cell plus an 8-bit quantized softmax head.
+///
+/// The pruning threshold is **baked into the frozen model** (it is part
+/// of the quantized pointwise datapath, applied to the real value before
+/// re-quantization); configure the engine with the same threshold — the
+/// step asserts they agree, because a mismatch would silently serve a
+/// different model than the one frozen.
+///
+/// # Example
+///
+/// ```
+/// use zskip_nn::models::CharLm;
+/// use zskip_runtime::{FrozenModel, FrozenQuantizedCharLm};
+/// use zskip_tensor::SeedableStream;
+///
+/// let mut rng = SeedableStream::new(1);
+/// let mut model = CharLm::new(20, 16, &mut rng);
+/// let frozen = FrozenQuantizedCharLm::freeze(&mut model, 0.2);
+/// assert_eq!(frozen.vocab_size(), 20);
+/// assert_eq!(frozen.hidden_dim(), 16);
+/// assert_eq!(frozen.threshold(), 0.2);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenQuantizedCharLm {
+    vocab: usize,
+    q: QuantizedLstm,
+    head_w: QMatrix,
+    head_b: Vec<f32>,
+}
+
+impl FrozenQuantizedCharLm {
+    /// Quantizes a trained [`CharLm`] for integer serving at pruning
+    /// threshold `threshold`.
+    ///
+    /// The LSTM cell goes through [`QuantizedLstm::from_cell`] — the
+    /// *same* constructor the accelerator-verification tests use, so the
+    /// served datapath is byte-identical to the verified reference — and
+    /// the head is max-abs quantized the same way the cell weights are.
+    ///
+    /// (The borrow is mutable only for signature symmetry with the other
+    /// families' `freeze`; quantization reads through the model's
+    /// accessors, which the `Freezable` export is debug-asserted
+    /// byte-identical to.)
+    pub fn freeze(model: &mut CharLm, threshold: f32) -> Self {
+        Self {
+            vocab: model.vocab_size(),
+            q: QuantizedLstm::from_cell(model.lstm().cell(), threshold),
+            head_w: QMatrix::from_matrix(model.head().weight()),
+            head_b: model.head().bias().to_vec(),
+        }
+    }
+
+    /// Random weights at serving shape — used by benchmarks and
+    /// determinism tests that measure the integer path without paying
+    /// for training first.
+    pub fn random(vocab: usize, hidden: usize, threshold: f32, seed: u64) -> Self {
+        let mut rng = SeedableStream::new(seed);
+        let cell = LstmCell::new(vocab, hidden, &mut rng);
+        let scale = (1.0 / hidden as f32).sqrt();
+        let head_w = super::random_matrix(hidden, vocab, scale, &mut rng);
+        Self {
+            vocab,
+            q: QuantizedLstm::from_cell(&cell, threshold),
+            head_w: QMatrix::from_matrix(&head_w),
+            head_b: vec![0.0; vocab],
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// The embedded golden quantized cell.
+    pub fn quantized(&self) -> &QuantizedLstm {
+        &self.q
+    }
+
+    /// The pruning threshold baked into the quantized datapath.
+    pub fn threshold(&self) -> f32 {
+        self.q.threshold()
+    }
+
+    /// Quantized head weights (`dh × vocab`).
+    pub fn head_w(&self) -> &QMatrix {
+        &self.head_w
+    }
+
+    /// Full-precision head bias (`vocab`).
+    pub fn head_b(&self) -> &[f32] {
+        &self.head_b
+    }
+}
+
+impl FrozenModel for FrozenQuantizedCharLm {
+    type Input = usize;
+
+    /// 8-bit codes: session state lives in `i8`, as on the accelerator's
+    /// DRAM.
+    type State = i8;
+
+    fn hidden_dim(&self) -> usize {
+        self.q.hidden_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.vocab
+    }
+
+    type Spec = TokenDomain;
+
+    fn input_spec(&self) -> TokenDomain {
+        TokenDomain { vocab: self.vocab }
+    }
+
+    /// Raw x-side `i32` accumulators, carried as `f32` (each element is
+    /// a single `i8 × i8` product, |acc| ≤ 127², so the value is exactly
+    /// representable and the round-trip through the `Matrix` container
+    /// is lossless). With a one-hot input only row `tok` of `Wx`
+    /// contributes, scaled by the code of `1.0` — bit-identical to
+    /// `wx.gemv_t_i32(quantize_input(one_hot))`, which walks the same
+    /// single non-zero row (the paper's "implemented as a look-up
+    /// table", integer edition).
+    fn input_encode(&self, inputs: &[usize]) -> Matrix {
+        let gates = 4 * self.q.hidden_dim();
+        let one = self.q.x_quantizer().quantize(1.0) as i32;
+        let mut z = Matrix::zeros(inputs.len(), gates);
+        for (r, &tok) in inputs.iter().enumerate() {
+            for (dst, w) in z.row_mut(r).iter_mut().zip(self.q.wx().row(tok)) {
+                *dst = ((*w as i32) * one) as f32;
+            }
+        }
+        z
+    }
+
+    /// One batched quantized step: the skip-aware integer accumulator
+    /// feeds the embedded reference's own `preactivation` → LUT
+    /// `activation` → `pointwise` stages, so each lane is bit-identical
+    /// to [`QuantizedLstm::step`] on that lane's codes (proptested in
+    /// `tests/proptests.rs`).
+    ///
+    /// The per-lane work runs in three planes (pre-activations, LUT
+    /// non-linearities, pointwise tail) instead of one fused per-unit
+    /// loop, with an AVX2-compiled
+    /// twin dispatched at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's pruning threshold disagrees with the one
+    /// baked into the frozen model.
+    fn recurrent_step(
+        &self,
+        zx: Matrix,
+        h: &StateLanes<i8>,
+        c: &StateLanes<i8>,
+        plan: &SkipPlan,
+        pruner: &StatePruner,
+    ) -> (StateLanes<i8>, StateLanes<i8>) {
+        assert!(
+            pruner.threshold() == self.q.threshold(),
+            "engine threshold {} != frozen quantized threshold {}: the quantized family bakes \
+             Eq. 5 into its pointwise datapath — configure the engine with the freeze threshold",
+            pruner.threshold(),
+            self.q.threshold()
+        );
+        let dh = self.q.hidden_dim();
+        let b = h.rows();
+        let acc_h = plan.gemm_t_i32(h, self.q.wh());
+
+        let mut h_new = StateLanes::zeros(b, dh);
+        let mut c_new = StateLanes::zeros(b, dh);
+        let mut gates = vec![0f32; 4 * dh];
+        #[cfg(target_arch = "x86_64")]
+        let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_avx2 = false;
+        for r in 0..b {
+            let zx_row = zx.row(r);
+            let acc_row = &acc_h[r * 4 * dh..(r + 1) * 4 * dh];
+            let c_row = c.row(r);
+            let h_out = h_new.row_mut(r);
+            let c_out = c_new.row_mut(r);
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // SAFETY: AVX2 was detected once before the loop; the
+                // twin's only `unsafe` is the table gather, whose
+                // indices are clamped into bounds.
+                unsafe { self.lane_step_avx2(zx_row, acc_row, c_row, &mut gates, h_out, c_out) };
+                continue;
+            }
+            let _ = use_avx2;
+            self.lane_step_portable(zx_row, acc_row, c_row, &mut gates, h_out, c_out);
+        }
+        (h_new, c_new)
+    }
+
+    /// Quantized head: `i8` state codes against the `i8` head weights
+    /// with `i32` accumulation, rescaled once per logit — the same
+    /// requantization shape as the gate datapath.
+    fn head(&self, hp: &StateLanes<i8>) -> Matrix {
+        let scale = self.head_w.quantizer().step() * self.q.h_quantizer().step();
+        let acc = self.head_w.gemm_t_i32(hp.as_slice(), hp.rows());
+        let mut logits = Matrix::zeros(hp.rows(), self.vocab);
+        for r in 0..hp.rows() {
+            let acc_row = &acc[r * self.vocab..(r + 1) * self.vocab];
+            for ((dst, a), b) in logits.row_mut(r).iter_mut().zip(acc_row).zip(&self.head_b) {
+                *dst = *a as f32 * scale + *b;
+            }
+        }
+        logits
+    }
+}
+
+/// The per-lane quantized step, in three planes over a scratch `gates`
+/// buffer (`4·dh`, gate order `[f | i | o | g]`):
+///
+/// 1. pre-activations: `zx·xs + acc_h·hs + bias` (the exact formula of
+///    [`QuantizedLstm::preactivation`] — `zx` already holds the x-side
+///    accumulator value, so the `i32` round-trip is a no-op),
+/// 2. LUT non-linearities: sigmoid over the first `3·dh`, tanh over the
+///    rest (exactly [`QuantizedLstm::activation`] per element),
+/// 3. pointwise tail: [`QuantizedLstm::pointwise`] per unit.
+///
+/// Splitting the fused per-unit loop into planes lets pass 1
+/// autovectorize and keeps pass 2's table lookups in a tight loop; the
+/// AVX2 twin additionally performs the lookups with 8-wide gathers. The
+/// per-element arithmetic is identical in both twins and identical to
+/// the sequential reference — `lane_twins_agree_bitwise` and the
+/// frozen-vs-reference proptests pin all three together.
+impl FrozenQuantizedCharLm {
+    fn lane_step_portable(
+        &self,
+        zx_row: &[f32],
+        acc_row: &[i32],
+        c_row: &[i8],
+        gates: &mut [f32],
+        h_out: &mut [i8],
+        c_out: &mut [i8],
+    ) {
+        let dh = self.q.hidden_dim();
+        for (k, g) in gates.iter_mut().enumerate() {
+            *g = self.q.preactivation(k, zx_row[k] as i32, acc_row[k]);
+        }
+        let sigmoid = self.q.sigmoid_lut();
+        let tanh = self.q.tanh_lut();
+        let (sig_part, tanh_part) = gates.split_at_mut(3 * dh);
+        for v in sig_part.iter_mut() {
+            *v = sigmoid.eval(*v);
+        }
+        for v in tanh_part.iter_mut() {
+            *v = tanh.eval(*v);
+        }
+        self.pointwise_plane(gates, c_row, h_out, c_out);
+    }
+
+    /// Pass 3, shared by both twins: the reference's pointwise tail per
+    /// unit, reading the gate planes produced by passes 1–2.
+    fn pointwise_plane(&self, gates: &[f32], c_row: &[i8], h_out: &mut [i8], c_out: &mut [i8]) {
+        let dh = self.q.hidden_dim();
+        let (f_g, rest) = gates.split_at(dh);
+        let (i_g, rest) = rest.split_at(dh);
+        let (o_g, g_g) = rest.split_at(dh);
+        for j in 0..dh {
+            let (h_code, c_code) = self.q.pointwise(f_g[j], i_g[j], o_g[j], g_g[j], c_row[j]);
+            h_out[j] = h_code;
+            c_out[j] = c_code;
+        }
+    }
+
+    /// AVX2 twin of [`Self::lane_step_portable`]: pass 1 autovectorizes
+    /// under the feature (`mul`/`mul`/`add`/`add` per element — no FMA
+    /// contraction without fast-math, so the rounding matches the scalar
+    /// formula), pass 2 replays `ActivationLut::eval` with 8-wide
+    /// gathers (`cvtps2dq` rounds ties-to-even exactly like the scalar
+    /// `round_ties_even`), pass 3 is the shared scalar tail.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn lane_step_avx2(
+        &self,
+        zx_row: &[f32],
+        acc_row: &[i32],
+        c_row: &[i8],
+        gates: &mut [f32],
+        h_out: &mut [i8],
+        c_out: &mut [i8],
+    ) {
+        let dh = self.q.hidden_dim();
+        let xs = self.q.x_acc_scale();
+        let hs = self.q.h_acc_scale();
+        let bias = self.q.bias();
+        // Pass 1. `zx` stores exact integers (single i8×i8 products), so
+        // `zx as i32 as f32` in the reference formula is the identity.
+        for k in 0..4 * dh {
+            gates[k] = zx_row[k] * xs + acc_row[k] as f32 * hs + bias[k];
+        }
+        // Pass 2.
+        let (sig_part, tanh_part) = gates.split_at_mut(3 * dh);
+        Self::lut_plane_avx2(self.q.sigmoid_lut(), sig_part);
+        Self::lut_plane_avx2(self.q.tanh_lut(), tanh_part);
+        // Pass 3.
+        self.pointwise_plane(gates, c_row, h_out, c_out);
+    }
+
+    /// Replays [`zskip_tensor::lut::ActivationLut::eval`] over a plane
+    /// with 8-wide gathers; the scalar tail runs the real `eval`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn lut_plane_avx2(lut: &zskip_tensor::lut::ActivationLut, plane: &mut [f32]) {
+        use std::arch::x86_64::*;
+        let table = lut.table();
+        let range = lut.range();
+        let pos_scale = lut.position_scale();
+        let vmin = _mm256_set1_ps(-range);
+        let vmax = _mm256_set1_ps(range);
+        let vrange = _mm256_set1_ps(range);
+        let vscale = _mm256_set1_ps(pos_scale);
+        let vlast = _mm256_set1_epi32(table.len() as i32 - 1);
+        let vzero = _mm256_setzero_si256();
+        let mut k = 0usize;
+        while k + 8 <= plane.len() {
+            // SAFETY: `k + 8 <= len` bounds the loads/stores; gather
+            // indices are clamped into `0..table.len()` right before the
+            // table read.
+            unsafe {
+                let v = _mm256_loadu_ps(plane.as_ptr().add(k));
+                // Finite inputs: min/max match scalar `clamp` exactly.
+                let clamped = _mm256_min_ps(_mm256_max_ps(v, vmin), vmax);
+                let pos = _mm256_mul_ps(_mm256_add_ps(clamped, vrange), vscale);
+                // cvtps2dq rounds to nearest, ties to even — the scalar
+                // path's `round_ties_even` in one instruction.
+                let idx = _mm256_cvtps_epi32(pos);
+                let idx = _mm256_min_epi32(_mm256_max_epi32(idx, vzero), vlast);
+                let vals = _mm256_i32gather_ps::<4>(table.as_ptr(), idx);
+                _mm256_storeu_ps(plane.as_mut_ptr().add(k), vals);
+            }
+            k += 8;
+        }
+        for v in plane[k..].iter_mut() {
+            *v = lut.eval(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_embeds_the_reference_cell_exactly() {
+        let mut rng = SeedableStream::new(3);
+        let mut model = CharLm::new(12, 8, &mut rng);
+        let frozen = FrozenQuantizedCharLm::freeze(&mut model, 0.25);
+        let reference = QuantizedLstm::from_cell(model.lstm().cell(), 0.25);
+        // Same constructor, same cell, same threshold ⇒ the embedded
+        // golden model is the verification reference, not a re-derivation.
+        assert_eq!(frozen.quantized().wh(), reference.wh());
+        assert_eq!(frozen.quantized().wx(), reference.wx());
+        assert_eq!(frozen.threshold(), 0.25);
+        assert_eq!(frozen.head_w().rows(), 8);
+        assert_eq!(frozen.head_w().cols(), 12);
+    }
+
+    #[test]
+    fn input_encode_is_the_integer_row_lookup() {
+        let mut rng = SeedableStream::new(5);
+        let mut model = CharLm::new(9, 6, &mut rng);
+        let frozen = FrozenQuantizedCharLm::freeze(&mut model, 0.1);
+        let q = frozen.quantized().clone();
+        for tok in 0..9usize {
+            let mut one_hot = vec![0.0f32; 9];
+            one_hot[tok] = 1.0;
+            let codes = q.quantize_input(&one_hot);
+            let reference = q.wx().gemv_t_i32(&codes);
+            let z = frozen.input_encode(&[tok]);
+            for (got, want) in z.row(0).iter().zip(&reference) {
+                assert_eq!(*got as i32, *want, "tok={tok}");
+                assert_eq!(got.fract(), 0.0, "accumulator not integral");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_mismatch_is_rejected_loudly() {
+        let frozen = FrozenQuantizedCharLm::random(8, 6, 0.3, 1);
+        let zx = frozen.input_encode(&[2]);
+        let h = StateLanes::zeros(1, 6);
+        let c = StateLanes::zeros(1, 6);
+        let plan = SkipPlan {
+            active: vec![],
+            anchors: 0,
+            use_sparse: true,
+        };
+        let result = std::panic::catch_unwind(|| {
+            frozen.recurrent_step(zx, &h, &c, &plan, &StatePruner::new(0.2))
+        });
+        assert!(result.is_err(), "mismatched threshold must panic");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn lane_twins_agree_bitwise() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        // Odd dh so the 8-wide gather loop exercises its scalar tails.
+        let f = FrozenQuantizedCharLm::random(10, 37, 0.2, 4);
+        let dh = 37;
+        let zx = f.input_encode(&[3]);
+        let h: Vec<i8> = (0..dh)
+            .map(|j| if j % 3 == 0 { 0 } else { (j as i8) - 18 })
+            .collect();
+        let c: Vec<i8> = (0..dh).map(|j| (j as i8) - 20).collect();
+        let lanes = StateLanes::from_vec(1, dh, h.clone());
+        let plan = SkipPlan {
+            active: (0..dh).collect(),
+            anchors: 0,
+            use_sparse: true,
+        };
+        let acc = plan.gemm_t_i32(&lanes, f.quantized().wh());
+        let mut gates = vec![0f32; 4 * dh];
+        let (mut hp, mut cp) = (vec![0i8; dh], vec![0i8; dh]);
+        f.lane_step_portable(zx.row(0), &acc, &c, &mut gates, &mut hp, &mut cp);
+        let (mut ha, mut ca) = (vec![0i8; dh], vec![0i8; dh]);
+        // SAFETY: AVX2 detected above.
+        unsafe { f.lane_step_avx2(zx.row(0), &acc, &c, &mut gates, &mut ha, &mut ca) };
+        assert_eq!(hp, ha, "hidden codes diverged between twins");
+        assert_eq!(cp, ca, "cell codes diverged between twins");
+    }
+
+    #[test]
+    fn random_weights_have_serving_shape() {
+        let f = FrozenQuantizedCharLm::random(50, 64, 0.1, 9);
+        assert_eq!(f.vocab_size(), 50);
+        assert_eq!(f.hidden_dim(), 64);
+        assert_eq!(f.cell_dim(), 64);
+        assert_eq!(f.quantized().wh().rows(), 64);
+        assert_eq!(f.quantized().wh().cols(), 256);
+    }
+}

@@ -2,8 +2,9 @@
 
 use super::cells::{FrozenHead, FrozenLstm};
 use super::TensorBag;
-use crate::model::{FrozenModel, ScalarDomain, SkipPlan};
+use crate::model::{FrozenModel, ScalarDomain, SkipPlan, StateLanes};
 use serde::{Deserialize, Serialize};
+use zskip_core::StatePruner;
 use zskip_nn::models::SeqClassifier;
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -95,6 +96,9 @@ impl FrozenSeqClassifier {
 impl FrozenModel for FrozenSeqClassifier {
     type Input = f32;
 
+    /// Float lanes: sessions carry `f32` state between steps.
+    type State = f32;
+
     fn hidden_dim(&self) -> usize {
         self.lstm.hidden_dim()
     }
@@ -119,15 +123,16 @@ impl FrozenModel for FrozenSeqClassifier {
     fn recurrent_step(
         &self,
         zx: Matrix,
-        h: &Matrix,
-        c: &Matrix,
+        h: &StateLanes<f32>,
+        c: &StateLanes<f32>,
         plan: &SkipPlan,
-    ) -> (Matrix, Matrix) {
-        self.lstm.recurrent_step(zx, h, c, plan)
+        pruner: &StatePruner,
+    ) -> (StateLanes<f32>, StateLanes<f32>) {
+        self.lstm.recurrent_step_pruned(zx, h, c, plan, pruner)
     }
 
-    fn head(&self, hp: &Matrix) -> Matrix {
-        self.head.forward(hp)
+    fn head(&self, hp: &StateLanes<f32>) -> Matrix {
+        self.head.forward_lanes(hp)
     }
 }
 
@@ -145,7 +150,7 @@ mod tests {
         assert_eq!(frozen.lstm().wh().rows(), 6);
         assert_eq!(frozen.lstm().wx(), model.lstm().cell().wx());
         assert_eq!(frozen.lstm().wh(), model.lstm().cell().wh());
-        assert_eq!(frozen.head(&Matrix::zeros(2, 6)).cols(), 4);
+        assert_eq!(frozen.head(&StateLanes::zeros(2, 6)).cols(), 4);
     }
 
     #[test]

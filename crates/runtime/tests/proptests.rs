@@ -19,12 +19,13 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use zskip_core::StatePruner;
+use zskip_core::{QuantizedLstm, StatePruner};
 use zskip_nn::models::{CarryState, CharLm, GruCharLm, SeqClassifier, WordLm};
 use zskip_nn::StateTransform;
 use zskip_runtime::{
     BatchStep, DynamicBatcher, Engine, EngineConfig, EngineError, FrozenCharLm, FrozenGruCharLm,
-    FrozenModel, FrozenSeqClassifier, FrozenWordLm, SessionId, SkipPolicy,
+    FrozenModel, FrozenQuantizedCharLm, FrozenSeqClassifier, FrozenWordLm, SessionId, SkipPolicy,
+    StateLanes,
 };
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -98,8 +99,10 @@ proptest! {
         let dense = batcher(f, threshold, 0.0);           // always dense
         let pruner = StatePruner::new(threshold);
         let mut rng = SeedableStream::new(seed ^ 0xABCD);
-        let h = pruner.apply(&Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0)));
-        let c = Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0));
+        let h = StateLanes::from(
+            pruner.apply(&Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0))));
+        let c = StateLanes::from(
+            Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0)));
         let tokens: Vec<usize> = (0..b).map(|_| rng.index(vocab)).collect();
 
         let s = sparse.step(BatchStep { h: &h, c: &c, inputs: &tokens });
@@ -128,8 +131,9 @@ proptest! {
         let dense = batcher(f, threshold, 0.0);
         let pruner = StatePruner::new(threshold);
         let mut rng = SeedableStream::new(seed ^ 0x77);
-        let h = pruner.apply(&Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0)));
-        let c = Matrix::zeros(b, 0);
+        let h = StateLanes::from(
+            pruner.apply(&Matrix::from_fn(b, hidden, |_, _| rng.uniform(-1.0, 1.0))));
+        let c = StateLanes::zeros(b, 0);
         let tokens: Vec<usize> = (0..b).map(|_| rng.index(vocab)).collect();
 
         let s = sparse.step(BatchStep { h: &h, c: &c, inputs: &tokens });
@@ -247,6 +251,101 @@ proptest! {
             let reference = model.head().forward(state);
             assert_bits(&result.logits, reference.row(0), &format!("classifier step {t}"));
         }
+    }
+
+    /// The quantized family's headline contract: every lane of a batched
+    /// serving step — sparse plan *and* forced-dense plan — produces
+    /// **bit-identical** `i8` state codes to `zskip_core::QuantizedLstm`
+    /// (the golden integer model the accelerator's functional tiles are
+    /// verified against), over random cells, batch compositions, code
+    /// states and pruning thresholds, carried through time.
+    #[test]
+    fn quantized_steps_match_reference_states_bitwise(
+        seed in 0u64..1000,
+        vocab in 4usize..20,
+        hidden in 2usize..32,
+        b in 1usize..6,
+        steps in 1usize..6,
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = CharLm::new(vocab, hidden, &mut rng);
+        let f = FrozenQuantizedCharLm::freeze(&mut model, threshold);
+        let reference = QuantizedLstm::from_cell(model.lstm().cell(), threshold);
+        let sparse = batcher(f.clone(), threshold, 1.1); // always sparse
+        let dense = batcher(f, threshold, 0.0);          // always dense
+
+        // Random starting codes per lane (the quantizer's code range,
+        // with a bias toward zeros so the skip plan has work to do).
+        let mut rng = SeedableStream::new(seed ^ 0x0DD);
+        let mut h_lanes: Vec<Vec<i8>> = (0..b)
+            .map(|_| (0..hidden)
+                .map(|_| if rng.coin(0.5) { 0 } else { (rng.index(255) as i16 - 127) as i8 })
+                .collect())
+            .collect();
+        let mut c_lanes: Vec<Vec<i8>> = (0..b)
+            .map(|_| (0..hidden)
+                .map(|_| (rng.index(255) as i16 - 127) as i8)
+                .collect())
+            .collect();
+
+        for t in 0..steps {
+            let tokens: Vec<usize> = (0..b).map(|_| rng.index(vocab)).collect();
+            let h = StateLanes::from_vec(b, hidden, h_lanes.concat());
+            let c = StateLanes::from_vec(b, hidden, c_lanes.concat());
+            let s = sparse.step(BatchStep { h: &h, c: &c, inputs: &tokens });
+            let d = dense.step(BatchStep { h: &h, c: &c, inputs: &tokens });
+            prop_assert!(s.stats.used_sparse_path);
+            prop_assert!(!d.stats.used_sparse_path);
+            for (lane, &tok) in tokens.iter().enumerate() {
+                // Golden reference: the sequential integer step on this
+                // lane's codes alone.
+                let mut one_hot = vec![0.0f32; vocab];
+                one_hot[tok] = 1.0;
+                let xq = reference.quantize_input(&one_hot);
+                let step = reference.step(&xq, &h_lanes[lane], &c_lanes[lane]);
+                prop_assert_eq!(s.h.row(lane), &step.h[..], "sparse h, t={} lane={}", t, lane);
+                prop_assert_eq!(s.c.row(lane), &step.c[..], "sparse c, t={} lane={}", t, lane);
+                prop_assert_eq!(d.h.row(lane), &step.h[..], "dense h, t={} lane={}", t, lane);
+                prop_assert_eq!(d.c.row(lane), &step.c[..], "dense c, t={} lane={}", t, lane);
+                h_lanes[lane] = step.h;
+                c_lanes[lane] = step.c;
+            }
+            assert_bits(s.logits.as_slice(), d.logits.as_slice(), "quantized logits");
+        }
+    }
+
+    /// The quantized family end-to-end through the `Engine`: a served
+    /// session's logits at every timestep are the quantized head applied
+    /// to exactly the reference's state trace — the integer path joins
+    /// the per-family frozen-vs-reference pattern.
+    #[test]
+    fn quantized_engine_matches_reference_bitwise(
+        seed in 0u64..1000,
+        vocab in 4usize..20,
+        hidden in 2usize..32,
+        steps in 1usize..8,
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = CharLm::new(vocab, hidden, &mut rng);
+        let f = FrozenQuantizedCharLm::freeze(&mut model, threshold);
+        let reference = QuantizedLstm::from_cell(model.lstm().cell(), threshold);
+        let mut rng = SeedableStream::new(seed ^ 0x8A1);
+        let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
+
+        // Reference: sequential QuantizedLstm from zero codes, head on
+        // each step's stored state.
+        let inputs: Vec<Vec<i8>> = tokens.iter().map(|&t| {
+            let mut one_hot = vec![0.0f32; vocab];
+            one_hot[t] = 1.0;
+            reference.quantize_input(&one_hot)
+        }).collect();
+        let trace = reference.run_sequence(&inputs);
+        let expected: Vec<Matrix> = trace.iter()
+            .map(|s| f.head(&StateLanes::from_vec(1, hidden, s.h.clone())))
+            .collect();
+        engine_replays_reference(f, threshold, &tokens, &expected, "quantized");
     }
 
     /// Interleaved sessions sharing batched steps get exactly the outputs

@@ -10,7 +10,9 @@
 //! The helpers below are generic over the family, so the LSTM char-LM
 //! and the 3-gate GRU run through the identical harness.
 
-use zskip_runtime::{Engine, EngineConfig, FrozenCharLm, FrozenGruCharLm, FrozenModel};
+use zskip_runtime::{
+    Engine, EngineConfig, FrozenCharLm, FrozenGruCharLm, FrozenModel, FrozenQuantizedCharLm,
+};
 use zskip_serve::{ServeConfig, Server, StreamId};
 
 const VOCAB: usize = 24;
@@ -109,25 +111,11 @@ fn assert_sharding_invisible<M: FrozenModel<Input = usize>>(
     }
 }
 
-#[test]
-fn sharded_serving_is_bit_identical_to_a_single_engine() {
-    let model = FrozenCharLm::random(VOCAB, HIDDEN, 99);
-    assert_sharding_invisible(&model, 0.25, "char-lm");
-}
-
-#[test]
-fn sharded_gru_serving_is_bit_identical_to_a_single_engine() {
-    let model = FrozenGruCharLm::random(VOCAB, HIDDEN, 77);
-    assert_sharding_invisible(&model, 0.25, "gru");
-}
-
-#[test]
-fn determinism_survives_churned_reopens() {
-    // Closing streams and opening new ones mid-traffic must not disturb
-    // the surviving streams' outputs.
-    let threshold = 0.2;
-    let model = FrozenCharLm::random(VOCAB, HIDDEN, 123);
-    let reference = single_engine_logits(&model, threshold);
+/// Asserts shard-count invisibility holds while streams churn: closing
+/// streams and opening new ones mid-traffic must not disturb the
+/// surviving streams' outputs.
+fn assert_churn_invisible<M: FrozenModel<Input = usize>>(model: &M, threshold: f32, family: &str) {
+    let reference = single_engine_logits(model, threshold);
 
     let server = Server::start(
         model.clone(),
@@ -155,8 +143,46 @@ fn determinism_survives_churned_reopens() {
     for s in 0..STREAMS {
         for t in 0..TOKENS {
             for (r, v) in reference[s][t].iter().zip(&collected[s][t]) {
-                assert_eq!(r.to_bits(), v.to_bits(), "stream={s} step={t}");
+                assert_eq!(r.to_bits(), v.to_bits(), "{family} stream={s} step={t}");
             }
         }
     }
+}
+
+#[test]
+fn sharded_serving_is_bit_identical_to_a_single_engine() {
+    let model = FrozenCharLm::random(VOCAB, HIDDEN, 99);
+    assert_sharding_invisible(&model, 0.25, "char-lm");
+}
+
+#[test]
+fn sharded_gru_serving_is_bit_identical_to_a_single_engine() {
+    let model = FrozenGruCharLm::random(VOCAB, HIDDEN, 77);
+    assert_sharding_invisible(&model, 0.25, "gru");
+}
+
+#[test]
+fn sharded_quantized_serving_is_bit_identical_to_a_single_engine() {
+    // The first family whose session state is not f32: the generic
+    // harness proves the `FrozenModel::State` seam holds under sharding
+    // — i8 codes migrate through open/submit/close exactly like float
+    // lanes, and the integer datapath leaves nothing to rounding. The
+    // serve config threshold must match the frozen one (the quantized
+    // family bakes Eq. 5 into its datapath and asserts agreement).
+    let threshold = 0.25;
+    let model = FrozenQuantizedCharLm::random(VOCAB, HIDDEN, threshold, 55);
+    assert_sharding_invisible(&model, threshold, "quantized");
+}
+
+#[test]
+fn determinism_survives_churned_reopens() {
+    let model = FrozenCharLm::random(VOCAB, HIDDEN, 123);
+    assert_churn_invisible(&model, 0.2, "char-lm");
+}
+
+#[test]
+fn quantized_determinism_survives_churned_reopens() {
+    let threshold = 0.2;
+    let model = FrozenQuantizedCharLm::random(VOCAB, HIDDEN, threshold, 321);
+    assert_churn_invisible(&model, threshold, "quantized");
 }

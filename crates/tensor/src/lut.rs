@@ -71,11 +71,53 @@ impl Activation {
 /// let lut = ActivationLut::new(Activation::Tanh, 8.0, 1024);
 /// assert!((lut.eval(0.3) - 0.3f32.tanh()).abs() < 0.02);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ActivationLut {
     activation: Activation,
     range: f32,
+    /// Precomputed `(entries - 1) / (2 · range)`: one multiply instead of
+    /// a divide per lookup. For the power-of-two ranges the hardware
+    /// tables use (4, 8) the multiply is bit-identical to the division.
+    pos_scale: f32,
     table: Vec<f32>,
+}
+
+/// Only the defining fields are persisted; `pos_scale` is derived and is
+/// recomputed (and the shape validated) on deserialization, so a
+/// hand-edited blob cannot desynchronize the lookup geometry.
+impl Serialize for ActivationLut {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Map(vec![
+            ("activation".to_string(), self.activation.to_value()),
+            ("range".to_string(), self.range.to_value()),
+            ("table".to_string(), self.table.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ActivationLut {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        let activation: Activation = serde::de::field(v, "activation")?;
+        let range: f32 = serde::de::field(v, "range")?;
+        let table: Vec<f32> = serde::de::field(v, "table")?;
+        if !(range.is_finite() && range > 0.0) {
+            return Err(serde::DeError(format!(
+                "lut range must be positive and finite, got {range}"
+            )));
+        }
+        if table.len() < 2 {
+            return Err(serde::DeError(format!(
+                "lut needs at least 2 entries, got {}",
+                table.len()
+            )));
+        }
+        Ok(Self {
+            activation,
+            range,
+            pos_scale: (table.len() - 1) as f32 / (2.0 * range),
+            table,
+        })
+    }
 }
 
 impl ActivationLut {
@@ -88,7 +130,7 @@ impl ActivationLut {
     pub fn new(activation: Activation, range: f32, entries: usize) -> Self {
         assert!(entries >= 2, "lut needs at least 2 entries");
         assert!(range > 0.0, "lut range must be positive");
-        let table = (0..entries)
+        let table: Vec<f32> = (0..entries)
             .map(|i| {
                 let x = -range + 2.0 * range * i as f32 / (entries - 1) as f32;
                 activation.eval(x)
@@ -97,6 +139,7 @@ impl ActivationLut {
         Self {
             activation,
             range,
+            pos_scale: (entries - 1) as f32 / (2.0 * range),
             table,
         }
     }
@@ -122,12 +165,33 @@ impl ActivationLut {
         self.table.len()
     }
 
-    /// Evaluates the table at `x` (nearest entry, clamped range).
+    /// The clamp range `r` (inputs map over `[-r, r]`).
+    pub fn range(&self) -> f32 {
+        self.range
+    }
+
+    /// The position scale `(entries - 1) / (2 · range)` applied after the
+    /// clamp — exposed (with [`Self::table`]) so batched kernels can
+    /// replay [`Self::eval`] element-for-element.
+    pub fn position_scale(&self) -> f32 {
+        self.pos_scale
+    }
+
+    /// The raw sample table.
+    pub fn table(&self) -> &[f32] {
+        &self.table
+    }
+
+    /// Evaluates the table at `x` (nearest entry, ties to even, clamped
+    /// range). The tie-breaking matches the IEEE default rounding mode —
+    /// i.e. what one `vroundps` performs — so vectorized replays of this
+    /// lookup are bit-identical to the scalar path.
+    #[inline]
     pub fn eval(&self, x: f32) -> f32 {
         let n = self.table.len();
         let clamped = x.clamp(-self.range, self.range);
-        let pos = (clamped + self.range) / (2.0 * self.range) * (n - 1) as f32;
-        let idx = pos.round() as usize;
+        let pos = (clamped + self.range) * self.pos_scale;
+        let idx = pos.round_ties_even() as usize;
         self.table[idx.min(n - 1)]
     }
 
@@ -198,5 +262,26 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn rejects_tiny_table() {
         let _ = ActivationLut::new(Activation::Tanh, 4.0, 1);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_eval_bitwise() {
+        let lut = ActivationLut::hardware_sigmoid();
+        let back = ActivationLut::from_value(&lut.to_value()).expect("round trip");
+        for i in 0..1000 {
+            let x = -10.0 + i as f32 * 0.02;
+            assert_eq!(lut.eval(x).to_bits(), back.eval(x).to_bits());
+        }
+        // Degenerate geometry is rejected, not reconstructed.
+        let mut fields = match lut.to_value() {
+            serde::value::Value::Map(m) => m,
+            _ => unreachable!(),
+        };
+        for (k, v) in fields.iter_mut() {
+            if k == "range" {
+                *v = serde::value::Value::Float(0.0);
+            }
+        }
+        assert!(ActivationLut::from_value(&serde::value::Value::Map(fields)).is_err());
     }
 }

@@ -195,18 +195,35 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        Self::matmul_from_rows(&self.data, self.rows, rhs)
+    }
+
+    /// [`Self::matmul`] with the left operand given as a row-major slice
+    /// (`m` rows of `rhs.rows()` elements) — the same kernel without
+    /// requiring the caller to own a `Matrix` (state lanes step through
+    /// here without a copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lhs.len() != m * rhs.rows()`.
+    pub fn matmul_from_rows(lhs: &[f32], m: usize, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
-            "matmul dimension mismatch: {}x{} · {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
+            lhs.len(),
+            m * rhs.rows,
+            "matmul dimension mismatch: {} lhs elements for {}x{} · {}x{}",
+            lhs.len(),
+            m,
+            rhs.rows,
+            rhs.rows,
+            rhs.cols
         );
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let (k, n) = (rhs.rows, rhs.cols);
         let mut out = Matrix::zeros(m, n);
         const KB: usize = 64;
         for k0 in (0..k).step_by(KB) {
             let k1 = (k0 + KB).min(k);
             for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
+                let a_row = &lhs[i * k..(i + 1) * k];
                 let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (kk, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
                     if a == 0.0 {
@@ -246,10 +263,33 @@ impl Matrix {
     /// Panics on dimension mismatch or if `active_rows` is not strictly
     /// increasing and within `0..rhs.rows()`.
     pub fn matmul_sparse_rows(&self, rhs: &Matrix, active_rows: &[usize]) -> Matrix {
+        Self::matmul_sparse_rows_from(&self.data, self.rows, rhs, active_rows)
+    }
+
+    /// [`Self::matmul_sparse_rows`] with the left operand given as a
+    /// row-major slice (`m` rows of `rhs.rows()` elements) — the serving
+    /// runtime's state lanes take this entry so the sparse recurrent
+    /// product needs no `Matrix` copy of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `active_rows` is not strictly
+    /// increasing and within `0..rhs.rows()`.
+    pub fn matmul_sparse_rows_from(
+        lhs: &[f32],
+        m: usize,
+        rhs: &Matrix,
+        active_rows: &[usize],
+    ) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
-            "matmul_sparse_rows dimension mismatch: {}x{} · {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
+            lhs.len(),
+            m * rhs.rows,
+            "matmul_sparse_rows dimension mismatch: {} lhs elements for {}x{} · {}x{}",
+            lhs.len(),
+            m,
+            rhs.rows,
+            rhs.rows,
+            rhs.cols
         );
         assert!(
             active_rows.windows(2).all(|w| w[0] < w[1]),
@@ -258,7 +298,7 @@ impl Matrix {
         if let Some(&last) = active_rows.last() {
             assert!(last < rhs.rows, "active row {last} out of bounds");
         }
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let (k, n) = (rhs.rows, rhs.cols);
         let mut out = Matrix::zeros(m, n);
         // Row-blocked accumulation: per output row, gather the non-zero
         // (coefficient, weight row) pairs of a chunk of active rows, then
@@ -275,7 +315,7 @@ impl Matrix {
         let mut brow = [0usize; KB];
         for chunk in active_rows.chunks(KB) {
             for i in 0..m {
-                let a_row = &self.data[i * k..(i + 1) * k];
+                let a_row = &lhs[i * k..(i + 1) * k];
                 let out_row = &mut out.data[i * n..(i + 1) * n];
                 let mut cnt = 0usize;
                 for &kk in chunk {

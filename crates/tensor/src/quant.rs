@@ -26,9 +26,38 @@ pub const QMAX: i32 = 127;
 /// let code = q.quantize(1.0);
 /// assert!((q.dequantize(code) - 1.0).abs() < q.step());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Quantizer {
     scale: f32,
+    /// Precomputed `1 / scale`: quantization is a multiply, not a divide
+    /// (the same trick every fixed-point datapath uses — the hardware has
+    /// no FP divider either).
+    inv_scale: f32,
+}
+
+/// Only `scale` is persisted; `inv_scale` is derived, and deserializing
+/// it would let a hand-edited blob break the `inv_scale == 1/scale`
+/// invariant `quantize` relies on. Deserialization validates the scale
+/// and recomputes the inverse.
+impl Serialize for Quantizer {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Map(vec![("scale".to_string(), self.scale.to_value())])
+    }
+}
+
+impl Deserialize for Quantizer {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        let scale: f32 = serde::de::field(v, "scale")?;
+        if !scale.is_normal() || scale <= 0.0 {
+            return Err(serde::DeError(format!(
+                "quantizer scale must be a positive normal float, got {scale}"
+            )));
+        }
+        Ok(Self {
+            scale,
+            inv_scale: 1.0 / scale,
+        })
+    }
 }
 
 impl Quantizer {
@@ -43,8 +72,19 @@ impl Quantizer {
         } else {
             1.0
         };
+        let scale = m / QMAX as f32;
+        // A subnormal `max_abs` can underflow the division to zero or a
+        // subnormal whose reciprocal overflows — either way quantization
+        // would degenerate (±∞ codes, zero dequants). Fall back the same
+        // way a degenerate calibration does.
+        let scale = if scale.is_normal() {
+            scale
+        } else {
+            1.0 / QMAX as f32
+        };
         Self {
-            scale: m / QMAX as f32,
+            scale,
+            inv_scale: 1.0 / scale,
         }
     }
 
@@ -55,17 +95,20 @@ impl Quantizer {
     }
 
     /// The value of one least-significant bit.
+    #[inline]
     pub fn step(&self) -> f32 {
         self.scale
     }
 
     /// Quantizes one value with round-to-nearest and saturation.
+    #[inline]
     pub fn quantize(&self, x: f32) -> i8 {
-        let q = (x / self.scale).round();
+        let q = (x * self.inv_scale).round();
         q.clamp(-(QMAX as f32), QMAX as f32) as i8
     }
 
     /// Reconstructs the real value of a code.
+    #[inline]
     pub fn dequantize(&self, q: i8) -> f32 {
         q as f32 * self.scale
     }
@@ -145,12 +188,58 @@ impl QVector {
 ///
 /// Used for LSTM weights on the simulated accelerator: each weight is one
 /// byte of LPDDR4 traffic, and each MAC is an `i8 × i8 → i32` operation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// **Invariant:** every code lies in the symmetric range `[-127, 127]` —
+/// the quantizer never emits `-128`, and deserialization rejects it. The
+/// AVX2 kernels rely on this: with `|w| ≤ 127` and an arbitrary `i8`
+/// state code (`|v| ≤ 128`), a pair of products fits `i16` exactly
+/// (`2 · 127 · 128 = 32512 < 32767`).
+#[derive(Clone, Debug, PartialEq)]
 pub struct QMatrix {
     rows: usize,
     cols: usize,
     codes: Vec<i8>,
     quantizer: Quantizer,
+}
+
+impl Serialize for QMatrix {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Map(vec![
+            ("rows".to_string(), self.rows.to_value()),
+            ("cols".to_string(), self.cols.to_value()),
+            ("codes".to_string(), self.codes.to_value()),
+            ("quantizer".to_string(), self.quantizer.to_value()),
+        ])
+    }
+}
+
+/// Validating deserialization: shape and the symmetric code range are
+/// structural invariants (see the type docs), so a hand-edited blob
+/// cannot smuggle in a `-128` code or a mismatched length.
+impl Deserialize for QMatrix {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        let rows: usize = serde::de::field(v, "rows")?;
+        let cols: usize = serde::de::field(v, "cols")?;
+        let codes: Vec<i8> = serde::de::field(v, "codes")?;
+        let quantizer: Quantizer = serde::de::field(v, "quantizer")?;
+        if codes.len() != rows * cols {
+            return Err(serde::DeError(format!(
+                "qmatrix code count {} does not match {rows}x{cols}",
+                codes.len()
+            )));
+        }
+        if codes.contains(&i8::MIN) {
+            return Err(serde::DeError(
+                "qmatrix code -128 outside the symmetric quantized range [-127, 127]".to_string(),
+            ));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            codes,
+            quantizer,
+        })
+    }
 }
 
 impl QMatrix {
@@ -243,17 +332,92 @@ impl QMatrix {
     /// Panics if `x.len() != self.rows()`.
     pub fn gemv_t_i32(&self, x: &[i8]) -> Vec<i32> {
         assert_eq!(x.len(), self.rows, "gemv_t_i32 dimension mismatch");
-        let mut y = vec![0i32; self.cols];
-        for (r, &v) in x.iter().enumerate() {
-            if v == 0 {
-                continue;
-            }
-            let row = &self.codes[r * self.cols..(r + 1) * self.cols];
-            for (out, w) in y.iter_mut().zip(row) {
-                *out += (*w as i32) * (v as i32);
-            }
+        self.gemm_t_i32(x, 1)
+    }
+
+    /// Like [`Self::gemv_t_i32`] but reads only the weight rows listed in
+    /// `active` — the integer twin of
+    /// `Matrix::matmul_sparse_rows`: rows of the stored matrix whose
+    /// state code is zero in the offset encoding are never touched, so at
+    /// joint sparsity `s` only `(1-s)·rows` weight rows are streamed.
+    ///
+    /// The result is **bit-identical** to [`Self::gemv_t_i32`] whenever
+    /// `active` covers every index `r` with `x[r] != 0`: skipped terms
+    /// contribute exact zeros and `i32` addition is associative, so no
+    /// accumulation-order caveat is even needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or if `active` is not strictly
+    /// increasing and within `0..self.rows()`.
+    pub fn gemv_t_i32_sparse_rows(&self, x: &[i8], active: &[usize]) -> Vec<i32> {
+        self.gemm_t_i32_sparse_rows(x, 1, active)
+    }
+
+    /// Batched transposed integer GEMV: `lanes` state vectors stacked
+    /// row-major in `x` (`lanes × rows`), producing `lanes × cols`
+    /// accumulators row-major. Bit-identical to calling
+    /// [`Self::gemv_t_i32`] per lane.
+    ///
+    /// On x86-64 with AVX2 (runtime-detected) the same loop is compiled
+    /// with 256-bit vectors — the widening `i8×i8→i32` multiply does not
+    /// vectorize at the baseline target, so the portable body is ~4×
+    /// slower than the feature-gated twin. The result is identical
+    /// either way: integer arithmetic has no rounding to reorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != lanes * self.rows()`.
+    pub fn gemm_t_i32(&self, x: &[i8], lanes: usize) -> Vec<i32> {
+        assert_eq!(x.len(), lanes * self.rows, "gemm_t_i32 dimension mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the only precondition of the `target_feature` twin
+            // is that AVX2 is available, which was just detected; the
+            // function body itself is safe code.
+            return unsafe { self.gemm_t_i32_avx2(x, lanes) };
         }
-        y
+        self.gemm_t_i32_portable(x, lanes)
+    }
+
+    /// Batched form of [`Self::gemv_t_i32_sparse_rows`]: `lanes` state
+    /// vectors stacked row-major in `x` (`lanes × rows`), reading only
+    /// the weight rows in `active`; returns `lanes × cols` accumulators.
+    ///
+    /// Row-blocked accumulation: per output lane, the non-zero
+    /// (code, weight-row) pairs of each 64-row chunk are gathered and
+    /// **four weight rows accumulate per pass** over the output row, so
+    /// the `i32` output row is loaded/stored once per four rows. Integer
+    /// addition is associative, so the blocking is bit-free — the result
+    /// equals the naive loop (and the dense product, when `active`
+    /// covers every non-zero) exactly, not just approximately. Like
+    /// [`Self::gemm_t_i32`], the kernel dispatches to an AVX2-compiled
+    /// twin of the same loop when the CPU supports it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != lanes * self.rows()` or if `active` is not
+    /// strictly increasing and within `0..self.rows()`.
+    pub fn gemm_t_i32_sparse_rows(&self, x: &[i8], lanes: usize, active: &[usize]) -> Vec<i32> {
+        assert_eq!(
+            x.len(),
+            lanes * self.rows,
+            "gemm_t_i32_sparse_rows dimension mismatch"
+        );
+        assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active rows must be strictly increasing"
+        );
+        if let Some(&last) = active.last() {
+            assert!(last < self.rows, "active row {last} out of bounds");
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as in `gemm_t_i32` — AVX2 was just detected and
+            // the twin's body is safe code.
+            return unsafe { self.gemm_t_i32_sparse_rows_avx2(x, lanes, active) };
+        }
+        self.gemm_t_i32_sparse_rows_portable(x, lanes, active)
     }
 
     /// Like [`Self::gemv_i32`] but skips columns where `x[c] == 0`,
@@ -271,6 +435,241 @@ impl QMatrix {
             }
         }
         y
+    }
+}
+
+/// Portable transposed-GEMV kernel bodies. The widening `i8×i8→i32`
+/// multiply does not vectorize at the baseline x86-64 target, so these
+/// run ~4× slower than the AVX2 twins below — but they run everywhere
+/// and compute the identical result (integer arithmetic is exact).
+impl QMatrix {
+    fn gemm_t_i32_portable(&self, x: &[i8], lanes: usize) -> Vec<i32> {
+        let n = self.cols;
+        let mut y = vec![0i32; lanes * n];
+        for lane in 0..lanes {
+            let xs = &x[lane * self.rows..(lane + 1) * self.rows];
+            let out = &mut y[lane * n..(lane + 1) * n];
+            for (r, &v) in xs.iter().enumerate() {
+                if v == 0 {
+                    continue;
+                }
+                let row = &self.codes[r * n..(r + 1) * n];
+                for (o, w) in out.iter_mut().zip(row) {
+                    *o += (*w as i32) * (v as i32);
+                }
+            }
+        }
+        y
+    }
+
+    /// Row-blocked portable body: per output lane, gather the non-zero
+    /// (code, weight-row) pairs of each 64-row chunk and accumulate four
+    /// weight rows per pass over the output row, so the `i32` output row
+    /// is loaded/stored once per four rows.
+    fn gemm_t_i32_sparse_rows_portable(
+        &self,
+        x: &[i8],
+        lanes: usize,
+        active: &[usize],
+    ) -> Vec<i32> {
+        let n = self.cols;
+        let mut y = vec![0i32; lanes * n];
+        const KB: usize = 64;
+        let mut coeff = [0i32; KB];
+        let mut wrow = [0usize; KB];
+        for chunk in active.chunks(KB) {
+            for lane in 0..lanes {
+                let xs = &x[lane * self.rows..(lane + 1) * self.rows];
+                let out = &mut y[lane * n..(lane + 1) * n];
+                let mut cnt = 0usize;
+                for &r in chunk {
+                    let v = xs[r];
+                    if v != 0 {
+                        coeff[cnt] = v as i32;
+                        wrow[cnt] = r;
+                        cnt += 1;
+                    }
+                }
+                let mut p = 0usize;
+                while p + 4 <= cnt {
+                    let (a0, a1, a2, a3) = (coeff[p], coeff[p + 1], coeff[p + 2], coeff[p + 3]);
+                    let b0 = &self.codes[wrow[p] * n..wrow[p] * n + n];
+                    let b1 = &self.codes[wrow[p + 1] * n..wrow[p + 1] * n + n];
+                    let b2 = &self.codes[wrow[p + 2] * n..wrow[p + 2] * n + n];
+                    let b3 = &self.codes[wrow[p + 3] * n..wrow[p + 3] * n + n];
+                    for ((((o, w0), w1), w2), w3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o += a0 * (*w0 as i32)
+                            + a1 * (*w1 as i32)
+                            + a2 * (*w2 as i32)
+                            + a3 * (*w3 as i32);
+                    }
+                    p += 4;
+                }
+                while p < cnt {
+                    let a = coeff[p];
+                    let row = &self.codes[wrow[p] * n..wrow[p] * n + n];
+                    for (o, w) in out.iter_mut().zip(row) {
+                        *o += a * (*w as i32);
+                    }
+                    p += 1;
+                }
+            }
+        }
+        y
+    }
+}
+
+/// AVX2 twins of the transposed-GEMV kernels. Four weight rows are
+/// accumulated per pass over the output row: each `i8×i8` product is
+/// exact in `i16` (weight codes obey the [`QMatrix`] invariant
+/// `|w| ≤ 127`, state codes are at worst `-128`, so `|v·w| ≤ 16256`),
+/// and the sum of **two** such products still fits
+/// (`≤ 32512 < 32767`), so pairs of rows are summed with 16-wide 16-bit
+/// multiplies before widening to `i32` — twice the lanes of the naive
+/// widening multiply, with no value ever truncated. Integer addition is
+/// associative, so the result is bit-identical to the portable kernels
+/// (pinned by `dispatched_kernels_match_portable_bitwise`).
+#[cfg(target_arch = "x86_64")]
+impl QMatrix {
+    #[target_feature(enable = "avx2")]
+    fn gemm_t_i32_avx2(&self, x: &[i8], lanes: usize) -> Vec<i32> {
+        let mut y = vec![0i32; lanes * self.cols];
+        // Candidate rows come in 64-row windows filtered on the stack —
+        // no heap index list (the allocation-free shape the portable
+        // sparse body uses too).
+        let mut window = [0usize; 64];
+        for start in (0..self.rows).step_by(window.len()) {
+            let len = window.len().min(self.rows - start);
+            for (i, w) in window[..len].iter_mut().enumerate() {
+                *w = start + i;
+            }
+            // Lanes inside chunks: each (lane, chunk) unit is independent
+            // and i32 addition is associative, so the interchange is
+            // bit-free — and the window fill happens once per chunk, not
+            // once per lane.
+            for lane in 0..lanes {
+                let xs = &x[lane * self.rows..(lane + 1) * self.rows];
+                let out = &mut y[lane * self.cols..(lane + 1) * self.cols];
+                Self::accumulate_rows_avx2(&self.codes, self.cols, xs, &window[..len], out);
+            }
+        }
+        y
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn gemm_t_i32_sparse_rows_avx2(&self, x: &[i8], lanes: usize, active: &[usize]) -> Vec<i32> {
+        let mut y = vec![0i32; lanes * self.cols];
+        for lane in 0..lanes {
+            let xs = &x[lane * self.rows..(lane + 1) * self.rows];
+            let out = &mut y[lane * self.cols..(lane + 1) * self.cols];
+            for chunk in active.chunks(64) {
+                Self::accumulate_rows_avx2(&self.codes, self.cols, xs, chunk, out);
+            }
+        }
+        y
+    }
+
+    /// `out[c] += Σ_{r ∈ candidates, xs[r] ≠ 0} xs[r] · codes[r·n + c]`
+    /// for one lane; zero-code candidates are filtered into a stack
+    /// array here (≤ 64 candidates per call).
+    ///
+    /// Invariants (upheld by the public callers): every candidate `r` is
+    /// `< codes.len() / n` and `candidates.len() ≤ 64`; `out.len() == n`
+    /// is asserted, since the unsafe column loop relies on it.
+    #[target_feature(enable = "avx2")]
+    fn accumulate_rows_avx2(
+        codes: &[i8],
+        n: usize,
+        xs: &[i8],
+        candidates: &[usize],
+        out: &mut [i32],
+    ) {
+        use std::arch::x86_64::*;
+        assert_eq!(out.len(), n, "output row length mismatch");
+        let mut nz_buf = [0usize; 64];
+        let mut cnt = 0usize;
+        for &r in candidates {
+            if xs[r] != 0 {
+                nz_buf[cnt] = r;
+                cnt += 1;
+            }
+        }
+        let nz = &nz_buf[..cnt];
+        let mut p = 0usize;
+        while p + 4 <= nz.len() {
+            let rs = [nz[p], nz[p + 1], nz[p + 2], nz[p + 3]];
+            let vv = [
+                _mm256_set1_epi16(xs[rs[0]] as i16),
+                _mm256_set1_epi16(xs[rs[1]] as i16),
+                _mm256_set1_epi16(xs[rs[2]] as i16),
+                _mm256_set1_epi16(xs[rs[3]] as i16),
+            ];
+            let r0 = &codes[rs[0] * n..rs[0] * n + n];
+            let r1 = &codes[rs[1] * n..rs[1] * n + n];
+            let r2 = &codes[rs[2] * n..rs[2] * n + n];
+            let r3 = &codes[rs[3] * n..rs[3] * n + n];
+            let mut c = 0usize;
+            while c + 16 <= n {
+                // SAFETY: `c + 16 <= n` bounds every 16-byte weight load
+                // within its row slice and both 8-lane i32 load/stores
+                // within `out` (len == n, checked above).
+                unsafe {
+                    let w0 =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(r0.as_ptr().add(c) as *const __m128i));
+                    let w1 =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(r1.as_ptr().add(c) as *const __m128i));
+                    let w2 =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(r2.as_ptr().add(c) as *const __m128i));
+                    let w3 =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(r3.as_ptr().add(c) as *const __m128i));
+                    let s01 = _mm256_add_epi16(
+                        _mm256_mullo_epi16(w0, vv[0]),
+                        _mm256_mullo_epi16(w1, vv[1]),
+                    );
+                    let s23 = _mm256_add_epi16(
+                        _mm256_mullo_epi16(w2, vv[2]),
+                        _mm256_mullo_epi16(w3, vv[3]),
+                    );
+                    let lo = _mm256_add_epi32(
+                        _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s01)),
+                        _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s23)),
+                    );
+                    let hi = _mm256_add_epi32(
+                        _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s01, 1)),
+                        _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s23, 1)),
+                    );
+                    let yp = out.as_mut_ptr().add(c) as *mut __m256i;
+                    _mm256_storeu_si256(
+                        yp,
+                        _mm256_add_epi32(_mm256_loadu_si256(yp as *const _), lo),
+                    );
+                    let yp2 = out.as_mut_ptr().add(c + 8) as *mut __m256i;
+                    _mm256_storeu_si256(
+                        yp2,
+                        _mm256_add_epi32(_mm256_loadu_si256(yp2 as *const _), hi),
+                    );
+                }
+                c += 16;
+            }
+            while c < n {
+                out[c] += xs[rs[0]] as i32 * (r0[c] as i32)
+                    + xs[rs[1]] as i32 * (r1[c] as i32)
+                    + xs[rs[2]] as i32 * (r2[c] as i32)
+                    + xs[rs[3]] as i32 * (r3[c] as i32);
+                c += 1;
+            }
+            p += 4;
+        }
+        while p < nz.len() {
+            let r = nz[p];
+            let v = xs[r] as i32;
+            let row = &codes[r * n..(r + 1) * n];
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += v * (*w as i32);
+            }
+            p += 1;
+        }
     }
 }
 
@@ -355,6 +754,148 @@ mod tests {
             }
         }
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn from_max_abs_survives_subnormal_calibration() {
+        // Regression: a subnormal max_abs used to underflow `m / 127` to a
+        // zero scale, making quantize() divide by zero (±∞ → ±127 codes
+        // for *every* non-zero input, and dequantize collapse to 0).
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        let q = Quantizer::from_max_abs(tiny);
+        assert!(q.step() > 0.0, "scale underflowed to zero");
+        assert_eq!(q.quantize(0.0), 0);
+        assert!(q.dequantize(q.quantize(0.5)).is_finite());
+    }
+
+    #[test]
+    fn extreme_codes_round_trip_without_clamp_asymmetry() {
+        // quantize(dequantize(q)) must be the identity on the full code
+        // range, including the saturated endpoints — the negative end must
+        // not land on -128 or clip short of -127.
+        for max_abs in [1.0f32, 0.37, 4.0, 1000.0] {
+            let q = Quantizer::from_max_abs(max_abs);
+            for code in [-127i8, -1, 0, 1, 127] {
+                assert_eq!(q.quantize(q.dequantize(code)), code, "max_abs={max_abs}");
+            }
+            // Full-scale values hit exactly ±QMAX.
+            assert_eq!(q.quantize(max_abs), QMAX as i8);
+            assert_eq!(q.quantize(-max_abs), -(QMAX as i8));
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_qmax_symmetrically() {
+        let q = Quantizer::from_max_abs(0.5);
+        for x in [0.5001f32, 1.0, 1e20, f32::MAX] {
+            assert_eq!(q.quantize(x), QMAX as i8, "x={x}");
+            assert_eq!(q.quantize(-x), -(QMAX as i8), "x={x}");
+        }
+    }
+
+    #[test]
+    fn gemv_t_sparse_rows_matches_dense_on_covering_active_set() {
+        let m = Matrix::from_fn(12, 9, |r, c| ((r * 9 + c) as f32 * 0.23).sin());
+        let qm = QMatrix::from_matrix(&m);
+        let x: Vec<i8> = vec![0, 5, 0, -3, 0, 0, 127, 0, -127, 0, 1, 0];
+        let active: Vec<usize> = (0..12).filter(|r| x[*r] != 0).collect();
+        assert_eq!(qm.gemv_t_i32_sparse_rows(&x, &active), qm.gemv_t_i32(&x));
+        // A superset of the non-zero rows is equally exact.
+        let all: Vec<usize> = (0..12).collect();
+        assert_eq!(qm.gemv_t_i32_sparse_rows(&x, &all), qm.gemv_t_i32(&x));
+    }
+
+    #[test]
+    fn gemv_t_sparse_rows_empty_active_set_is_zero() {
+        let m = Matrix::from_fn(4, 6, |_, _| 1.0);
+        let qm = QMatrix::from_matrix(&m);
+        let x: Vec<i8> = vec![1, 2, 3, 4];
+        assert_eq!(qm.gemv_t_i32_sparse_rows(&x, &[]), vec![0i32; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn gemv_t_sparse_rows_rejects_unsorted_active_set() {
+        let qm = QMatrix::from_matrix(&Matrix::zeros(3, 2));
+        let _ = qm.gemv_t_i32_sparse_rows(&[1, 1, 1], &[2, 0]);
+    }
+
+    #[test]
+    fn dispatched_kernels_match_portable_bitwise() {
+        // On machines with AVX2 the public methods take the
+        // `target_feature` twin; it must agree with the portable body to
+        // the bit (it is the same source — this pins the dispatch).
+        let m = Matrix::from_fn(33, 17, |r, c| ((r * 17 + c) as f32 * 0.29).sin());
+        let qm = QMatrix::from_matrix(&m);
+        let x: Vec<i8> = (0..2 * 33)
+            .map(|i| {
+                if i % 3 == 0 {
+                    0
+                } else {
+                    ((i * 29) % 255) as i8
+                }
+            })
+            .collect();
+        let active: Vec<usize> = (0..33).step_by(2).collect();
+        assert_eq!(qm.gemm_t_i32(&x, 2), qm.gemm_t_i32_portable(&x, 2));
+        assert_eq!(
+            qm.gemm_t_i32_sparse_rows(&x, 2, &active),
+            qm.gemm_t_i32_sparse_rows_portable(&x, 2, &active)
+        );
+    }
+
+    #[test]
+    fn batched_gemm_t_matches_per_lane_gemv_t() {
+        let m = Matrix::from_fn(7, 5, |r, c| ((r * 5 + c) as f32 * 0.19).sin());
+        let qm = QMatrix::from_matrix(&m);
+        let lanes: Vec<Vec<i8>> = vec![
+            vec![1, 0, -3, 7, 0, 2, 5],
+            vec![0, 0, 0, 0, 0, 0, 0],
+            vec![-128, 127, 1, -1, 0, 64, -64],
+        ];
+        let flat: Vec<i8> = lanes.iter().flatten().copied().collect();
+        let batched = qm.gemm_t_i32(&flat, 3);
+        let active: Vec<usize> = (0..7)
+            .filter(|r| lanes.iter().any(|l| l[*r] != 0))
+            .collect();
+        let sparse = qm.gemm_t_i32_sparse_rows(&flat, 3, &active);
+        for (lane, x) in lanes.iter().enumerate() {
+            let reference = qm.gemv_t_i32(x);
+            assert_eq!(&batched[lane * 5..(lane + 1) * 5], &reference[..]);
+            assert_eq!(&sparse[lane * 5..(lane + 1) * 5], &reference[..]);
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_and_recomputes_derived_fields() {
+        let q = Quantizer::from_max_abs(0.7);
+        assert_eq!(Quantizer::from_value(&q.to_value()), Ok(q));
+
+        let m = QMatrix::from_matrix(&Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 - 5.0));
+        assert_eq!(QMatrix::from_value(&m.to_value()), Ok(m));
+    }
+
+    #[test]
+    fn serde_rejects_invariant_violations() {
+        use serde::value::Value;
+        // A non-positive scale would poison quantize/dequantize.
+        let bad_scale = Value::Map(vec![("scale".to_string(), Value::Float(0.0))]);
+        assert!(Quantizer::from_value(&bad_scale).is_err());
+
+        // Code -128 breaks the symmetric range the AVX2 pair-sum kernel
+        // relies on; a shape mismatch breaks row indexing.
+        let good = QMatrix::from_matrix(&Matrix::from_fn(2, 2, |r, c| (r + c) as f32));
+        let mend = |codes: Vec<i8>, rows: i128| {
+            Value::Map(vec![
+                ("rows".to_string(), Value::Int(rows)),
+                ("cols".to_string(), Value::Int(2)),
+                ("codes".to_string(), codes.to_value()),
+                ("quantizer".to_string(), good.quantizer().to_value()),
+            ])
+        };
+        assert!(QMatrix::from_value(&mend(vec![0, 1, -128, 2], 2)).is_err());
+        assert!(QMatrix::from_value(&mend(vec![0, 1, 2], 2)).is_err());
+        assert!(QMatrix::from_value(&mend(vec![0, 1, 2, 3], 2)).is_ok());
     }
 
     #[test]

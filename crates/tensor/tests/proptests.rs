@@ -139,6 +139,76 @@ proptest! {
     }
 
     #[test]
+    fn gemv_t_sparse_rows_equals_dense_restricted_to_active_rows(
+        m in small_matrix(14),
+        sparsity in 0.0f64..1.05,
+        cover_all in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // Random state codes with a random zero mask, and a random active
+        // set: when `active` covers every non-zero row the sparse kernel
+        // must equal the dense gemv_t exactly; in general it must equal
+        // the dense gemv_t of the state *restricted* to the active rows
+        // (codes outside the set zeroed) — including the all-zero and
+        // all-active edge cases.
+        let qm = QMatrix::from_matrix(&m);
+        let rows = m.rows();
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); s >> 32 };
+        let x: Vec<i8> = (0..rows)
+            .map(|_| {
+                let keep = (next() & 0xFFFF) as f64 / 65536.0 >= sparsity;
+                if keep { ((next() % 255) as i16 - 127) as i8 } else { 0 }
+            })
+            .collect();
+        let active: Vec<usize> = (0..rows)
+            .filter(|r| if cover_all { true } else { x[*r] != 0 || next() % 3 == 0 })
+            .collect();
+        let restricted: Vec<i8> = (0..rows)
+            .map(|r| if active.binary_search(&r).is_ok() { x[r] } else { 0 })
+            .collect();
+        let reference = qm.gemv_t_i32(&restricted);
+        prop_assert_eq!(&qm.gemv_t_i32_sparse_rows(&x, &active), &reference);
+        if restricted == x {
+            prop_assert_eq!(&qm.gemv_t_i32_sparse_rows(&x, &active), &qm.gemv_t_i32(&x));
+        }
+        // Edge cases on the same matrix: no active rows, all rows active.
+        prop_assert_eq!(qm.gemv_t_i32_sparse_rows(&x, &[]), vec![0i32; m.cols()]);
+        let all: Vec<usize> = (0..rows).collect();
+        prop_assert_eq!(&qm.gemv_t_i32_sparse_rows(&x, &all), &qm.gemv_t_i32(&x));
+    }
+
+    #[test]
+    fn batched_gemm_t_sparse_rows_equals_per_lane_gemv_t(
+        m in small_matrix(10),
+        lanes in 1usize..5,
+        sparsity in 0.0f64..1.05,
+        seed in 0u64..1000,
+    ) {
+        let qm = QMatrix::from_matrix(&m);
+        let rows = m.rows();
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); s >> 32 };
+        let flat: Vec<i8> = (0..lanes * rows)
+            .map(|_| {
+                let keep = (next() & 0xFFFF) as f64 / 65536.0 >= sparsity;
+                if keep { ((next() % 255) as i16 - 127) as i8 } else { 0 }
+            })
+            .collect();
+        // Jointly non-zero rows — what the batcher's skip plan stores.
+        let active: Vec<usize> = (0..rows)
+            .filter(|r| (0..lanes).any(|l| flat[l * rows + r] != 0))
+            .collect();
+        let sparse = qm.gemm_t_i32_sparse_rows(&flat, lanes, &active);
+        let dense = qm.gemm_t_i32(&flat, lanes);
+        for lane in 0..lanes {
+            let reference = qm.gemv_t_i32(&flat[lane * rows..(lane + 1) * rows]);
+            prop_assert_eq!(&sparse[lane * m.cols()..(lane + 1) * m.cols()], &reference[..]);
+            prop_assert_eq!(&dense[lane * m.cols()..(lane + 1) * m.cols()], &reference[..]);
+        }
+    }
+
+    #[test]
     fn lut_error_shrinks_with_entries(x in -4.0f32..4.0) {
         let coarse = lut::ActivationLut::new(lut::Activation::Tanh, 4.0, 128);
         let fine = lut::ActivationLut::new(lut::Activation::Tanh, 4.0, 8192);

@@ -45,7 +45,12 @@
 //! `examples/serve_word_lm.rs` for the embedding-input family through
 //! the sharded `serve` front-end. All four task-model families (char-LM,
 //! GRU char-LM, word-LM, sequential classifier) freeze via
-//! `zskip::nn::Freezable` and serve through the same generic engine:
+//! `zskip::nn::Freezable` and serve through the same generic engine —
+//! plus an 8-bit quantized char-LM family
+//! (`zskip::runtime::FrozenQuantizedCharLm`, see
+//! `examples/serve_quantized.rs`) that serves the accelerator's integer
+//! datapath with `i8` session state, bit-identical to
+//! [`core::QuantizedLstm`]:
 //!
 //! ```
 //! use zskip::nn::models::CharLm;

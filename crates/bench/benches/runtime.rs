@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use zskip_runtime::{
     BatchStep, DynamicBatcher, FrozenCharLm, FrozenGruCharLm, FrozenQuantizedCharLm, FrozenWordLm,
-    SkipPolicy, StateLanes,
+    SkipPolicy, StateLanes, StepScratch,
 };
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -53,12 +53,18 @@ fn bench_inference_step(c: &mut Criterion) {
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
             |b, h| {
+                // Persistent scratch, exactly as the engine's steady
+                // state runs: the step allocates nothing per iteration.
+                let mut scratch = StepScratch::new();
                 b.iter(|| {
-                    black_box(batcher.step(BatchStep {
-                        h: black_box(h),
-                        c: &cell,
-                        inputs: &[3],
-                    }))
+                    black_box(batcher.step_into(
+                        BatchStep {
+                            h: black_box(h),
+                            c: &cell,
+                            inputs: &[3],
+                        },
+                        &mut scratch,
+                    ))
                 })
             },
         );
@@ -79,12 +85,16 @@ fn bench_inference_step_batched(c: &mut Criterion) {
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
             |bch, h| {
+                let mut scratch = StepScratch::new();
                 bch.iter(|| {
-                    black_box(batcher.step(BatchStep {
-                        h: black_box(h),
-                        c: &cell,
-                        inputs: &tokens,
-                    }))
+                    black_box(batcher.step_into(
+                        BatchStep {
+                            h: black_box(h),
+                            c: &cell,
+                            inputs: &tokens,
+                        },
+                        &mut scratch,
+                    ))
                 })
             },
         );
@@ -107,12 +117,18 @@ fn bench_inference_step_gru(c: &mut Criterion) {
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
             |b, h| {
+                // Persistent scratch, exactly as the engine's steady
+                // state runs: the step allocates nothing per iteration.
+                let mut scratch = StepScratch::new();
                 b.iter(|| {
-                    black_box(batcher.step(BatchStep {
-                        h: black_box(h),
-                        c: &cell,
-                        inputs: &[3],
-                    }))
+                    black_box(batcher.step_into(
+                        BatchStep {
+                            h: black_box(h),
+                            c: &cell,
+                            inputs: &[3],
+                        },
+                        &mut scratch,
+                    ))
                 })
             },
         );
@@ -135,12 +151,18 @@ fn bench_inference_step_word_lm(c: &mut Criterion) {
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
             |b, h| {
+                // Persistent scratch, exactly as the engine's steady
+                // state runs: the step allocates nothing per iteration.
+                let mut scratch = StepScratch::new();
                 b.iter(|| {
-                    black_box(batcher.step(BatchStep {
-                        h: black_box(h),
-                        c: &cell,
-                        inputs: &[3],
-                    }))
+                    black_box(batcher.step_into(
+                        BatchStep {
+                            h: black_box(h),
+                            c: &cell,
+                            inputs: &[3],
+                        },
+                        &mut scratch,
+                    ))
                 })
             },
         );
@@ -170,12 +192,18 @@ fn bench_inference_step_quantized(c: &mut Criterion) {
             BenchmarkId::new("sparse_path", format!("{:.0}%", sparsity * 100.0)),
             &h,
             |b, h| {
+                // Persistent scratch, exactly as the engine's steady
+                // state runs: the step allocates nothing per iteration.
+                let mut scratch = StepScratch::new();
                 b.iter(|| {
-                    black_box(batcher.step(BatchStep {
-                        h: black_box(h),
-                        c: &cell,
-                        inputs: &[3],
-                    }))
+                    black_box(batcher.step_into(
+                        BatchStep {
+                            h: black_box(h),
+                            c: &cell,
+                            inputs: &[3],
+                        },
+                        &mut scratch,
+                    ))
                 })
             },
         );

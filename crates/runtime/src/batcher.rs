@@ -30,7 +30,7 @@
 //! That makes interleaving sessions into one batch bit-equivalent to
 //! stepping them in isolation — tested in `tests/proptests.rs`.
 
-use crate::model::{FrozenModel, SkipPlan, StateLanes};
+use crate::model::{FrozenModel, StateLanes, StepScratch};
 use crate::weights::FrozenCharLm;
 use zskip_core::{OffsetEncoder, StatePruner};
 use zskip_tensor::Matrix;
@@ -141,9 +141,19 @@ impl<M: FrozenModel> DynamicBatcher<M> {
     /// `0.0` for float lanes and code `0` for quantized lanes — the
     /// offset encoding and the symmetric quantizer agree on it.
     pub fn skip_plan(&self, h: &StateLanes<M::State>) -> (Vec<usize>, usize) {
+        let mut active = Vec::with_capacity(h.cols());
+        let anchors = self.skip_plan_into(h, &mut active);
+        (active, anchors)
+    }
+
+    /// [`Self::skip_plan`] writing the stored column indices into a
+    /// caller-provided vector (cleared first, capacity reused) — the
+    /// allocation-free form the scratch-threaded step uses. Returns the
+    /// anchor count.
+    pub fn skip_plan_into(&self, h: &StateLanes<M::State>, active: &mut Vec<usize>) -> usize {
+        active.clear();
         let dh = h.cols();
         let max_run = self.encoder.max_run();
-        let mut active = Vec::with_capacity(dh);
         let mut anchors = 0usize;
         let mut run: u16 = 0;
         for j in 0..dh {
@@ -160,10 +170,37 @@ impl<M: FrozenModel> DynamicBatcher<M> {
             active.push(j);
             run = 0;
         }
-        (active, anchors)
+        anchors
     }
 
-    /// Runs one batched recurrent + head step.
+    /// Runs one batched recurrent + head step in a fresh scratch,
+    /// returning owned outputs — the convenient form for tests and
+    /// one-shot callers. The engine's hot loop uses
+    /// [`Self::step_into`] instead, which allocates nothing in steady
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, shapes disagree, or an input fails
+    /// the model's validation (out-of-vocab token, non-finite pixel).
+    pub fn step(&self, batch: BatchStep<'_, M::Input, M::State>) -> BatchStepOutput<M::State> {
+        let mut scratch = StepScratch::new();
+        let stats = self.step_into(batch, &mut scratch);
+        BatchStepOutput {
+            logits: scratch.head.logits,
+            h: scratch.h_next,
+            c: scratch.c_next,
+            stats,
+        }
+    }
+
+    /// Runs one batched recurrent + head step entirely inside `scratch`:
+    /// the x-side encoding lands in `scratch.zx`, the skip plan in
+    /// `scratch.plan`, the pruned next states in `scratch.h_next` /
+    /// `scratch.c_next`, and the logits in `scratch.head.logits`. In
+    /// steady state (constant batch shape) the call performs **zero
+    /// heap allocations** — the contract the counting-allocator test in
+    /// `tests/` pins for the f32 families.
     ///
     /// The arithmetic replicates the family's reference forward pass
     /// operation for operation, so serving a frozen model is
@@ -174,7 +211,11 @@ impl<M: FrozenModel> DynamicBatcher<M> {
     ///
     /// Panics if the batch is empty, shapes disagree, or an input fails
     /// the model's validation (out-of-vocab token, non-finite pixel).
-    pub fn step(&self, batch: BatchStep<'_, M::Input, M::State>) -> BatchStepOutput<M::State> {
+    pub fn step_into(
+        &self,
+        batch: BatchStep<'_, M::Input, M::State>,
+        scratch: &mut StepScratch<M::State>,
+    ) -> StepStats {
         let dh = self.model.hidden_dim();
         let b = batch.inputs.len();
         assert!(b > 0, "step needs at least one lane");
@@ -191,26 +232,28 @@ impl<M: FrozenModel> DynamicBatcher<M> {
 
         // Family-specific x-side encoding (one-hot lookup, embedding
         // lookup + GEMM, pixel GEMM, or integer accumulators).
-        let zx = self.model.input_encode(batch.inputs);
+        self.model.input_encode(batch.inputs, scratch);
 
         // Recurrent product, skipping jointly-zero state columns; the
         // family applies its own pruning exactly as its reference does.
-        let (active, anchors) = self.skip_plan(batch.h);
-        let use_sparse = (active.len() as f64) < self.policy.dense_fallback * dh as f64;
-        let fetched_rows = if use_sparse { active.len() } else { dh };
-        let plan = SkipPlan {
-            active,
-            anchors,
-            use_sparse,
+        let anchors = self.skip_plan_into(batch.h, &mut scratch.plan.active);
+        let use_sparse =
+            (scratch.plan.active.len() as f64) < self.policy.dense_fallback * dh as f64;
+        let fetched_rows = if use_sparse {
+            scratch.plan.active.len()
+        } else {
+            dh
         };
-        let (hp, c) = self
-            .model
-            .recurrent_step(zx, batch.h, batch.c, &plan, &self.pruner);
+        scratch.plan.anchors = anchors;
+        scratch.plan.use_sparse = use_sparse;
+        self.model
+            .recurrent_step(batch.h, batch.c, &self.pruner, scratch);
 
-        // Family head on the pruned state.
-        let logits = self.model.head(&hp);
+        // Family head on the pruned state (the head buffers are split
+        // off so `h_next` can stay borrowed).
+        self.model.head(&scratch.h_next, &mut scratch.head);
 
-        let stats = StepStats {
+        StepStats {
             lanes: b,
             hidden: dh,
             fetched_rows,
@@ -221,12 +264,6 @@ impl<M: FrozenModel> DynamicBatcher<M> {
                 0.0
             },
             used_sparse_path: use_sparse,
-        };
-        BatchStepOutput {
-            logits,
-            h: hp,
-            c,
-            stats,
         }
     }
 }

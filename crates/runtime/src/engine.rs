@@ -13,7 +13,7 @@
 //! counter — serves every model family.
 
 use crate::batcher::{BatchStep, DynamicBatcher, SkipPolicy, StepStats};
-use crate::model::{FrozenModel, StateLanes, StateScalar};
+use crate::model::{FrozenModel, StateLanes, StateScalar, StepScratch};
 use crate::weights::FrozenCharLm;
 use std::collections::VecDeque;
 
@@ -162,6 +162,42 @@ fn decode_id(id: SessionId) -> (usize, u32) {
     ((id.0 & 0xFFFF_FFFF) as usize, (id.0 >> 32) as u32)
 }
 
+/// The engine's reusable batch-assembly workspace: everything a step
+/// stages outside the batcher's own [`StepScratch`] — picked sessions,
+/// packed state lanes, the delivered-id list — lives here and is
+/// recycled step over step, so the steady-state step allocates nothing.
+struct EngineScratch<I, S> {
+    /// `(slot index, input)` pairs picked from the ready list this step.
+    picked: Vec<(usize, I)>,
+    /// Slots with further queued inputs, re-appended after picking.
+    requeue: Vec<usize>,
+    /// The picked inputs, contiguous for the batcher.
+    inputs: Vec<I>,
+    /// Packed hidden-state lanes (`B × dh`).
+    h: StateLanes<S>,
+    /// Packed cell-state lanes (`B × cell_dim`).
+    c: StateLanes<S>,
+    /// Session ids delivered this step — the slice [`Engine::step`]
+    /// returns.
+    delivered: Vec<SessionId>,
+    /// The batcher's per-step workspace.
+    step: StepScratch<S>,
+}
+
+impl<I, S: StateScalar> EngineScratch<I, S> {
+    fn new() -> Self {
+        Self {
+            picked: Vec::new(),
+            requeue: Vec::new(),
+            inputs: Vec::new(),
+            h: StateLanes::zeros(0, 0),
+            c: StateLanes::zeros(0, 0),
+            delivered: Vec::new(),
+            step: StepScratch::new(),
+        }
+    }
+}
+
 /// The serving engine: frozen weights, private per-session state, dynamic
 /// batching — generic over the served [`FrozenModel`] family.
 ///
@@ -214,6 +250,12 @@ pub struct Engine<M: FrozenModel = FrozenCharLm> {
     /// Inputs queued across all sessions, maintained incrementally so
     /// [`Engine::pending`] is `O(1)`.
     queued_tokens: usize,
+    /// Recycled logits buffers (see [`Engine::recycle`]): `step` pops
+    /// one per delivered result instead of allocating, the caller hands
+    /// consumed results back. Never larger than the number of results
+    /// simultaneously in flight.
+    logits_pool: Vec<Vec<f32>>,
+    scratch: EngineScratch<M::Input, M::State>,
     stats: EngineStats,
 }
 
@@ -229,6 +271,8 @@ impl<M: FrozenModel> Engine<M> {
             ready_head: READY_NONE,
             ready_tail: READY_NONE,
             queued_tokens: 0,
+            logits_pool: Vec::new(),
+            scratch: EngineScratch::new(),
             stats: EngineStats::default(),
         }
     }
@@ -368,17 +412,24 @@ impl<M: FrozenModel> Engine<M> {
     /// re-enters at the tail, so no ready session waits more than
     /// `ceil(open_slots / max_batch)` steps). Each result is delivered to
     /// its session's poll queue; the returned ids say which sessions have
-    /// a new result.
+    /// a new result (the slice borrows the engine's scratch — copy it out
+    /// if you need it across further engine calls).
     ///
     /// Idle sessions are never visited: the step costs `O(batch)`, not
     /// `O(open sessions)` — what lets one engine hold thousands of open
-    /// but quiet streams.
+    /// but quiet streams. In steady state (stable sessions, constant
+    /// batch shape, results handed back via [`Engine::recycle`]) the
+    /// step performs **zero heap allocations**: batch assembly, the
+    /// recurrent kernels, the head and the result buffers all run in
+    /// reused storage (pinned by the counting-allocator test in
+    /// `tests/`).
     ///
-    /// Returns an empty vector when nothing is pending.
-    pub fn step(&mut self) -> Vec<SessionId> {
-        let mut picked: Vec<(usize, M::Input)> = Vec::new(); // (session index, input)
-        let mut requeue: Vec<usize> = Vec::new();
-        while picked.len() < self.max_batch {
+    /// Returns an empty slice when nothing is pending.
+    pub fn step(&mut self) -> &[SessionId] {
+        self.scratch.delivered.clear();
+        self.scratch.picked.clear();
+        self.scratch.requeue.clear();
+        while self.scratch.picked.len() < self.max_batch {
             let Some(idx) = self.pop_ready() else { break };
             let s = &mut self.sessions[idx];
             if !s.live {
@@ -387,43 +438,61 @@ impl<M: FrozenModel> Engine<M> {
             if let Some(input) = s.queued.pop_front() {
                 self.queued_tokens -= 1;
                 if !s.queued.is_empty() {
-                    requeue.push(idx);
+                    self.scratch.requeue.push(idx);
                 }
-                picked.push((idx, input));
+                self.scratch.picked.push((idx, input));
             }
         }
         // Re-append *after* picking so one session cannot occupy two
         // lanes of the same batch.
-        for idx in requeue {
+        for i in 0..self.scratch.requeue.len() {
+            let idx = self.scratch.requeue[i];
             self.push_ready(idx);
         }
-        if picked.is_empty() {
-            return Vec::new();
+        if self.scratch.picked.is_empty() {
+            return &self.scratch.delivered;
         }
 
         let dh = self.model().hidden_dim();
         let dc = self.model().cell_dim();
-        let b = picked.len();
-        let mut h = StateLanes::zeros(b, dh);
-        let mut c = StateLanes::zeros(b, dc);
-        for (r, (idx, _)) in picked.iter().enumerate() {
-            h.row_mut(r).copy_from_slice(&self.sessions[*idx].h);
-            c.row_mut(r).copy_from_slice(&self.sessions[*idx].c);
+        let b = self.scratch.picked.len();
+        // Fully overwritten by the row copies below — no zero-fill.
+        self.scratch.h.resize_for_overwrite(b, dh);
+        self.scratch.c.resize_for_overwrite(b, dc);
+        for (r, (idx, _)) in self.scratch.picked.iter().enumerate() {
+            self.scratch
+                .h
+                .row_mut(r)
+                .copy_from_slice(&self.sessions[*idx].h);
+            self.scratch
+                .c
+                .row_mut(r)
+                .copy_from_slice(&self.sessions[*idx].c);
         }
-        let inputs: Vec<M::Input> = picked.iter().map(|(_, t)| *t).collect();
-        let out = self.batcher.step(BatchStep {
-            h: &h,
-            c: &c,
-            inputs: &inputs,
-        });
-        self.stats.absorb(&out.stats);
+        self.scratch.inputs.clear();
+        self.scratch
+            .inputs
+            .extend(self.scratch.picked.iter().map(|(_, t)| *t));
+        let stats = self.batcher.step_into(
+            BatchStep {
+                h: &self.scratch.h,
+                c: &self.scratch.c,
+                inputs: &self.scratch.inputs,
+            },
+            &mut self.scratch.step,
+        );
+        self.stats.absorb(&stats);
 
-        let mut delivered = Vec::with_capacity(b);
-        for (r, (idx, input)) in picked.iter().enumerate() {
+        for (r, (idx, input)) in self.scratch.picked.iter().enumerate() {
             let session = &mut self.sessions[*idx];
-            session.h.copy_from_slice(out.h.row(r));
-            session.c.copy_from_slice(out.c.row(r));
-            let logits = out.logits.row(r).to_vec();
+            session.h.copy_from_slice(self.scratch.step.h_next.row(r));
+            session.c.copy_from_slice(self.scratch.step.c_next.row(r));
+            let logits_row = self.scratch.step.head.logits.row(r);
+            // Reuse a recycled buffer when one is available; its capacity
+            // already fits (every pooled buffer once held a logits row).
+            let mut logits = self.logits_pool.pop().unwrap_or_default();
+            logits.clear();
+            logits.extend_from_slice(logits_row);
             // Same first-max tie-breaking as the training-side metrics.
             let argmax = zskip_tensor::stats::argmax(&logits);
             let id = encode_id(*idx, session.generation);
@@ -433,9 +502,20 @@ impl<M: FrozenModel> Engine<M> {
                 logits,
                 argmax,
             });
-            delivered.push(id);
+            self.scratch.delivered.push(id);
         }
-        delivered
+        &self.scratch.delivered
+    }
+
+    /// Hands a consumed result's buffers back for reuse: the next
+    /// [`Engine::step`] pops the logits vector from the pool instead of
+    /// allocating a fresh one. Entirely optional — a dropped result just
+    /// costs the steady-state step one allocation per delivery — but
+    /// callers that recycle close the loop to zero allocations.
+    pub fn recycle(&mut self, result: StepResult<M::Input>) {
+        let mut logits = result.logits;
+        logits.clear();
+        self.logits_pool.push(logits);
     }
 
     /// Steps until no session has pending inputs; returns the session ids
@@ -448,7 +528,7 @@ impl<M: FrozenModel> Engine<M> {
             if batch.is_empty() {
                 return all;
             }
-            all.extend(batch);
+            all.extend_from_slice(batch);
         }
     }
 }
@@ -475,8 +555,7 @@ mod tests {
         let b = e.open_session();
         e.submit(a, 1).unwrap();
         e.submit(b, 2).unwrap();
-        let results = e.step();
-        assert_eq!(results.len(), 2);
+        assert_eq!(e.step().len(), 2);
         assert!(e.poll(a).unwrap().is_some());
         assert!(e.poll(b).unwrap().is_some());
         assert!(e.poll(a).unwrap().is_none());

@@ -74,7 +74,8 @@ pub mod weights;
 pub use batcher::{BatchStep, BatchStepOutput, DynamicBatcher, SkipPolicy, StepStats};
 pub use engine::{Engine, EngineConfig, EngineError, EngineStats, SessionId, StepResult};
 pub use model::{
-    FrozenModel, InputSpec, ScalarDomain, SkipPlan, StateLanes, StateScalar, TokenDomain,
+    FrozenModel, HeadScratch, InputSpec, ScalarDomain, SkipPlan, StateLanes, StateScalar,
+    StepScratch, TokenDomain,
 };
 pub use weights::{
     FrozenCharLm, FrozenGru, FrozenGruCharLm, FrozenHead, FrozenLstm, FrozenQuantizedCharLm,

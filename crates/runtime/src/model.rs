@@ -161,6 +161,42 @@ impl<S: StateScalar> StateLanes<S> {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes to `rows × cols` lanes of [`StateScalar::ZERO`], reusing
+    /// the existing allocation whenever the new size fits its capacity —
+    /// the entry point the engine's batch-assembly scratch goes through,
+    /// so a steady-state step (constant batch shape) never reallocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let len = rows
+            .checked_mul(cols)
+            .expect("lane dimensions overflow usize");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(len, S::ZERO);
+    }
+
+    /// [`Self::resize`] without the zero-fill: existing elements keep
+    /// whatever values they held (only newly grown storage is zeroed).
+    /// For buffers the caller overwrites completely before reading —
+    /// the engine's batch staging lanes, the families' next-state
+    /// buffers — this skips a full pass over the data on every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let len = rows
+            .checked_mul(cols)
+            .expect("lane dimensions overflow usize");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(len, S::ZERO);
+    }
+
     /// Mutably borrows lane `r` as a slice.
     ///
     /// # Panics
@@ -241,6 +277,17 @@ pub struct SkipPlan {
 }
 
 impl SkipPlan {
+    /// An empty always-dense plan — the state scratch plans start here
+    /// before [`DynamicBatcher::skip_plan_into`](crate::DynamicBatcher::skip_plan_into)
+    /// fills them each step.
+    pub fn empty() -> Self {
+        Self {
+            active: Vec::new(),
+            anchors: 0,
+            use_sparse: false,
+        }
+    }
+
     /// The f32 recurrent product under this plan — the one place the
     /// skip decision is applied for the float families.
     pub fn matmul(&self, h: &Matrix, wh: &Matrix) -> Matrix {
@@ -254,10 +301,19 @@ impl SkipPlan {
     /// [`Self::matmul`] directly on `f32` state lanes — the batched step
     /// takes this entry so no `Matrix` copy of the batch is made.
     pub fn matmul_lanes(&self, h: &StateLanes<f32>, wh: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_lanes_into(h, wh, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_lanes`] writing into a caller-provided matrix —
+    /// the allocation-free form the scratch-threaded step uses. `out` is
+    /// resized to `h.rows() × wh.cols()` reusing its storage.
+    pub fn matmul_lanes_into(&self, h: &StateLanes<f32>, wh: &Matrix, out: &mut Matrix) {
         if self.use_sparse {
-            Matrix::matmul_sparse_rows_from(h.as_slice(), h.rows(), wh, &self.active)
+            Matrix::matmul_sparse_rows_from_into(h.as_slice(), h.rows(), wh, &self.active, out);
         } else {
-            Matrix::matmul_from_rows(h.as_slice(), h.rows(), wh)
+            Matrix::matmul_from_rows_into(h.as_slice(), h.rows(), wh, out);
         }
     }
 
@@ -269,11 +325,122 @@ impl SkipPlan {
     /// falls: integer addition is associative and skipped codes are
     /// exact zeros.
     pub fn gemm_t_i32(&self, h: &StateLanes<i8>, wh: &zskip_tensor::QMatrix) -> Vec<i32> {
+        let mut out = Vec::new();
+        self.gemm_t_i32_into(h, wh, &mut out);
+        out
+    }
+
+    /// [`Self::gemm_t_i32`] writing into a caller-provided accumulator
+    /// vector — the allocation-free form the scratch-threaded step uses.
+    pub fn gemm_t_i32_into(
+        &self,
+        h: &StateLanes<i8>,
+        wh: &zskip_tensor::QMatrix,
+        out: &mut Vec<i32>,
+    ) {
         if self.use_sparse {
-            wh.gemm_t_i32_sparse_rows(h.as_slice(), h.rows(), &self.active)
+            wh.gemm_t_i32_sparse_rows_into(h.as_slice(), h.rows(), &self.active, out);
         } else {
-            wh.gemm_t_i32(h.as_slice(), h.rows())
+            wh.gemm_t_i32_into(h.as_slice(), h.rows(), out);
         }
+    }
+}
+
+/// Reusable buffers for the classifier-head stage of one batched step —
+/// split from [`StepScratch`] so a family's `head` can borrow its head
+/// buffers mutably while the freshly produced state lanes (also living
+/// in the step scratch) stay borrowed immutably.
+#[derive(Clone, Debug)]
+pub struct HeadScratch {
+    /// Integer head accumulators (`B × output_dim`) — used only by the
+    /// quantized family.
+    pub acc: Vec<i32>,
+    /// Head logits (`B × output_dim`) — every family's `head` output.
+    pub logits: Matrix,
+}
+
+impl HeadScratch {
+    /// Empty scratch; buffers grow to serving shape on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        Self {
+            acc: Vec::new(),
+            logits: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for HeadScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The reusable workspace one batched step runs in: every intermediate
+/// the families produce — x-side encoding, recurrent product, gate
+/// planes, next states, logits, the skip plan's active-row list — lives
+/// here and is recycled step over step, so a steady-state engine step
+/// performs **zero heap allocations** (asserted by the counting-allocator
+/// test in `crates/runtime/tests/`).
+///
+/// One scratch belongs to one engine (or one bench loop); the batcher
+/// threads it through [`FrozenModel::input_encode`] →
+/// [`FrozenModel::recurrent_step`] → [`FrozenModel::head`]. Buffers are
+/// resized (reusing capacity) to the current batch shape at each use, so
+/// batches of varying width share the same scratch — only *growth*
+/// beyond the high-water mark allocates.
+#[derive(Clone, Debug)]
+pub struct StepScratch<S> {
+    /// X-side encoding (`B × gate-width`), written by
+    /// [`FrozenModel::input_encode`] and consumed — typically in place —
+    /// by the recurrent step.
+    pub zx: Matrix,
+    /// F32 recurrent product (`B × gate-width`).
+    pub zh: Matrix,
+    /// Gate planes for families that cannot fuse into `zx` (the GRU's
+    /// `[z | r | n]` gates).
+    pub gates: Matrix,
+    /// Per-step input staging (`B × dx`): embedded word vectors, pixel
+    /// columns — whatever a family feeds its `Wx` GEMM.
+    pub embed: Matrix,
+    /// Integer recurrent accumulators (`B × gate-width`) — quantized
+    /// family only.
+    pub acc: Vec<i32>,
+    /// Per-lane gate value buffer (`gate-width`) — quantized family only.
+    pub lane_gates: Vec<f32>,
+    /// Next pruned hidden state (`B × dh`), the step's main output.
+    pub h_next: StateLanes<S>,
+    /// Next cell state (`B × cell_dim`).
+    pub c_next: StateLanes<S>,
+    /// The skip plan over `Wh` rows, including the reused active-row
+    /// list, filled by the batcher before the recurrent step runs.
+    pub plan: SkipPlan,
+    /// Head-stage buffers (see [`HeadScratch`]).
+    pub head: HeadScratch,
+}
+
+impl<S: StateScalar> StepScratch<S> {
+    /// Empty scratch; buffers grow to serving shape on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        Self {
+            zx: Matrix::zeros(0, 0),
+            zh: Matrix::zeros(0, 0),
+            gates: Matrix::zeros(0, 0),
+            embed: Matrix::zeros(0, 0),
+            acc: Vec::new(),
+            lane_gates: Vec::new(),
+            h_next: StateLanes::zeros(0, 0),
+            c_next: StateLanes::zeros(0, 0),
+            plan: SkipPlan::empty(),
+            head: HeadScratch::new(),
+        }
+    }
+}
+
+impl<S: StateScalar> Default for StepScratch<S> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -373,20 +540,25 @@ pub trait FrozenModel: Clone + Send + Sync + 'static {
     }
 
     /// Encodes one batch of inputs into the x-side contribution the
-    /// recurrent step consumes (`B × gate-width`), exactly as the
-    /// family's reference computes it before the recurrent contribution
-    /// is merged. Families differ in what this carries: the LSTM's is
-    /// the bias-free pre-activation, the GRU's already includes the
-    /// bias, and the quantized family's holds raw `i32` x-side
-    /// accumulators (exactly representable in `f32` — one `i8 × i8`
-    /// product per element).
-    fn input_encode(&self, inputs: &[Self::Input]) -> Matrix;
+    /// recurrent step consumes, written into `scratch.zx`
+    /// (`B × gate-width`, resized in place), exactly as the family's
+    /// reference computes it before the recurrent contribution is
+    /// merged. Families differ in what this carries: the LSTM's is the
+    /// bias-free pre-activation, the GRU's already includes the bias,
+    /// and the quantized family's holds raw `i32` x-side accumulators
+    /// (exactly representable in `f32` — one `i8 × i8` product per
+    /// element). Families with a dense `Wx` GEMM stage their input in
+    /// `scratch.embed`; a steady-state call allocates nothing.
+    fn input_encode(&self, inputs: &[Self::Input], scratch: &mut StepScratch<Self::State>);
 
-    /// One batched recurrent step: consumes the x-side encoding `zx`,
-    /// the previous pruned state `h` (`B × dh` lanes of
-    /// [`Self::State`]), the cell state `c` (`B × cell_dim`) and the
-    /// skip plan over `Wh` rows; returns the next **already-pruned**
-    /// hidden state and the next cell state.
+    /// One batched recurrent step: consumes the x-side encoding in
+    /// `scratch.zx` and the skip plan over `Wh` rows in `scratch.plan`
+    /// (both placed there by the batcher), together with the previous
+    /// pruned state `h` (`B × dh` lanes of [`Self::State`]) and the
+    /// cell state `c` (`B × cell_dim`); writes the next
+    /// **already-pruned** hidden state into `scratch.h_next` and the
+    /// next cell state into `scratch.c_next`. Every intermediate lives
+    /// in the scratch, so a steady-state call allocates nothing.
     ///
     /// Pruning lives here — not in the batcher — because the families
     /// disagree on where it happens: the float families threshold the
@@ -396,14 +568,16 @@ pub trait FrozenModel: Clone + Send + Sync + 'static {
     /// Each family must apply `pruner` exactly as its reference does.
     fn recurrent_step(
         &self,
-        zx: Matrix,
         h: &StateLanes<Self::State>,
         c: &StateLanes<Self::State>,
-        plan: &SkipPlan,
         pruner: &StatePruner,
-    ) -> (StateLanes<Self::State>, StateLanes<Self::State>);
+        scratch: &mut StepScratch<Self::State>,
+    );
 
     /// Classifier head on a pruned state: `B × dh` lanes →
-    /// `B × output_dim` f32 logits.
-    fn head(&self, hp: &StateLanes<Self::State>) -> Matrix;
+    /// `B × output_dim` f32 logits, written into `scratch.logits`
+    /// (resized in place; a steady-state call allocates nothing). `hp`
+    /// is typically the step scratch's own `h_next`, which is why the
+    /// head buffers live in a separate [`HeadScratch`].
+    fn head(&self, hp: &StateLanes<Self::State>, scratch: &mut HeadScratch);
 }

@@ -8,7 +8,7 @@
 //! operation — including accumulation order — so frozen serving is
 //! bit-identical to the training forward pass.
 
-use crate::model::{SkipPlan, StateLanes};
+use crate::model::{StateLanes, StepScratch};
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_tensor::{sigmoid, tanh, Matrix};
@@ -68,29 +68,41 @@ impl FrozenLstm {
         &self.bias
     }
 
-    /// One batched LSTM step, replicating `zskip_nn::LstmCell::forward`
-    /// bit-for-bit: `z = zx + h·Wh` (skip plan applied) `+ b`, gate
-    /// non-linearities, then the cell/hidden update.
+    /// One batched LSTM step in the caller's [`StepScratch`],
+    /// replicating `zskip_nn::LstmCell::forward` bit-for-bit:
+    /// `z = zx + h·Wh` (skip plan applied) `+ b`, gate non-linearities,
+    /// then the cell/hidden update, then the family-side threshold
+    /// pruning (Eq. 5) on the raw next state — the form
+    /// [`FrozenModel::recurrent_step`](crate::FrozenModel::recurrent_step)
+    /// requires. Shared by every LSTM family.
     ///
-    /// `zx` is the x-side pre-activation **without** bias (`B × 4dh`);
-    /// consumed as the accumulator. States are `f32` lanes (borrowed
-    /// straight from the batch — no copy). Returns `(h_raw, c_next)`.
-    pub fn recurrent_step(
+    /// `scratch.zx` holds the x-side pre-activation **without** bias
+    /// (`B × 4dh`) and is consumed in place as the gate accumulator; the
+    /// recurrent product lands in `scratch.zh`, the pruned next hidden
+    /// state in `scratch.h_next`, the next cell state in
+    /// `scratch.c_next`. States are `f32` lanes borrowed straight from
+    /// the batch — no copy, and a steady-state call allocates nothing.
+    ///
+    /// The gate non-linearities stay scalar calls: `sigmoid`/`tanh` must
+    /// match the training cell bit-for-bit, which pins them to the exact
+    /// `exp`-based scalar bodies. The multiply/add pointwise around them
+    /// runs over fused slice iterators, which the compiler vectorizes.
+    pub fn recurrent_step_pruned(
         &self,
-        mut z: Matrix,
         h: &StateLanes<f32>,
         c_prev: &StateLanes<f32>,
-        plan: &SkipPlan,
-    ) -> (Matrix, Matrix) {
+        pruner: &StatePruner,
+        scratch: &mut StepScratch<f32>,
+    ) {
         let dh = self.hidden;
         let b = h.rows();
-        let hz = plan.matmul_lanes(h, &self.wh);
-        z.add_assign(&hz);
-        z.add_row_broadcast(&self.bias);
+        scratch.plan.matmul_lanes_into(h, &self.wh, &mut scratch.zh);
+        scratch.zx.add_assign(&scratch.zh);
+        scratch.zx.add_row_broadcast(&self.bias);
 
         // Gate non-linearities, gate order [f | i | o | g].
         for r in 0..b {
-            let row = z.row_mut(r);
+            let row = scratch.zx.row_mut(r);
             for v in row.iter_mut().take(3 * dh) {
                 *v = sigmoid(*v);
             }
@@ -99,45 +111,31 @@ impl FrozenLstm {
             }
         }
 
-        let mut c = Matrix::zeros(b, dh);
-        let mut h_next = Matrix::zeros(b, dh);
+        // Every element is written below — no zero-fill needed.
+        scratch.c_next.resize_for_overwrite(b, dh);
+        scratch.h_next.resize_for_overwrite(b, dh);
         for r in 0..b {
-            let g_row = z.row(r);
+            let g_row = scratch.zx.row(r);
             let (f_g, rest) = g_row.split_at(dh);
             let (i_g, rest) = rest.split_at(dh);
             let (o_g, g_g) = rest.split_at(dh);
             let cp = c_prev.row(r);
-            let c_row = c.row_mut(r);
-            for j in 0..dh {
-                c_row[j] = f_g[j] * cp[j] + i_g[j] * g_g[j];
+            let c_row = scratch.c_next.row_mut(r);
+            for (c_out, (((&f, &cpj), &i), &g)) in
+                c_row.iter_mut().zip(f_g.iter().zip(cp).zip(i_g).zip(g_g))
+            {
+                *c_out = f * cpj + i * g;
             }
-            // `c` and `h_next` are distinct matrices, so unlike the
+            // `c_next` and `h_next` are distinct buffers, so unlike the
             // training cell no snapshot copy is needed between the loops.
-            let h_row = h_next.row_mut(r);
-            for j in 0..dh {
-                h_row[j] = o_g[j] * tanh(c_row[j]);
+            let h_row = scratch.h_next.row_mut(r);
+            for (h_out, (&o, &cj)) in h_row.iter_mut().zip(o_g.iter().zip(c_row.iter())) {
+                *h_out = o * tanh(cj);
             }
         }
-        (h_next, c)
-    }
-
-    /// [`Self::recurrent_step`] on `f32` state lanes, with the
-    /// family-side threshold pruning (Eq. 5) applied to the raw next
-    /// state — the form [`FrozenModel::recurrent_step`](crate::FrozenModel::recurrent_step)
-    /// requires. Shared by every LSTM family.
-    pub fn recurrent_step_pruned(
-        &self,
-        zx: Matrix,
-        h: &StateLanes<f32>,
-        c_prev: &StateLanes<f32>,
-        plan: &SkipPlan,
-        pruner: &StatePruner,
-    ) -> (StateLanes<f32>, StateLanes<f32>) {
-        let (mut h_raw, c) = self.recurrent_step(zx, h, c_prev, plan);
         // Same arithmetic as the training pruner's `apply` (which clones
         // then prunes in place).
-        pruner.prune_slice(h_raw.as_mut_slice());
-        (h_raw.into(), c.into())
+        pruner.prune_slice(scratch.h_next.as_mut_slice());
     }
 }
 
@@ -195,26 +193,41 @@ impl FrozenGru {
         &self.bias
     }
 
-    /// One batched GRU step, replicating `zskip_nn::GruCell::forward`
-    /// bit-for-bit. Note the family difference baked into the training
-    /// cell: the bias is added to the x-side **before** the recurrent
-    /// contribution is merged per gate, so `zx` here must already carry
-    /// it (`B × 3dh`, see the family's `input_encode`). The state is
-    /// `f32` lanes borrowed straight from the batch. Returns the raw
-    /// next hidden state; the GRU carries no cell state.
-    pub fn recurrent_step(&self, zx: Matrix, h: &StateLanes<f32>, plan: &SkipPlan) -> Matrix {
+    /// One batched GRU step in the caller's [`StepScratch`], replicating
+    /// `zskip_nn::GruCell::forward` bit-for-bit, with family-side
+    /// threshold pruning applied to the raw next state — mirroring
+    /// [`FrozenLstm::recurrent_step_pruned`].
+    ///
+    /// Note the family difference baked into the training cell: the bias
+    /// is added to the x-side **before** the recurrent contribution is
+    /// merged per gate, so `scratch.zx` must already carry it
+    /// (`B × 3dh`, see the family's `input_encode`). The recurrent
+    /// product lands in `scratch.zh`, the `[z | r | n]` gate planes in
+    /// `scratch.gates`, the pruned next hidden state in
+    /// `scratch.h_next`; the GRU carries no cell state and leaves
+    /// `scratch.c_next` alone. The state is `f32` lanes borrowed
+    /// straight from the batch, and a steady-state call allocates
+    /// nothing; `sigmoid`/`tanh` stay scalar (bit-pinned to training),
+    /// the surrounding pointwise runs over fused slice iterators.
+    pub fn recurrent_step_pruned(
+        &self,
+        h: &StateLanes<f32>,
+        pruner: &StatePruner,
+        scratch: &mut StepScratch<f32>,
+    ) {
         let dh = self.hidden;
         let b = h.rows();
-        let zh = plan.matmul_lanes(h, &self.wh);
+        scratch.plan.matmul_lanes_into(h, &self.wh, &mut scratch.zh);
 
-        let mut gates = Matrix::zeros(b, 3 * dh);
-        let mut h_next = Matrix::zeros(b, dh);
+        // Every gate and state element is written below — no zero-fill.
+        scratch.gates.resize_for_overwrite(b, 3 * dh);
+        scratch.h_next.resize_for_overwrite(b, dh);
         for r in 0..b {
-            let zx_row = zx.row(r);
-            let zh_row = zh.row(r);
+            let zx_row = scratch.zx.row(r);
+            let zh_row = scratch.zh.row(r);
             let hp = h.row(r);
             // z and r gates take the plain sum of contributions.
-            let g_row = gates.row_mut(r);
+            let g_row = scratch.gates.row_mut(r);
             for j in 0..2 * dh {
                 g_row[j] = sigmoid(zx_row[j] + zh_row[j]);
             }
@@ -223,30 +236,14 @@ impl FrozenGru {
                 let r_g = g_row[dh + j];
                 g_row[2 * dh + j] = tanh(zx_row[2 * dh + j] + r_g * zh_row[2 * dh + j]);
             }
-            let h_row = h_next.row_mut(r);
-            for j in 0..dh {
-                let z_g = g_row[j];
-                let n_g = g_row[2 * dh + j];
-                h_row[j] = (1.0 - z_g) * n_g + z_g * hp[j];
+            let h_row = scratch.h_next.row_mut(r);
+            let (z_g, rest) = g_row.split_at(dh);
+            let (_, n_g) = rest.split_at(dh);
+            for (h_out, ((&z, &n), &hpj)) in h_row.iter_mut().zip(z_g.iter().zip(n_g).zip(hp)) {
+                *h_out = (1.0 - z) * n + z * hpj;
             }
         }
-        h_next
-    }
-
-    /// [`Self::recurrent_step`] on `f32` state lanes with family-side
-    /// threshold pruning, mirroring
-    /// [`FrozenLstm::recurrent_step_pruned`]. The GRU carries no cell
-    /// state, so only the pruned hidden lanes come back.
-    pub fn recurrent_step_pruned(
-        &self,
-        zx: Matrix,
-        h: &StateLanes<f32>,
-        plan: &SkipPlan,
-        pruner: &StatePruner,
-    ) -> StateLanes<f32> {
-        let mut h_raw = self.recurrent_step(zx, h, plan);
-        pruner.prune_slice(h_raw.as_mut_slice());
-        h_raw.into()
+        pruner.prune_slice(scratch.h_next.as_mut_slice());
     }
 }
 
@@ -293,8 +290,16 @@ impl FrozenHead {
 
     /// [`Self::forward`] on `f32` state lanes, copy-free.
     pub fn forward_lanes(&self, hp: &StateLanes<f32>) -> Matrix {
-        let mut logits = Matrix::matmul_from_rows(hp.as_slice(), hp.rows(), &self.w);
-        logits.add_row_broadcast(&self.b);
+        let mut logits = Matrix::zeros(0, 0);
+        self.forward_lanes_into(hp, &mut logits);
         logits
+    }
+
+    /// [`Self::forward_lanes`] writing into a caller-provided matrix —
+    /// the allocation-free form the scratch-threaded step uses. `out` is
+    /// resized to `B × output_dim` reusing its storage.
+    pub fn forward_lanes_into(&self, hp: &StateLanes<f32>, out: &mut Matrix) {
+        Matrix::matmul_from_rows_into(hp.as_slice(), hp.rows(), &self.w, out);
+        out.add_row_broadcast(&self.b);
     }
 }

@@ -2,7 +2,7 @@
 
 use super::cells::{FrozenHead, FrozenLstm};
 use super::TensorBag;
-use crate::model::{FrozenModel, SkipPlan, StateLanes, TokenDomain};
+use crate::model::{FrozenModel, HeadScratch, StateLanes, StepScratch, TokenDomain};
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::CharLm;
@@ -108,28 +108,29 @@ impl FrozenModel for FrozenCharLm {
     /// One-hot input ⇒ `Wx·x` degenerates to a row lookup (the paper's
     /// "implemented as a look-up table"). Bit-identical to the GEMM:
     /// multiplying by 1.0 is exact.
-    fn input_encode(&self, inputs: &[usize]) -> Matrix {
+    fn input_encode(&self, inputs: &[usize], scratch: &mut StepScratch<f32>) {
         let dh = self.lstm.hidden_dim();
-        let mut z = Matrix::zeros(inputs.len(), 4 * dh);
+        scratch.zx.resize_for_overwrite(inputs.len(), 4 * dh);
         for (r, &tok) in inputs.iter().enumerate() {
-            z.row_mut(r).copy_from_slice(self.lstm.wx().row(tok));
+            scratch
+                .zx
+                .row_mut(r)
+                .copy_from_slice(self.lstm.wx().row(tok));
         }
-        z
     }
 
     fn recurrent_step(
         &self,
-        zx: Matrix,
         h: &StateLanes<f32>,
         c: &StateLanes<f32>,
-        plan: &SkipPlan,
         pruner: &StatePruner,
-    ) -> (StateLanes<f32>, StateLanes<f32>) {
-        self.lstm.recurrent_step_pruned(zx, h, c, plan, pruner)
+        scratch: &mut StepScratch<f32>,
+    ) {
+        self.lstm.recurrent_step_pruned(h, c, pruner, scratch)
     }
 
-    fn head(&self, hp: &StateLanes<f32>) -> Matrix {
-        self.head.forward_lanes(hp)
+    fn head(&self, hp: &StateLanes<f32>, scratch: &mut HeadScratch) {
+        self.head.forward_lanes_into(hp, &mut scratch.logits)
     }
 }
 

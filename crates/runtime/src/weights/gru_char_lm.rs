@@ -2,11 +2,11 @@
 
 use super::cells::{FrozenGru, FrozenHead};
 use super::TensorBag;
-use crate::model::{FrozenModel, SkipPlan, StateLanes, TokenDomain};
+use crate::model::{FrozenModel, HeadScratch, StateLanes, StepScratch, TokenDomain};
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::GruCharLm;
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::SeedableStream;
 
 /// Frozen weights of the GRU char-LM: a 3-gate `Wh` (`dh × 3dh`, gate
 /// order `[z, r, n]`) plus softmax head. The GRU's only memory is the
@@ -105,31 +105,31 @@ impl FrozenModel for FrozenGruCharLm {
     /// One-hot row lookup, **plus the bias**: `GruCell::forward` folds
     /// the bias into the x-side pre-activation before merging the
     /// recurrent contribution, so the frozen path must too.
-    fn input_encode(&self, inputs: &[usize]) -> Matrix {
+    fn input_encode(&self, inputs: &[usize], scratch: &mut StepScratch<f32>) {
         let dh = self.gru.hidden_dim();
-        let mut z = Matrix::zeros(inputs.len(), 3 * dh);
+        scratch.zx.resize_for_overwrite(inputs.len(), 3 * dh);
         for (r, &tok) in inputs.iter().enumerate() {
-            z.row_mut(r).copy_from_slice(self.gru.wx().row(tok));
+            scratch
+                .zx
+                .row_mut(r)
+                .copy_from_slice(self.gru.wx().row(tok));
         }
-        z.add_row_broadcast(self.gru.bias());
-        z
+        scratch.zx.add_row_broadcast(self.gru.bias());
     }
 
     fn recurrent_step(
         &self,
-        zx: Matrix,
         h: &StateLanes<f32>,
         _c: &StateLanes<f32>,
-        plan: &SkipPlan,
         pruner: &StatePruner,
-    ) -> (StateLanes<f32>, StateLanes<f32>) {
-        let h_next = self.gru.recurrent_step_pruned(zx, h, plan, pruner);
-        let b = h.rows();
-        (h_next, StateLanes::zeros(b, 0))
+        scratch: &mut StepScratch<f32>,
+    ) {
+        self.gru.recurrent_step_pruned(h, pruner, scratch);
+        scratch.c_next.resize(h.rows(), 0);
     }
 
-    fn head(&self, hp: &StateLanes<f32>) -> Matrix {
-        self.head.forward_lanes(hp)
+    fn head(&self, hp: &StateLanes<f32>, scratch: &mut HeadScratch) {
+        self.head.forward_lanes_into(hp, &mut scratch.logits)
     }
 }
 

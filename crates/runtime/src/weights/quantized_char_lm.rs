@@ -16,12 +16,12 @@
 //! in 8-bit DRAM between timesteps on the hardware — a served stream's
 //! state traffic is one quarter of the float families'.
 
-use crate::model::{FrozenModel, SkipPlan, StateLanes, TokenDomain};
+use crate::model::{FrozenModel, HeadScratch, StateLanes, StepScratch, TokenDomain};
 use serde::{Deserialize, Serialize};
 use zskip_core::{QuantizedLstm, StatePruner};
 use zskip_nn::models::CharLm;
 use zskip_nn::LstmCell;
-use zskip_tensor::{Matrix, QMatrix, SeedableStream};
+use zskip_tensor::{QMatrix, SeedableStream};
 
 /// Frozen weights of the quantized char-LM: the golden
 /// [`QuantizedLstm`] cell plus an 8-bit quantized softmax head.
@@ -147,16 +147,15 @@ impl FrozenModel for FrozenQuantizedCharLm {
     /// `wx.gemv_t_i32(quantize_input(one_hot))`, which walks the same
     /// single non-zero row (the paper's "implemented as a look-up
     /// table", integer edition).
-    fn input_encode(&self, inputs: &[usize]) -> Matrix {
+    fn input_encode(&self, inputs: &[usize], scratch: &mut StepScratch<i8>) {
         let gates = 4 * self.q.hidden_dim();
         let one = self.q.x_quantizer().quantize(1.0) as i32;
-        let mut z = Matrix::zeros(inputs.len(), gates);
+        scratch.zx.resize_for_overwrite(inputs.len(), gates);
         for (r, &tok) in inputs.iter().enumerate() {
-            for (dst, w) in z.row_mut(r).iter_mut().zip(self.q.wx().row(tok)) {
+            for (dst, w) in scratch.zx.row_mut(r).iter_mut().zip(self.q.wx().row(tok)) {
                 *dst = ((*w as i32) * one) as f32;
             }
         }
-        z
     }
 
     /// One batched quantized step: the skip-aware integer accumulator
@@ -176,12 +175,11 @@ impl FrozenModel for FrozenQuantizedCharLm {
     /// baked into the frozen model.
     fn recurrent_step(
         &self,
-        zx: Matrix,
         h: &StateLanes<i8>,
         c: &StateLanes<i8>,
-        plan: &SkipPlan,
         pruner: &StatePruner,
-    ) -> (StateLanes<i8>, StateLanes<i8>) {
+        scratch: &mut StepScratch<i8>,
+    ) {
         assert!(
             pruner.threshold() == self.q.threshold(),
             "engine threshold {} != frozen quantized threshold {}: the quantized family bakes \
@@ -191,49 +189,59 @@ impl FrozenModel for FrozenQuantizedCharLm {
         );
         let dh = self.q.hidden_dim();
         let b = h.rows();
-        let acc_h = plan.gemm_t_i32(h, self.q.wh());
+        scratch
+            .plan
+            .gemm_t_i32_into(h, self.q.wh(), &mut scratch.acc);
 
-        let mut h_new = StateLanes::zeros(b, dh);
-        let mut c_new = StateLanes::zeros(b, dh);
-        let mut gates = vec![0f32; 4 * dh];
+        // Every state code and gate value is written below (pass 1
+        // fills the whole gate plane) — no zero-fill needed.
+        scratch.h_next.resize_for_overwrite(b, dh);
+        scratch.c_next.resize_for_overwrite(b, dh);
+        scratch.lane_gates.resize(4 * dh, 0.0);
         #[cfg(target_arch = "x86_64")]
-        let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
+        let use_avx2 = zskip_tensor::simd::use_avx2();
         #[cfg(not(target_arch = "x86_64"))]
         let use_avx2 = false;
         for r in 0..b {
-            let zx_row = zx.row(r);
-            let acc_row = &acc_h[r * 4 * dh..(r + 1) * 4 * dh];
+            let zx_row = scratch.zx.row(r);
+            let acc_row = &scratch.acc[r * 4 * dh..(r + 1) * 4 * dh];
             let c_row = c.row(r);
-            let h_out = h_new.row_mut(r);
-            let c_out = c_new.row_mut(r);
+            let h_out = scratch.h_next.row_mut(r);
+            let c_out = scratch.c_next.row_mut(r);
+            let gates = &mut scratch.lane_gates;
             #[cfg(target_arch = "x86_64")]
             if use_avx2 {
                 // SAFETY: AVX2 was detected once before the loop; the
                 // twin's only `unsafe` is the table gather, whose
                 // indices are clamped into bounds.
-                unsafe { self.lane_step_avx2(zx_row, acc_row, c_row, &mut gates, h_out, c_out) };
+                unsafe { self.lane_step_avx2(zx_row, acc_row, c_row, gates, h_out, c_out) };
                 continue;
             }
             let _ = use_avx2;
-            self.lane_step_portable(zx_row, acc_row, c_row, &mut gates, h_out, c_out);
+            self.lane_step_portable(zx_row, acc_row, c_row, gates, h_out, c_out);
         }
-        (h_new, c_new)
     }
 
     /// Quantized head: `i8` state codes against the `i8` head weights
-    /// with `i32` accumulation, rescaled once per logit — the same
-    /// requantization shape as the gate datapath.
-    fn head(&self, hp: &StateLanes<i8>) -> Matrix {
+    /// with `i32` accumulation (staged in `scratch.acc`), rescaled once
+    /// per logit — the same requantization shape as the gate datapath.
+    fn head(&self, hp: &StateLanes<i8>, scratch: &mut HeadScratch) {
         let scale = self.head_w.quantizer().step() * self.q.h_quantizer().step();
-        let acc = self.head_w.gemm_t_i32(hp.as_slice(), hp.rows());
-        let mut logits = Matrix::zeros(hp.rows(), self.vocab);
+        self.head_w
+            .gemm_t_i32_into(hp.as_slice(), hp.rows(), &mut scratch.acc);
+        scratch.logits.resize_for_overwrite(hp.rows(), self.vocab);
         for r in 0..hp.rows() {
-            let acc_row = &acc[r * self.vocab..(r + 1) * self.vocab];
-            for ((dst, a), b) in logits.row_mut(r).iter_mut().zip(acc_row).zip(&self.head_b) {
+            let acc_row = &scratch.acc[r * self.vocab..(r + 1) * self.vocab];
+            for ((dst, a), b) in scratch
+                .logits
+                .row_mut(r)
+                .iter_mut()
+                .zip(acc_row)
+                .zip(&self.head_b)
+            {
                 *dst = *a as f32 * scale + *b;
             }
         }
-        logits
     }
 }
 
@@ -397,8 +405,9 @@ mod tests {
             one_hot[tok] = 1.0;
             let codes = q.quantize_input(&one_hot);
             let reference = q.wx().gemv_t_i32(&codes);
-            let z = frozen.input_encode(&[tok]);
-            for (got, want) in z.row(0).iter().zip(&reference) {
+            let mut scratch = StepScratch::new();
+            frozen.input_encode(&[tok], &mut scratch);
+            for (got, want) in scratch.zx.row(0).iter().zip(&reference) {
                 assert_eq!(*got as i32, *want, "tok={tok}");
                 assert_eq!(got.fract(), 0.0, "accumulator not integral");
             }
@@ -408,16 +417,13 @@ mod tests {
     #[test]
     fn threshold_mismatch_is_rejected_loudly() {
         let frozen = FrozenQuantizedCharLm::random(8, 6, 0.3, 1);
-        let zx = frozen.input_encode(&[2]);
         let h = StateLanes::zeros(1, 6);
         let c = StateLanes::zeros(1, 6);
-        let plan = SkipPlan {
-            active: vec![],
-            anchors: 0,
-            use_sparse: true,
-        };
         let result = std::panic::catch_unwind(|| {
-            frozen.recurrent_step(zx, &h, &c, &plan, &StatePruner::new(0.2))
+            let mut scratch = StepScratch::new();
+            frozen.input_encode(&[2], &mut scratch);
+            scratch.plan.use_sparse = true;
+            frozen.recurrent_step(&h, &c, &StatePruner::new(0.2), &mut scratch)
         });
         assert!(result.is_err(), "mismatched threshold must panic");
     }
@@ -425,13 +431,15 @@ mod tests {
     #[cfg(target_arch = "x86_64")]
     #[test]
     fn lane_twins_agree_bitwise() {
-        if !std::arch::is_x86_feature_detected!("avx2") {
+        use crate::model::SkipPlan;
+        if !zskip_tensor::simd::use_avx2() {
             return;
         }
         // Odd dh so the 8-wide gather loop exercises its scalar tails.
         let f = FrozenQuantizedCharLm::random(10, 37, 0.2, 4);
         let dh = 37;
-        let zx = f.input_encode(&[3]);
+        let mut scratch = StepScratch::new();
+        f.input_encode(&[3], &mut scratch);
         let h: Vec<i8> = (0..dh)
             .map(|j| if j % 3 == 0 { 0 } else { (j as i8) - 18 })
             .collect();
@@ -445,10 +453,10 @@ mod tests {
         let acc = plan.gemm_t_i32(&lanes, f.quantized().wh());
         let mut gates = vec![0f32; 4 * dh];
         let (mut hp, mut cp) = (vec![0i8; dh], vec![0i8; dh]);
-        f.lane_step_portable(zx.row(0), &acc, &c, &mut gates, &mut hp, &mut cp);
+        f.lane_step_portable(scratch.zx.row(0), &acc, &c, &mut gates, &mut hp, &mut cp);
         let (mut ha, mut ca) = (vec![0i8; dh], vec![0i8; dh]);
         // SAFETY: AVX2 detected above.
-        unsafe { f.lane_step_avx2(zx.row(0), &acc, &c, &mut gates, &mut ha, &mut ca) };
+        unsafe { f.lane_step_avx2(scratch.zx.row(0), &acc, &c, &mut gates, &mut ha, &mut ca) };
         assert_eq!(hp, ha, "hidden codes diverged between twins");
         assert_eq!(cp, ca, "cell codes diverged between twins");
     }

@@ -2,7 +2,7 @@
 
 use super::cells::{FrozenHead, FrozenLstm};
 use super::TensorBag;
-use crate::model::{FrozenModel, ScalarDomain, SkipPlan, StateLanes};
+use crate::model::{FrozenModel, HeadScratch, ScalarDomain, StateLanes, StepScratch};
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::SeqClassifier;
@@ -113,26 +113,32 @@ impl FrozenModel for FrozenSeqClassifier {
         ScalarDomain
     }
 
-    /// Packs the pixels into the training path's `B × 1` step matrix and
-    /// runs the same `x·Wx` GEMM.
-    fn input_encode(&self, inputs: &[f32]) -> Matrix {
-        let x = Matrix::from_vec(inputs.len(), 1, inputs.to_vec());
-        x.matmul(self.lstm.wx())
+    /// Packs the pixels into the training path's `B × 1` step matrix
+    /// (staged in `scratch.embed`) and runs the same `x·Wx` GEMM into
+    /// `scratch.zx`.
+    fn input_encode(&self, inputs: &[f32], scratch: &mut StepScratch<f32>) {
+        scratch.embed.resize_for_overwrite(inputs.len(), 1);
+        scratch.embed.as_mut_slice().copy_from_slice(inputs);
+        Matrix::matmul_from_rows_into(
+            scratch.embed.as_slice(),
+            inputs.len(),
+            self.lstm.wx(),
+            &mut scratch.zx,
+        );
     }
 
     fn recurrent_step(
         &self,
-        zx: Matrix,
         h: &StateLanes<f32>,
         c: &StateLanes<f32>,
-        plan: &SkipPlan,
         pruner: &StatePruner,
-    ) -> (StateLanes<f32>, StateLanes<f32>) {
-        self.lstm.recurrent_step_pruned(zx, h, c, plan, pruner)
+        scratch: &mut StepScratch<f32>,
+    ) {
+        self.lstm.recurrent_step_pruned(h, c, pruner, scratch)
     }
 
-    fn head(&self, hp: &StateLanes<f32>) -> Matrix {
-        self.head.forward_lanes(hp)
+    fn head(&self, hp: &StateLanes<f32>, scratch: &mut HeadScratch) {
+        self.head.forward_lanes_into(hp, &mut scratch.logits)
     }
 }
 
@@ -150,7 +156,9 @@ mod tests {
         assert_eq!(frozen.lstm().wh().rows(), 6);
         assert_eq!(frozen.lstm().wx(), model.lstm().cell().wx());
         assert_eq!(frozen.lstm().wh(), model.lstm().cell().wh());
-        assert_eq!(frozen.head(&StateLanes::zeros(2, 6)).cols(), 4);
+        let mut head = HeadScratch::new();
+        frozen.head(&StateLanes::zeros(2, 6), &mut head);
+        assert_eq!(head.logits.cols(), 4);
     }
 
     #[test]

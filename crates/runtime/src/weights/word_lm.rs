@@ -2,7 +2,7 @@
 
 use super::cells::{FrozenHead, FrozenLstm};
 use super::TensorBag;
-use crate::model::{FrozenModel, SkipPlan, StateLanes, TokenDomain};
+use crate::model::{FrozenModel, HeadScratch, StateLanes, StepScratch, TokenDomain};
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::WordLm;
@@ -127,29 +127,39 @@ impl FrozenModel for FrozenWordLm {
     }
 
     /// Embedding row lookup (bit-identical to `Embedding::forward`,
-    /// which also copies rows), then the training cell's dense
-    /// `x·Wx` GEMM on the embedded batch.
-    fn input_encode(&self, inputs: &[usize]) -> Matrix {
-        let mut e = Matrix::zeros(inputs.len(), self.emb_dim);
+    /// which also copies rows) staged in `scratch.embed`, then the
+    /// training cell's dense `x·Wx` GEMM on the embedded batch into
+    /// `scratch.zx`.
+    fn input_encode(&self, inputs: &[usize], scratch: &mut StepScratch<f32>) {
+        scratch
+            .embed
+            .resize_for_overwrite(inputs.len(), self.emb_dim);
         for (r, &tok) in inputs.iter().enumerate() {
-            e.row_mut(r).copy_from_slice(self.embedding.row(tok));
+            scratch
+                .embed
+                .row_mut(r)
+                .copy_from_slice(self.embedding.row(tok));
         }
-        e.matmul(self.lstm.wx())
+        Matrix::matmul_from_rows_into(
+            scratch.embed.as_slice(),
+            inputs.len(),
+            self.lstm.wx(),
+            &mut scratch.zx,
+        );
     }
 
     fn recurrent_step(
         &self,
-        zx: Matrix,
         h: &StateLanes<f32>,
         c: &StateLanes<f32>,
-        plan: &SkipPlan,
         pruner: &StatePruner,
-    ) -> (StateLanes<f32>, StateLanes<f32>) {
-        self.lstm.recurrent_step_pruned(zx, h, c, plan, pruner)
+        scratch: &mut StepScratch<f32>,
+    ) {
+        self.lstm.recurrent_step_pruned(h, c, pruner, scratch)
     }
 
-    fn head(&self, hp: &StateLanes<f32>) -> Matrix {
-        self.head.forward_lanes(hp)
+    fn head(&self, hp: &StateLanes<f32>, scratch: &mut HeadScratch) {
+        self.head.forward_lanes_into(hp, &mut scratch.logits)
     }
 }
 
@@ -168,7 +178,9 @@ mod tests {
         assert_eq!(frozen.lstm().wh().rows(), 6);
         assert_eq!(frozen.lstm().wx(), model.lstm().cell().wx());
         assert_eq!(frozen.lstm().wh(), model.lstm().cell().wh());
-        assert_eq!(frozen.head(&StateLanes::zeros(1, 6)).cols(), 30);
+        let mut head = HeadScratch::new();
+        frozen.head(&StateLanes::zeros(1, 6), &mut head);
+        assert_eq!(head.logits.cols(), 30);
     }
 
     #[test]
@@ -179,8 +191,9 @@ mod tests {
         let ids = [3usize, 11, 3];
         let e = model.embedding().forward(&ids);
         let reference = e.matmul(model.lstm().cell().wx());
-        let got = frozen.input_encode(&ids);
-        for (a, b) in got.as_slice().iter().zip(reference.as_slice()) {
+        let mut scratch = StepScratch::new();
+        frozen.input_encode(&ids, &mut scratch);
+        for (a, b) in scratch.zx.as_slice().iter().zip(reference.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }

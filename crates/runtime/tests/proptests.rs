@@ -24,8 +24,8 @@ use zskip_nn::models::{CarryState, CharLm, GruCharLm, SeqClassifier, WordLm};
 use zskip_nn::StateTransform;
 use zskip_runtime::{
     BatchStep, DynamicBatcher, Engine, EngineConfig, EngineError, FrozenCharLm, FrozenGruCharLm,
-    FrozenModel, FrozenQuantizedCharLm, FrozenSeqClassifier, FrozenWordLm, SessionId, SkipPolicy,
-    StateLanes,
+    FrozenModel, FrozenQuantizedCharLm, FrozenSeqClassifier, FrozenWordLm, HeadScratch, SessionId,
+    SkipPolicy, StateLanes,
 };
 use zskip_tensor::{Matrix, SeedableStream};
 
@@ -343,7 +343,11 @@ proptest! {
         }).collect();
         let trace = reference.run_sequence(&inputs);
         let expected: Vec<Matrix> = trace.iter()
-            .map(|s| f.head(&StateLanes::from_vec(1, hidden, s.h.clone())))
+            .map(|s| {
+                let mut head = HeadScratch::new();
+                f.head(&StateLanes::from_vec(1, hidden, s.h.clone()), &mut head);
+                head.logits
+            })
             .collect();
         engine_replays_reference(f, threshold, &tokens, &expected, "quantized");
     }
@@ -458,7 +462,10 @@ proptest! {
                     }
                 }
                 _ => {
-                    let delivered = engine.step();
+                    // Copy the delivered ids out: the returned slice
+                    // borrows the engine's scratch, which `poll` below
+                    // needs mutably.
+                    let delivered: Vec<SessionId> = engine.step().to_vec();
                     prop_assert!(delivered.len() <= max_batch);
                     for id in &delivered {
                         prop_assert!(live.contains(id), "stale id delivered by step");

@@ -4,7 +4,7 @@ use crate::error::ServeError;
 use crate::server::{Request, ShardHandle};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TryRecvError, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zskip_runtime::{EngineError, FrozenCharLm, FrozenModel, InputSpec, SessionId, StepResult};
@@ -30,10 +30,13 @@ impl StreamId {
     }
 }
 
-/// How long `recv_any` parks between sweeps once every stream came up
-/// empty — long enough not to burn a core, short enough that a freshly
-/// delivered result is picked up promptly.
-const RECV_ANY_PARK: Duration = Duration::from_micros(200);
+/// Backstop wait slice for `recv_any` once every stream came up empty.
+/// The normal wake path is the client's wakeup channel — the worker
+/// signals it on every delivery, so idle receive latency is the thread
+/// wake itself (~0, was a 200 µs park-and-sweep). The backstop only
+/// bounds how long a disconnection that nobody can signal anymore (the
+/// server shutting down mid-wait) goes unnoticed.
+const RECV_ANY_BACKSTOP: Duration = Duration::from_millis(5);
 
 /// A blocking client of a [`crate::Server`], generic over the served
 /// model family (the input type follows: token ids for the LM families,
@@ -52,6 +55,14 @@ pub struct Client<M: FrozenModel = FrozenCharLm> {
     recv_timeout: Option<Duration>,
     /// Rotating fairness cursor for [`Client::recv_any`].
     recv_any_cursor: usize,
+    /// The client half of the wakeup channel: every stream this client
+    /// opens registers a sender clone with its worker, which signals it
+    /// on delivery (and before evicting the stream), so a blocked
+    /// [`Client::recv_any`] wakes the moment a result exists.
+    wakeup_rx: Receiver<()>,
+    /// The sender template cloned into each `Open` request (capacity 1 —
+    /// a pending wakeup token is binary).
+    wakeup_tx: SyncSender<()>,
 }
 
 impl<M: FrozenModel> Client<M> {
@@ -61,6 +72,7 @@ impl<M: FrozenModel> Client<M> {
         spec: M::Spec,
         result_capacity: usize,
     ) -> Self {
+        let (wakeup_tx, wakeup_rx) = mpsc::sync_channel(1);
         Self {
             shards,
             open_counter,
@@ -69,6 +81,8 @@ impl<M: FrozenModel> Client<M> {
             streams: HashMap::new(),
             recv_timeout: None,
             recv_any_cursor: 0,
+            wakeup_rx,
+            wakeup_tx,
         }
     }
 
@@ -106,6 +120,7 @@ impl<M: FrozenModel> Client<M> {
             Request::Open {
                 reply: reply_tx,
                 results: result_tx,
+                wakeup: self.wakeup_tx.clone(),
             },
             true,
         )?;
@@ -126,6 +141,39 @@ impl<M: FrozenModel> Client<M> {
     /// queue is full.
     pub fn try_send(&mut self, id: StreamId, input: M::Input) -> Result<(), ServeError> {
         self.submit(id, input, false)
+    }
+
+    /// Bulk submit: feeds every input of `inputs` to a stream in **one**
+    /// queue request, in order, blocking while the shard's queue is full.
+    /// A long scan — the classifier's 784-pixel MNIST stream — pays one
+    /// channel round-trip instead of one per input, and the results come
+    /// back exactly as if each input had been [`Client::send`]-ed
+    /// individually (the engine queues per-session FIFO either way; the
+    /// determinism test in `tests/` pins the two paths bit-for-bit).
+    ///
+    /// Every input is validated up front; on a validation failure
+    /// nothing is submitted. An empty slice is a no-op.
+    pub fn send_all(&mut self, id: StreamId, inputs: &[M::Input]) -> Result<(), ServeError> {
+        if !self.streams.contains_key(&id) {
+            return Err(ServeError::UnknownStream);
+        }
+        for input in inputs {
+            if !self.spec.validate(input) {
+                return Err(EngineError::InvalidInput.into());
+            }
+        }
+        if inputs.is_empty() {
+            return Ok(());
+        }
+        self.send_request(
+            id.shard,
+            Request::SubmitMany {
+                id: id.session,
+                inputs: inputs.to_vec(),
+                enqueued: Instant::now(),
+            },
+            true,
+        )
     }
 
     fn submit(&mut self, id: StreamId, input: M::Input, blocking: bool) -> Result<(), ServeError> {
@@ -169,6 +217,14 @@ impl<M: FrozenModel> Client<M> {
     /// driver thread can own many streams without round-robin `recv`
     /// polling of its own.
     ///
+    /// Blocking is notification-driven: when a sweep over the streams
+    /// comes up empty, the call parks on the client's wakeup channel,
+    /// which every owning worker signals the moment it delivers a result
+    /// (or evicts one of this client's streams) — idle receive latency
+    /// is the thread wake itself, not a polling interval. A pending
+    /// wakeup from an already-consumed result just costs one extra
+    /// sweep.
+    ///
     /// Fairness: consecutive calls rotate the stream checked first, so a
     /// chatty stream cannot starve the others. Streams found evicted
     /// server-side during the wait are dropped from the client (exactly
@@ -188,7 +244,7 @@ impl<M: FrozenModel> Client<M> {
         // the sweep order is deterministic and the cursor rotates who
         // goes first on consecutive calls. The set only shrinks on
         // eviction, so the list is rebuilt only then — not per sweep
-        // (a client may own thousands of streams and sweep 5000×/s).
+        // (a client may own thousands of streams).
         let mut ids: Vec<StreamId> = self.streams.keys().copied().collect();
         if !ids.is_empty() {
             ids.sort_unstable();
@@ -217,16 +273,31 @@ impl<M: FrozenModel> Client<M> {
             }
             if evicted {
                 ids.retain(|id| self.streams.contains_key(id));
+                // Resweep immediately: the set changed, and if it is now
+                // empty the caller must hear UnknownStream, not block.
+                continue;
             }
             if let Some(hit) = hit {
                 return Ok(hit);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(ServeError::RecvTimeout);
             }
-            std::thread::sleep(
-                RECV_ANY_PARK.min(deadline.saturating_duration_since(Instant::now())),
-            );
+            // Park until a worker signals a delivery or eviction. The
+            // backstop slice exists only because the client itself holds
+            // a sender (the clone template), so a server that dies
+            // without signalling cannot disconnect the channel — the
+            // periodic resweep notices the dropped result channels
+            // instead. A wakeup delivered between our sweep and this
+            // park is already buffered (capacity 1), so no result can
+            // slip through the gap.
+            let wait = RECV_ANY_BACKSTOP.min(deadline.saturating_duration_since(now));
+            match self.wakeup_rx.recv_timeout(wait) {
+                Ok(()) | Err(RecvTimeoutError::Timeout) => {}
+                // Unreachable while `wakeup_tx` lives in self; resweep.
+                Err(RecvTimeoutError::Disconnected) => {}
+            }
         }
     }
 

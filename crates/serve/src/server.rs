@@ -106,15 +106,26 @@ impl ServeConfig {
 /// the served family's input type.
 pub(crate) enum Request<I> {
     /// Open a session; reply with its generational id and register the
-    /// stream's (bounded) result channel.
+    /// stream's (bounded) result channel plus the owning client's
+    /// wakeup channel (signalled on every delivery so a blocked
+    /// `recv_any` wakes immediately).
     Open {
         reply: Sender<SessionId>,
         results: SyncSender<StepResult<I>>,
+        wakeup: SyncSender<()>,
     },
     /// Feed one input to a session.
     Submit {
         id: SessionId,
         input: I,
+        enqueued: Instant,
+    },
+    /// Feed a whole burst of inputs to a session in one queue hop — the
+    /// bulk path [`crate::Client::send_all`] takes, so a 784-step MNIST
+    /// scan pays one channel round-trip instead of 784.
+    SubmitMany {
+        id: SessionId,
+        inputs: Vec<I>,
         enqueued: Instant,
     },
     /// Close a session and drop its result channel.
@@ -189,6 +200,7 @@ impl<M: FrozenModel> Server<M> {
                 token_deadline: config.token_deadline,
                 idle_tick: config.idle_tick,
                 last_sweep: Instant::now(),
+                delivered: Vec::new(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -278,6 +290,12 @@ impl<M: FrozenModel> Drop for Server<M> {
 /// Book-keeping one worker holds per open session.
 struct SessionEntry<I> {
     results: SyncSender<StepResult<I>>,
+    /// The owning client's wakeup channel (capacity 1): `try_send` after
+    /// every delivery — and before any removal of this entry — so a
+    /// `recv_any` blocked on the client side wakes immediately instead
+    /// of parking on a sweep interval. A full channel just means a
+    /// wakeup is already pending.
+    wakeup: SyncSender<()>,
     last_active: Instant,
     /// Submit timestamps of queued inputs, for deadline accounting.
     enqueued_at: std::collections::VecDeque<Instant>,
@@ -293,6 +311,9 @@ struct Worker<M: FrozenModel> {
     token_deadline: Option<Duration>,
     idle_tick: Duration,
     last_sweep: Instant,
+    /// Reused copy of the ids one engine step delivered (the engine's
+    /// own slice borrows its scratch, which `deliver` needs mutably).
+    delivered: Vec<SessionId>,
 }
 
 impl<M: FrozenModel> Worker<M> {
@@ -319,11 +340,7 @@ impl<M: FrozenModel> Worker<M> {
                 if self.engine.pending() == 0 {
                     break;
                 }
-                let delivered = self.engine.step();
-                let now = Instant::now();
-                for id in delivered {
-                    self.deliver(id, now);
-                }
+                self.step_and_deliver();
                 self.shared.publish_engine(self.engine.stats());
                 self.sweep_ttl();
             }
@@ -346,13 +363,24 @@ impl<M: FrozenModel> Worker<M> {
             if self.engine.pending() == 0 {
                 break;
             }
-            let delivered = self.engine.step();
-            let now = Instant::now();
-            for id in delivered {
-                self.deliver(id, now);
-            }
+            self.step_and_deliver();
         }
         self.shared.publish_engine(self.engine.stats());
+    }
+
+    /// One engine step plus result fan-out. The delivered-id slice
+    /// borrows the engine, so it is copied into the worker's reused
+    /// buffer before `deliver` re-borrows the engine mutably.
+    fn step_and_deliver(&mut self) {
+        self.delivered.clear();
+        let mut delivered = std::mem::take(&mut self.delivered);
+        delivered.extend_from_slice(self.engine.step());
+        let now = Instant::now();
+        for &id in &delivered {
+            self.deliver(id, now);
+        }
+        delivered.clear();
+        self.delivered = delivered;
     }
 
     /// Disposes of a request that arrived after shutdown began. Intake
@@ -369,15 +397,29 @@ impl<M: FrozenModel> Worker<M> {
             Request::Submit { .. } => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             }
+            Request::SubmitMany { inputs, .. } => {
+                self.shared
+                    .rejected
+                    .fetch_add(inputs.len() as u64, Ordering::Relaxed);
+            }
             Request::Close { id } => {
                 if self.engine.close_session(id).is_ok() {
-                    self.sessions.remove(&id.0);
+                    self.remove_session(id);
                     self.shared
                         .open_sessions
                         .store(self.sessions.len(), Ordering::Relaxed);
                 }
             }
             Request::Shutdown => {}
+        }
+    }
+
+    /// Removes a session entry, waking its client first: a `recv_any`
+    /// blocked on the entry's stream must resweep promptly to observe
+    /// the dropped result channel instead of sleeping out its timeout.
+    fn remove_session(&mut self, id: SessionId) {
+        if let Some(entry) = self.sessions.remove(&id.0) {
+            let _ = entry.wakeup.try_send(());
         }
     }
 
@@ -402,12 +444,17 @@ impl<M: FrozenModel> Worker<M> {
         self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let now = Instant::now();
         match req {
-            Request::Open { reply, results } => {
+            Request::Open {
+                reply,
+                results,
+                wakeup,
+            } => {
                 let id = self.engine.open_session();
                 self.sessions.insert(
                     id.0,
                     SessionEntry {
                         results,
+                        wakeup,
                         last_active: now,
                         enqueued_at: std::collections::VecDeque::new(),
                     },
@@ -438,9 +485,43 @@ impl<M: FrozenModel> Worker<M> {
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 }
             },
+            Request::SubmitMany {
+                id,
+                inputs,
+                enqueued,
+            } => {
+                let total = inputs.len();
+                let mut accepted = 0usize;
+                for input in inputs {
+                    // A stale session fails every submit, a validation
+                    // reject only the offending input — count each
+                    // outcome individually so the gauges stay exact.
+                    if self.engine.submit(id, input).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                if accepted > 0 {
+                    let entry = self
+                        .sessions
+                        .get_mut(&id.0)
+                        .expect("engine accepted a session the worker does not track");
+                    entry.last_active = now;
+                    for _ in 0..accepted {
+                        entry.enqueued_at.push_back(enqueued);
+                    }
+                    self.shared
+                        .submitted
+                        .fetch_add(accepted as u64, Ordering::Relaxed);
+                }
+                if total > accepted {
+                    self.shared
+                        .rejected
+                        .fetch_add((total - accepted) as u64, Ordering::Relaxed);
+                }
+            }
             Request::Close { id } => {
                 if self.engine.close_session(id).is_ok() {
-                    self.sessions.remove(&id.0);
+                    self.remove_session(id);
                     self.shared
                         .open_sessions
                         .store(self.sessions.len(), Ordering::Relaxed);
@@ -481,7 +562,12 @@ impl<M: FrozenModel> Worker<M> {
             self.shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
         match entry.results.try_send(result) {
-            Ok(()) => {}
+            Ok(()) => {
+                // Wake the owning client: a `recv_any` parked on the
+                // wakeup channel picks this result up immediately. Full
+                // just means a wakeup is already pending.
+                let _ = entry.wakeup.try_send(());
+            }
             // The stream's result channel is full: the consumer stopped
             // recv-ing while submitting. Evict instead of buffering
             // without bound — the worker must never block on a client.
@@ -491,7 +577,7 @@ impl<M: FrozenModel> Worker<M> {
                     self.shared.deadline_misses.fetch_sub(1, Ordering::Relaxed);
                 }
                 let _ = self.engine.close_session(id);
-                self.sessions.remove(&id.0);
+                self.remove_session(id);
                 self.shared.evicted_sessions.fetch_add(1, Ordering::Relaxed);
                 self.shared
                     .open_sessions
@@ -527,7 +613,7 @@ impl<M: FrozenModel> Worker<M> {
             .collect();
         for raw in expired {
             let _ = self.engine.close_session(SessionId(raw));
-            self.sessions.remove(&raw);
+            self.remove_session(SessionId(raw));
             self.shared.evicted_sessions.fetch_add(1, Ordering::Relaxed);
         }
         self.shared

@@ -12,6 +12,7 @@
 
 use zskip_runtime::{
     Engine, EngineConfig, FrozenCharLm, FrozenGruCharLm, FrozenModel, FrozenQuantizedCharLm,
+    FrozenSeqClassifier,
 };
 use zskip_serve::{ServeConfig, Server, StreamId};
 
@@ -185,4 +186,55 @@ fn quantized_determinism_survives_churned_reopens() {
     let threshold = 0.2;
     let model = FrozenQuantizedCharLm::random(VOCAB, HIDDEN, threshold, 321);
     assert_churn_invisible(&model, threshold, "quantized");
+}
+
+#[test]
+fn send_all_is_bit_identical_to_per_pixel_sends() {
+    // The classifier's serving pattern is the paper's sequential-MNIST
+    // scan: 784 pixels streamed into one session. `send_all` moves the
+    // whole scan in one queue request; the engine queues per-session
+    // FIFO either way, so every delivered logit row must match the
+    // per-pixel path bit-for-bit — batching the *transport* must be as
+    // invisible as sharding is.
+    let model = FrozenSeqClassifier::random(10, HIDDEN, 42);
+    let threshold = 0.25;
+    let pixels: Vec<f32> = (0..784).map(|i| ((i * 37) % 256) as f32 / 256.0).collect();
+
+    let run = |bulk: bool| -> Vec<Vec<f32>> {
+        let server = Server::start(
+            model.clone(),
+            ServeConfig::for_threshold(threshold)
+                .with_shards(2)
+                .with_queue_capacity(2048),
+        );
+        let mut client = server.client();
+        let s = client.open().unwrap();
+        if bulk {
+            client.send_all(s, &pixels).unwrap();
+        } else {
+            for &p in &pixels {
+                client.send(s, p).unwrap();
+            }
+        }
+        let out: Vec<Vec<f32>> = pixels
+            .iter()
+            .map(|&p| {
+                let result = client.recv(s).unwrap();
+                assert_eq!(result.input, p, "pixel order disturbed");
+                result.logits
+            })
+            .collect();
+        client.close(s).unwrap();
+        server.shutdown();
+        out
+    };
+
+    let per_pixel = run(false);
+    let bulk = run(true);
+    for (t, (a, b)) in per_pixel.iter().zip(&bulk).enumerate() {
+        assert_eq!(a.len(), b.len(), "step {t}: logit width");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "step {t}: {x} vs {y}");
+        }
+    }
 }

@@ -13,7 +13,10 @@
 //! * [`lut`] — table-based sigmoid/tanh like the hardware tiles use, plus
 //!   `f32` reference implementations,
 //! * [`rng`] — deterministic seeded randomness so every experiment in the
-//!   reproduction is replayable bit-for-bit.
+//!   reproduction is replayable bit-for-bit,
+//! * [`simd`] — the runtime dispatch policy shared by the f32 and integer
+//!   kernel families (AVX2 twins pinned bit-equal to portable bodies;
+//!   `ZSKIP_FORCE_PORTABLE` vetoes the twins for testing).
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@ pub mod lut;
 pub mod matrix;
 pub mod quant;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use fixed::{FixedPoint, QFormat};

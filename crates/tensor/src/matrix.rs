@@ -207,6 +207,28 @@ impl Matrix {
     ///
     /// Panics if `lhs.len() != m * rhs.rows()`.
     pub fn matmul_from_rows(lhs: &[f32], m: usize, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        Self::matmul_from_rows_into(lhs, m, rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_from_rows`] writing into a caller-provided matrix
+    /// (resized to `m × rhs.cols()`, allocation-free once its capacity
+    /// fits) — the serving runtime's scratch buffers step through here.
+    ///
+    /// On x86-64 with AVX2 (runtime-detected, unless vetoed by
+    /// `ZSKIP_FORCE_PORTABLE` — see [`crate::simd`]) the accumulation
+    /// runs 8 output columns per instruction. The result is
+    /// **bit-identical** to the portable body: each output element
+    /// receives the same additions in the same increasing-`k` order, one
+    /// `mul` + `add` at a time (no FMA contraction — intrinsics are
+    /// never contracted), and vectorizing across *columns* touches
+    /// independent output elements only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lhs.len() != m * rhs.rows()`.
+    pub fn matmul_from_rows_into(lhs: &[f32], m: usize, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             lhs.len(),
             m * rhs.rows,
@@ -217,14 +239,28 @@ impl Matrix {
             rhs.rows,
             rhs.cols
         );
+        out.resize(m, rhs.cols);
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::use_avx2() {
+            // SAFETY: AVX2 was just detected; the twin's own `unsafe` is
+            // confined to bounds-guarded 8-lane loads/stores.
+            unsafe { Self::matmul_rows_avx2(lhs, m, rhs, &mut out.data) };
+            return;
+        }
+        Self::matmul_rows_portable(lhs, m, rhs, &mut out.data);
+    }
+
+    /// Portable dense body: cache-blocked over `k`, skipping zero
+    /// multiplicands, accumulating each output element in increasing-`k`
+    /// order. `out` is pre-zeroed by the caller.
+    fn matmul_rows_portable(lhs: &[f32], m: usize, rhs: &Matrix, out: &mut [f32]) {
         let (k, n) = (rhs.rows, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
         const KB: usize = 64;
         for k0 in (0..k).step_by(KB) {
             let k1 = (k0 + KB).min(k);
             for i in 0..m {
                 let a_row = &lhs[i * k..(i + 1) * k];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let out_row = &mut out[i * n..(i + 1) * n];
                 for (kk, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
                     if a == 0.0 {
                         continue;
@@ -236,7 +272,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Matrix product `self · rhs` that reads only the rows of `rhs` listed
@@ -281,6 +316,40 @@ impl Matrix {
         rhs: &Matrix,
         active_rows: &[usize],
     ) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        Self::matmul_sparse_rows_from_into(lhs, m, rhs, active_rows, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_sparse_rows_from`] writing into a caller-provided
+    /// matrix (resized to `m × rhs.cols()`, allocation-free once its
+    /// capacity fits) — the serving runtime's recurrent product lands
+    /// here every step.
+    ///
+    /// Row-blocked accumulation: per output row, the non-zero
+    /// (coefficient, weight row) pairs of each 64-row chunk of
+    /// `active_rows` are gathered on the stack, then four weight rows
+    /// accumulate per pass over the output row. On x86-64 with AVX2
+    /// (runtime-detected, `ZSKIP_FORCE_PORTABLE` vetoes — see
+    /// [`crate::simd`]) each pass runs 8 output columns per instruction.
+    ///
+    /// Bit-exactness: within each output element the additions still
+    /// happen one at a time in increasing `k` order (`s += a0*b0` then
+    /// `s += a1*b1`, …, separate `mul` and `add` — never an FMA), so the
+    /// float result is unchanged from the unblocked scalar loop — and
+    /// therefore still bit-identical to [`Self::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `active_rows` is not strictly
+    /// increasing and within `0..rhs.rows()`.
+    pub fn matmul_sparse_rows_from_into(
+        lhs: &[f32],
+        m: usize,
+        rhs: &Matrix,
+        active_rows: &[usize],
+        out: &mut Matrix,
+    ) {
         assert_eq!(
             lhs.len(),
             m * rhs.rows,
@@ -298,25 +367,35 @@ impl Matrix {
         if let Some(&last) = active_rows.last() {
             assert!(last < rhs.rows, "active row {last} out of bounds");
         }
+        out.resize(m, rhs.cols);
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::use_avx2() {
+            // SAFETY: AVX2 was just detected; the twin's own `unsafe` is
+            // confined to bounds-guarded 8-lane loads/stores.
+            unsafe { Self::sparse_rows_avx2(lhs, m, rhs, active_rows, &mut out.data) };
+            return;
+        }
+        Self::sparse_rows_portable(lhs, m, rhs, active_rows, &mut out.data);
+    }
+
+    /// Portable sparse body (see [`Self::matmul_sparse_rows_from_into`]
+    /// for the blocking and bit-exactness story). `out` is pre-zeroed by
+    /// the caller.
+    fn sparse_rows_portable(
+        lhs: &[f32],
+        m: usize,
+        rhs: &Matrix,
+        active_rows: &[usize],
+        out: &mut [f32],
+    ) {
         let (k, n) = (rhs.rows, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        // Row-blocked accumulation: per output row, gather the non-zero
-        // (coefficient, weight row) pairs of a chunk of active rows, then
-        // accumulate four weight rows per pass over the output row. The
-        // output row is loaded and stored once per four `Wh` rows instead
-        // of once per row, and the four-term update autovectorizes.
-        //
-        // Bit-exactness: within each output element the additions still
-        // happen one at a time in increasing `k` order (`s += a0*b0` then
-        // `s += a1*b1`, …), so the float result is unchanged from the
-        // unblocked loop — and therefore still bit-identical to `matmul`.
         const KB: usize = 64;
         let mut coeff = [0.0f32; KB];
         let mut brow = [0usize; KB];
         for chunk in active_rows.chunks(KB) {
             for i in 0..m {
                 let a_row = &lhs[i * k..(i + 1) * k];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let out_row = &mut out[i * n..(i + 1) * n];
                 let mut cnt = 0usize;
                 for &kk in chunk {
                     let a = a_row[kk];
@@ -355,7 +434,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Indices of columns that hold a non-zero in **any** row — the
@@ -477,6 +555,43 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshapes to `rows × cols` and zeroes every element, reusing the
+    /// existing allocation whenever the new size fits its capacity — the
+    /// entry point the serving runtime's scratch buffers go through, so
+    /// a steady-state step (constant batch shape) never reallocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// [`Self::resize`] without the zero-fill: existing elements keep
+    /// whatever values they held (only newly grown storage is zeroed).
+    /// For buffers the caller overwrites completely before reading —
+    /// row-lookup staging like the one-hot families' `zx` — this skips
+    /// a full pass over the data on every step. GEMM *outputs* must use
+    /// [`Self::resize`]: the `_into` kernels accumulate into zeroes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(len, 0.0);
+    }
+
     /// Fraction of elements that are exactly zero.
     pub fn sparsity(&self) -> f64 {
         if self.data.is_empty() {
@@ -489,6 +604,147 @@ impl Matrix {
     /// Largest absolute element value (0.0 for an empty matrix).
     pub fn max_abs(&self) -> f32 {
         self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+/// AVX2 twins of the f32 GEMM kernels. Both mirror their portable body's
+/// structure exactly — the same 64-row chunking, the same zero-coefficient
+/// filtering, the same four-rows-per-pass blocking — and differ only in
+/// running 8 output columns per instruction. Each output element receives
+/// its additions in the identical increasing-`k` order, one
+/// `_mm256_mul_ps` + `_mm256_add_ps` pair at a time (intrinsics are never
+/// FMA-contracted), so the results are bit-identical to the portable
+/// bodies; the proptests in `tests/proptests.rs` pin the pair together.
+#[cfg(target_arch = "x86_64")]
+impl Matrix {
+    #[target_feature(enable = "avx2")]
+    fn matmul_rows_avx2(lhs: &[f32], m: usize, rhs: &Matrix, out: &mut [f32]) {
+        let (k, n) = (rhs.rows, rhs.cols);
+        const KB: usize = 64;
+        let mut coeff = [0.0f32; KB];
+        let mut brow = [0usize; KB];
+        for k0 in (0..k).step_by(KB) {
+            let k1 = (k0 + KB).min(k);
+            for i in 0..m {
+                let a_row = &lhs[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                let mut cnt = 0usize;
+                for (kk, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
+                    if a != 0.0 {
+                        coeff[cnt] = a;
+                        brow[cnt] = kk;
+                        cnt += 1;
+                    }
+                }
+                Self::accumulate_rows_f32_avx2(&rhs.data, n, &coeff[..cnt], &brow[..cnt], out_row);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn sparse_rows_avx2(
+        lhs: &[f32],
+        m: usize,
+        rhs: &Matrix,
+        active_rows: &[usize],
+        out: &mut [f32],
+    ) {
+        let (k, n) = (rhs.rows, rhs.cols);
+        const KB: usize = 64;
+        let mut coeff = [0.0f32; KB];
+        let mut brow = [0usize; KB];
+        for chunk in active_rows.chunks(KB) {
+            for i in 0..m {
+                let a_row = &lhs[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                let mut cnt = 0usize;
+                for &kk in chunk {
+                    let a = a_row[kk];
+                    if a != 0.0 {
+                        coeff[cnt] = a;
+                        brow[cnt] = kk;
+                        cnt += 1;
+                    }
+                }
+                Self::accumulate_rows_f32_avx2(&rhs.data, n, &coeff[..cnt], &brow[..cnt], out_row);
+            }
+        }
+    }
+
+    /// `out[c] += Σ_p coeff[p] · data[rows[p]·n + c]` for one output row,
+    /// four weight rows per pass, 8 columns per instruction, with scalar
+    /// column tails replaying the identical add order.
+    ///
+    /// Invariants (upheld by the two callers): every `rows[p]` is
+    /// `< data.len() / n`; `out.len() == n` is asserted, since the unsafe
+    /// column loop relies on it.
+    #[target_feature(enable = "avx2")]
+    fn accumulate_rows_f32_avx2(
+        data: &[f32],
+        n: usize,
+        coeff: &[f32],
+        rows: &[usize],
+        out: &mut [f32],
+    ) {
+        use std::arch::x86_64::*;
+        assert_eq!(out.len(), n, "output row length mismatch");
+        let mut p = 0usize;
+        while p + 4 <= rows.len() {
+            let (a0, a1, a2, a3) = (coeff[p], coeff[p + 1], coeff[p + 2], coeff[p + 3]);
+            let va0 = _mm256_set1_ps(a0);
+            let va1 = _mm256_set1_ps(a1);
+            let va2 = _mm256_set1_ps(a2);
+            let va3 = _mm256_set1_ps(a3);
+            let b0 = &data[rows[p] * n..rows[p] * n + n];
+            let b1 = &data[rows[p + 1] * n..rows[p + 1] * n + n];
+            let b2 = &data[rows[p + 2] * n..rows[p + 2] * n + n];
+            let b3 = &data[rows[p + 3] * n..rows[p + 3] * n + n];
+            let mut c = 0usize;
+            while c + 8 <= n {
+                // SAFETY: `c + 8 <= n` bounds every 8-lane load within
+                // its row slice and the load/store within `out`
+                // (len == n, checked above).
+                unsafe {
+                    let mut s = _mm256_loadu_ps(out.as_ptr().add(c));
+                    s = _mm256_add_ps(s, _mm256_mul_ps(va0, _mm256_loadu_ps(b0.as_ptr().add(c))));
+                    s = _mm256_add_ps(s, _mm256_mul_ps(va1, _mm256_loadu_ps(b1.as_ptr().add(c))));
+                    s = _mm256_add_ps(s, _mm256_mul_ps(va2, _mm256_loadu_ps(b2.as_ptr().add(c))));
+                    s = _mm256_add_ps(s, _mm256_mul_ps(va3, _mm256_loadu_ps(b3.as_ptr().add(c))));
+                    _mm256_storeu_ps(out.as_mut_ptr().add(c), s);
+                }
+                c += 8;
+            }
+            while c < n {
+                let mut s = out[c];
+                s += a0 * b0[c];
+                s += a1 * b1[c];
+                s += a2 * b2[c];
+                s += a3 * b3[c];
+                out[c] = s;
+                c += 1;
+            }
+            p += 4;
+        }
+        while p < rows.len() {
+            let a = coeff[p];
+            let va = _mm256_set1_ps(a);
+            let b_row = &data[rows[p] * n..rows[p] * n + n];
+            let mut c = 0usize;
+            while c + 8 <= n {
+                // SAFETY: as above — `c + 8 <= n` bounds both sides.
+                unsafe {
+                    let s = _mm256_loadu_ps(out.as_ptr().add(c));
+                    let prod = _mm256_mul_ps(va, _mm256_loadu_ps(b_row.as_ptr().add(c)));
+                    _mm256_storeu_ps(out.as_mut_ptr().add(c), _mm256_add_ps(s, prod));
+                }
+                c += 8;
+            }
+            while c < n {
+                out[c] += a * b_row[c];
+                c += 1;
+            }
+            p += 1;
+        }
     }
 }
 
@@ -674,5 +930,111 @@ mod tests {
         let m = Matrix::zeros(1, 1);
         assert!(!format!("{m}").is_empty());
         assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn resize_reuses_storage_and_zeroes() {
+        let mut m = Matrix::from_fn(4, 8, |r, c| (r * 8 + c) as f32 + 1.0);
+        m.resize(2, 6);
+        assert_eq!((m.rows(), m.cols()), (2, 6));
+        assert!(m.as_slice().iter().all(|v| *v == 0.0));
+        // Shrinking then growing back within capacity keeps the buffer.
+        let ptr = m.as_slice().as_ptr();
+        m.resize(4, 8);
+        assert_eq!(m.as_slice().as_ptr(), ptr);
+        assert!(m.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_entry_points() {
+        let a = Matrix::from_fn(3, 9, |r, c| ((r * 9 + c) as f32 * 0.21).sin());
+        let b = Matrix::from_fn(9, 7, |r, c| ((r * 7 + c) as f32 * 0.19).cos());
+        let active: Vec<usize> = vec![0, 2, 3, 7];
+        let mut out = Matrix::from_fn(1, 1, |_, _| 9.0); // wrong shape + garbage
+        Matrix::matmul_from_rows_into(a.as_slice(), 3, &b, &mut out);
+        assert_eq!(out, Matrix::matmul_from_rows(a.as_slice(), 3, &b));
+        Matrix::matmul_sparse_rows_from_into(a.as_slice(), 3, &b, &active, &mut out);
+        assert_eq!(
+            out,
+            Matrix::matmul_sparse_rows_from(a.as_slice(), 3, &b, &active)
+        );
+    }
+}
+
+/// The f32 kernel pin: whatever body the runtime dispatch picks (AVX2
+/// twin on capable hosts, portable elsewhere or under
+/// `ZSKIP_FORCE_PORTABLE`), the public entry points must be bit-identical
+/// to the portable bodies — the same pin the i8 kernels carry in
+/// [`crate::quant`]. Random shapes, batch widths, sparsity masks and
+/// active sets, including the sub-8-column tails the SIMD loop leaves to
+/// its scalar epilogue.
+#[cfg(test)]
+mod dispatch_pin {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn masked_lhs(m: usize, k: usize, sparsity: f64, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        // Column-correlated zeros, like a jointly pruned batch.
+        let zero_col: Vec<bool> = (0..k)
+            .map(|_| (next() & 0xFFFF) as f64 / 65536.0 < sparsity)
+            .collect();
+        (0..m * k)
+            .map(|i| {
+                if zero_col[i % k] {
+                    0.0
+                } else {
+                    (next() as f32 * 0.37).sin()
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn dense_kernel_matches_portable_bitwise(
+            m in 1usize..5,
+            k in 1usize..80,
+            n in 1usize..40,
+            sparsity in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let lhs = masked_lhs(m, k, sparsity, seed);
+            let rhs = Matrix::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.13).sin());
+            let dispatched = Matrix::matmul_from_rows(&lhs, m, &rhs);
+            let mut portable = Matrix::zeros(m, n);
+            Matrix::matmul_rows_portable(&lhs, m, &rhs, portable.as_mut_slice());
+            for (a, b) in dispatched.as_slice().iter().zip(portable.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+            }
+        }
+
+        #[test]
+        fn sparse_kernel_matches_portable_bitwise(
+            m in 1usize..5,
+            k in 1usize..80,
+            n in 1usize..40,
+            sparsity in 0.0f64..1.0,
+            stride in 1usize..4,
+            seed in 0u64..1000,
+        ) {
+            let lhs = masked_lhs(m, k, sparsity, seed);
+            // An arbitrary strictly-increasing active set (not necessarily
+            // covering the non-zeros — the kernels must agree regardless).
+            let active: Vec<usize> = (0..k).step_by(stride).collect();
+            let rhs = Matrix::from_fn(k, n, |r, c| ((r + c * 3) as f32 * 0.11).cos());
+            let dispatched = Matrix::matmul_sparse_rows_from(&lhs, m, &rhs, &active);
+            let mut portable = Matrix::zeros(m, n);
+            Matrix::sparse_rows_portable(&lhs, m, &rhs, &active, portable.as_mut_slice());
+            for (a, b) in dispatched.as_slice().iter().zip(portable.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+            }
+        }
     }
 }

@@ -369,15 +369,32 @@ impl QMatrix {
     ///
     /// Panics if `x.len() != lanes * self.rows()`.
     pub fn gemm_t_i32(&self, x: &[i8], lanes: usize) -> Vec<i32> {
+        let mut y = Vec::new();
+        self.gemm_t_i32_into(x, lanes, &mut y);
+        y
+    }
+
+    /// [`Self::gemm_t_i32`] writing into a caller-provided accumulator
+    /// vector (cleared and resized to `lanes × cols`, allocation-free
+    /// once its capacity fits) — the quantized serving family's scratch
+    /// buffers step through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != lanes * self.rows()`.
+    pub fn gemm_t_i32_into(&self, x: &[i8], lanes: usize, out: &mut Vec<i32>) {
         assert_eq!(x.len(), lanes * self.rows, "gemm_t_i32 dimension mismatch");
+        out.clear();
+        out.resize(lanes * self.cols, 0);
         #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
+        if crate::simd::use_avx2() {
             // SAFETY: the only precondition of the `target_feature` twin
             // is that AVX2 is available, which was just detected; the
             // function body itself is safe code.
-            return unsafe { self.gemm_t_i32_avx2(x, lanes) };
+            unsafe { self.gemm_t_i32_avx2(x, lanes, out) };
+            return;
         }
-        self.gemm_t_i32_portable(x, lanes)
+        self.gemm_t_i32_portable(x, lanes, out);
     }
 
     /// Batched form of [`Self::gemv_t_i32_sparse_rows`]: `lanes` state
@@ -399,6 +416,26 @@ impl QMatrix {
     /// Panics if `x.len() != lanes * self.rows()` or if `active` is not
     /// strictly increasing and within `0..self.rows()`.
     pub fn gemm_t_i32_sparse_rows(&self, x: &[i8], lanes: usize, active: &[usize]) -> Vec<i32> {
+        let mut y = Vec::new();
+        self.gemm_t_i32_sparse_rows_into(x, lanes, active, &mut y);
+        y
+    }
+
+    /// [`Self::gemm_t_i32_sparse_rows`] writing into a caller-provided
+    /// accumulator vector (cleared and resized to `lanes × cols`,
+    /// allocation-free once its capacity fits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != lanes * self.rows()` or if `active` is not
+    /// strictly increasing and within `0..self.rows()`.
+    pub fn gemm_t_i32_sparse_rows_into(
+        &self,
+        x: &[i8],
+        lanes: usize,
+        active: &[usize],
+        out: &mut Vec<i32>,
+    ) {
         assert_eq!(
             x.len(),
             lanes * self.rows,
@@ -411,13 +448,16 @@ impl QMatrix {
         if let Some(&last) = active.last() {
             assert!(last < self.rows, "active row {last} out of bounds");
         }
+        out.clear();
+        out.resize(lanes * self.cols, 0);
         #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: as in `gemm_t_i32` — AVX2 was just detected and
-            // the twin's body is safe code.
-            return unsafe { self.gemm_t_i32_sparse_rows_avx2(x, lanes, active) };
+        if crate::simd::use_avx2() {
+            // SAFETY: as in `gemm_t_i32_into` — AVX2 was just detected
+            // and the twin's body is safe code.
+            unsafe { self.gemm_t_i32_sparse_rows_avx2(x, lanes, active, out) };
+            return;
         }
-        self.gemm_t_i32_sparse_rows_portable(x, lanes, active)
+        self.gemm_t_i32_sparse_rows_portable(x, lanes, active, out);
     }
 
     /// Like [`Self::gemv_i32`] but skips columns where `x[c] == 0`,
@@ -443,9 +483,8 @@ impl QMatrix {
 /// run ~4× slower than the AVX2 twins below — but they run everywhere
 /// and compute the identical result (integer arithmetic is exact).
 impl QMatrix {
-    fn gemm_t_i32_portable(&self, x: &[i8], lanes: usize) -> Vec<i32> {
+    fn gemm_t_i32_portable(&self, x: &[i8], lanes: usize, y: &mut [i32]) {
         let n = self.cols;
-        let mut y = vec![0i32; lanes * n];
         for lane in 0..lanes {
             let xs = &x[lane * self.rows..(lane + 1) * self.rows];
             let out = &mut y[lane * n..(lane + 1) * n];
@@ -459,7 +498,6 @@ impl QMatrix {
                 }
             }
         }
-        y
     }
 
     /// Row-blocked portable body: per output lane, gather the non-zero
@@ -471,9 +509,9 @@ impl QMatrix {
         x: &[i8],
         lanes: usize,
         active: &[usize],
-    ) -> Vec<i32> {
+        y: &mut [i32],
+    ) {
         let n = self.cols;
-        let mut y = vec![0i32; lanes * n];
         const KB: usize = 64;
         let mut coeff = [0i32; KB];
         let mut wrow = [0usize; KB];
@@ -516,7 +554,6 @@ impl QMatrix {
                 }
             }
         }
-        y
     }
 }
 
@@ -533,8 +570,7 @@ impl QMatrix {
 #[cfg(target_arch = "x86_64")]
 impl QMatrix {
     #[target_feature(enable = "avx2")]
-    fn gemm_t_i32_avx2(&self, x: &[i8], lanes: usize) -> Vec<i32> {
-        let mut y = vec![0i32; lanes * self.cols];
+    fn gemm_t_i32_avx2(&self, x: &[i8], lanes: usize, y: &mut [i32]) {
         // Candidate rows come in 64-row windows filtered on the stack —
         // no heap index list (the allocation-free shape the portable
         // sparse body uses too).
@@ -554,12 +590,10 @@ impl QMatrix {
                 Self::accumulate_rows_avx2(&self.codes, self.cols, xs, &window[..len], out);
             }
         }
-        y
     }
 
     #[target_feature(enable = "avx2")]
-    fn gemm_t_i32_sparse_rows_avx2(&self, x: &[i8], lanes: usize, active: &[usize]) -> Vec<i32> {
-        let mut y = vec![0i32; lanes * self.cols];
+    fn gemm_t_i32_sparse_rows_avx2(&self, x: &[i8], lanes: usize, active: &[usize], y: &mut [i32]) {
         for lane in 0..lanes {
             let xs = &x[lane * self.rows..(lane + 1) * self.rows];
             let out = &mut y[lane * self.cols..(lane + 1) * self.cols];
@@ -567,7 +601,6 @@ impl QMatrix {
                 Self::accumulate_rows_avx2(&self.codes, self.cols, xs, chunk, out);
             }
         }
-        y
     }
 
     /// `out[c] += Σ_{r ∈ candidates, xs[r] ≠ 0} xs[r] · codes[r·n + c]`
@@ -837,11 +870,12 @@ mod tests {
             })
             .collect();
         let active: Vec<usize> = (0..33).step_by(2).collect();
-        assert_eq!(qm.gemm_t_i32(&x, 2), qm.gemm_t_i32_portable(&x, 2));
-        assert_eq!(
-            qm.gemm_t_i32_sparse_rows(&x, 2, &active),
-            qm.gemm_t_i32_sparse_rows_portable(&x, 2, &active)
-        );
+        let mut dense = vec![0i32; 2 * 17];
+        qm.gemm_t_i32_portable(&x, 2, &mut dense);
+        assert_eq!(qm.gemm_t_i32(&x, 2), dense);
+        let mut sparse = vec![0i32; 2 * 17];
+        qm.gemm_t_i32_sparse_rows_portable(&x, 2, &active, &mut sparse);
+        assert_eq!(qm.gemm_t_i32_sparse_rows(&x, 2, &active), sparse);
     }
 
     #[test]

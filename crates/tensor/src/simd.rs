@@ -1,0 +1,55 @@
+//! Runtime SIMD dispatch policy, shared by every kernel family.
+//!
+//! Both the f32 GEMM kernels ([`crate::Matrix`]) and the integer
+//! transposed-GEMV kernels ([`crate::QMatrix`]) come as a portable body
+//! plus a `#[target_feature(enable = "avx2")]` twin pinned bit-equal to
+//! it. This module owns the single dispatch decision they all consult:
+//! AVX2 must be *detected on the running CPU* and *not vetoed by the
+//! operator*.
+//!
+//! Setting the environment variable `ZSKIP_FORCE_PORTABLE` (to anything
+//! but `0`) disables the feature twins process-wide, so a test run can
+//! exercise the portable bodies even on hardware that would normally
+//! dispatch past them — CI runs the tensor and runtime suites once in
+//! this mode. Because every twin is bit-identical to its portable body,
+//! flipping the variable never changes a single output bit, only which
+//! instructions produce it.
+
+use std::sync::OnceLock;
+
+/// Whether `ZSKIP_FORCE_PORTABLE` vetoes the feature twins. Read once:
+/// the decision must not change mid-process (a kernel family switching
+/// bodies between calls would be impossible to reason about in traces).
+fn force_portable() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var_os("ZSKIP_FORCE_PORTABLE").is_some_and(|v| v != "0"))
+}
+
+/// `true` when kernels should take their AVX2 twin: the CPU supports it
+/// and the portable override is not set. Always `false` off x86-64.
+#[inline]
+pub fn use_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        !force_portable() && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_decision_is_stable() {
+        // Whatever the environment says, the answer must not flip between
+        // calls (kernels assume one body per process).
+        let first = use_avx2();
+        for _ in 0..10 {
+            assert_eq!(use_avx2(), first);
+        }
+    }
+}

@@ -13,7 +13,7 @@ use std::time::Instant;
 use zskip::core::train::{train_char, CharTaskConfig};
 use zskip::core::QuantizedLstm;
 use zskip::runtime::{
-    Engine, EngineConfig, FrozenCharLm, FrozenModel, FrozenQuantizedCharLm, StateLanes,
+    Engine, EngineConfig, FrozenCharLm, FrozenModel, FrozenQuantizedCharLm, HeadScratch, StateLanes,
 };
 use zskip::serve::{ServeConfig, Server, StreamId};
 
@@ -91,7 +91,12 @@ fn main() {
         let mut one_hot = vec![0.0f32; vocab];
         one_hot[tok] = 1.0;
         let golden = reference.step(&reference.quantize_input(&one_hot), &h, &c);
-        let expected = frozen_q.head(&StateLanes::from_vec(1, hidden, golden.h.clone()));
+        let mut head = HeadScratch::new();
+        frozen_q.head(
+            &StateLanes::from_vec(1, hidden, golden.h.clone()),
+            &mut head,
+        );
+        let expected = head.logits;
         assert_eq!(
             served.logits.len(),
             expected.cols(),

@@ -211,6 +211,35 @@ fn bench_inference_step_quantized(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_stage_timing_overhead(c: &mut Criterion) {
+    // The cost of the stage clock itself: the identical 80%-sparse
+    // char-LM step with per-stage laps enabled (the production default)
+    // vs disabled. The delta is a handful of `Instant` reads per
+    // *batched* step; record it in `docs/BENCH_RESULTS.md` so the
+    // "telemetry is effectively free" claim stays pinned to a number.
+    let model = FrozenCharLm::random(VOCAB, DH, 42);
+    let batcher = DynamicBatcher::new(model, 0.1, SkipPolicy::default());
+    let cell = StateLanes::from(Matrix::from_fn(1, DH, |_, j| ((j as f32) * 0.013).sin()));
+    let h = StateLanes::from(sparse_state(1, DH, 0.8, 7));
+    let mut group = c.benchmark_group(format!("stage_timing_dh{DH}_b1_80%"));
+    for (label, enabled) in [("on", true), ("off", false)] {
+        group.bench_with_input(BenchmarkId::new("telemetry", label), &h, |b, h| {
+            let mut scratch = StepScratch::with_stage_timing(enabled);
+            b.iter(|| {
+                black_box(batcher.step_into(
+                    BatchStep {
+                        h: black_box(h),
+                        c: &cell,
+                        inputs: &[3],
+                    },
+                    &mut scratch,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_recurrent_kernel(c: &mut Criterion) {
     // The raw kernels, isolated from gates/head: the offset-encoded
     // sparse-rows product vs the value-skipping dense GEMM on the same
@@ -245,6 +274,7 @@ criterion_group!(
     bench_inference_step_gru,
     bench_inference_step_word_lm,
     bench_inference_step_quantized,
+    bench_stage_timing_overhead,
     bench_recurrent_kernel
 );
 criterion_main!(benches);

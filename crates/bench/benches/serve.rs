@@ -35,12 +35,25 @@ fn bench_streams_vs_shards(c: &mut Criterion) {
             rounds: 2,
             churn: 0.05,
             seed: 9,
+            ..LoadConfig::default()
         });
         group.bench_with_input(
             BenchmarkId::new("shards", shards),
             &generator,
             |b, generator| b.iter(|| black_box(generator.run(&server).expect("load run"))),
         );
+        // One unmeasured run for the telemetry columns: client-observed
+        // token-latency percentiles and the per-stage step breakdown go
+        // into docs/BENCH_RESULTS.md next to the throughput numbers.
+        let report = generator.run(&server).expect("load run");
+        println!(
+            "shards={shards} client token latency: {}",
+            report.token_latency
+        );
+        let stages = server.stats().stages();
+        if !stages.is_zero() {
+            println!("shards={shards} stage breakdown:\n{stages}");
+        }
         server.shutdown();
     }
     group.finish();

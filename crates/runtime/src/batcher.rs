@@ -33,6 +33,7 @@
 use crate::model::{FrozenModel, StateLanes, StepScratch};
 use crate::weights::FrozenCharLm;
 use zskip_core::{OffsetEncoder, StatePruner};
+use zskip_telemetry::Stage;
 use zskip_tensor::Matrix;
 
 /// Skip-path policy for the batched step.
@@ -230,9 +231,12 @@ impl<M: FrozenModel> DynamicBatcher<M> {
             );
         }
 
+        scratch.stages.begin();
+
         // Family-specific x-side encoding (one-hot lookup, embedding
         // lookup + GEMM, pixel GEMM, or integer accumulators).
         self.model.input_encode(batch.inputs, scratch);
+        scratch.stages.lap(Stage::InputEncode);
 
         // Recurrent product, skipping jointly-zero state columns; the
         // family applies its own pruning exactly as its reference does.
@@ -246,12 +250,17 @@ impl<M: FrozenModel> DynamicBatcher<M> {
         };
         scratch.plan.anchors = anchors;
         scratch.plan.use_sparse = use_sparse;
+        scratch.stages.lap(Stage::PlanBuild);
+        // The family laps `Stage::RecurrentGemm` itself right after its
+        // `Wh` product; everything from there to the return is pointwise.
         self.model
             .recurrent_step(batch.h, batch.c, &self.pruner, scratch);
+        scratch.stages.lap(Stage::Pointwise);
 
         // Family head on the pruned state (the head buffers are split
         // off so `h_next` can stay borrowed).
         self.model.head(&scratch.h_next, &mut scratch.head);
+        scratch.stages.lap(Stage::Head);
 
         StepStats {
             lanes: b,

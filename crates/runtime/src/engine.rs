@@ -16,6 +16,7 @@ use crate::batcher::{BatchStep, DynamicBatcher, SkipPolicy, StepStats};
 use crate::model::{FrozenModel, StateLanes, StateScalar, StepScratch};
 use crate::weights::FrozenCharLm;
 use std::collections::VecDeque;
+use zskip_telemetry::{Stage, StageBreakdown};
 
 /// Handle to one streaming decode session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,6 +71,11 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Skip-path policy (offset width, dense fallback).
     pub policy: SkipPolicy,
+    /// Whether the step measures its per-stage wall-clock breakdown
+    /// (see [`EngineStats::stages`]). On by default — the laps are a
+    /// handful of `Instant` reads per *batched* step, far below noise —
+    /// and vetoable process-wide with `ZSKIP_STAGE_TIMING=0`.
+    pub stage_timing: bool,
 }
 
 impl EngineConfig {
@@ -80,6 +86,7 @@ impl EngineConfig {
             threshold,
             max_batch: 16,
             policy: SkipPolicy::default(),
+            stage_timing: true,
         }
     }
 }
@@ -101,6 +108,10 @@ pub struct EngineStats {
     pub total_rows: u64,
     /// Anchor columns forced by offset saturation.
     pub anchor_columns: u64,
+    /// Cumulative wall-clock per step stage (input encode, plan build,
+    /// recurrent GEMM, pointwise, head, delivery) — all zero when
+    /// [`EngineConfig::stage_timing`] is off or `ZSKIP_STAGE_TIMING=0`.
+    pub stages: StageBreakdown,
 }
 
 impl EngineStats {
@@ -185,7 +196,7 @@ struct EngineScratch<I, S> {
 }
 
 impl<I, S: StateScalar> EngineScratch<I, S> {
-    fn new() -> Self {
+    fn new(stage_timing: bool) -> Self {
         Self {
             picked: Vec::new(),
             requeue: Vec::new(),
@@ -193,7 +204,7 @@ impl<I, S: StateScalar> EngineScratch<I, S> {
             h: StateLanes::zeros(0, 0),
             c: StateLanes::zeros(0, 0),
             delivered: Vec::new(),
-            step: StepScratch::new(),
+            step: StepScratch::with_stage_timing(stage_timing),
         }
     }
 }
@@ -272,7 +283,7 @@ impl<M: FrozenModel> Engine<M> {
             ready_tail: READY_NONE,
             queued_tokens: 0,
             logits_pool: Vec::new(),
-            scratch: EngineScratch::new(),
+            scratch: EngineScratch::new(config.stage_timing),
             stats: EngineStats::default(),
         }
     }
@@ -504,6 +515,11 @@ impl<M: FrozenModel> Engine<M> {
             });
             self.scratch.delivered.push(id);
         }
+        // The result fan-out above is the Delivery stage; fold the whole
+        // step's laps into the cumulative breakdown.
+        self.scratch.step.stages.lap(Stage::Delivery);
+        let lapped = self.scratch.step.stages.take();
+        self.stats.stages.add(&lapped);
         &self.scratch.delivered
     }
 
@@ -662,6 +678,44 @@ mod tests {
         }
         assert_eq!(e.sessions.len(), 1, "abandonment grew the engine");
         assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn stage_breakdown_accumulates_when_enabled() {
+        if !zskip_telemetry::stage_timing_env_allowed() {
+            return; // ZSKIP_STAGE_TIMING=0 in this process
+        }
+        let mut e = engine(0.1, 4);
+        let id = e.open_session();
+        for t in 0..200 {
+            e.submit(id, t % 16).unwrap();
+        }
+        e.run_until_idle();
+        let stages = &e.stats().stages;
+        assert!(
+            !stages.is_zero(),
+            "200 steps attributed no stage time at all"
+        );
+        // The recurrent GEMM and the head both run real GEMMs every
+        // step; over 200 steps each must register at least once.
+        assert!(stages.get(Stage::RecurrentGemm) > 0);
+        assert!(stages.get(Stage::Head) > 0);
+    }
+
+    #[test]
+    fn stage_breakdown_stays_zero_when_disabled() {
+        let mut rng = SeedableStream::new(11);
+        let mut model = CharLm::new(16, 10, &mut rng);
+        let mut config = EngineConfig::for_threshold(0.1);
+        config.stage_timing = false;
+        let mut e = Engine::new(FrozenCharLm::freeze(&mut model), config);
+        let id = e.open_session();
+        for t in 0..50 {
+            e.submit(id, t % 16).unwrap();
+        }
+        e.run_until_idle();
+        assert!(e.stats().stages.is_zero());
+        assert_eq!(e.stats().steps, 50);
     }
 
     #[test]

@@ -81,3 +81,6 @@ pub use weights::{
     FrozenCharLm, FrozenGru, FrozenGruCharLm, FrozenHead, FrozenLstm, FrozenQuantizedCharLm,
     FrozenSeqClassifier, FrozenWordLm,
 };
+// Re-exported so `EngineStats::stages` and `StepScratch::stages` are
+// usable without naming the telemetry crate.
+pub use zskip_telemetry::{Stage, StageBreakdown, StageClock};

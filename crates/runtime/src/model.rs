@@ -27,6 +27,7 @@
 //! to the recurrent product, whether the zero is a float or a code.
 
 use zskip_core::StatePruner;
+use zskip_telemetry::StageClock;
 use zskip_tensor::{Matrix, SeedableStream};
 
 /// A scalar a session's recurrent state can be stored in: `f32` lanes
@@ -417,12 +418,25 @@ pub struct StepScratch<S> {
     pub plan: SkipPlan,
     /// Head-stage buffers (see [`HeadScratch`]).
     pub head: HeadScratch,
+    /// Per-stage lap timer, begun by the batcher at the top of the step
+    /// and lapped at each stage boundary (families lap their own
+    /// recurrent GEMM). Fixed-size, so the zero-allocation contract is
+    /// unaffected; disabled clocks skip even the `Instant` reads.
+    pub stages: StageClock,
 }
 
 impl<S: StateScalar> StepScratch<S> {
-    /// Empty scratch; buffers grow to serving shape on first use and are
-    /// reused afterwards.
+    /// Empty scratch with stage timing enabled (subject to the
+    /// `ZSKIP_STAGE_TIMING=0` process-wide veto); buffers grow to
+    /// serving shape on first use and are reused afterwards.
     pub fn new() -> Self {
+        Self::with_stage_timing(true)
+    }
+
+    /// Empty scratch with stage timing explicitly enabled or disabled —
+    /// the knob `EngineConfig::stage_timing` and the telemetry-off bench
+    /// lane reach this through.
+    pub fn with_stage_timing(stage_timing: bool) -> Self {
         Self {
             zx: Matrix::zeros(0, 0),
             zh: Matrix::zeros(0, 0),
@@ -434,6 +448,7 @@ impl<S: StateScalar> StepScratch<S> {
             c_next: StateLanes::zeros(0, 0),
             plan: SkipPlan::empty(),
             head: HeadScratch::new(),
+            stages: StageClock::new(stage_timing),
         }
     }
 }

@@ -11,6 +11,7 @@
 use crate::model::{StateLanes, StepScratch};
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
+use zskip_telemetry::Stage;
 use zskip_tensor::{sigmoid, tanh, Matrix};
 
 /// Frozen weights of one LSTM cell (gate order `[f, i, o, g]`).
@@ -97,6 +98,7 @@ impl FrozenLstm {
         let dh = self.hidden;
         let b = h.rows();
         scratch.plan.matmul_lanes_into(h, &self.wh, &mut scratch.zh);
+        scratch.stages.lap(Stage::RecurrentGemm);
         scratch.zx.add_assign(&scratch.zh);
         scratch.zx.add_row_broadcast(&self.bias);
 
@@ -218,6 +220,7 @@ impl FrozenGru {
         let dh = self.hidden;
         let b = h.rows();
         scratch.plan.matmul_lanes_into(h, &self.wh, &mut scratch.zh);
+        scratch.stages.lap(Stage::RecurrentGemm);
 
         // Every gate and state element is written below — no zero-fill.
         scratch.gates.resize_for_overwrite(b, 3 * dh);

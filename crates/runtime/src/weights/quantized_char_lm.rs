@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use zskip_core::{QuantizedLstm, StatePruner};
 use zskip_nn::models::CharLm;
 use zskip_nn::LstmCell;
+use zskip_telemetry::Stage;
 use zskip_tensor::{QMatrix, SeedableStream};
 
 /// Frozen weights of the quantized char-LM: the golden
@@ -192,6 +193,7 @@ impl FrozenModel for FrozenQuantizedCharLm {
         scratch
             .plan
             .gemm_t_i32_into(h, self.q.wh(), &mut scratch.acc);
+        scratch.stages.lap(Stage::RecurrentGemm);
 
         // Every state code and gate value is written below (pass 1
         // fills the whole gate plane) — no zero-fill needed.

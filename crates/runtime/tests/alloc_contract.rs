@@ -25,6 +25,11 @@ struct CountingAlloc;
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+/// The counter is process-global, so every test in this binary holds
+/// this lock: a test allocating while another test's counting window is
+/// open would inflate its count.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 impl CountingAlloc {
     fn record() {
         if COUNTING.load(Ordering::Relaxed) {
@@ -85,9 +90,12 @@ fn assert_steady_state_allocation_free<M: FrozenModel>(
     model: M,
     threshold: f32,
     family: &str,
+    stage_timing: bool,
     input: impl Fn(usize, usize) -> M::Input,
 ) {
-    let mut engine = Engine::new(model, EngineConfig::for_threshold(threshold));
+    let mut config = EngineConfig::for_threshold(threshold);
+    config.stage_timing = stage_timing;
+    let mut engine = Engine::new(model, config);
     let ids: Vec<SessionId> = (0..6).map(|_| engine.open_session()).collect();
 
     // Warm-up: scratch matrices, queues, the skip plan's active list and
@@ -107,7 +115,52 @@ fn assert_steady_state_allocation_free<M: FrozenModel>(
     let allocs = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         allocs, 0,
-        "{family}: {allocs} heap allocations across 32 steady-state rounds (expected none)"
+        "{family}: {allocs} heap allocations across 32 steady-state rounds \
+         (expected none; stage_timing={stage_timing})"
+    );
+}
+
+/// Every family, with stage timing either enabled or disabled.
+fn all_families(stage_timing: bool) {
+    let token = |r: usize, i: usize| (r * 7 + i * 3) % 16;
+    let pixel = |r: usize, i: usize| ((r * 7 + i * 3) % 16) as f32 / 16.0;
+    let st = stage_timing;
+    assert_steady_state_allocation_free(
+        FrozenCharLm::random(16, 96, 11),
+        0.25,
+        "char-lm",
+        st,
+        token,
+    );
+    assert_steady_state_allocation_free(
+        FrozenGruCharLm::random(16, 96, 12),
+        0.25,
+        "gru",
+        st,
+        token,
+    );
+    assert_steady_state_allocation_free(
+        FrozenWordLm::random(16, 24, 96, 13),
+        0.25,
+        "word-lm",
+        st,
+        token,
+    );
+    assert_steady_state_allocation_free(
+        FrozenSeqClassifier::random(10, 96, 14),
+        0.25,
+        "classifier",
+        st,
+        pixel,
+    );
+    // The quantized family bakes its threshold into the frozen datapath;
+    // the engine must be configured with the same value.
+    assert_steady_state_allocation_free(
+        FrozenQuantizedCharLm::random(16, 96, 0.25, 15),
+        0.25,
+        "quantized",
+        st,
+        token,
     );
 }
 
@@ -118,35 +171,24 @@ fn steady_state_engine_steps_do_not_allocate() {
     // cross-contaminate the counter. Covering all five families keeps
     // the contract honest for every scratch path — one-hot and
     // embedding encoders, LSTM and GRU cells, f32 and i8 state lanes,
-    // float and integer heads.
-    let token = |r: usize, i: usize| (r * 7 + i * 3) % 16;
-    let pixel = |r: usize, i: usize| ((r * 7 + i * 3) % 16) as f32 / 16.0;
-    assert_steady_state_allocation_free(FrozenCharLm::random(16, 96, 11), 0.25, "char-lm", token);
-    assert_steady_state_allocation_free(FrozenGruCharLm::random(16, 96, 12), 0.25, "gru", token);
-    assert_steady_state_allocation_free(
-        FrozenWordLm::random(16, 24, 96, 13),
-        0.25,
-        "word-lm",
-        token,
-    );
-    assert_steady_state_allocation_free(
-        FrozenSeqClassifier::random(10, 96, 14),
-        0.25,
-        "classifier",
-        pixel,
-    );
-    // The quantized family bakes its threshold into the frozen datapath;
-    // the engine must be configured with the same value.
-    assert_steady_state_allocation_free(
-        FrozenQuantizedCharLm::random(16, 96, 0.25, 15),
-        0.25,
-        "quantized",
-        token,
-    );
+    // float and integer heads. Telemetry is on here (the production
+    // default): the stage clock and its breakdown are fixed-size, so
+    // the instrumented path must be as allocation-free as the bare one.
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    all_families(true);
+}
+
+#[test]
+fn steady_state_steps_do_not_allocate_with_stage_timing_off() {
+    // The uninstrumented lane — pins the contract for deployments that
+    // veto stage timing (ZSKIP_STAGE_TIMING=0 or config).
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    all_families(false);
 }
 
 #[test]
 fn recycle_reuses_the_result_buffer() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut engine = Engine::new(
         FrozenCharLm::random(12, 24, 3),
         EngineConfig::for_threshold(0.2),

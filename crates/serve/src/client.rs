@@ -8,6 +8,7 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zskip_runtime::{EngineError, FrozenCharLm, FrozenModel, InputSpec, SessionId, StepResult};
+use zskip_telemetry::EventKind;
 
 /// Handle to one open stream: the owning shard plus the shard engine's
 /// generational [`SessionId`]. Routing derives from the id itself, so a
@@ -317,10 +318,24 @@ impl<M: FrozenModel> Client<M> {
         let handle = &self.shards[shard as usize];
         handle.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
         let sent = if blocking {
-            handle
-                .tx
-                .send(request)
-                .map_err(|_| ServeError::ServerClosed)
+            // Probe with `try_send` first so the stall is observable:
+            // `Full` means this sender is about to park on backpressure,
+            // which is exactly what the event records. The extra probe
+            // costs one channel CAS on the uncontended path.
+            match handle.tx.try_send(request) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(request)) => {
+                    handle
+                        .shared
+                        .events
+                        .push(EventKind::BackpressureStall, request.session_detail());
+                    handle
+                        .tx
+                        .send(request)
+                        .map_err(|_| ServeError::ServerClosed)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(ServeError::ServerClosed),
+            }
         } else {
             handle.tx.try_send(request).map_err(|e| match e {
                 TrySendError::Full(_) => ServeError::Backpressure,

@@ -60,4 +60,7 @@ pub use client::{Client, StreamId};
 pub use error::ServeError;
 pub use loadgen::{LoadConfig, LoadGenerator, LoadReport};
 pub use server::{ServeConfig, Server};
-pub use stats::{ServerStats, ShardStats};
+pub use stats::{ServerStats, ShardEvent, ShardStats};
+// Re-exported so event/histogram/stage types drained or snapshotted from
+// a server are nameable without depending on the telemetry crate.
+pub use zskip_telemetry::{Event, EventKind, HistogramSnapshot, StageBreakdown};

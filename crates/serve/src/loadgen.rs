@@ -2,11 +2,18 @@
 //! close against a running [`Server`].
 //!
 //! Used by `examples/serve_many.rs` and the `serve` benchmark to measure
-//! streams/sec and tokens/sec at a given shard count.
+//! streams/sec and tokens/sec at a given shard count — and, since the
+//! telemetry pass, the client-observed latency distribution: the driver
+//! times every token from `send` to `recv`, so its percentiles include
+//! queue wait, batching delay and the step itself, exactly what a real
+//! caller experiences.
 
 use crate::{ServeError, Server, StreamId};
+use serde::value::Value;
+use serde::Serialize;
 use std::time::{Duration, Instant};
 use zskip_runtime::{FrozenModel, InputSpec};
+use zskip_telemetry::HistogramSnapshot;
 use zskip_tensor::SeedableStream;
 
 /// Traffic shape for one [`LoadGenerator`] run.
@@ -23,6 +30,16 @@ pub struct LoadConfig {
     pub churn: f64,
     /// RNG seed for tokens and churn decisions.
     pub seed: u64,
+    /// Client-side per-token latency target: a token whose send→recv
+    /// time exceeds this counts as a deadline miss, overall and
+    /// per stream. `None` disables miss accounting.
+    pub deadline: Option<Duration>,
+    /// Print a percentile/stage snapshot (the server's [`ServerStats`]
+    /// table plus the client-observed latency line) every this many
+    /// rounds. `0` keeps the run silent.
+    ///
+    /// [`ServerStats`]: crate::ServerStats
+    pub progress_every: usize,
 }
 
 impl Default for LoadConfig {
@@ -33,6 +50,27 @@ impl Default for LoadConfig {
             rounds: 4,
             churn: 0.1,
             seed: 7,
+            deadline: None,
+            progress_every: 0,
+        }
+    }
+}
+
+/// Per-stream miss accounting for one stream's lifetime (a churned-out
+/// stream folds its rate into the running worst before its slot is
+/// reused).
+#[derive(Clone, Copy, Default)]
+struct StreamTally {
+    tokens: u64,
+    misses: u64,
+}
+
+impl StreamTally {
+    fn miss_rate(&self) -> f64 {
+        if self.tokens == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.tokens as f64
         }
     }
 }
@@ -52,6 +90,74 @@ pub struct LoadReport {
     pub tokens_per_sec: f64,
     /// Completed stream-rounds per second (`streams × rounds / elapsed`).
     pub stream_rounds_per_sec: f64,
+    /// Client-observed send→recv latency of every token (queue wait +
+    /// batching + step + delivery). Percentiles via
+    /// [`HistogramSnapshot::p50`] … [`HistogramSnapshot::p999`].
+    pub token_latency: HistogramSnapshot,
+    /// Tokens later than [`LoadConfig::deadline`] (0 when no deadline).
+    pub deadline_misses: u64,
+    /// `deadline_misses / tokens` (0.0 when no deadline or no tokens).
+    pub deadline_miss_rate: f64,
+    /// The worst per-stream miss rate seen across every stream the run
+    /// opened — a fairness signal: a healthy aggregate can hide one
+    /// starving stream.
+    pub worst_stream_miss_rate: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} tokens in {:.3}s  ({:.0} tokens/s, {:.0} stream-rounds/s)",
+            self.tokens,
+            self.elapsed.as_secs_f64(),
+            self.tokens_per_sec,
+            self.stream_rounds_per_sec,
+        )?;
+        writeln!(f, "token latency  {}", self.token_latency)?;
+        write!(
+            f,
+            "deadline misses {} ({:.2}% overall, worst stream {:.2}%)",
+            self.deadline_misses,
+            self.deadline_miss_rate * 100.0,
+            self.worst_stream_miss_rate * 100.0,
+        )
+    }
+}
+
+impl Serialize for LoadReport {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "elapsed_ns".to_string(),
+                Value::Int(self.elapsed.as_nanos() as i128),
+            ),
+            ("tokens".to_string(), Value::Int(self.tokens as i128)),
+            ("opened".to_string(), Value::Int(self.opened as i128)),
+            ("closed".to_string(), Value::Int(self.closed as i128)),
+            (
+                "tokens_per_sec".to_string(),
+                Value::Float(self.tokens_per_sec),
+            ),
+            (
+                "stream_rounds_per_sec".to_string(),
+                Value::Float(self.stream_rounds_per_sec),
+            ),
+            ("token_latency".to_string(), self.token_latency.to_value()),
+            (
+                "deadline_misses".to_string(),
+                Value::Int(self.deadline_misses as i128),
+            ),
+            (
+                "deadline_miss_rate".to_string(),
+                Value::Float(self.deadline_miss_rate),
+            ),
+            (
+                "worst_stream_miss_rate".to_string(),
+                Value::Float(self.worst_stream_miss_rate),
+            ),
+        ])
+    }
 }
 
 /// Drives mixed open/submit/recv/close traffic through a [`Server`].
@@ -67,7 +173,8 @@ impl LoadGenerator {
         Self { config }
     }
 
-    /// Runs the traffic against `server` and reports throughput.
+    /// Runs the traffic against `server` and reports throughput plus the
+    /// client-observed latency distribution.
     ///
     /// Works against any served model family: inputs are drawn through
     /// the server's [`InputSpec`], so the same generator drives token
@@ -75,9 +182,12 @@ impl LoadGenerator {
     ///
     /// Every round: a churn pass closes/reopens a random subset of
     /// streams, a submit wave feeds `tokens_per_round` inputs to every
-    /// stream, and a recv wave collects every result. All streams are
-    /// closed at the end, so back-to-back runs do not accumulate
-    /// sessions.
+    /// stream (stamping each send), and a recv wave collects every
+    /// result, recording its send→recv latency and deadline verdict.
+    /// With [`LoadConfig::progress_every`] set, a percentile table (the
+    /// server's own stats rendering plus the client-side latency line)
+    /// is printed at that round cadence. All streams are closed at the
+    /// end, so back-to-back runs do not accumulate sessions.
     pub fn run<M: FrozenModel>(&self, server: &Server<M>) -> Result<LoadReport, ServeError> {
         let cfg = self.config;
         let mut client = server.client();
@@ -87,34 +197,74 @@ impl LoadGenerator {
             streams.push(client.open()?);
         }
         let (mut opened, mut closed, mut tokens) = (cfg.streams as u64, 0u64, 0u64);
+        let mut latency = HistogramSnapshot::empty();
+        let mut misses = 0u64;
+        let mut tallies = vec![StreamTally::default(); cfg.streams];
+        let mut worst_rate = 0.0f64;
+        // Send stamps of one round's in-flight tokens, per stream slot
+        // (recv order within a stream is submit order, so a plain queue
+        // pairs each result with its send time).
+        let mut sent_at: Vec<std::collections::VecDeque<Instant>> =
+            vec![std::collections::VecDeque::with_capacity(cfg.tokens_per_round); cfg.streams];
 
         let start = Instant::now();
-        for _ in 0..cfg.rounds {
-            for slot in streams.iter_mut() {
+        for round in 0..cfg.rounds {
+            for (slot, tally) in streams.iter_mut().zip(tallies.iter_mut()) {
                 if rng.coin(cfg.churn) {
                     client.close(*slot)?;
                     closed += 1;
+                    // The outgoing stream's miss rate is final; fold it
+                    // into the worst before the slot starts fresh.
+                    worst_rate = worst_rate.max(tally.miss_rate());
+                    *tally = StreamTally::default();
                     *slot = client.open()?;
                     opened += 1;
                 }
             }
-            for &id in &streams {
+            for (&id, stamps) in streams.iter().zip(sent_at.iter_mut()) {
                 for _ in 0..cfg.tokens_per_round {
                     let input = client.input_spec().sample(&mut rng);
+                    stamps.push_back(Instant::now());
                     client.send(id, input)?;
                 }
             }
-            for &id in &streams {
+            for ((&id, stamps), tally) in streams
+                .iter()
+                .zip(sent_at.iter_mut())
+                .zip(tallies.iter_mut())
+            {
                 for _ in 0..cfg.tokens_per_round {
                     client.recv(id)?;
                     tokens += 1;
+                    tally.tokens += 1;
+                    let waited = stamps
+                        .pop_front()
+                        .expect("one send stamp per received token")
+                        .elapsed();
+                    latency.record_duration(waited);
+                    if cfg.deadline.is_some_and(|d| waited > d) {
+                        misses += 1;
+                        tally.misses += 1;
+                    }
                 }
+            }
+            if cfg.progress_every > 0 && (round + 1) % cfg.progress_every == 0 {
+                println!(
+                    "── round {}/{} ──\nclient latency {}\n{}",
+                    round + 1,
+                    cfg.rounds,
+                    latency,
+                    server.stats(),
+                );
             }
         }
         let elapsed = start.elapsed();
         for id in streams {
             client.close(id)?;
             closed += 1;
+        }
+        for tally in &tallies {
+            worst_rate = worst_rate.max(tally.miss_rate());
         }
 
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -125,6 +275,14 @@ impl LoadGenerator {
             closed,
             tokens_per_sec: tokens as f64 / secs,
             stream_rounds_per_sec: (cfg.streams * cfg.rounds) as f64 / secs,
+            token_latency: latency,
+            deadline_misses: misses,
+            deadline_miss_rate: if tokens == 0 {
+                0.0
+            } else {
+                misses as f64 / tokens as f64
+            },
+            worst_stream_miss_rate: worst_rate,
         })
     }
 }

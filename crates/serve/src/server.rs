@@ -15,7 +15,7 @@
 //! of buffering without bound.
 
 use crate::client::Client;
-use crate::stats::{ServerStats, ShardShared};
+use crate::stats::{duration_nanos, ServerStats, ShardEvent, ShardShared};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
@@ -23,6 +23,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use zskip_runtime::{Engine, EngineConfig, FrozenCharLm, FrozenModel, SessionId, StepResult};
+use zskip_telemetry::EventKind;
 
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +50,11 @@ pub struct ServeConfig {
     pub token_deadline: Option<Duration>,
     /// How often an idle worker wakes to sweep TTLs.
     pub idle_tick: Duration,
+    /// Capacity of each shard's telemetry event ring. When more events
+    /// occur between [`Server::drain_events`] calls than fit, the oldest
+    /// are overwritten (and counted as `dropped_events`) — workers never
+    /// block or allocate for a slow observer.
+    pub event_capacity: usize,
 }
 
 impl ServeConfig {
@@ -68,6 +74,7 @@ impl ServeConfig {
             session_ttl: None,
             token_deadline: None,
             idle_tick: Duration::from_millis(20),
+            event_capacity: 256,
         }
     }
 
@@ -98,6 +105,12 @@ impl ServeConfig {
     /// Sets the per-token deadline.
     pub fn with_token_deadline(mut self, deadline: Duration) -> Self {
         self.token_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-shard event-ring capacity.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
         self
     }
 }
@@ -132,6 +145,19 @@ pub(crate) enum Request<I> {
     Close { id: SessionId },
     /// Stop the worker after the queue drained up to this request.
     Shutdown,
+}
+
+impl<I> Request<I> {
+    /// The raw session id this request targets, for event payloads
+    /// (0 for requests without a session: opens and shutdowns).
+    pub(crate) fn session_detail(&self) -> u64 {
+        match self {
+            Request::Submit { id, .. } | Request::SubmitMany { id, .. } | Request::Close { id } => {
+                id.0
+            }
+            Request::Open { .. } | Request::Shutdown => 0,
+        }
+    }
 }
 
 /// A shard's client-facing half (crate-internal).
@@ -177,6 +203,7 @@ impl<M: FrozenModel> Server<M> {
             config.result_capacity > 0,
             "result capacity must be positive"
         );
+        assert!(config.event_capacity > 0, "event capacity must be positive");
         let spec = model.input_spec();
         let mut shards = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
@@ -190,7 +217,7 @@ impl<M: FrozenModel> Server<M> {
                 model.as_ref().expect("model available").clone()
             };
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
-            let shared = Arc::new(ShardShared::default());
+            let shared = Arc::new(ShardShared::new(config.event_capacity));
             let worker = Worker {
                 engine: Engine::new(shard_model, config.engine),
                 rx,
@@ -201,6 +228,7 @@ impl<M: FrozenModel> Server<M> {
                 idle_tick: config.idle_tick,
                 last_sweep: Instant::now(),
                 delivered: Vec::new(),
+                last_dense_steps: 0,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -250,6 +278,25 @@ impl<M: FrozenModel> Server<M> {
                 .map(|(i, s)| s.shared.snapshot(i))
                 .collect(),
         }
+    }
+
+    /// Drains every shard's event ring, oldest first per shard, without
+    /// stopping the workers (they keep pushing while the drained batch
+    /// is handed out). Events overwritten before a drain are reported in
+    /// each shard's `dropped_events` counter, not here.
+    pub fn drain_events(&self) -> Vec<ShardEvent> {
+        let mut events = Vec::new();
+        for (shard, handle) in self.shards.iter().enumerate() {
+            events.extend(
+                handle
+                    .shared
+                    .events
+                    .drain()
+                    .into_iter()
+                    .map(|event| ShardEvent { shard, event }),
+            );
+        }
+        events
     }
 
     /// Stops all workers after their queues drain and joins them.
@@ -314,6 +361,9 @@ struct Worker<M: FrozenModel> {
     /// Reused copy of the ids one engine step delivered (the engine's
     /// own slice borrows its scratch, which `deliver` needs mutably).
     delivered: Vec<SessionId>,
+    /// Engine `dense_steps` value at the last publish, for emitting a
+    /// `DenseFallback` event exactly when the counter advances.
+    last_dense_steps: u64,
 }
 
 impl<M: FrozenModel> Worker<M> {
@@ -341,7 +391,6 @@ impl<M: FrozenModel> Worker<M> {
                     break;
                 }
                 self.step_and_deliver();
-                self.shared.publish_engine(self.engine.stats());
                 self.sweep_ttl();
             }
             self.sweep_ttl();
@@ -365,22 +414,50 @@ impl<M: FrozenModel> Worker<M> {
             }
             self.step_and_deliver();
         }
-        self.shared.publish_engine(self.engine.stats());
+        self.publish_engine_and_events();
     }
 
     /// One engine step plus result fan-out. The delivered-id slice
     /// borrows the engine, so it is copied into the worker's reused
     /// buffer before `deliver` re-borrows the engine mutably.
+    ///
+    /// Engine counters are published **between** the step and the
+    /// fan-out: a client holding a result can never read engine stats
+    /// predating the step that produced it (publishing once per outer
+    /// loop pass, as before, let a burst of steps deliver results whose
+    /// tokens the published counters had not caught up with).
     fn step_and_deliver(&mut self) {
         self.delivered.clear();
         let mut delivered = std::mem::take(&mut self.delivered);
+        let step_started = Instant::now();
         delivered.extend_from_slice(self.engine.step());
         let now = Instant::now();
+        if !delivered.is_empty() {
+            self.shared
+                .step_time
+                .record(duration_nanos(now.duration_since(step_started)));
+        }
+        self.publish_engine_and_events();
         for &id in &delivered {
             self.deliver(id, now);
         }
         delivered.clear();
         self.delivered = delivered;
+    }
+
+    /// Publishes the engine's counters to the shared block and emits a
+    /// `DenseFallback` event whenever the dense-step counter advanced
+    /// since the last publish (detail = how many dense steps ran).
+    fn publish_engine_and_events(&mut self) {
+        let stats = *self.engine.stats();
+        self.shared.publish_engine(&stats);
+        if stats.dense_steps > self.last_dense_steps {
+            self.shared.events.push(
+                EventKind::DenseFallback,
+                stats.dense_steps - self.last_dense_steps,
+            );
+            self.last_dense_steps = stats.dense_steps;
+        }
     }
 
     /// Disposes of a request that arrived after shutdown began. Intake
@@ -462,6 +539,7 @@ impl<M: FrozenModel> Worker<M> {
                 self.shared
                     .open_sessions
                     .store(self.sessions.len(), Ordering::Relaxed);
+                self.shared.events.push(EventKind::SessionOpen, id.0);
                 // The client may have died while waiting (it never saw the
                 // id, so its Drop cannot close this session); the TTL
                 // sweep reclaims the orphan when a TTL is configured.
@@ -480,6 +558,9 @@ impl<M: FrozenModel> Worker<M> {
                     entry.last_active = now;
                     entry.enqueued_at.push_back(enqueued);
                     self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .queue_wait
+                        .record(duration_nanos(now.duration_since(enqueued)));
                 }
                 Err(_) => {
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -512,6 +593,14 @@ impl<M: FrozenModel> Worker<M> {
                     self.shared
                         .submitted
                         .fetch_add(accepted as u64, Ordering::Relaxed);
+                    // One queue hop carried the whole burst; each token
+                    // waited the same wall-clock, so record it per token
+                    // to keep the histogram's unit (one sample = one
+                    // accepted token) uniform across both submit paths.
+                    let wait = duration_nanos(now.duration_since(enqueued));
+                    for _ in 0..accepted {
+                        self.shared.queue_wait.record(wait);
+                    }
                 }
                 if total > accepted {
                     self.shared
@@ -525,6 +614,7 @@ impl<M: FrozenModel> Worker<M> {
                     self.shared
                         .open_sessions
                         .store(self.sessions.len(), Ordering::Relaxed);
+                    self.shared.events.push(EventKind::SessionClose, id.0);
                 } else {
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 }
@@ -550,7 +640,13 @@ impl<M: FrozenModel> Worker<M> {
         entry.last_active = now;
         // Pop unconditionally — the token was processed either way, and
         // the queue must stay aligned with future deliveries.
-        let missed_deadline = match (entry.enqueued_at.pop_front(), self.token_deadline) {
+        let enqueued_at = entry.enqueued_at.pop_front();
+        if let Some(enqueued) = enqueued_at {
+            self.shared
+                .token_latency
+                .record(duration_nanos(now.duration_since(enqueued)));
+        }
+        let missed_deadline = match (enqueued_at, self.token_deadline) {
             (Some(enqueued), Some(deadline)) => now.duration_since(enqueued) > deadline,
             _ => false,
         };
@@ -560,6 +656,7 @@ impl<M: FrozenModel> Worker<M> {
         self.shared.delivered.fetch_add(1, Ordering::Relaxed);
         if missed_deadline {
             self.shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            self.shared.events.push(EventKind::DeadlineMiss, id.0);
         }
         match entry.results.try_send(result) {
             Ok(()) => {
@@ -579,6 +676,7 @@ impl<M: FrozenModel> Worker<M> {
                 let _ = self.engine.close_session(id);
                 self.remove_session(id);
                 self.shared.evicted_sessions.fetch_add(1, Ordering::Relaxed);
+                self.shared.events.push(EventKind::SessionEvict, id.0);
                 self.shared
                     .open_sessions
                     .store(self.sessions.len(), Ordering::Relaxed);
@@ -615,6 +713,7 @@ impl<M: FrozenModel> Worker<M> {
             let _ = self.engine.close_session(SessionId(raw));
             self.remove_session(SessionId(raw));
             self.shared.evicted_sessions.fetch_add(1, Ordering::Relaxed);
+            self.shared.events.push(EventKind::SessionEvict, raw);
         }
         self.shared
             .open_sessions

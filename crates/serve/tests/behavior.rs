@@ -446,12 +446,19 @@ fn load_generator_sustains_mixed_traffic() {
         rounds: 3,
         churn: 0.3,
         seed: 11,
+        deadline: Some(Duration::from_secs(60)),
+        ..LoadConfig::default()
     })
     .run(&server)
     .unwrap();
     assert_eq!(report.tokens, 600);
     assert!(report.opened > 100, "churn produced no reopens");
     assert_eq!(report.closed, report.opened);
+    // One latency sample per received token; a 60 s deadline cannot miss.
+    assert_eq!(report.token_latency.count(), 600);
+    assert!(report.token_latency.p999() > 0);
+    assert_eq!(report.deadline_misses, 0);
+    assert_eq!(report.worst_stream_miss_rate, 0.0);
     // Closes are asynchronous: wait for the shard queues to drain before
     // checking that nothing leaked.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);

@@ -1,0 +1,233 @@
+//! Telemetry contracts of the serving layer: latency histograms, the
+//! per-shard event ring, engine-stats publish cadence, and the text/JSON
+//! snapshot renderings.
+
+use std::time::Duration;
+use zskip_runtime::FrozenCharLm;
+use zskip_serve::{EventKind, ServeConfig, ServeError, Server};
+
+fn model() -> FrozenCharLm {
+    FrozenCharLm::random(20, 16, 5)
+}
+
+/// The publish-cadence regression: engine counters are published between
+/// the step and the result fan-out, so a client holding a result can
+/// never observe engine stats predating the step that produced it. The
+/// old once-per-outer-loop cadence failed this under bursts: several
+/// steps could deliver before the next publish.
+#[test]
+fn stats_seen_by_a_result_holder_cover_that_result() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    let mut received = 0u64;
+    for round in 0..25usize {
+        for t in 0..4 {
+            client.send(s, (round + t) % 20).unwrap();
+        }
+        for _ in 0..4 {
+            client.recv(s).unwrap();
+            received += 1;
+            let tokens = server.stats().tokens();
+            assert!(
+                tokens >= received,
+                "holding result #{received} but published engine stats \
+                 count only {tokens} tokens"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn latency_histograms_fill_under_traffic() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    for t in 0..8 {
+        client.send(s, t).unwrap();
+    }
+    for _ in 0..8 {
+        client.recv(s).unwrap();
+    }
+    let stats = server.stats();
+    // One queue-wait sample per accepted token, one end-to-end sample
+    // per delivery; step count varies with coalescing but is nonzero.
+    assert_eq!(stats.queue_wait().count(), 8);
+    assert_eq!(stats.token_latency().count(), 8);
+    let steps = stats.step_time().count();
+    assert!((1..=8).contains(&steps), "step_time count {steps}");
+    // End-to-end includes the queue wait, so its p99 upper bound cannot
+    // be below... nothing guaranteed bucket-wise; just sanity: nonzero.
+    assert!(stats.token_latency().p99() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn bulk_submit_records_one_queue_wait_sample_per_token() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    let burst: Vec<usize> = (0..12).map(|t| t % 20).collect();
+    client.send_all(s, &burst).unwrap();
+    for _ in 0..12 {
+        client.recv(s).unwrap();
+    }
+    assert_eq!(server.stats().queue_wait().count(), 12);
+    server.shutdown();
+}
+
+#[test]
+fn session_lifecycle_is_logged_to_the_event_ring() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(1));
+    let mut client = server.client();
+    let a = client.open().unwrap();
+    let b = client.open().unwrap();
+    client.send(a, 1).unwrap();
+    client.recv(a).unwrap();
+    client.close(a).unwrap();
+    client.close(b).unwrap();
+    // Closes are async; wait until both are visible.
+    for _ in 0..100 {
+        if server.stats().open_sessions() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let events = server.drain_events();
+    let opens = events
+        .iter()
+        .filter(|e| e.event.kind == EventKind::SessionOpen)
+        .count();
+    let closes = events
+        .iter()
+        .filter(|e| e.event.kind == EventKind::SessionClose)
+        .count();
+    assert_eq!(opens, 2, "events: {events:?}");
+    assert_eq!(closes, 2, "events: {events:?}");
+    // Timestamps are monotone within a shard's drained batch.
+    for pair in events.windows(2) {
+        assert!(pair[0].event.at_micros <= pair[1].event.at_micros);
+    }
+    // The drain emptied the rings; nothing new happened since.
+    assert!(server.drain_events().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn deadline_misses_and_ttl_evictions_emit_events() {
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_token_deadline(Duration::from_nanos(1))
+            .with_session_ttl(Duration::from_millis(30)),
+    );
+    let mut client = server.client().with_recv_timeout(Duration::from_secs(2));
+    let s = client.open().unwrap();
+    client.send(s, 1).unwrap();
+    client.recv(s).unwrap();
+    // Idle past the TTL until the sweep evicts the session.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(client.recv(s), Err(ServeError::Evicted));
+    let events = server.drain_events();
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.event.kind).collect();
+    assert!(
+        kinds.contains(&EventKind::DeadlineMiss),
+        "events: {events:?}"
+    );
+    assert!(
+        kinds.contains(&EventKind::SessionEvict),
+        "events: {events:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn blocking_sends_into_a_full_queue_emit_backpressure_stalls() {
+    // Capacity-1 queue: burst blocking sends; some must find the queue
+    // full, park, and leave a stall event behind.
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_queue_capacity(1),
+    );
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    for t in 0..200 {
+        client.send(s, t % 20).unwrap();
+    }
+    for _ in 0..200 {
+        client.recv(s).unwrap();
+    }
+    let stalls = server
+        .drain_events()
+        .iter()
+        .filter(|e| e.event.kind == EventKind::BackpressureStall)
+        .count();
+    assert!(
+        stalls > 0,
+        "200 blocking sends into a capacity-1 queue never stalled"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn event_ring_overflow_is_counted_not_blocking() {
+    let server = Server::start(
+        model(),
+        ServeConfig::for_threshold(0.2)
+            .with_shards(1)
+            .with_event_capacity(2),
+    );
+    let mut client = server.client();
+    // Each open+close is two events; at capacity 2 most are overwritten.
+    for _ in 0..8 {
+        let s = client.open().unwrap();
+        client.close(s).unwrap();
+    }
+    for _ in 0..100 {
+        if server.stats().open_sessions() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    let dropped: u64 = stats.shards.iter().map(|s| s.dropped_events).sum();
+    assert!(
+        dropped > 0,
+        "16 events through a capacity-2 ring, none dropped"
+    );
+    assert!(server.drain_events().len() <= 2);
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_renders_as_table_and_json() {
+    let server = Server::start(model(), ServeConfig::for_threshold(0.2).with_shards(2));
+    let mut client = server.client();
+    let s = client.open().unwrap();
+    for t in 0..6 {
+        client.send(s, t).unwrap();
+    }
+    for _ in 0..6 {
+        client.recv(s).unwrap();
+    }
+    let stats = server.stats();
+    let table = stats.to_string();
+    assert!(table.contains("shard"), "table:\n{table}");
+    assert!(table.contains("token-latency"), "table:\n{table}");
+    let json = stats.to_json();
+    for key in [
+        "\"shards\"",
+        "\"queue_wait\"",
+        "\"step_time\"",
+        "\"token_latency\"",
+        "\"p99_ns\"",
+        "\"skip_fraction\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    server.shutdown();
+}

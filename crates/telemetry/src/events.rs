@@ -1,0 +1,220 @@
+//! Bounded per-shard ring of discrete serving events.
+//!
+//! Counters and histograms tell you *how much*; the event ring tells you
+//! *what happened last* — the most recent session opens/closes/evicts,
+//! deadline misses, dense fallbacks and backpressure stalls on a shard,
+//! with microsecond timestamps. The ring is fixed-capacity and
+//! overwrites its oldest entry when full (a cumulative `dropped` counter
+//! records the loss), so a stalled reader can never make a worker block
+//! or allocate. Draining is non-destructive to the writers: they keep
+//! pushing while the drained batch is handed out.
+//!
+//! Pushes take a short `Mutex` critical section (pop + push on a
+//! preallocated `VecDeque`). Events are rare by construction — session
+//! lifecycle and anomalies, never per-token — so this is far off the
+//! hot path; the per-token signals live in the lock-free histograms.
+
+use serde::value::Value;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A session was opened on the shard.
+    SessionOpen,
+    /// A session was closed by its client.
+    SessionClose,
+    /// A session was evicted (TTL sweep or slow-consumer policy).
+    SessionEvict,
+    /// A token was delivered after its deadline.
+    DeadlineMiss,
+    /// A step ran the dense path instead of the skip path.
+    DenseFallback,
+    /// A client blocked because the shard's request queue was full.
+    BackpressureStall,
+}
+
+impl EventKind {
+    /// Stable kebab-case name used in renderings and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SessionOpen => "session-open",
+            EventKind::SessionClose => "session-close",
+            EventKind::SessionEvict => "session-evict",
+            EventKind::DeadlineMiss => "deadline-miss",
+            EventKind::DenseFallback => "dense-fallback",
+            EventKind::BackpressureStall => "backpressure-stall",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Microseconds since the ring was created.
+    pub at_micros: u64,
+    /// Kind-specific payload: the raw session id for lifecycle events
+    /// and deadline misses, the batch size for dense fallbacks, 0 when
+    /// nothing applies.
+    pub detail: u64,
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "+{:>10.3}ms {:<18} detail={}",
+            self.at_micros as f64 / 1e3,
+            self.kind.name(),
+            self.detail
+        )
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("kind".to_string(), Value::Str(self.kind.name().to_string())),
+            ("at_us".to_string(), Value::Int(self.at_micros as i128)),
+            ("detail".to_string(), Value::Int(self.detail as i128)),
+        ])
+    }
+}
+
+struct Inner {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Fixed-capacity, overwrite-oldest event log for one shard.
+pub struct EventRing {
+    origin: Instant,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events (`capacity > 0`).
+    /// The buffer is allocated up front; pushes never grow it.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring needs capacity >= 1");
+        Self {
+            origin: Instant::now(),
+            capacity,
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum events held before the oldest is overwritten.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an event, timestamped now, evicting the oldest entry if
+    /// the ring is full.
+    pub fn push(&self, kind: EventKind, detail: u64) {
+        let at_micros = u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(Event {
+            kind,
+            at_micros,
+            detail,
+        });
+    }
+
+    /// Removes and returns all buffered events, oldest first. Writers
+    /// are only blocked for the swap, not while the caller consumes the
+    /// batch.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.buf.drain(..).collect()
+    }
+
+    /// Events overwritten before anyone drained them (cumulative).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_returns_fifo_and_empties() {
+        let ring = EventRing::new(8);
+        ring.push(EventKind::SessionOpen, 1);
+        ring.push(EventKind::SessionClose, 1);
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SessionOpen);
+        assert_eq!(events[1].kind, EventKind::SessionClose);
+        assert!(events[0].at_micros <= events[1].at_micros);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let ring = EventRing::new(2);
+        ring.push(EventKind::SessionOpen, 1);
+        ring.push(EventKind::SessionOpen, 2);
+        ring.push(EventKind::SessionOpen, 3);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let details: Vec<u64> = ring.drain().iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![2, 3]);
+    }
+
+    #[test]
+    fn push_never_grows_past_capacity() {
+        let ring = EventRing::new(4);
+        for i in 0..100 {
+            ring.push(EventKind::DeadlineMiss, i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 96);
+    }
+
+    #[test]
+    fn event_json_names_the_kind() {
+        let ring = EventRing::new(1);
+        ring.push(EventKind::DenseFallback, 32);
+        let events = ring.drain();
+        let json = serde_json::to_string(&events[0]).unwrap();
+        assert!(json.contains("\"kind\":\"dense-fallback\""));
+        assert!(json.contains("\"detail\":32"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Fixed-size, log-bucketed, lock-free latency histograms.
+//!
+//! Buckets are spaced by powers of two: bucket `0` holds the exact value
+//! `0`, bucket `i` (for `1 <= i < BUCKETS-1`) holds nanosecond values in
+//! `[2^(i-1), 2^i)`, and the top bucket saturates — everything at or
+//! above `2^(BUCKETS-2)` lands there. With [`BUCKETS`]` = 40` the
+//! resolvable range is 1 ns … ~4.6 min per sample, covering every
+//! latency the serving stack can produce, at a fixed 320-byte footprint.
+//!
+//! [`LatencyHistogram`] is the concurrent form: recording is one relaxed
+//! `fetch_add` on an `AtomicU64` bucket, so any number of worker threads
+//! share one histogram without locks, and an observer can
+//! [`snapshot`](LatencyHistogram::snapshot) it without stopping them
+//! (bucket counters are read independently — see the method docs for the
+//! consistency model). [`HistogramSnapshot`] is the plain-integer form
+//! used for aggregation, quantiles, rendering and JSON export — and
+//! doubles as a cheap single-threaded recorder (the load generator uses
+//! it directly).
+
+use serde::value::Value;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-2 buckets (see the module docs for the layout).
+pub const BUCKETS: usize = 40;
+
+/// The bucket a nanosecond value lands in: `0` for the exact value 0,
+/// otherwise `floor(log2(v)) + 1`, clamped into the top bucket.
+#[inline]
+fn bucket_index(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        ((64 - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket's value range — what quantiles
+/// report. The top bucket is saturated, so its bound is a floor on the
+/// true maximum, not a ceiling.
+#[inline]
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// Formats a nanosecond value with a human unit (ns/µs/ms/s). Bucket
+/// bounds are powers of two, so one decimal is all the precision the
+/// histogram actually has.
+pub(crate) fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+/// A lock-free histogram of nanosecond latencies, recordable from any
+/// number of threads concurrently.
+///
+/// All counter traffic is `Relaxed`: buckets are mutually independent
+/// event counts with no cross-bucket invariant to preserve, so a
+/// snapshot taken mid-traffic may straddle concurrent records (one
+/// bucket already incremented, a sibling not yet) — fine for
+/// observability, where only the converged distribution matters.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one nanosecond value (one relaxed atomic add — the whole
+    /// hot-path cost).
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one [`Duration`].
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        // > u64::MAX nanoseconds is ~585 years; saturate rather than wrap.
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Copies the current bucket counts into a plain
+    /// [`HistogramSnapshot`] without stopping writers. Buckets are read
+    /// independently with `Relaxed` loads, so counts recorded *during*
+    /// the snapshot may be partially included.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets: quantiles, merging,
+/// rendering — and a non-atomic recorder for single-threaded callers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with every bucket at zero.
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Records one nanosecond value (non-atomic — the single-threaded
+    /// counterpart of [`LatencyHistogram::record`], bucketed
+    /// identically).
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[bucket_index(nanos)] += 1;
+    }
+
+    /// Records one [`Duration`].
+    #[inline]
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The raw bucket counts (see the module docs for the value range of
+    /// each bucket).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Adds every bucket of `other` into `self`. Equivalent to having
+    /// recorded both sample streams into one histogram (property-tested
+    /// in `tests/proptests.rs`) — the cross-shard aggregation path.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// The quantile-`q` latency in nanoseconds, reported as the
+    /// inclusive upper bound of the bucket holding that rank (so the
+    /// true sample is never *above* the reported value, except in the
+    /// saturated top bucket, where the bound is a floor). `q` is clamped
+    /// into `[0, 1]`; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based: ceil(q·n), at least 1.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Median latency (ns).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile latency (ns).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile latency (ns).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency (ns).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Upper bound of the highest non-empty bucket — an inclusive bound
+    /// on the maximum recorded sample (a floor once the top bucket has
+    /// saturated). 0 when empty.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(bucket_upper_bound)
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    /// One-line percentile summary, e.g.
+    /// `n=8192 p50=1.0µs p90=2.0µs p99=8.2µs p999=16.4µs max≤32.8µs`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} p999={} max≤{}",
+            self.count(),
+            fmt_nanos(self.p50()),
+            fmt_nanos(self.p90()),
+            fmt_nanos(self.p99()),
+            fmt_nanos(self.p999()),
+            fmt_nanos(self.max_bound()),
+        )
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    /// JSON shape: the derived percentiles (nanoseconds) up front for
+    /// dashboards, plus the raw bucket counts so downstream tooling can
+    /// re-merge or re-quantile exactly.
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("count".to_string(), Value::Int(self.count() as i128)),
+            ("p50_ns".to_string(), Value::Int(self.p50() as i128)),
+            ("p90_ns".to_string(), Value::Int(self.p90() as i128)),
+            ("p99_ns".to_string(), Value::Int(self.p99() as i128)),
+            ("p999_ns".to_string(), Value::Int(self.p999() as i128)),
+            ("max_ns".to_string(), Value::Int(self.max_bound() as i128)),
+            (
+                "buckets".to_string(),
+                Value::Seq(
+                    self.buckets
+                        .iter()
+                        .map(|&b| Value::Int(b as i128))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_power_of_two_spacing() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        // Top-bucket saturation: everything >= 2^(BUCKETS-2) lands there.
+        assert_eq!(bucket_index(1 << (BUCKETS - 2)), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_recorded_value() {
+        let h = LatencyHistogram::new();
+        h.record(1_500); // bucket [1024, 2048)
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.p50(), 2047);
+        assert_eq!(s.p999(), 2047);
+        assert_eq!(s.max_bound(), 2047);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max_bound(), 0);
+        assert_eq!(
+            s.to_string(),
+            "n=0 p50=0ns p90=0ns p99=0ns p999=0ns max≤0ns"
+        );
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+
+    #[test]
+    fn json_export_carries_percentiles_and_buckets() {
+        let mut s = HistogramSnapshot::empty();
+        for v in [100u64, 200, 400, 800] {
+            s.record(v);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"count\":4"));
+        assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"buckets\":["));
+    }
+}

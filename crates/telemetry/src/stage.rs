@@ -1,0 +1,310 @@
+//! Scoped per-stage timing of a batched inference step.
+//!
+//! A [`StageClock`] lives inside the step scratch (fixed-size, so the
+//! zero-allocation contract of the hot loop is unaffected) and is lapped
+//! at each stage boundary of `DynamicBatcher::step_into`; the engine
+//! drains it into a cumulative [`StageBreakdown`] after every step. The
+//! breakdown answers the paper's Fig. 8-style question — where does a
+//! step actually spend its time — per serving shard, in production.
+
+use serde::value::Value;
+use serde::Serialize;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One timed phase of a batched inference step, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Input lookup/encode into the scratch embedding buffer.
+    InputEncode,
+    /// Skip-plan construction (active-lane selection, dense-fallback
+    /// decision).
+    PlanBuild,
+    /// The recurrent `Wh·h` GEMM over the active lanes.
+    RecurrentGemm,
+    /// Everything after the GEMM inside the cell: bias, gate
+    /// activations, state pointwise update, pruning.
+    Pointwise,
+    /// Output head projection over the new hidden state.
+    Head,
+    /// Result copy-out from scratch into per-session logits buffers.
+    Delivery,
+}
+
+impl Stage {
+    /// Number of stages (the fixed array length used everywhere).
+    pub const COUNT: usize = 6;
+
+    /// All stages, in execution order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::InputEncode,
+        Stage::PlanBuild,
+        Stage::RecurrentGemm,
+        Stage::Pointwise,
+        Stage::Head,
+        Stage::Delivery,
+    ];
+
+    /// Stable kebab-case name used in tables and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::InputEncode => "input-encode",
+            Stage::PlanBuild => "plan-build",
+            Stage::RecurrentGemm => "recurrent-gemm",
+            Stage::Pointwise => "pointwise",
+            Stage::Head => "head",
+            Stage::Delivery => "delivery",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Stage::InputEncode => 0,
+            Stage::PlanBuild => 1,
+            Stage::RecurrentGemm => 2,
+            Stage::Pointwise => 3,
+            Stage::Head => 4,
+            Stage::Delivery => 5,
+        }
+    }
+}
+
+/// Whether the `ZSKIP_STAGE_TIMING` environment variable permits stage
+/// timing in this process. Unset or any value other than `"0"` permits
+/// it; `ZSKIP_STAGE_TIMING=0` vetoes it everywhere regardless of
+/// per-engine configuration (the same process-wide override idiom as
+/// `ZSKIP_FORCE_PORTABLE`). Read once and cached.
+pub fn stage_timing_env_allowed() -> bool {
+    static ALLOWED: OnceLock<bool> = OnceLock::new();
+    *ALLOWED.get_or_init(|| std::env::var("ZSKIP_STAGE_TIMING").map_or(true, |v| v != "0"))
+}
+
+/// Cumulative nanoseconds spent per [`Stage`].
+///
+/// `Copy` and fixed-size so it can sit inside `EngineStats` and be
+/// absorbed/merged without allocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    nanos: [u64; Stage::COUNT],
+}
+
+impl StageBreakdown {
+    /// An all-zero breakdown.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a breakdown from raw per-stage nanoseconds, indexed in
+    /// [`Stage::ALL`] order — the inverse of [`Self::as_nanos`], used to
+    /// reassemble a breakdown published through per-stage atomics.
+    pub fn from_nanos(nanos: [u64; Stage::COUNT]) -> Self {
+        Self { nanos }
+    }
+
+    /// The raw per-stage nanoseconds, indexed in [`Stage::ALL`] order.
+    pub fn as_nanos(&self) -> [u64; Stage::COUNT] {
+        self.nanos
+    }
+
+    /// Nanoseconds attributed to one stage.
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.nanos[stage.index()]
+    }
+
+    /// Total nanoseconds across all stages.
+    pub fn total(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Whether any time has been attributed at all (false when timing
+    /// is disabled or no step has run).
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Adds another breakdown into this one (per-step accumulation and
+    /// cross-shard aggregation use the same path).
+    pub fn add(&mut self, other: &StageBreakdown) {
+        for (dst, src) in self.nanos.iter_mut().zip(other.nanos.iter()) {
+            *dst = dst.saturating_add(*src);
+        }
+    }
+
+    #[inline]
+    fn add_nanos(&mut self, stage: Stage, nanos: u64) {
+        self.nanos[stage.index()] = self.nanos[stage.index()].saturating_add(nanos);
+    }
+}
+
+impl std::fmt::Display for StageBreakdown {
+    /// One line per stage with nanoseconds and share of total, e.g.
+    /// `recurrent-gemm  1.2ms  63.1%`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total();
+        for stage in Stage::ALL {
+            let ns = self.get(stage);
+            let share = if total == 0 {
+                0.0
+            } else {
+                ns as f64 / total as f64 * 100.0
+            };
+            writeln!(
+                f,
+                "{:<14} {:>10} {:>6.1}%",
+                stage.name(),
+                crate::histogram::fmt_nanos(ns),
+                share
+            )?;
+        }
+        write!(
+            f,
+            "{:<14} {:>10}",
+            "total",
+            crate::histogram::fmt_nanos(total)
+        )
+    }
+}
+
+impl Serialize for StageBreakdown {
+    /// JSON shape: `{"input-encode_ns": ..., ..., "total_ns": ...}`.
+    fn to_value(&self) -> Value {
+        let mut map: Vec<(String, Value)> = Stage::ALL
+            .iter()
+            .map(|&s| (format!("{}_ns", s.name()), Value::Int(self.get(s) as i128)))
+            .collect();
+        map.push(("total_ns".to_string(), Value::Int(self.total() as i128)));
+        Value::Map(map)
+    }
+}
+
+/// Lap-based stage timer embedded in the step scratch.
+///
+/// `begin()` marks the start of a step; each `lap(stage)` attributes the
+/// time since the previous mark to `stage` and re-marks. Fixed-size and
+/// allocation-free; when disabled (by construction or the
+/// `ZSKIP_STAGE_TIMING=0` veto) every call is a single branch with no
+/// `Instant` read.
+#[derive(Clone, Debug)]
+pub struct StageClock {
+    enabled: bool,
+    mark: Instant,
+    lapped: StageBreakdown,
+}
+
+impl StageClock {
+    /// A clock that times laps iff `enabled` and the process-wide env
+    /// veto permits it.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled: enabled && stage_timing_env_allowed(),
+            mark: Instant::now(),
+            lapped: StageBreakdown::zero(),
+        }
+    }
+
+    /// Whether laps are being timed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Marks the start of a step.
+    #[inline]
+    pub fn begin(&mut self) {
+        if self.enabled {
+            self.mark = Instant::now();
+        }
+    }
+
+    /// Attributes the time since the previous mark to `stage` and
+    /// re-marks.
+    #[inline]
+    pub fn lap(&mut self, stage: Stage) {
+        if self.enabled {
+            let now = Instant::now();
+            self.lapped.add_nanos(
+                stage,
+                u64::try_from(now.duration_since(self.mark).as_nanos()).unwrap_or(u64::MAX),
+            );
+            self.mark = now;
+        }
+    }
+
+    /// Returns everything lapped since the last `take` and resets the
+    /// accumulator — the engine drains this into its cumulative
+    /// `EngineStats` breakdown after each step.
+    pub fn take(&mut self) -> StageBreakdown {
+        std::mem::take(&mut self.lapped)
+    }
+}
+
+impl Default for StageClock {
+    /// Enabled (subject to the env veto) — telemetry is on by default.
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate_into_the_right_stage() {
+        let mut clock = StageClock::new(true);
+        if !clock.is_enabled() {
+            return; // ZSKIP_STAGE_TIMING=0 in this process
+        }
+        clock.begin();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        clock.lap(Stage::RecurrentGemm);
+        let b = clock.take();
+        assert!(b.get(Stage::RecurrentGemm) >= 1_000_000);
+        assert_eq!(b.get(Stage::Head), 0);
+        // take() drained the accumulator.
+        assert!(clock.take().is_zero());
+    }
+
+    #[test]
+    fn disabled_clock_attributes_nothing() {
+        let mut clock = StageClock::new(false);
+        assert!(!clock.is_enabled());
+        clock.begin();
+        clock.lap(Stage::Pointwise);
+        assert!(clock.take().is_zero());
+    }
+
+    #[test]
+    fn breakdown_add_is_per_stage() {
+        let mut clock = StageClock::new(true);
+        if !clock.is_enabled() {
+            return;
+        }
+        clock.begin();
+        clock.lap(Stage::Head);
+        let mut total = StageBreakdown::zero();
+        total.add(&clock.take());
+        let before = total.get(Stage::Head);
+        clock.begin();
+        clock.lap(Stage::Head);
+        total.add(&clock.take());
+        assert!(total.get(Stage::Head) >= before);
+        assert_eq!(total.get(Stage::PlanBuild), 0);
+    }
+
+    #[test]
+    fn display_lists_every_stage_and_total() {
+        let rendered = StageBreakdown::zero().to_string();
+        for stage in Stage::ALL {
+            assert!(rendered.contains(stage.name()), "missing {}", stage.name());
+        }
+        assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn json_uses_stage_names() {
+        let json = serde_json::to_string(&StageBreakdown::zero()).unwrap();
+        assert!(json.contains("\"recurrent-gemm_ns\":0"));
+        assert!(json.contains("\"total_ns\":0"));
+    }
+}

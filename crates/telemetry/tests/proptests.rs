@@ -1,0 +1,115 @@
+//! Property-based tests for the latency histogram: quantile
+//! monotonicity, bucket-boundary placement, merge equivalence, and
+//! top-bucket saturation.
+
+use proptest::prelude::*;
+use zskip_telemetry::{HistogramSnapshot, LatencyHistogram, BUCKETS};
+
+/// Nanosecond samples spread across the whole bucket range: mixes small
+/// exact values, mid-range values, and values near power-of-2 edges.
+fn sample() -> impl Strategy<Value = u64> {
+    (0u32..40, 0u64..1 << 20).prop_map(|(shift, jitter)| (1u64 << shift).wrapping_add(jitter))
+}
+
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(sample(), max_len)
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_monotone_in_q(values in samples(64)) {
+        let mut h = HistogramSnapshot::empty();
+        for v in &values {
+            h.record(*v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(
+                h.quantile(pair[0]) <= h.quantile(pair[1]),
+                "q={} gave {} > q={} gave {}",
+                pair[0], h.quantile(pair[0]), pair[1], h.quantile(pair[1])
+            );
+        }
+    }
+
+    #[test]
+    fn every_quantile_bounds_some_recorded_sample(values in samples(32)) {
+        let mut h = HistogramSnapshot::empty();
+        for v in &values {
+            h.record(*v);
+        }
+        if values.is_empty() {
+            prop_assert_eq!(h.p50(), 0);
+        } else {
+            // Quantiles report bucket upper bounds, so the smallest
+            // sample can never exceed p0 … and the reported max bound is
+            // >= every sample below the saturation point.
+            let max = *values.iter().max().unwrap();
+            let saturation = 1u64 << (BUCKETS - 2);
+            if max < saturation {
+                prop_assert!(h.max_bound() >= max);
+                prop_assert!(h.quantile(1.0) >= max);
+            }
+            let min = *values.iter().min().unwrap();
+            prop_assert!(h.quantile(0.0) >= min || h.quantile(0.0) == 0 && min == 0);
+        }
+    }
+
+    #[test]
+    fn boundary_values_land_in_adjacent_buckets(shift in 1u32..38) {
+        // 2^k - 1 and 2^k must straddle a bucket edge: the quantile of a
+        // histogram holding only 2^k - 1 is exactly 2^k - 1, while one
+        // holding 2^k reports the next bucket's bound.
+        let edge = 1u64 << shift;
+        let mut below = HistogramSnapshot::empty();
+        below.record(edge - 1);
+        prop_assert_eq!(below.p50(), edge - 1);
+        let mut at = HistogramSnapshot::empty();
+        at.record(edge);
+        prop_assert_eq!(at.p50(), (edge << 1) - 1);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one(a in samples(48), b in samples(48)) {
+        let mut left = HistogramSnapshot::empty();
+        for v in &a {
+            left.record(*v);
+        }
+        let mut right = HistogramSnapshot::empty();
+        for v in &b {
+            right.record(*v);
+        }
+        let mut combined = HistogramSnapshot::empty();
+        for v in a.iter().chain(b.iter()) {
+            combined.record(*v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, combined);
+        prop_assert_eq!(left.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn atomic_and_snapshot_recording_agree(values in samples(64)) {
+        let atomic = LatencyHistogram::new();
+        let mut plain = HistogramSnapshot::empty();
+        for v in &values {
+            atomic.record(*v);
+            plain.record(*v);
+        }
+        prop_assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn top_bucket_saturates(extra in 0u64..u64::MAX / 2) {
+        let saturation = 1u64 << (BUCKETS - 2);
+        let mut h = HistogramSnapshot::empty();
+        h.record(saturation.saturating_add(extra));
+        let mut reference = HistogramSnapshot::empty();
+        reference.record(u64::MAX);
+        // Everything at or above the saturation point is
+        // indistinguishable: same bucket, same quantiles.
+        prop_assert_eq!(h, reference);
+        prop_assert_eq!(h.p50(), reference.p50());
+        prop_assert_eq!(h.buckets()[BUCKETS - 1], 1);
+    }
+}

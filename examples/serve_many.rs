@@ -39,6 +39,8 @@ fn main() {
             rounds: ROUNDS,
             churn: 0.15,
             seed: 3,
+            deadline: Some(Duration::from_millis(50)),
+            ..LoadConfig::default()
         })
         .run(&server)
         .expect("load run");
@@ -51,6 +53,10 @@ fn main() {
             report.opened,
             stats.evicted_sessions(),
             stats.deadline_misses(),
+        );
+        println!(
+            "       | client-observed token latency: {}",
+            report.token_latency
         );
         server.shutdown();
     }

@@ -1,0 +1,73 @@
+//! Observability tour of the serving stack: latency histograms, the
+//! per-stage step breakdown and the shard event ring, live under churny
+//! multi-shard load — then the same snapshot exported as JSON.
+//!
+//! ```sh
+//! cargo run --release --example serve_telemetry
+//! ```
+//!
+//! The percentile tables print *while the run is in flight*
+//! (`LoadConfig::progress_every`): snapshots and event drains never stop
+//! the workers. Set `ZSKIP_STAGE_TIMING=0` to veto the stage clock and
+//! watch the breakdown section disappear.
+
+use std::time::Duration;
+use zskip::runtime::FrozenCharLm;
+use zskip::serve::{LoadConfig, LoadGenerator, ServeConfig, Server};
+
+fn main() {
+    let model = FrozenCharLm::random(64, 256, 42);
+    let server = Server::start(
+        model,
+        ServeConfig::for_threshold(0.3)
+            .with_shards(2)
+            .with_queue_capacity(2048)
+            .with_session_ttl(Duration::from_secs(10))
+            .with_token_deadline(Duration::from_millis(20))
+            .with_event_capacity(512),
+    );
+
+    println!("== live percentile tables under churn (2 shards, 512 streams) ==\n");
+    let report = LoadGenerator::new(LoadConfig {
+        streams: 512,
+        tokens_per_round: 4,
+        rounds: 6,
+        churn: 0.2,
+        seed: 3,
+        deadline: Some(Duration::from_millis(20)),
+        progress_every: 2, // a table every 2 rounds, mid-flight
+    })
+    .run(&server)
+    .expect("load run");
+
+    println!("\n== load generator's client-side report ==\n{report}\n");
+
+    let stats = server.stats();
+    println!("== final server snapshot ==\n{stats}\n");
+    println!(
+        "token latency percentiles: p50≤{} p90≤{} p99≤{} p999≤{} (ns, bucket upper bounds)\n",
+        stats.token_latency().p50(),
+        stats.token_latency().p90(),
+        stats.token_latency().p99(),
+        stats.token_latency().p999(),
+    );
+
+    let events = server.drain_events();
+    println!(
+        "== last {} shard events (ring drained live) ==",
+        events.len().min(10)
+    );
+    for event in events.iter().rev().take(10).rev() {
+        println!("  {event}");
+    }
+
+    println!(
+        "\n== the same snapshot as JSON (vendored serde) ==\n{}",
+        stats.to_json()
+    );
+    println!(
+        "\nload report as JSON:\n{}",
+        zskip::serde_json::to_string_pretty(&report).expect("infallible")
+    );
+    server.shutdown();
+}

@@ -20,6 +20,7 @@
 //! | [`baselines`] | `zskip-baselines` | ESE and CBSR analytic models |
 //! | [`runtime`] | `zskip-runtime` | batched CPU serving engine that skips ineffectual MACs — generic over the model family (LSTM/GRU char-LM, word-LM, classifier) |
 //! | [`serve`] | `zskip-serve` | sharded multi-threaded serving layer: workers, backpressure, TTL, stats, `recv_any` multiplexing |
+//! | [`telemetry`] | `zskip-telemetry` | lock-free latency histograms, per-stage step timing, bounded event rings (see `examples/serve_telemetry.rs`) |
 //!
 //! # Quickstart
 //!
@@ -79,4 +80,9 @@ pub use zskip_data as data;
 pub use zskip_nn as nn;
 pub use zskip_runtime as runtime;
 pub use zskip_serve as serve;
+pub use zskip_telemetry as telemetry;
 pub use zskip_tensor as tensor;
+// The vendored serde_json, re-exported so examples and downstream users
+// can render the telemetry snapshots (`Serialize` types throughout)
+// without declaring the vendored crate themselves.
+pub use serde_json;

@@ -9,7 +9,7 @@
 //! sparse step at 80% sparsity beating the dense step by ≥ 2× at
 //! `dh ≥ 512`. Record medians in `docs/BENCH_RESULTS.md`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use zskip_runtime::{
     BatchStep, DynamicBatcher, FrozenCharLm, FrozenGruCharLm, FrozenQuantizedCharLm, FrozenWordLm,
@@ -277,4 +277,19 @@ criterion_group!(
     bench_stage_timing_overhead,
     bench_recurrent_kernel
 );
-criterion_main!(benches);
+
+/// Runs the groups, then drops every measured median into
+/// `BENCH_runtime.json` (see `zskip_bench::evidence`): the evidence file
+/// is what `docs/BENCH_RESULTS.md` entries cite and what `bench_compare`
+/// gates on.
+fn main() {
+    benches();
+    let mut evidence = zskip_bench::Evidence::new("runtime");
+    for m in criterion::take_measurements() {
+        evidence = evidence.metric(&m.id, m.median_nanos);
+    }
+    match evidence.write() {
+        Ok(path) => eprintln!("bench evidence: {}", path.display()),
+        Err(e) => eprintln!("bench evidence write failed: {e}"),
+    }
+}

@@ -11,13 +11,20 @@
 //!   session per step (`O(open)`); now idle sessions cost nothing
 //!   (`O(batch)`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Mutex;
 use zskip_runtime::{Engine, EngineConfig, FrozenCharLm};
 use zskip_serve::{LoadConfig, LoadGenerator, ServeConfig, Server};
 
 const VOCAB: usize = 64;
 const DH: usize = 256;
+
+/// Metrics beyond criterion's medians — the client-observed latency
+/// percentiles of the unmeasured telemetry run — collected here so
+/// `main` can fold them into the evidence file next to the throughput
+/// numbers.
+static EXTRA_METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 fn bench_streams_vs_shards(c: &mut Criterion) {
     let model = FrozenCharLm::random(VOCAB, DH, 42);
@@ -50,6 +57,18 @@ fn bench_streams_vs_shards(c: &mut Criterion) {
             "shards={shards} client token latency: {}",
             report.token_latency
         );
+        let mut extra = EXTRA_METRICS.lock().unwrap();
+        for (pct, nanos) in [
+            ("p50", report.token_latency.p50()),
+            ("p90", report.token_latency.p90()),
+            ("p99", report.token_latency.p99()),
+        ] {
+            extra.push((
+                format!("serve_1024_streams_dh{DH}/client_latency_{pct}/shards_{shards}"),
+                nanos as f64,
+            ));
+        }
+        drop(extra);
         let stages = server.stats().stages();
         if !stages.is_zero() {
             println!("shards={shards} stage breakdown:\n{stages}");
@@ -87,4 +106,22 @@ fn bench_idle_sessions(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_streams_vs_shards, bench_idle_sessions);
-criterion_main!(benches);
+
+/// Runs the groups, then writes `BENCH_serve.json`: criterion medians
+/// plus the client-observed latency percentiles gathered above. The
+/// evidence file is what `docs/BENCH_RESULTS.md` entries cite and what
+/// `bench_compare` gates on.
+fn main() {
+    benches();
+    let mut evidence = zskip_bench::Evidence::new("serve");
+    for m in criterion::take_measurements() {
+        evidence = evidence.metric(&m.id, m.median_nanos);
+    }
+    for (id, nanos) in EXTRA_METRICS.lock().unwrap().drain(..) {
+        evidence = evidence.metric(&id, nanos);
+    }
+    match evidence.write() {
+        Ok(path) => eprintln!("bench evidence: {}", path.display()),
+        Err(e) => eprintln!("bench evidence write failed: {e}"),
+    }
+}

@@ -1,0 +1,127 @@
+//! Diffs two `BENCH_<lane>.json` evidence files and gates on median
+//! regressions.
+//!
+//! ```text
+//! bench_compare [--max-regression-pct <P>] <baseline.json> <candidate.json>
+//! bench_compare --schema-only <file.json>...
+//! ```
+//!
+//! Exit codes:
+//!
+//! * `0` — no gated regression (or `--schema-only` and every file
+//!   parsed); smoke evidence on either side reports the diff but never
+//!   gates, since one-sample numbers are noise.
+//! * `1` — at least one shared metric's median regressed by more than
+//!   the threshold (default 10%).
+//! * `2` — a file was unreadable or violated the
+//!   `zskip-bench-evidence/v1` schema.
+
+use std::process::ExitCode;
+use zskip_bench::{compare, Evidence};
+
+fn load(path: &str) -> Result<Evidence, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Evidence::from_json(&body).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_compare [--max-regression-pct <P>] <baseline.json> <candidate.json>\n\
+         \x20      bench_compare --schema-only <file.json>..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut schema_only = false;
+    let mut max_regression_pct = 10.0f64;
+    let mut files: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schema-only" => schema_only = true,
+            "--max-regression-pct" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                max_regression_pct = v;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => return usage(),
+            other => files.push(other.to_string()),
+        }
+    }
+
+    if schema_only {
+        if files.is_empty() {
+            return usage();
+        }
+        for path in &files {
+            match load(path) {
+                Ok(e) => println!(
+                    "{path}: ok (lane {}, {} metrics{})",
+                    e.lane,
+                    e.metrics.len(),
+                    if e.smoke { ", smoke" } else { "" }
+                ),
+                Err(err) => {
+                    eprintln!("bench_compare: {err}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        return usage();
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cmp = compare(&baseline, &candidate, max_regression_pct);
+    println!(
+        "baseline  {} ({}, {})\ncandidate {} ({}, {})",
+        baseline_path,
+        baseline.date_utc,
+        baseline.machine.host,
+        candidate_path,
+        candidate.date_utc,
+        candidate.machine.host,
+    );
+    for (id, pct) in &cmp.compared {
+        println!("  {id}: {pct:+.1}%");
+    }
+    for id in &cmp.unmatched {
+        eprintln!("warning: metric only on one side: {id}");
+    }
+    if cmp.compared.is_empty() {
+        eprintln!("warning: no shared metrics between the two files");
+    }
+    if cmp.smoke {
+        eprintln!("warning: smoke evidence — regression gate disarmed");
+    }
+    if !cmp.regressions.is_empty() {
+        println!(
+            "\n{} metric(s) slower than the {:.1}% budget:",
+            cmp.regressions.len(),
+            max_regression_pct
+        );
+        for r in &cmp.regressions {
+            println!("  {r}");
+        }
+    }
+    if cmp.gate_failed() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -12,27 +12,41 @@
 //! assertion is exact, not probabilistic).
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use zskip_runtime::{
     Engine, EngineConfig, FrozenCharLm, FrozenGruCharLm, FrozenModel, FrozenQuantizedCharLm,
     FrozenSeqClassifier, FrozenWordLm, SessionId,
 };
+use zskip_telemetry::{SpanKind, SpanRing, Stage, TraceId, TraceSampler};
 
 /// Counts every allocation (alloc, zeroed alloc, growth realloc) made
 /// while `COUNTING` is enabled; memory itself comes from [`System`].
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-static COUNTING: AtomicBool = AtomicBool::new(false);
 
-/// The counter is process-global, so every test in this binary holds
-/// this lock: a test allocating while another test's counting window is
-/// open would inflate its count.
+thread_local! {
+    /// Counting is armed per thread: the contract loops are single-
+    /// threaded, and the test harness's own threads allocate at will
+    /// (result lines print, the next test's thread spawns) while a
+    /// window is open — a process-global flag would count those too.
+    /// `const` init keeps the TLS slot allocation-free to touch from
+    /// inside the allocator.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The allocation counter is process-global, so every test in this
+/// binary holds this lock: two counting windows open at once would
+/// cross-contaminate the count.
 static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 impl CountingAlloc {
     fn record() {
-        if COUNTING.load(Ordering::Relaxed) {
+        // `try_with` instead of `with`: allocations can happen while the
+        // thread's TLS is being torn down, where access would panic.
+        if COUNTING.try_with(Cell::get).unwrap_or(false) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -107,11 +121,11 @@ fn assert_steady_state_allocation_free<M: FrozenModel>(
     }
 
     ALLOCATIONS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    COUNTING.set(true);
     for r in 16..48 {
         round(&mut engine, &ids, r, &input);
     }
-    COUNTING.store(false, Ordering::SeqCst);
+    COUNTING.set(false);
     let allocs = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         allocs, 0,
@@ -184,6 +198,62 @@ fn steady_state_steps_do_not_allocate_with_stage_timing_off() {
     // veto stage timing (ZSKIP_STAGE_TIMING=0 or config).
     let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     all_families(false);
+}
+
+#[test]
+fn span_tracing_steady_state_does_not_allocate() {
+    // The trace layer inherits the contract: a warmed [`SpanRing`] holds
+    // a preallocated deque, so recording spans — the worker's per-step
+    // `push_raw`, the client's `record`, and the sampling decision that
+    // gates both — must be allocation-free whether the ring is still
+    // filling or already overwriting its oldest entries. The same body
+    // runs under `ZSKIP_TRACE=0` in CI: the veto folds into the sampler
+    // (nothing is recorded on the guarded path), and the unconditional
+    // ring writes stay allocation-free either way.
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ring = SpanRing::new(256, Instant::now());
+    let sampler = TraceSampler::new(4);
+    // Warm-up fills the ring past capacity so the measured rounds cover
+    // both the append path and the overwrite-oldest path.
+    for i in 0..512u64 {
+        ring.push_raw(TraceId(i), SpanKind::QueueWait, i, i + 10, 0, 0);
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.set(true);
+    let started = Instant::now();
+    for i in 0..4096u64 {
+        // The worker's pattern: sampling decision first, span only for
+        // selected streams.
+        if sampler.sampled(i) {
+            ring.push_raw(TraceId(i), SpanKind::BatchStep, i, i + 50, i, 4 << 16);
+            ring.push_raw(
+                TraceId(i),
+                SpanKind::Stage(Stage::PlanBuild),
+                i,
+                i + 10,
+                i,
+                0,
+            );
+        }
+        // The client's pattern: wall-clock record against the origin.
+        ring.record(
+            TraceId(i),
+            SpanKind::ClientSubmit,
+            started,
+            Instant::now(),
+            1,
+            0,
+        );
+    }
+    COUNTING.set(false);
+    let drained = ring.drain();
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "{allocs} heap allocations across 4096 traced rounds (expected none)"
+    );
+    assert_eq!(drained.len(), 256, "ring drained at capacity");
 }
 
 #[test]

@@ -8,7 +8,7 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zskip_runtime::{EngineError, FrozenCharLm, FrozenModel, InputSpec, SessionId, StepResult};
-use zskip_telemetry::EventKind;
+use zskip_telemetry::{EventKind, SpanKind, TraceId};
 
 /// Handle to one open stream: the owning shard plus the shard engine's
 /// generational [`SessionId`]. Routing derives from the id itself, so a
@@ -17,6 +17,17 @@ use zskip_telemetry::EventKind;
 pub struct StreamId {
     pub(crate) shard: u32,
     pub(crate) session: SessionId,
+}
+
+/// Folds a stream's shard and generational session id into the u64 key
+/// the [`zskip_telemetry::TraceSampler`] hashes. Both halves of the
+/// stack derive it independently — the client from its [`StreamId`],
+/// the shard worker from its own index plus the engine's session id —
+/// so they always agree on which streams are sampled.
+pub(crate) fn stream_trace_key(shard: u32, session: SessionId) -> u64 {
+    (shard as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(session.0)
 }
 
 impl StreamId {
@@ -28,6 +39,11 @@ impl StreamId {
     /// The generational per-shard session id.
     pub fn session(&self) -> SessionId {
         self.session
+    }
+
+    /// This stream's deterministic trace-sampling key.
+    pub fn trace_key(&self) -> u64 {
+        stream_trace_key(self.shard, self.session)
     }
 }
 
@@ -64,6 +80,10 @@ pub struct Client<M: FrozenModel = FrozenCharLm> {
     /// The sender template cloned into each `Open` request (capacity 1 —
     /// a pending wakeup token is binary).
     wakeup_tx: SyncSender<()>,
+    /// Copy of the server's deterministic stream sampler, so the client
+    /// stitches its side of a sampled stream into the same trace the
+    /// worker records.
+    sampler: zskip_telemetry::TraceSampler,
 }
 
 impl<M: FrozenModel> Client<M> {
@@ -72,6 +92,7 @@ impl<M: FrozenModel> Client<M> {
         open_counter: Arc<AtomicU64>,
         spec: M::Spec,
         result_capacity: usize,
+        sampler: zskip_telemetry::TraceSampler,
     ) -> Self {
         let (wakeup_tx, wakeup_rx) = mpsc::sync_channel(1);
         Self {
@@ -84,6 +105,7 @@ impl<M: FrozenModel> Client<M> {
             recv_any_cursor: 0,
             wakeup_rx,
             wakeup_tx,
+            sampler,
         }
     }
 
@@ -166,15 +188,27 @@ impl<M: FrozenModel> Client<M> {
         if inputs.is_empty() {
             return Ok(());
         }
-        self.send_request(
+        let started = Instant::now();
+        let outcome = self.send_request(
             id.shard,
             Request::SubmitMany {
                 id: id.session,
                 inputs: inputs.to_vec(),
-                enqueued: Instant::now(),
+                enqueued: started,
             },
             true,
-        )
+        );
+        if outcome.is_ok() && self.is_traced(id) {
+            self.record_span(
+                id,
+                SpanKind::ClientSubmit,
+                started,
+                Instant::now(),
+                inputs.len() as u64,
+                0,
+            );
+        }
+        outcome
     }
 
     fn submit(&mut self, id: StreamId, input: M::Input, blocking: bool) -> Result<(), ServeError> {
@@ -184,21 +218,28 @@ impl<M: FrozenModel> Client<M> {
         if !self.spec.validate(&input) {
             return Err(EngineError::InvalidInput.into());
         }
-        self.send_request(
+        let started = Instant::now();
+        let outcome = self.send_request(
             id.shard,
             Request::Submit {
                 id: id.session,
                 input,
-                enqueued: Instant::now(),
+                enqueued: started,
             },
             blocking,
-        )
+        );
+        if outcome.is_ok() && self.is_traced(id) {
+            self.record_span(id, SpanKind::ClientSubmit, started, Instant::now(), 1, 0);
+        }
+        outcome
     }
 
     /// Pops the oldest undelivered result of a stream, blocking until one
     /// arrives (bounded by the receive timeout, when set).
     pub fn recv(&mut self, id: StreamId) -> Result<StepResult<M::Input>, ServeError> {
         let rx = self.streams.get(&id).ok_or(ServeError::UnknownStream)?;
+        let traced = self.is_traced(id);
+        let started = traced.then(Instant::now);
         let outcome = match self.recv_timeout {
             None => rx.recv().map_err(|_| ServeError::Evicted),
             Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
@@ -209,6 +250,11 @@ impl<M: FrozenModel> Client<M> {
         if matches!(outcome, Err(ServeError::Evicted)) {
             // The worker dropped our channel: the session is gone.
             self.streams.remove(&id);
+        }
+        if outcome.is_ok() {
+            if let Some(started) = started {
+                self.record_span(id, SpanKind::ClientRecv, started, Instant::now(), 1, 0);
+            }
         }
         outcome
     }
@@ -309,6 +355,40 @@ impl<M: FrozenModel> Client<M> {
         self.send_request(id.shard, Request::Close { id: id.session }, true)
     }
 
+    /// Whether a stream is being traced under the server's deterministic
+    /// sampler. `false` for every stream when tracing is disabled
+    /// (sampling rate 0 or `ZSKIP_TRACE=0`).
+    pub fn is_traced(&self, id: StreamId) -> bool {
+        self.sampler.sampled(id.trace_key())
+    }
+
+    /// Records a custom client-side span onto a traced stream's shard
+    /// ring — a no-op when the stream is not sampled. The load generator
+    /// uses this to stitch its submit→recv umbrella spans into the same
+    /// trace the worker records; callers may attach their own
+    /// [`SpanKind::Token`] spans the same way.
+    pub fn record_span(
+        &self,
+        id: StreamId,
+        kind: SpanKind,
+        started: Instant,
+        ended: Instant,
+        a: u64,
+        b: u64,
+    ) {
+        let key = id.trace_key();
+        if self.sampler.sampled(key) {
+            self.shards[id.shard as usize].shared.spans.record(
+                TraceId(key),
+                kind,
+                started,
+                ended,
+                a,
+                b,
+            );
+        }
+    }
+
     fn send_request(
         &self,
         shard: u32,
@@ -329,10 +409,37 @@ impl<M: FrozenModel> Client<M> {
                         .shared
                         .events
                         .push(EventKind::BackpressureStall, request.session_detail());
-                    handle
+                    // The stall itself becomes a span on sampled streams:
+                    // the time this sender spent parked on the full queue
+                    // shows up in the trace instead of hiding inside the
+                    // submit latency.
+                    let traced_session = match &request {
+                        Request::Submit { id, .. }
+                        | Request::SubmitMany { id, .. }
+                        | Request::Close { id } => Some(*id),
+                        Request::Open { .. } | Request::Shutdown => None,
+                    };
+                    let stalled = Instant::now();
+                    let outcome = handle
                         .tx
                         .send(request)
-                        .map_err(|_| ServeError::ServerClosed)
+                        .map_err(|_| ServeError::ServerClosed);
+                    if outcome.is_ok() {
+                        if let Some(session) = traced_session {
+                            let key = stream_trace_key(shard, session);
+                            if self.sampler.sampled(key) {
+                                handle.shared.spans.record(
+                                    TraceId(key),
+                                    SpanKind::BackpressureStall,
+                                    stalled,
+                                    Instant::now(),
+                                    0,
+                                    0,
+                                );
+                            }
+                        }
+                    }
+                    outcome
                 }
                 Err(TrySendError::Disconnected(_)) => Err(ServeError::ServerClosed),
             }

@@ -20,6 +20,9 @@
 //! * per-session TTL eviction and per-token deadline-miss accounting,
 //! * [`ServerStats`] — a cross-shard aggregate (throughput, skip
 //!   fraction, queue depth, deadline misses, evictions),
+//! * sampled per-token span tracing — deterministic 1-in-N stream
+//!   sampling, per-shard span rings, [`Server::drain_trace`] and a
+//!   Chrome trace-event / Perfetto export ([`TraceExport`]),
 //! * [`LoadGenerator`] — sustained mixed open/submit/close traffic for
 //!   benches and examples.
 //!
@@ -55,12 +58,17 @@ pub mod error;
 pub mod loadgen;
 pub mod server;
 pub mod stats;
+pub mod trace_export;
 
 pub use client::{Client, StreamId};
 pub use error::ServeError;
 pub use loadgen::{LoadConfig, LoadGenerator, LoadReport};
 pub use server::{ServeConfig, Server};
 pub use stats::{ServerStats, ShardEvent, ShardStats};
-// Re-exported so event/histogram/stage types drained or snapshotted from
-// a server are nameable without depending on the telemetry crate.
-pub use zskip_telemetry::{Event, EventKind, HistogramSnapshot, StageBreakdown};
+pub use trace_export::{validate_chrome_json, ShardSpan, TraceExport, TraceValidation};
+// Re-exported so event/histogram/stage/span types drained or snapshotted
+// from a server are nameable without depending on the telemetry crate.
+pub use zskip_telemetry::{
+    trace_env_allowed, Event, EventKind, HistogramSnapshot, Span, SpanId, SpanKind, StageBreakdown,
+    TraceId, TraceSampler,
+};

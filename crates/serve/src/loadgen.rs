@@ -13,7 +13,7 @@ use serde::value::Value;
 use serde::Serialize;
 use std::time::{Duration, Instant};
 use zskip_runtime::{FrozenModel, InputSpec};
-use zskip_telemetry::HistogramSnapshot;
+use zskip_telemetry::{HistogramSnapshot, SpanKind};
 use zskip_tensor::SeedableStream;
 
 /// Traffic shape for one [`LoadGenerator`] run.
@@ -237,15 +237,29 @@ impl LoadGenerator {
                     client.recv(id)?;
                     tokens += 1;
                     tally.tokens += 1;
-                    let waited = stamps
+                    let sent = stamps
                         .pop_front()
-                        .expect("one send stamp per received token")
-                        .elapsed();
+                        .expect("one send stamp per received token");
+                    let now = Instant::now();
+                    let waited = now.duration_since(sent);
                     latency.record_duration(waited);
-                    if cfg.deadline.is_some_and(|d| waited > d) {
+                    let missed = cfg.deadline.is_some_and(|d| waited > d);
+                    if missed {
                         misses += 1;
                         tally.misses += 1;
                     }
+                    // Stitch the whole send→recv life of the token into
+                    // the trace as an umbrella span (no-op unless the
+                    // stream is sampled): the client-observed latency the
+                    // report aggregates becomes visible per token.
+                    client.record_span(
+                        id,
+                        SpanKind::Token,
+                        sent,
+                        now,
+                        round as u64,
+                        u64::from(missed),
+                    );
                 }
             }
             if cfg.progress_every > 0 && (round + 1) % cfg.progress_every == 0 {

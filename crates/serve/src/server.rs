@@ -14,16 +14,19 @@
 //! a fixed capacity, so a flooded shard pushes back on producers instead
 //! of buffering without bound.
 
-use crate::client::Client;
+use crate::client::{stream_trace_key, Client};
 use crate::stats::{duration_nanos, ServerStats, ShardEvent, ShardShared};
+use crate::trace_export::{ShardSpan, TraceExport};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use zskip_runtime::{Engine, EngineConfig, FrozenCharLm, FrozenModel, SessionId, StepResult};
-use zskip_telemetry::EventKind;
+use zskip_runtime::{
+    Engine, EngineConfig, EngineStats, FrozenCharLm, FrozenModel, SessionId, Stage, StepResult,
+};
+use zskip_telemetry::{EventKind, SpanKind, TraceId, TraceSampler};
 
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +58,17 @@ pub struct ServeConfig {
     /// are overwritten (and counted as `dropped_events`) — workers never
     /// block or allocate for a slow observer.
     pub event_capacity: usize,
+    /// Trace sampling rate: streams whose `mix64(trace key) % n == 0`
+    /// record spans; everyone else pays one hash-and-modulo per
+    /// decision and nothing more. `0` disables tracing outright, `1`
+    /// traces every stream. `ZSKIP_TRACE=0` in the environment vetoes
+    /// tracing process-wide regardless of this knob.
+    pub trace_sample_one_in: u64,
+    /// Capacity of each shard's trace span ring. When sampled spans
+    /// outpace [`Server::drain_trace`] calls, the oldest are overwritten
+    /// (counted as `dropped_spans`) — same never-block-the-worker
+    /// discipline as the event ring.
+    pub trace_span_capacity: usize,
 }
 
 impl ServeConfig {
@@ -75,6 +89,8 @@ impl ServeConfig {
             token_deadline: None,
             idle_tick: Duration::from_millis(20),
             event_capacity: 256,
+            trace_sample_one_in: 64,
+            trace_span_capacity: 8192,
         }
     }
 
@@ -111,6 +127,18 @@ impl ServeConfig {
     /// Sets the per-shard event-ring capacity.
     pub fn with_event_capacity(mut self, capacity: usize) -> Self {
         self.event_capacity = capacity;
+        self
+    }
+
+    /// Sets the trace sampling rate (`1` = every stream, `0` = off).
+    pub fn with_trace_sampling(mut self, one_in: u64) -> Self {
+        self.trace_sample_one_in = one_in;
+        self
+    }
+
+    /// Sets the per-shard trace span-ring capacity.
+    pub fn with_trace_span_capacity(mut self, capacity: usize) -> Self {
+        self.trace_span_capacity = capacity;
         self
     }
 }
@@ -188,6 +216,9 @@ pub struct Server<M: FrozenModel = FrozenCharLm> {
     /// shard engines hold the only weight copies.
     spec: M::Spec,
     result_capacity: usize,
+    /// The deterministic stream sampler, shared (by copy) with every
+    /// worker and client so all sides agree on which streams trace.
+    sampler: TraceSampler,
 }
 
 impl<M: FrozenModel> Server<M> {
@@ -204,7 +235,16 @@ impl<M: FrozenModel> Server<M> {
             "result capacity must be positive"
         );
         assert!(config.event_capacity > 0, "event capacity must be positive");
+        assert!(
+            config.trace_span_capacity > 0,
+            "trace span capacity must be positive"
+        );
         let spec = model.input_spec();
+        // One clock origin for every shard's event and span ring: drained
+        // timestamps from different shards live on the same axis, so a
+        // cross-shard merge by timestamp is meaningful.
+        let origin = Instant::now();
+        let sampler = TraceSampler::new(config.trace_sample_one_in);
         let mut shards = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         // The last shard takes the model by value, the rest clone — so a
@@ -217,7 +257,11 @@ impl<M: FrozenModel> Server<M> {
                 model.as_ref().expect("model available").clone()
             };
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
-            let shared = Arc::new(ShardShared::new(config.event_capacity));
+            let shared = Arc::new(ShardShared::new(
+                config.event_capacity,
+                config.trace_span_capacity,
+                origin,
+            ));
             let worker = Worker {
                 engine: Engine::new(shard_model, config.engine),
                 rx,
@@ -229,6 +273,9 @@ impl<M: FrozenModel> Server<M> {
                 last_sweep: Instant::now(),
                 delivered: Vec::new(),
                 last_dense_steps: 0,
+                shard: shard as u32,
+                sampler,
+                last_stats: EngineStats::default(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -244,6 +291,7 @@ impl<M: FrozenModel> Server<M> {
             workers,
             spec,
             result_capacity: config.result_capacity,
+            sampler,
         }
     }
 
@@ -255,6 +303,7 @@ impl<M: FrozenModel> Server<M> {
             Arc::clone(&self.open_counter),
             self.spec,
             self.result_capacity,
+            self.sampler,
         )
     }
 
@@ -280,10 +329,11 @@ impl<M: FrozenModel> Server<M> {
         }
     }
 
-    /// Drains every shard's event ring, oldest first per shard, without
-    /// stopping the workers (they keep pushing while the drained batch
-    /// is handed out). Events overwritten before a drain are reported in
-    /// each shard's `dropped_events` counter, not here.
+    /// Drains every shard's event ring, merged into one global-timestamp
+    /// order (all rings share one clock origin), without stopping the
+    /// workers (they keep pushing while the drained batch is handed
+    /// out). Events overwritten before a drain are reported in each
+    /// shard's `dropped_events` counter, not here.
     pub fn drain_events(&self) -> Vec<ShardEvent> {
         let mut events = Vec::new();
         for (shard, handle) in self.shards.iter().enumerate() {
@@ -296,7 +346,39 @@ impl<M: FrozenModel> Server<M> {
                     .map(|event| ShardEvent { shard, event }),
             );
         }
+        // Stable ties on shard index so a drain is deterministic for
+        // events stamped in the same microsecond.
+        events.sort_by_key(|e| (e.event.at_micros, e.shard));
         events
+    }
+
+    /// Drains every shard's span ring into one [`TraceExport`], spans
+    /// merged in global start-timestamp order (all rings share one clock
+    /// origin). Spans overwritten before the drain are summed into the
+    /// export's [`dropped`](TraceExport::dropped) count and each shard's
+    /// `dropped_spans` stat.
+    pub fn drain_trace(&self) -> TraceExport {
+        let mut spans = Vec::new();
+        let mut dropped = 0u64;
+        for (shard, handle) in self.shards.iter().enumerate() {
+            dropped += handle.shared.spans.dropped();
+            spans.extend(
+                handle
+                    .shared
+                    .spans
+                    .drain()
+                    .into_iter()
+                    .map(|span| ShardSpan { shard, span }),
+            );
+        }
+        spans.sort_by_key(|s| (s.span.start_ns, s.span.end_ns, s.shard, s.span.id.0));
+        TraceExport::new(spans, dropped)
+    }
+
+    /// Whether a given stream would be traced under this server's
+    /// sampler (deterministic in the stream id).
+    pub fn is_traced(&self, id: crate::StreamId) -> bool {
+        self.sampler.sampled(id.trace_key())
     }
 
     /// Stops all workers after their queues drain and joins them.
@@ -364,6 +446,13 @@ struct Worker<M: FrozenModel> {
     /// Engine `dense_steps` value at the last publish, for emitting a
     /// `DenseFallback` event exactly when the counter advances.
     last_dense_steps: u64,
+    /// This worker's shard index, for computing stream trace keys.
+    shard: u32,
+    /// The server-wide deterministic stream sampler.
+    sampler: TraceSampler,
+    /// Engine stats at the previous step, for per-step deltas (stage
+    /// laps, skip rate) on the trace spans.
+    last_stats: EngineStats,
 }
 
 impl<M: FrozenModel> Worker<M> {
@@ -437,12 +526,96 @@ impl<M: FrozenModel> Worker<M> {
                 .step_time
                 .record(duration_nanos(now.duration_since(step_started)));
         }
+        let prev = self.last_stats;
         self.publish_engine_and_events();
+        let stats = *self.engine.stats();
+        if self.sampler.is_enabled() && !delivered.is_empty() {
+            self.record_step_spans(&prev, &stats, &delivered, step_started, now);
+        }
+        self.last_stats = stats;
         for &id in &delivered {
             self.deliver(id, now);
         }
         delivered.clear();
         self.delivered = delivered;
+    }
+
+    /// Emits one `BatchStep` span (plus [`Stage`] child spans) per
+    /// *sampled* session this step delivered to. The step's stage laps
+    /// are not re-measured — the child spans re-use the engine's own
+    /// [`StageClock`](zskip_telemetry::StageClock) accounting by diffing
+    /// the cumulative breakdown across the step, laid out back-to-back
+    /// ending at the step's end (the laps run sequentially inside the
+    /// step, with the delivery lap last). Payloads: the parent carries
+    /// `a = step index`, `b = (batch size << 16) | skip permille`; each
+    /// child carries `a = step index` so a reader can re-associate them.
+    fn record_step_spans(
+        &self,
+        prev: &EngineStats,
+        cur: &EngineStats,
+        delivered: &[SessionId],
+        started: Instant,
+        ended: Instant,
+    ) {
+        let spans = &self.shared.spans;
+        let start_ns = spans.nanos_since_origin(started);
+        let end_ns = spans.nanos_since_origin(ended).max(start_ns);
+        let window = end_ns - start_ns;
+        let step_index = cur.steps;
+        let fetched = cur.fetched_rows.saturating_sub(prev.fetched_rows);
+        let total = cur.total_rows.saturating_sub(prev.total_rows);
+        let skip_permille = fetched
+            .saturating_mul(1000)
+            .checked_div(total)
+            .map_or(0, |fetched_permille| {
+                1000u64.saturating_sub(fetched_permille.min(1000))
+            });
+        let payload = ((delivered.len() as u64) << 16) | skip_permille;
+        // Per-step stage laps, scaled down proportionally in the rare
+        // case clock skew makes their sum exceed the step window, so the
+        // children always nest inside the parent.
+        let delta = cur.stages.saturating_sub(&prev.stages);
+        let lap_sum = delta.total();
+        let mut laps = [0u64; Stage::COUNT];
+        for (lap, stage) in laps.iter_mut().zip(Stage::ALL) {
+            let d = delta.get(stage);
+            *lap = if lap_sum > window {
+                ((d as u128 * window as u128) / lap_sum as u128) as u64
+            } else {
+                d
+            };
+        }
+        let laid: u64 = laps.iter().sum();
+        for &sid in delivered {
+            let key = stream_trace_key(self.shard, sid);
+            if !self.sampler.sampled(key) {
+                continue;
+            }
+            let trace = TraceId(key);
+            spans.push_raw(
+                trace,
+                SpanKind::BatchStep,
+                start_ns,
+                end_ns,
+                step_index,
+                payload,
+            );
+            let mut cursor = end_ns - laid;
+            for (lap, stage) in laps.iter().zip(Stage::ALL) {
+                if *lap == 0 {
+                    continue;
+                }
+                spans.push_raw(
+                    trace,
+                    SpanKind::Stage(stage),
+                    cursor,
+                    cursor + lap,
+                    step_index,
+                    0,
+                );
+                cursor += lap;
+            }
+        }
     }
 
     /// Publishes the engine's counters to the shared block and emits a
@@ -561,6 +734,17 @@ impl<M: FrozenModel> Worker<M> {
                     self.shared
                         .queue_wait
                         .record(duration_nanos(now.duration_since(enqueued)));
+                    let key = stream_trace_key(self.shard, id);
+                    if self.sampler.sampled(key) {
+                        self.shared.spans.record(
+                            TraceId(key),
+                            SpanKind::QueueWait,
+                            enqueued,
+                            now,
+                            1,
+                            0,
+                        );
+                    }
                 }
                 Err(_) => {
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -600,6 +784,19 @@ impl<M: FrozenModel> Worker<M> {
                     let wait = duration_nanos(now.duration_since(enqueued));
                     for _ in 0..accepted {
                         self.shared.queue_wait.record(wait);
+                    }
+                    // One span for the whole burst; `a` carries how many
+                    // tokens shared this queue hop.
+                    let key = stream_trace_key(self.shard, id);
+                    if self.sampler.sampled(key) {
+                        self.shared.spans.record(
+                            TraceId(key),
+                            SpanKind::QueueWait,
+                            enqueued,
+                            now,
+                            accepted as u64,
+                            0,
+                        );
                     }
                 }
                 if total > accepted {
@@ -664,6 +861,19 @@ impl<M: FrozenModel> Worker<M> {
                 // wakeup channel picks this result up immediately. Full
                 // just means a wakeup is already pending.
                 let _ = entry.wakeup.try_send(());
+                // Delivery span: step end → result handed to the stream
+                // channel (`a` = whether the deadline was met).
+                let key = stream_trace_key(self.shard, id);
+                if self.sampler.sampled(key) {
+                    self.shared.spans.record(
+                        TraceId(key),
+                        SpanKind::Delivery,
+                        now,
+                        Instant::now(),
+                        u64::from(!missed_deadline),
+                        0,
+                    );
+                }
             }
             // The stream's result channel is full: the consumer stopped
             // recv-ing while submitting. Evict instead of buffering

@@ -19,9 +19,9 @@
 //! off. Quiesce the workers first if an exact cut matters.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use zskip_runtime::{EngineStats, Stage, StageBreakdown};
-use zskip_telemetry::{Event, EventRing, HistogramSnapshot, LatencyHistogram};
+use zskip_telemetry::{Event, EventRing, HistogramSnapshot, LatencyHistogram, SpanRing};
 
 use serde::value::Value;
 use serde::Serialize;
@@ -66,11 +66,18 @@ pub(crate) struct ShardShared {
     /// Bounded log of discrete shard events (open/close/evict, deadline
     /// miss, dense fallback, backpressure stall).
     pub events: EventRing,
+    /// Bounded ring of sampled trace spans (client submit, queue wait,
+    /// batch step + stage children, delivery, client recv).
+    pub spans: SpanRing,
 }
 
 impl ShardShared {
-    /// A zeroed block whose event ring holds `event_capacity` entries.
-    pub(crate) fn new(event_capacity: usize) -> Self {
+    /// A zeroed block whose event ring holds `event_capacity` entries
+    /// and whose span ring holds `span_capacity`. Both rings stamp
+    /// timestamps relative to `origin`, which [`crate::Server::start`]
+    /// shares across every shard so drained events and spans from
+    /// different shards are mutually ordered.
+    pub(crate) fn new(event_capacity: usize, span_capacity: usize, origin: Instant) -> Self {
         Self {
             queue_depth: AtomicUsize::new(0),
             open_sessions: AtomicUsize::new(0),
@@ -90,7 +97,8 @@ impl ShardShared {
             queue_wait: LatencyHistogram::new(),
             step_time: LatencyHistogram::new(),
             token_latency: LatencyHistogram::new(),
-            events: EventRing::new(event_capacity),
+            events: EventRing::with_origin(event_capacity, origin),
+            spans: SpanRing::new(span_capacity, origin),
         }
     }
 
@@ -119,6 +127,7 @@ impl ShardShared {
             evicted_sessions: self.evicted_sessions.load(Ordering::Relaxed),
             rejected_requests: self.rejected.load(Ordering::Relaxed),
             dropped_events: self.events.dropped(),
+            dropped_spans: self.spans.dropped(),
             engine: EngineStats {
                 steps: self.steps.load(Ordering::Relaxed),
                 tokens: self.tokens.load(Ordering::Relaxed),
@@ -188,6 +197,8 @@ pub struct ShardStats {
     pub rejected_requests: u64,
     /// Events overwritten in the shard's ring before being drained.
     pub dropped_events: u64,
+    /// Trace spans overwritten in the shard's ring before being drained.
+    pub dropped_spans: u64,
     /// The shard engine's own step/skip/stage accounting.
     pub engine: EngineStats,
     /// Submit-to-dequeue queue wait of accepted tokens.
@@ -227,6 +238,10 @@ impl Serialize for ShardStats {
             (
                 "dropped_events".to_string(),
                 Value::Int(self.dropped_events as i128),
+            ),
+            (
+                "dropped_spans".to_string(),
+                Value::Int(self.dropped_spans as i128),
             ),
             ("steps".to_string(), Value::Int(self.engine.steps as i128)),
             ("tokens".to_string(), Value::Int(self.engine.tokens as i128)),
@@ -295,6 +310,11 @@ impl ServerStats {
     /// across all shards.
     pub fn rejected_requests(&self) -> u64 {
         self.shards.iter().map(|s| s.rejected_requests).sum()
+    }
+
+    /// Trace spans lost to ring overwrite across all shards.
+    pub fn dropped_spans(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped_spans).sum()
     }
 
     /// Batched engine steps across all shards.
@@ -454,7 +474,7 @@ mod tests {
 
     #[test]
     fn aggregates_sum_across_shards() {
-        let mut a = ShardShared::new(4).snapshot(0);
+        let mut a = ShardShared::new(4, 16, Instant::now()).snapshot(0);
         a.submitted = 10;
         a.engine.tokens = 8;
         a.engine.dense_steps = 2;
@@ -471,7 +491,7 @@ mod tests {
 
     #[test]
     fn display_renders_one_row_per_shard_and_percentiles() {
-        let shared = ShardShared::new(4);
+        let shared = ShardShared::new(4, 16, Instant::now());
         shared.queue_wait.record(1_000);
         shared.token_latency.record(2_000);
         let stats = ServerStats {
@@ -485,7 +505,7 @@ mod tests {
 
     #[test]
     fn json_nests_shards_and_histograms() {
-        let shared = ShardShared::new(4);
+        let shared = ShardShared::new(4, 16, Instant::now());
         shared.step_time.record(500);
         let stats = ServerStats {
             shards: vec![shared.snapshot(0)],
@@ -499,7 +519,7 @@ mod tests {
 
     #[test]
     fn stage_breakdown_round_trips_through_the_atomics() {
-        let shared = ShardShared::new(4);
+        let shared = ShardShared::new(4, 16, Instant::now());
         let published = StageBreakdown::from_nanos([1, 2, 3, 4, 5, 6]);
         let engine = EngineStats {
             stages: published,

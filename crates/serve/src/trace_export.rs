@@ -1,0 +1,445 @@
+//! Chrome trace-event export of drained span traces.
+//!
+//! [`crate::Server::drain_trace`] hands back a [`TraceExport`]: every
+//! shard's sampled spans merged onto one timeline (all rings share one
+//! clock origin). [`TraceExport::to_chrome_json`] renders them in the
+//! Chrome trace-event JSON format, which opens directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`:
+//!
+//! * one *process* per shard (`pid = shard + 1`, named `shard N`),
+//! * one *thread group* per traced stream, split into four lanes —
+//!   `client` (submit / stall / recv / token umbrellas), `queue`
+//!   (queue-wait), `engine` (batch step + stage children) and
+//!   `delivery` — so a token's life reads top-to-bottom in the UI,
+//! * complete (`"X"`) events for closed intervals, async (`"b"`/`"e"`)
+//!   pairs for the load generator's overlapping token umbrellas, and
+//!   metadata (`"M"`) events naming every process and thread.
+//!
+//! [`validate_chrome_json`] strict-parses an export back through the
+//! vendored serde and checks the structural invariants the format
+//! requires — the round-trip the example and CI lane gate on.
+
+use crate::stats::ShardEvent;
+use serde::value::Value;
+use zskip_telemetry::{Span, SpanKind};
+
+/// One span drained from a shard's ring, tagged with its shard index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// The shard whose ring held the span.
+    pub shard: usize,
+    /// The span itself.
+    pub span: Span,
+}
+
+impl std::fmt::Display for ShardSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} {}", self.shard, self.span)
+    }
+}
+
+/// A drained trace: every shard's spans merged in global start-time
+/// order, ready for rendering.
+#[derive(Clone, Debug, Default)]
+pub struct TraceExport {
+    spans: Vec<ShardSpan>,
+    dropped: u64,
+    /// Optional shard events folded in as instant markers (see
+    /// [`TraceExport::with_events`]).
+    events: Vec<ShardEvent>,
+}
+
+/// Which of the four per-stream display lanes a span kind renders in.
+fn lane(kind: SpanKind) -> (u64, &'static str) {
+    match kind {
+        SpanKind::ClientSubmit
+        | SpanKind::BackpressureStall
+        | SpanKind::ClientRecv
+        | SpanKind::Token => (0, "client"),
+        SpanKind::QueueWait => (1, "queue"),
+        SpanKind::BatchStep | SpanKind::Stage(_) => (2, "engine"),
+        SpanKind::Delivery => (3, "delivery"),
+    }
+}
+
+const LANES: u64 = 4;
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Microseconds (fractional) from origin nanoseconds — the `ts`/`dur`
+/// unit the trace-event format uses.
+fn micros(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1000.0)
+}
+
+impl TraceExport {
+    pub(crate) fn new(spans: Vec<ShardSpan>, dropped: u64) -> Self {
+        Self {
+            spans,
+            dropped,
+            events: Vec::new(),
+        }
+    }
+
+    /// The drained spans, globally ordered by start time (ties broken by
+    /// end time, shard, then span id — deterministic).
+    pub fn spans(&self) -> &[ShardSpan] {
+        &self.spans
+    }
+
+    /// Spans lost to ring overwrite before this drain (cumulative across
+    /// all shards).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of drained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the drain produced no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Folds drained shard events in as instant markers on their shard's
+    /// timeline, so session churn and stalls line up with the spans.
+    pub fn with_events(mut self, events: Vec<ShardEvent>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Renders the trace as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object form). Open the file in Perfetto
+    /// or `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut trace_events: Vec<Value> = Vec::new();
+        // Compact per-trace thread numbering: tid must be a small stable
+        // int, TraceId is a 64-bit hash. First-seen order is start-time
+        // order, so earlier streams get lower thread ranks.
+        let mut stream_rank: Vec<(usize, u64)> = Vec::new();
+        let mut rank_of: std::collections::HashMap<(usize, u64), u64> =
+            std::collections::HashMap::new();
+        let mut shards_seen: Vec<usize> = Vec::new();
+        for s in &self.spans {
+            if !shards_seen.contains(&s.shard) {
+                shards_seen.push(s.shard);
+            }
+            let key = (s.shard, s.span.trace.0);
+            rank_of.entry(key).or_insert_with(|| {
+                stream_rank.push(key);
+                stream_rank.len() as u64 - 1
+            });
+        }
+        for &shard in &shards_seen {
+            trace_events.push(map(vec![
+                ("name", Value::Str("process_name".into())),
+                ("ph", Value::Str("M".into())),
+                ("pid", Value::Int(shard as i128 + 1)),
+                ("tid", Value::Int(0)),
+                (
+                    "args",
+                    map(vec![("name", Value::Str(format!("shard {shard}")))]),
+                ),
+            ]));
+        }
+        for (rank, &(shard, trace)) in stream_rank.iter().enumerate() {
+            for lane_idx in 0..LANES {
+                let lane_name = ["client", "queue", "engine", "delivery"][lane_idx as usize];
+                trace_events.push(map(vec![
+                    ("name", Value::Str("thread_name".into())),
+                    ("ph", Value::Str("M".into())),
+                    ("pid", Value::Int(shard as i128 + 1)),
+                    ("tid", Value::Int((rank as u64 * LANES + lane_idx) as i128)),
+                    (
+                        "args",
+                        map(vec![(
+                            "name",
+                            Value::Str(format!("stream {trace:#018x} {lane_name}")),
+                        )]),
+                    ),
+                ]));
+            }
+        }
+        for s in &self.spans {
+            let rank = rank_of[&(s.shard, s.span.trace.0)];
+            let (lane_idx, _) = lane(s.span.kind);
+            let pid = Value::Int(s.shard as i128 + 1);
+            let tid = Value::Int((rank * LANES + lane_idx) as i128);
+            let args = span_args(&s.span);
+            if s.span.kind == SpanKind::Token {
+                // Token umbrellas overlap within a stream (a round's
+                // tokens are all in flight together), which "X" events
+                // cannot express on one track — use an async pair keyed
+                // by a globally unique id.
+                let async_id = format!("{:#x}", ((s.shard as u64) << 48) | s.span.id.0);
+                trace_events.push(map(vec![
+                    ("name", Value::Str(s.span.kind.name().into())),
+                    ("cat", Value::Str("token".into())),
+                    ("ph", Value::Str("b".into())),
+                    ("id", Value::Str(async_id.clone())),
+                    ("pid", pid.clone()),
+                    ("tid", tid.clone()),
+                    ("ts", micros(s.span.start_ns)),
+                    ("args", args),
+                ]));
+                trace_events.push(map(vec![
+                    ("name", Value::Str(s.span.kind.name().into())),
+                    ("cat", Value::Str("token".into())),
+                    ("ph", Value::Str("e".into())),
+                    ("id", Value::Str(async_id)),
+                    ("pid", pid),
+                    ("tid", tid),
+                    ("ts", micros(s.span.end_ns)),
+                ]));
+            } else {
+                trace_events.push(map(vec![
+                    ("name", Value::Str(s.span.kind.name().into())),
+                    ("cat", Value::Str("zskip".into())),
+                    ("ph", Value::Str("X".into())),
+                    ("pid", pid),
+                    ("tid", tid),
+                    ("ts", micros(s.span.start_ns)),
+                    ("dur", micros(s.span.duration_ns())),
+                    ("args", args),
+                ]));
+            }
+        }
+        for e in &self.events {
+            // Instant markers ("i") on the shard's process, thread 0 —
+            // scope "p" pins the marker to the process row.
+            trace_events.push(map(vec![
+                ("name", Value::Str(e.event.kind.name().into())),
+                ("cat", Value::Str("event".into())),
+                ("ph", Value::Str("i".into())),
+                ("s", Value::Str("p".into())),
+                ("pid", Value::Int(e.shard as i128 + 1)),
+                ("tid", Value::Int(0)),
+                ("ts", Value::Float(e.event.at_micros as f64)),
+                (
+                    "args",
+                    map(vec![("detail", Value::Int(e.event.detail as i128))]),
+                ),
+            ]));
+        }
+        let doc = map(vec![
+            ("traceEvents", Value::Seq(trace_events)),
+            ("displayTimeUnit", Value::Str("ms".into())),
+            ("droppedSpans", Value::Int(self.dropped as i128)),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("value serialization is infallible")
+    }
+}
+
+fn span_args(span: &Span) -> Value {
+    let trace = ("trace", Value::Str(format!("{:#018x}", span.trace.0)));
+    match span.kind {
+        SpanKind::BatchStep => map(vec![
+            trace,
+            ("step", Value::Int(span.a as i128)),
+            ("batch", Value::Int((span.b >> 16) as i128)),
+            ("skip_permille", Value::Int((span.b & 0xFFFF) as i128)),
+        ]),
+        SpanKind::Stage(_) => map(vec![trace, ("step", Value::Int(span.a as i128))]),
+        SpanKind::QueueWait | SpanKind::ClientSubmit => {
+            map(vec![trace, ("tokens", Value::Int(span.a as i128))])
+        }
+        SpanKind::Delivery => map(vec![trace, ("on_time", Value::Int(span.a as i128))]),
+        SpanKind::Token => map(vec![
+            trace,
+            ("round", Value::Int(span.a as i128)),
+            ("deadline_miss", Value::Int(span.b as i128)),
+        ]),
+        SpanKind::BackpressureStall | SpanKind::ClientRecv => map(vec![trace]),
+    }
+}
+
+/// Summary counts [`validate_chrome_json`] returns on success.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceValidation {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"X"`) duration events.
+    pub complete: usize,
+    /// Async begin (`"b"`) events.
+    pub async_begins: usize,
+    /// Async end (`"e"`) events.
+    pub async_ends: usize,
+    /// Metadata (`"M"`) events.
+    pub metadata: usize,
+    /// Instant (`"i"`) marker events.
+    pub instants: usize,
+}
+
+/// Strict-parses a Chrome trace-event JSON document through the vendored
+/// serde and validates its structure: a `traceEvents` array whose every
+/// entry names an event with a known phase, integer `pid`/`tid`, a
+/// non-negative `ts` (except metadata), a non-negative `dur` on complete
+/// events, an `id` on async events — and balanced async begin/end
+/// counts. Also round-trips the parsed value back through the serializer
+/// to pin that the export emits exactly what the parser reads.
+pub fn validate_chrome_json(json: &str) -> Result<TraceValidation, String> {
+    let doc: Value =
+        serde_json::from_str(json).map_err(|e| format!("trace JSON failed to parse: {e}"))?;
+    // Round-trip: serialize the parsed tree and parse it again; both
+    // trees must agree exactly.
+    let rendered = serde_json::to_string(&doc).map_err(|e| format!("re-serialize failed: {e}"))?;
+    let reparsed: Value =
+        serde_json::from_str(&rendered).map_err(|e| format!("round-trip re-parse failed: {e}"))?;
+    if reparsed != doc {
+        return Err("round-trip through the vendored serde changed the document".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_seq)
+        .ok_or("missing traceEvents array")?;
+    doc.get("displayTimeUnit")
+        .ok_or("missing displayTimeUnit")?;
+    let mut v = TraceValidation {
+        events: events.len(),
+        ..Default::default()
+    };
+    for (i, event) in events.iter().enumerate() {
+        let fail = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        event.as_map().ok_or_else(|| fail("not an object"))?;
+        match event.get("name") {
+            Some(Value::Str(_)) => {}
+            _ => return Err(fail("missing string name")),
+        }
+        let ph = match event.get("ph") {
+            Some(Value::Str(ph)) => ph.as_str(),
+            _ => return Err(fail("missing string ph")),
+        };
+        for key in ["pid", "tid"] {
+            match event.get(key) {
+                Some(Value::Int(_)) => {}
+                _ => return Err(fail(&format!("missing integer {key}"))),
+            }
+        }
+        let ts_ok = |key: &str| match event.get(key) {
+            Some(Value::Float(f)) => *f >= 0.0,
+            Some(Value::Int(n)) => *n >= 0,
+            _ => false,
+        };
+        match ph {
+            "M" => v.metadata += 1,
+            "X" => {
+                if !ts_ok("ts") || !ts_ok("dur") {
+                    return Err(fail("complete event needs non-negative ts and dur"));
+                }
+                v.complete += 1;
+            }
+            "b" | "e" => {
+                if !ts_ok("ts") {
+                    return Err(fail("async event needs non-negative ts"));
+                }
+                match event.get("id") {
+                    Some(Value::Str(_)) => {}
+                    _ => return Err(fail("async event needs a string id")),
+                }
+                if ph == "b" {
+                    v.async_begins += 1;
+                } else {
+                    v.async_ends += 1;
+                }
+            }
+            "i" => {
+                if !ts_ok("ts") {
+                    return Err(fail("instant event needs non-negative ts"));
+                }
+                v.instants += 1;
+            }
+            other => return Err(fail(&format!("unknown phase {other:?}"))),
+        }
+    }
+    if v.async_begins != v.async_ends {
+        return Err(format!(
+            "unbalanced async events: {} begins vs {} ends",
+            v.async_begins, v.async_ends
+        ));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_telemetry::{SpanId, TraceId};
+
+    fn span(kind: SpanKind, start_ns: u64, end_ns: u64, id: u64) -> ShardSpan {
+        ShardSpan {
+            shard: 0,
+            span: Span {
+                trace: TraceId(42),
+                id: SpanId(id),
+                kind,
+                start_ns,
+                end_ns,
+                a: 1,
+                b: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_export_is_valid_chrome_json() {
+        let json = TraceExport::default().to_chrome_json();
+        let v = validate_chrome_json(&json).unwrap();
+        assert_eq!(v.complete, 0);
+        assert_eq!(v.events, 0);
+    }
+
+    #[test]
+    fn spans_render_as_complete_events_and_tokens_as_async_pairs() {
+        let export = TraceExport::new(
+            vec![
+                span(SpanKind::ClientSubmit, 0, 100, 0),
+                span(SpanKind::QueueWait, 100, 250, 1),
+                span(SpanKind::Token, 0, 400, 2),
+                span(SpanKind::Token, 10, 500, 3),
+            ],
+            0,
+        );
+        let json = export.to_chrome_json();
+        let v = validate_chrome_json(&json).unwrap();
+        assert_eq!(v.complete, 2);
+        assert_eq!(v.async_begins, 2);
+        assert_eq!(v.async_ends, 2);
+        // 1 process name + 4 lane thread names for the single stream.
+        assert_eq!(v.metadata, 5);
+        assert!(json.contains("\"client-submit\""));
+        assert!(json.contains("\"shard 0\""));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate_chrome_json("not json").is_err());
+        assert!(validate_chrome_json("{}").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\": 3}").is_err());
+        let unbalanced = r#"{"traceEvents": [
+            {"name": "t", "cat": "c", "ph": "b", "id": "0x1",
+             "pid": 1, "tid": 0, "ts": 0.0}
+        ], "displayTimeUnit": "ms"}"#;
+        assert!(validate_chrome_json(unbalanced)
+            .unwrap_err()
+            .contains("unbalanced"));
+        let no_phase = r#"{"traceEvents": [
+            {"name": "t", "pid": 1, "tid": 0, "ts": 0.0}
+        ], "displayTimeUnit": "ms"}"#;
+        assert!(validate_chrome_json(no_phase).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_fails_the_strict_parse() {
+        let json = TraceExport::default().to_chrome_json();
+        assert!(validate_chrome_json(&format!("{json} trailing")).is_err());
+    }
+}

@@ -99,18 +99,34 @@ pub struct EventRing {
 }
 
 impl EventRing {
-    /// An empty ring holding at most `capacity` events (`capacity > 0`).
-    /// The buffer is allocated up front; pushes never grow it.
+    /// An empty ring holding at most `capacity` events (`capacity > 0`),
+    /// timestamping against its own creation instant. Use
+    /// [`EventRing::with_origin`] when events from several rings must
+    /// order against each other.
     pub fn new(capacity: usize) -> Self {
+        Self::with_origin(capacity, Instant::now())
+    }
+
+    /// An empty ring timestamping against a caller-supplied `origin` —
+    /// hand every ring of one server the *same* origin so `at_micros`
+    /// values drained from different shards share one clock and merge
+    /// into a global order. The buffer is allocated up front; pushes
+    /// never grow it.
+    pub fn with_origin(capacity: usize, origin: Instant) -> Self {
         assert!(capacity > 0, "event ring needs capacity >= 1");
         Self {
-            origin: Instant::now(),
+            origin,
             capacity,
             inner: Mutex::new(Inner {
                 buf: VecDeque::with_capacity(capacity),
                 dropped: 0,
             }),
         }
+    }
+
+    /// The clock origin this ring timestamps against.
+    pub fn origin(&self) -> Instant {
+        self.origin
     }
 
     /// Maximum events held before the oldest is overwritten.
@@ -206,6 +222,28 @@ mod tests {
         }
         assert_eq!(ring.len(), 4);
         assert_eq!(ring.dropped(), 96);
+    }
+
+    #[test]
+    fn rings_sharing_an_origin_share_a_clock() {
+        let origin = Instant::now();
+        let a = EventRing::with_origin(4, origin);
+        let b = EventRing::with_origin(4, origin);
+        assert_eq!(a.origin(), b.origin());
+        a.push(EventKind::SessionOpen, 1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        b.push(EventKind::SessionClose, 2);
+        // Cross-ring comparison is meaningful: the later push on ring B
+        // carries the later timestamp even though ring A was created
+        // first.
+        let ea = a.drain()[0];
+        let eb = b.drain()[0];
+        assert!(
+            eb.at_micros > ea.at_micros,
+            "{} <= {}",
+            eb.at_micros,
+            ea.at_micros
+        );
     }
 
     #[test]

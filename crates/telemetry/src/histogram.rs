@@ -1,11 +1,19 @@
-//! Fixed-size, log-bucketed, lock-free latency histograms.
+//! Fixed-size, log-linear-bucketed, lock-free latency histograms.
 //!
-//! Buckets are spaced by powers of two: bucket `0` holds the exact value
-//! `0`, bucket `i` (for `1 <= i < BUCKETS-1`) holds nanosecond values in
-//! `[2^(i-1), 2^i)`, and the top bucket saturates — everything at or
-//! above `2^(BUCKETS-2)` lands there. With [`BUCKETS`]` = 40` the
-//! resolvable range is 1 ns … ~4.6 min per sample, covering every
-//! latency the serving stack can produce, at a fixed 320-byte footprint.
+//! Buckets follow an HDR-style log-linear layout: each power-of-two
+//! octave is subdivided into 4 linear sub-buckets, so the bucket a value
+//! lands in is never more than 25% below the bucket's reported upper
+//! bound — where the old pure-log₂ layout was up to 2× coarse exactly
+//! where it hurts (p99/p999 at the millisecond end).
+//!
+//! Concretely: bucket `0` holds the exact value 0 and buckets 1–3 hold
+//! the exact values 1–3 (octaves below 4 are narrower than 4 sub-buckets
+//! and stay exact). From 4 upward, a value `v` with `k = floor(log2 v)`
+//! lands in the sub-bucket indexed by its next two bits,
+//! `4 + 4·(k−2) + ((v >> (k−2)) & 3)`, each covering `2^(k−2)` values.
+//! With [`BUCKETS`]` = 152` (octaves up to `2^38`) the resolvable range
+//! is 1 ns … ~9.1 min per sample; the top bucket saturates — everything
+//! at or above `2^39` lands there. Fixed 1216-byte footprint.
 //!
 //! [`LatencyHistogram`] is the concurrent form: recording is one relaxed
 //! `fetch_add` on an `AtomicU64` bucket, so any number of worker threads
@@ -22,34 +30,46 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of power-of-2 buckets (see the module docs for the layout).
-pub const BUCKETS: usize = 40;
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 4;
 
-/// The bucket a nanosecond value lands in: `0` for the exact value 0,
-/// otherwise `floor(log2(v)) + 1`, clamped into the top bucket.
+/// Highest fully resolved octave: values in `[2^TOP_OCTAVE, 2^(TOP_OCTAVE+1))`
+/// still get 4 sub-buckets; everything above saturates into the last one.
+const TOP_OCTAVE: usize = 38;
+
+/// Number of log-linear buckets (see the module docs for the layout).
+pub const BUCKETS: usize = SUB_BUCKETS + (TOP_OCTAVE - 1) * SUB_BUCKETS;
+
+/// The bucket a nanosecond value lands in: exact for `0..=3`, otherwise
+/// the octave `k = floor(log2 v)` selects a 4-sub-bucket run and the two
+/// bits below the leading bit select the sub-bucket, clamped into the
+/// saturated top bucket.
 #[inline]
 fn bucket_index(nanos: u64) -> usize {
-    if nanos == 0 {
-        0
-    } else {
-        ((64 - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+    if nanos < SUB_BUCKETS as u64 {
+        return nanos as usize;
     }
+    let k = 63 - nanos.leading_zeros() as usize;
+    let sub = ((nanos >> (k - 2)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (SUB_BUCKETS + (k - 2) * SUB_BUCKETS + sub).min(BUCKETS - 1)
 }
 
 /// Inclusive upper bound of a bucket's value range — what quantiles
 /// report. The top bucket is saturated, so its bound is a floor on the
-/// true maximum, not a ceiling.
+/// true maximum, not a ceiling. Guaranteed within 25% of any value in
+/// the bucket: `bound <= v + v/4`.
 #[inline]
 fn bucket_upper_bound(index: usize) -> u64 {
-    if index == 0 {
-        0
-    } else {
-        (1u64 << index) - 1
+    if index < SUB_BUCKETS {
+        return index as u64;
     }
+    let k = 2 + (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    (1u64 << k) + ((sub + 1) << (k - 2)) - 1
 }
 
 /// Formats a nanosecond value with a human unit (ns/µs/ms/s). Bucket
-/// bounds are powers of two, so one decimal is all the precision the
+/// bounds resolve to 25%, so one decimal is all the precision the
 /// histogram actually has.
 pub(crate) fn fmt_nanos(nanos: u64) -> String {
     if nanos < 1_000 {
@@ -141,6 +161,14 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Inclusive upper bound of bucket `index`'s value range — the
+    /// resolution contract quantiles report against. Exposed so tests
+    /// and tooling can reason about the layout without re-deriving it;
+    /// `bucket_upper_bound(BUCKETS - 1) + 1` is the saturation point.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        bucket_upper_bound(index)
+    }
+
     /// Records one nanosecond value (non-atomic — the single-threaded
     /// counterpart of [`LatencyHistogram::record`], bucketed
     /// identically).
@@ -182,7 +210,8 @@ impl HistogramSnapshot {
 
     /// The quantile-`q` latency in nanoseconds, reported as the
     /// inclusive upper bound of the bucket holding that rank (so the
-    /// true sample is never *above* the reported value, except in the
+    /// true sample is never *above* the reported value — and, with the
+    /// log-linear layout, never more than 25% below it — except in the
     /// saturated top bucket, where the bound is a floor). `q` is clamped
     /// into `[0, 1]`; an empty histogram reports 0.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -282,28 +311,61 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_follow_power_of_two_spacing() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(7), 3);
-        assert_eq!(bucket_index(8), 4);
-        // Top-bucket saturation: everything >= 2^(BUCKETS-2) lands there.
-        assert_eq!(bucket_index(1 << (BUCKETS - 2)), BUCKETS - 1);
+    fn buckets_follow_log_linear_spacing() {
+        // 0..=3 are exact.
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+        // The [4, 8) octave splits into 4 single-value sub-buckets.
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(5), 5);
+        assert_eq!(bucket_index(6), 6);
+        assert_eq!(bucket_index(7), 7);
+        // The [8, 16) octave: 4 sub-buckets of width 2.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(10), 9);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_upper_bound(8), 9);
+        assert_eq!(bucket_upper_bound(11), 15);
+        // Top-bucket saturation: everything >= 2^(TOP_OCTAVE+1).
+        assert_eq!(bucket_index(1 << (TOP_OCTAVE + 1)), BUCKETS - 1);
         assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), (1 << (TOP_OCTAVE + 1)) - 1);
+    }
+
+    #[test]
+    fn sub_buckets_resolve_within_25_percent() {
+        // For every non-saturated value, the reported bound is >= the
+        // value and within a quarter of it — the log-linear guarantee
+        // the pure-log₂ layout could not make.
+        for v in [
+            1u64,
+            3,
+            7,
+            100,
+            1_000,
+            1_500,
+            123_456,
+            1 << 30,
+            (1 << 39) - 1,
+        ] {
+            let bound = bucket_upper_bound(bucket_index(v));
+            assert!(bound >= v, "{v} got bound {bound}");
+            assert!(bound <= v + v / 4, "{v} got bound {bound}");
+        }
     }
 
     #[test]
     fn quantiles_bound_the_recorded_value() {
         let h = LatencyHistogram::new();
-        h.record(1_500); // bucket [1024, 2048)
+        h.record(1_500); // sub-bucket [1408, 1536) of the [1024, 2048) octave
         let s = h.snapshot();
         assert_eq!(s.count(), 1);
-        assert_eq!(s.p50(), 2047);
-        assert_eq!(s.p999(), 2047);
-        assert_eq!(s.max_bound(), 2047);
+        assert_eq!(s.p50(), 1535);
+        assert_eq!(s.p999(), 1535);
+        assert_eq!(s.max_bound(), 1535);
     }
 
     #[test]

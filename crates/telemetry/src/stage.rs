@@ -131,6 +131,17 @@ impl StageBreakdown {
         }
     }
 
+    /// Per-stage difference `self − other`, clamped at zero — turns two
+    /// cumulative breakdowns (e.g. consecutive `EngineStats` snapshots)
+    /// into the nanoseconds one step spent per stage.
+    pub fn saturating_sub(&self, other: &StageBreakdown) -> StageBreakdown {
+        let mut out = StageBreakdown::zero();
+        for ((dst, a), b) in out.nanos.iter_mut().zip(self.nanos).zip(other.nanos) {
+            *dst = a.saturating_sub(b);
+        }
+        out
+    }
+
     #[inline]
     fn add_nanos(&mut self, stage: Stage, nanos: u64) {
         self.nanos[stage.index()] = self.nanos[stage.index()].saturating_add(nanos);
@@ -290,6 +301,16 @@ mod tests {
         total.add(&clock.take());
         assert!(total.get(Stage::Head) >= before);
         assert_eq!(total.get(Stage::PlanBuild), 0);
+    }
+
+    #[test]
+    fn saturating_sub_recovers_a_step_delta() {
+        let before = StageBreakdown::from_nanos([10, 20, 30, 40, 50, 60]);
+        let after = StageBreakdown::from_nanos([15, 20, 90, 41, 50, 61]);
+        let delta = after.saturating_sub(&before);
+        assert_eq!(delta.as_nanos(), [5, 0, 60, 1, 0, 1]);
+        // Clamped, never wrapping, when a counter appears to run backward.
+        assert_eq!(before.saturating_sub(&after).get(Stage::RecurrentGemm), 0);
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Sampled per-token span tracing.
+//!
+//! Histograms answer *how much*, the event ring answers *what happened
+//! last*; spans answer **where did this token's time go**. A [`Span`] is
+//! one closed interval on a stream's timeline — client submit, queue
+//! wait, membership in a batched step, one engine stage inside that
+//! step, delivery, client receive — tagged with the stream's [`TraceId`]
+//! so an exporter can stitch every shard's and the client's spans into
+//! one timeline (the serve crate renders them as Chrome trace-event
+//! JSON, which opens directly in Perfetto).
+//!
+//! Tracing follows the same discipline as the rest of the crate:
+//!
+//! * **Deterministic sampling.** A stream is traced iff
+//!   `mix64(key) % one_in == 0` ([`TraceSampler`]), so which streams are
+//!   sampled is a pure function of their identity — reruns trace the
+//!   same streams, overhead is bounded to ~1/N of traffic, and tests can
+//!   assert on the sampled set exactly.
+//! * **Never block the worker.** A [`SpanRing`] is fixed-capacity and
+//!   overwrites its oldest entry when full (counted in
+//!   [`SpanRing::dropped`]); pushes move one `Copy` span into a
+//!   preallocated buffer under a short mutex — no allocation, no
+//!   unbounded wait, same shape as the event ring.
+//! * **Process-wide veto.** `ZSKIP_TRACE=0` disables all sampling
+//!   regardless of per-server configuration, exactly like
+//!   `ZSKIP_STAGE_TIMING=0` ([`trace_env_allowed`]).
+//!
+//! Timestamps are nanoseconds since a caller-supplied origin `Instant`;
+//! a server hands the *same* origin to every shard's rings, so spans
+//! (and events) drained from different shards order globally.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::stage::Stage;
+
+/// Stateless splitmix64 finalizer — the workspace's canonical integer
+/// hash (same constants as `zskip_tensor::rng::mix64`; duplicated here
+/// because the telemetry crate sits below the tensor crate).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether the `ZSKIP_TRACE` environment variable permits tracing in
+/// this process. Unset or any value other than `"0"` permits it;
+/// `ZSKIP_TRACE=0` vetoes it everywhere regardless of per-server
+/// configuration (the same process-wide override idiom as
+/// `ZSKIP_STAGE_TIMING`). Read once and cached.
+pub fn trace_env_allowed() -> bool {
+    static ALLOWED: OnceLock<bool> = OnceLock::new();
+    *ALLOWED.get_or_init(|| std::env::var("ZSKIP_TRACE").map_or(true, |v| v != "0"))
+}
+
+/// Identity of one traced stream — the sampling key. The serving layer
+/// derives it from the stream's shard + generational session id, so it
+/// is stable for the stream's whole life and across client and worker
+/// threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identity of one span within its ring (a per-ring push counter):
+/// unique among the spans a ring hands out, monotone in push order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// What interval of a token's life a span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Client-side submit call (validation + queue send).
+    ClientSubmit,
+    /// A blocking send parked on a full shard queue (the interval *is*
+    /// the stall).
+    BackpressureStall,
+    /// Submit dequeued by the worker: time the token sat in the shard
+    /// queue. `a` = tokens the request carried (1, or the bulk count).
+    QueueWait,
+    /// Membership in one batched engine step. `a` = step index,
+    /// `b` = `(batch_size << 16) | skip_permille`.
+    BatchStep,
+    /// One engine stage inside a batched step, re-used from the
+    /// [`StageClock`](crate::StageClock) laps (not re-measured).
+    /// `a` = step index, tying the child to its [`SpanKind::BatchStep`]
+    /// parent.
+    Stage(Stage),
+    /// Worker-side result fan-out into the stream's channel.
+    Delivery,
+    /// Client-side receive call (blocking wait included).
+    ClientRecv,
+    /// A driver-level umbrella: send stamp → result received, as the
+    /// load generator observes it. `a` = round index.
+    Token,
+}
+
+impl SpanKind {
+    /// Stable kebab-case name used in renderings and trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::ClientSubmit => "client-submit",
+            SpanKind::BackpressureStall => "backpressure-stall",
+            SpanKind::QueueWait => "queue-wait",
+            SpanKind::BatchStep => "batch-step",
+            SpanKind::Stage(Stage::InputEncode) => "stage-input-encode",
+            SpanKind::Stage(Stage::PlanBuild) => "stage-plan-build",
+            SpanKind::Stage(Stage::RecurrentGemm) => "stage-recurrent-gemm",
+            SpanKind::Stage(Stage::Pointwise) => "stage-pointwise",
+            SpanKind::Stage(Stage::Head) => "stage-head",
+            SpanKind::Stage(Stage::Delivery) => "stage-delivery",
+            SpanKind::Delivery => "delivery",
+            SpanKind::ClientRecv => "client-recv",
+            SpanKind::Token => "token",
+        }
+    }
+}
+
+/// One closed interval on a traced stream's timeline. `Copy` and
+/// fixed-size so rings preallocate and pushes never touch the heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The stream this span belongs to.
+    pub trace: TraceId,
+    /// Ring-unique span id, monotone in push order.
+    pub id: SpanId,
+    /// What the interval covers.
+    pub kind: SpanKind,
+    /// Nanoseconds from the ring's origin to the interval start.
+    pub start_ns: u64,
+    /// Nanoseconds from the ring's origin to the interval end
+    /// (`>= start_ns`).
+    pub end_ns: u64,
+    /// Kind-specific payload (see [`SpanKind`]).
+    pub a: u64,
+    /// Second kind-specific payload.
+    pub b: u64,
+}
+
+impl Span {
+    /// Interval length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "+{:>10.3}ms {:<20} {:>10}ns trace={:#x}",
+            self.start_ns as f64 / 1e6,
+            self.kind.name(),
+            self.duration_ns(),
+            self.trace.0,
+        )
+    }
+}
+
+/// Deterministic 1-in-N stream sampler.
+///
+/// `Copy` and branch-cheap: the decision is one [`mix64`] plus a modulo,
+/// with no state, so every thread holding a copy agrees on which streams
+/// are sampled. Construction folds in the process-wide
+/// [`trace_env_allowed`] veto — a vetoed process samples nothing no
+/// matter what rate it was built with.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSampler {
+    /// 0 = tracing off; N = one stream in N is traced.
+    one_in: u64,
+}
+
+impl TraceSampler {
+    /// A sampler tracing one stream in `one_in` (0 disables tracing, 1
+    /// traces every stream), subject to the `ZSKIP_TRACE=0` veto.
+    pub fn new(one_in: u64) -> Self {
+        Self {
+            one_in: if trace_env_allowed() { one_in } else { 0 },
+        }
+    }
+
+    /// A sampler that traces nothing.
+    pub fn off() -> Self {
+        Self { one_in: 0 }
+    }
+
+    /// Whether any stream at all can be sampled.
+    pub fn is_enabled(&self) -> bool {
+        self.one_in != 0
+    }
+
+    /// Whether the stream with this sampling key is traced. Pure in the
+    /// key: the same key set always yields the same sampled set.
+    #[inline]
+    pub fn sampled(&self, key: u64) -> bool {
+        self.one_in != 0 && mix64(key).is_multiple_of(self.one_in)
+    }
+}
+
+struct SpanRingInner {
+    buf: VecDeque<Span>,
+    dropped: u64,
+    next_id: u64,
+}
+
+/// Fixed-capacity, overwrite-oldest span log for one shard.
+///
+/// Same never-block-the-worker discipline as
+/// [`EventRing`](crate::EventRing): the buffer is preallocated, a push
+/// moves one `Copy` span under a short mutex (pop + push, no growth),
+/// and a full ring overwrites its oldest entry while counting the loss —
+/// a stalled reader can never make a worker block or allocate.
+pub struct SpanRing {
+    origin: Instant,
+    capacity: usize,
+    inner: Mutex<SpanRingInner>,
+}
+
+impl SpanRing {
+    /// An empty ring holding at most `capacity` spans (`capacity > 0`),
+    /// timestamping against `origin` — hand every ring of one server the
+    /// *same* origin so spans order globally across shards.
+    pub fn new(capacity: usize, origin: Instant) -> Self {
+        assert!(capacity > 0, "span ring needs capacity >= 1");
+        Self {
+            origin,
+            capacity,
+            inner: Mutex::new(SpanRingInner {
+                buf: VecDeque::with_capacity(capacity),
+                dropped: 0,
+                next_id: 0,
+            }),
+        }
+    }
+
+    /// The shared clock origin this ring timestamps against.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Maximum spans held before the oldest is overwritten.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Nanoseconds from the ring's origin to `t` (0 if `t` predates the
+    /// origin; saturating).
+    #[inline]
+    pub fn nanos_since_origin(&self, t: Instant) -> u64 {
+        u64::try_from(t.duration_since(self.origin).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records a span over the `[started, ended]` wall-clock interval,
+    /// evicting the oldest entry if the ring is full. Allocation-free.
+    pub fn record(
+        &self,
+        trace: TraceId,
+        kind: SpanKind,
+        started: Instant,
+        ended: Instant,
+        a: u64,
+        b: u64,
+    ) -> SpanId {
+        let start_ns = self.nanos_since_origin(started);
+        let end_ns = self.nanos_since_origin(ended).max(start_ns);
+        self.push_raw(trace, kind, start_ns, end_ns, a, b)
+    }
+
+    /// Records a span from precomputed origin-relative nanoseconds — the
+    /// worker uses this to lay re-used stage laps inside a step interval
+    /// without re-reading the clock.
+    pub fn push_raw(
+        &self,
+        trace: TraceId,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+        a: u64,
+        b: u64,
+    ) -> SpanId {
+        let mut inner = self.inner.lock().unwrap();
+        let id = SpanId(inner.next_id);
+        inner.next_id += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(Span {
+            trace,
+            id,
+            kind,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            a,
+            b,
+        });
+        id
+    }
+
+    /// Removes and returns all buffered spans in push order. Writers are
+    /// only blocked for the swap, not while the caller consumes the
+    /// batch.
+    pub fn drain(&self) -> Vec<Span> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.buf.drain(..).collect()
+    }
+
+    /// Spans overwritten before anyone drained them (cumulative).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// Whether the ring holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn drain_returns_push_order_and_empties() {
+        let origin = Instant::now();
+        let ring = SpanRing::new(8, origin);
+        let t = TraceId(7);
+        ring.record(t, SpanKind::ClientSubmit, origin, origin, 0, 0);
+        ring.push_raw(t, SpanKind::QueueWait, 10, 20, 1, 0);
+        let spans = ring.drain();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::ClientSubmit);
+        assert_eq!(spans[1].kind, SpanKind::QueueWait);
+        assert!(spans[0].id < spans[1].id);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let ring = SpanRing::new(2, Instant::now());
+        for i in 0..5u64 {
+            ring.push_raw(TraceId(i), SpanKind::Token, i, i + 1, 0, 0);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let traces: Vec<u64> = ring.drain().iter().map(|s| s.trace.0).collect();
+        assert_eq!(traces, vec![3, 4]);
+    }
+
+    #[test]
+    fn intervals_never_run_backwards() {
+        let origin = Instant::now();
+        let ring = SpanRing::new(4, origin);
+        // An end before the start (clock skew between threads) clamps to
+        // a zero-length span instead of wrapping.
+        ring.push_raw(TraceId(1), SpanKind::Delivery, 100, 40, 0, 0);
+        let early = origin - Duration::from_secs(5);
+        ring.record(TraceId(2), SpanKind::ClientRecv, early, origin, 0, 0);
+        let spans = ring.drain();
+        assert_eq!(spans[0].start_ns, 100);
+        assert_eq!(spans[0].end_ns, 100);
+        assert_eq!(spans[0].duration_ns(), 0);
+        assert_eq!(spans[1].start_ns, 0); // pre-origin saturates to 0
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_rate_bounded() {
+        let sampler = TraceSampler::new(4);
+        if !sampler.is_enabled() {
+            return; // ZSKIP_TRACE=0 in this process
+        }
+        let first: Vec<bool> = (0..512u64).map(|k| sampler.sampled(k)).collect();
+        let second: Vec<bool> = (0..512u64).map(|k| sampler.sampled(k)).collect();
+        assert_eq!(first, second);
+        let hits = first.iter().filter(|&&s| s).count();
+        // mix64 spreads keys uniformly; 1-in-4 of 512 keys lands well
+        // within [64, 192] unless the hash is broken.
+        assert!((64..=192).contains(&hits), "sampled {hits}/512");
+    }
+
+    #[test]
+    fn sample_every_stream_and_none() {
+        let all = TraceSampler::new(1);
+        let none = TraceSampler::off();
+        assert!(!none.is_enabled());
+        for k in 0..64u64 {
+            assert!(!none.sampled(k));
+            if all.is_enabled() {
+                assert!(all.sampled(k));
+            }
+        }
+    }
+
+    #[test]
+    fn span_names_are_stable() {
+        assert_eq!(SpanKind::BatchStep.name(), "batch-step");
+        assert_eq!(
+            SpanKind::Stage(Stage::RecurrentGemm).name(),
+            "stage-recurrent-gemm"
+        );
+        for stage in Stage::ALL {
+            assert_eq!(
+                SpanKind::Stage(stage).name(),
+                format!("stage-{}", stage.name())
+            );
+        }
+    }
+
+    #[test]
+    fn mix64_matches_the_workspace_hash() {
+        // Same splitmix64 finalizer constants as zskip_tensor::rng::mix64
+        // — pin a few values so the two cannot silently diverge.
+        assert_eq!(mix64(0), 16294208416658607535);
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

@@ -21,10 +21,37 @@
 //! and runs without paying for real measurements.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Re-export matching `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// One finished benchmark's measurement, as recorded by the harness.
+///
+/// Upstream criterion persists estimates to `target/criterion/`; the
+/// vendored harness instead exposes them programmatically so a bench
+/// binary's `main` can collect every median it just measured (via
+/// [`take_measurements`]) and write a machine-readable evidence file.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_nanos: f64,
+    /// Iterations per timed sample after calibration.
+    pub iters_per_sample: u64,
+    /// Samples collected (1 in `ZSKIP_BENCH_SMOKE` mode).
+    pub samples: usize,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call (process-wide,
+/// in run order). Call from a bench `main` after the groups have run.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().unwrap())
+}
 
 const SAMPLES: usize = 30;
 const TARGET_SAMPLE_NANOS: u128 = 2_000_000;
@@ -142,6 +169,12 @@ fn run_one(full_id: &str, body: impl FnOnce(&mut Bencher)) {
         format_nanos(b.median_nanos),
         b.iters_per_sample
     );
+    MEASUREMENTS.lock().unwrap().push(Measurement {
+        id: full_id.to_string(),
+        median_nanos: b.median_nanos,
+        iters_per_sample: b.iters_per_sample,
+        samples,
+    });
 }
 
 /// Top-level benchmark driver.
@@ -217,4 +250,21 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_recorded_and_drained() {
+        let _ = take_measurements();
+        run_one("group/function/param", |b| b.iter(|| black_box(2 + 2)));
+        let taken = take_measurements();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].id, "group/function/param");
+        assert!(taken[0].median_nanos > 0.0);
+        assert!(taken[0].iters_per_sample >= 1);
+        assert!(take_measurements().is_empty());
+    }
 }

@@ -112,6 +112,21 @@ pub mod de {
 
 pub use serde_derive::{Deserialize, Serialize};
 
+// `Value` passes through serialization untouched — this is what lets
+// callers strict-parse arbitrary JSON (`serde_json::from_str::<Value>`)
+// and re-render it, e.g. to validate machine-generated trace files.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -219,12 +219,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume a maximal run of plain characters in one
+                    // go. `"` and `\` are ASCII and never occur as UTF-8
+                    // continuation bytes, so a byte scan finds the run
+                    // boundary and one `from_utf8` validates just the
+                    // run — per-character validation of the *remaining
+                    // input* here made parsing O(n²) on large documents.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

@@ -1,6 +1,9 @@
 //! Observability tour of the serving stack: latency histograms, the
-//! per-stage step breakdown and the shard event ring, live under churny
-//! multi-shard load — then the same snapshot exported as JSON.
+//! per-stage step breakdown, the shard event ring and sampled per-token
+//! span tracing, live under churny multi-shard load — then the same
+//! snapshot exported as JSON, the trace exported as Chrome trace-event
+//! JSON (open it in Perfetto), and the run's latency percentiles dropped
+//! as a `BENCH_serve_telemetry.json` evidence file.
 //!
 //! ```sh
 //! cargo run --release --example serve_telemetry
@@ -9,11 +12,12 @@
 //! The percentile tables print *while the run is in flight*
 //! (`LoadConfig::progress_every`): snapshots and event drains never stop
 //! the workers. Set `ZSKIP_STAGE_TIMING=0` to veto the stage clock and
-//! watch the breakdown section disappear.
+//! watch the breakdown section disappear; set `ZSKIP_TRACE=0` to veto
+//! tracing the same way (the trace file comes out empty but valid).
 
 use std::time::Duration;
 use zskip::runtime::FrozenCharLm;
-use zskip::serve::{LoadConfig, LoadGenerator, ServeConfig, Server};
+use zskip::serve::{validate_chrome_json, LoadConfig, LoadGenerator, ServeConfig, Server};
 
 fn main() {
     let model = FrozenCharLm::random(64, 256, 42);
@@ -24,7 +28,11 @@ fn main() {
             .with_queue_capacity(2048)
             .with_session_ttl(Duration::from_secs(10))
             .with_token_deadline(Duration::from_millis(20))
-            .with_event_capacity(512),
+            .with_event_capacity(512)
+            // Trace every stream (1-in-1) for the tour; production would
+            // sample 1-in-64 or sparser.
+            .with_trace_sampling(1)
+            .with_trace_span_capacity(1 << 15),
     );
 
     println!("== live percentile tables under churn (2 shards, 512 streams) ==\n");
@@ -69,5 +77,65 @@ fn main() {
         "\nload report as JSON:\n{}",
         zskip::serde_json::to_string_pretty(&report).expect("infallible")
     );
+
+    // Drain the trace and export it as Chrome trace-event JSON. The
+    // export is strict-validated before it is written: a file this
+    // example produces always loads in Perfetto.
+    let trace = server.drain_trace();
+    let json = trace.to_chrome_json();
+    let validation = validate_chrome_json(&json).expect("trace export validates");
+    let out = std::env::var("ZSKIP_TRACE_OUT")
+        .unwrap_or_else(|_| "target/traces/serve_telemetry.json".to_string());
+    let path = std::path::PathBuf::from(out);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+    }
+    std::fs::write(&path, &json).expect("write trace file");
+    println!(
+        "\n== per-token trace ==\n{} spans from {} shard(s) ({} dropped), \
+         {} trace events ({} complete, {} async token pairs)\nwrote {}\n\
+         open it at https://ui.perfetto.dev (or chrome://tracing): \
+         each shard is a process, each sampled stream a thread group",
+        trace.len(),
+        trace
+            .spans()
+            .iter()
+            .map(|s| s.shard)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        trace.dropped(),
+        validation.events,
+        validation.complete,
+        validation.async_begins,
+        path.display(),
+    );
+
+    // The run's client-observed percentiles, as machine-readable bench
+    // evidence — the same `BENCH_<lane>.json` pipeline the criterion
+    // harnesses use, diffable with `bench_compare`.
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    let evidence = zskip_bench::Evidence::new("serve_telemetry")
+        .metric(
+            "serve_telemetry/client_latency_p50",
+            report.token_latency.p50() as f64,
+        )
+        .metric(
+            "serve_telemetry/client_latency_p90",
+            report.token_latency.p90() as f64,
+        )
+        .metric(
+            "serve_telemetry/client_latency_p99",
+            report.token_latency.p99() as f64,
+        )
+        .metric(
+            "serve_telemetry/client_latency_p999",
+            report.token_latency.p999() as f64,
+        )
+        .metric(
+            "serve_telemetry/mean_token_ns",
+            secs * 1e9 / (report.tokens.max(1) as f64),
+        );
+    let evidence_path = evidence.write().expect("write bench evidence");
+    println!("bench evidence: {}", evidence_path.display());
     server.shutdown();
 }

@@ -22,7 +22,7 @@
 use crate::prune::StatePruner;
 use serde::{Deserialize, Serialize};
 use zskip_nn::LstmCell;
-use zskip_tensor::lut::ActivationLut;
+use zskip_tensor::lut::{ActivationLut, GateLuts};
 use zskip_tensor::{QMatrix, Quantizer};
 
 /// Output of one quantized step.
@@ -60,8 +60,7 @@ pub struct QuantizedLstm {
     x_quant: Quantizer,
     h_quant: Quantizer,
     c_quant: Quantizer,
-    sigmoid: ActivationLut,
-    tanh: ActivationLut,
+    luts: GateLuts,
     pruner: StatePruner,
 }
 
@@ -83,8 +82,7 @@ impl QuantizedLstm {
             x_quant: Quantizer::from_max_abs(1.0),
             h_quant: Quantizer::from_max_abs(1.0),
             c_quant: Quantizer::from_max_abs(4.0),
-            sigmoid: ActivationLut::hardware_sigmoid(),
-            tanh: ActivationLut::hardware_tanh(),
+            luts: GateLuts::hardware(),
             pruner: StatePruner::new(threshold),
         }
     }
@@ -121,12 +119,12 @@ impl QuantizedLstm {
 
     /// The hardware sigmoid table (gates `f`, `i`, `o`).
     pub fn sigmoid_lut(&self) -> &ActivationLut {
-        &self.sigmoid
+        self.luts.sigmoid()
     }
 
     /// The hardware tanh table (gate `g` and the cell non-linearity).
     pub fn tanh_lut(&self) -> &ActivationLut {
-        &self.tanh
+        self.luts.tanh()
     }
 
     /// The input quantizer.
@@ -193,11 +191,7 @@ impl QuantizedLstm {
     /// Panics if `gate > 3`.
     #[inline]
     pub fn activation(&self, gate: usize, z: f32) -> f32 {
-        match gate {
-            0..=2 => self.sigmoid.eval(z),
-            3 => self.tanh.eval(z),
-            _ => panic!("gate index {gate} out of range"),
-        }
+        self.luts.eval_gate(gate, z)
     }
 
     /// The per-element pointwise tail of one step: Eq. 2 (`c = f·c + i·g`
@@ -211,7 +205,7 @@ impl QuantizedLstm {
         let c_val = f * c_prev + i * g;
         let c_code = self.c_quant.quantize(c_val);
         // Hardware computes tanh on the value it stores.
-        let tc = self.tanh.eval(self.c_quant.dequantize(c_code));
+        let tc = self.luts.tanh().eval(self.c_quant.dequantize(c_code));
         let mut h_val = o * tc;
         if h_val.abs() < self.pruner.threshold() {
             h_val = 0.0;

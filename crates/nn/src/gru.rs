@@ -19,12 +19,15 @@ use crate::init;
 use crate::lstm::StateTransform;
 use crate::params::{ParamVisitor, Parameterized};
 use serde::{Deserialize, Serialize};
-use zskip_tensor::{sigmoid, tanh, Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// A gated recurrent unit with gradient buffers.
 ///
 /// Weight layout: `wx` is `dx × 3dh` and `wh` is `dh × 3dh`, gate order
-/// `[z | r | n]` blocked by `dh`.
+/// `[z | r | n]` blocked by `dh`. Like the LSTM cell, the gate
+/// non-linearities are a serialized [`GateActivations`] contract —
+/// smooth by default, or the shared lookup tables the serving pointwise
+/// stage vectorizes.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GruCell {
     input: usize,
@@ -32,6 +35,7 @@ pub struct GruCell {
     wx: Matrix,
     wh: Matrix,
     b: Vec<f32>,
+    acts: GateActivations,
     #[serde(skip)]
     dwx: Option<Matrix>,
     #[serde(skip)]
@@ -66,8 +70,18 @@ impl GruStep {
 }
 
 impl GruCell {
-    /// Creates a Xavier-initialized GRU cell.
+    /// Creates a Xavier-initialized GRU cell with smooth activations.
     pub fn new(input: usize, hidden: usize, rng: &mut SeedableStream) -> Self {
+        Self::with_activations(input, hidden, GateActivations::Smooth, rng)
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract.
+    pub fn with_activations(
+        input: usize,
+        hidden: usize,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
         assert!(input > 0 && hidden > 0, "gru dims must be positive");
         Self {
             input,
@@ -75,10 +89,17 @@ impl GruCell {
             wx: init::xavier_uniform(input, 3 * hidden, rng),
             wh: init::xavier_uniform(hidden, 3 * hidden, rng),
             b: vec![0.0; 3 * hidden],
+            acts,
             dwx: None,
             dwh: None,
             db: None,
         }
+    }
+
+    /// The gate-activation contract this cell trains (and must be
+    /// served) under.
+    pub fn activations(&self) -> &GateActivations {
+        &self.acts
     }
 
     /// Input dimension.
@@ -132,7 +153,7 @@ impl GruCell {
             // z and r gates take the plain sum of contributions.
             let g_row = gates.row_mut(r);
             for j in 0..2 * dh {
-                g_row[j] = sigmoid(zx_row[j] + zh_row[j]);
+                g_row[j] = self.acts.sigmoid(zx_row[j] + zh_row[j]);
             }
             // n gate: reset gate scales the recurrent contribution.
             let wh_n = wh_n_h.row_mut(r);
@@ -142,7 +163,7 @@ impl GruCell {
             let wh_n_snapshot: Vec<f32> = wh_n.to_vec();
             for j in 0..dh {
                 let r_g = g_row[dh + j];
-                g_row[2 * dh + j] = tanh(zx_row[2 * dh + j] + r_g * wh_n_snapshot[j]);
+                g_row[2 * dh + j] = self.acts.tanh(zx_row[2 * dh + j] + r_g * wh_n_snapshot[j]);
             }
             let g_snapshot: Vec<f32> = g_row.to_vec();
             let h_row = h.row_mut(r);
@@ -313,6 +334,18 @@ impl GruLayer {
     pub fn new(input: usize, hidden: usize, rng: &mut SeedableStream) -> Self {
         Self {
             cell: GruCell::new(input, hidden, rng),
+        }
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract.
+    pub fn with_activations(
+        input: usize,
+        hidden: usize,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
+        Self {
+            cell: GruCell::with_activations(input, hidden, acts, rng),
         }
     }
 

@@ -24,7 +24,7 @@
 use crate::init;
 use crate::params::{ParamVisitor, Parameterized};
 use serde::{Deserialize, Serialize};
-use zskip_tensor::{sigmoid, tanh, Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// Transformation applied to the hidden state before it is consumed by the
 /// next timestep (and, in this reproduction, by the output classifier —
@@ -54,6 +54,12 @@ impl StateTransform for IdentityTransform {
 }
 
 /// One LSTM cell: the weights of Eq. 1 plus gradient buffers.
+///
+/// The gate non-linearities are a [`GateActivations`] contract carried
+/// *by the cell* and serialized with it: smooth `exp`-based bodies (the
+/// default), or the shared lookup tables that let the frozen serving
+/// twin vectorize its pointwise stage while staying bit-identical to
+/// this forward pass.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LstmCell {
     input: usize,
@@ -61,6 +67,7 @@ pub struct LstmCell {
     wx: Matrix,
     wh: Matrix,
     b: Vec<f32>,
+    acts: GateActivations,
     #[serde(skip)]
     dwx: Option<Matrix>,
     #[serde(skip)]
@@ -100,9 +107,21 @@ impl LstmStep {
 }
 
 impl LstmCell {
-    /// Creates a cell with Xavier-initialized weights and a forget bias of
-    /// 1.0.
+    /// Creates a cell with Xavier-initialized weights, a forget bias of
+    /// 1.0 and smooth gate activations.
     pub fn new(input: usize, hidden: usize, rng: &mut SeedableStream) -> Self {
+        Self::with_activations(input, hidden, GateActivations::Smooth, rng)
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract —
+    /// pass [`GateActivations::lut_f32`] to train against the shared
+    /// lookup tables the serving pointwise stage vectorizes.
+    pub fn with_activations(
+        input: usize,
+        hidden: usize,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
         assert!(input > 0 && hidden > 0, "lstm dims must be positive");
         Self {
             input,
@@ -110,10 +129,18 @@ impl LstmCell {
             wx: init::xavier_uniform(input, 4 * hidden, rng),
             wh: init::xavier_uniform(hidden, 4 * hidden, rng),
             b: init::lstm_bias(hidden, 1.0),
+            acts,
             dwx: None,
             dwh: None,
             db: None,
         }
+    }
+
+    /// The gate-activation contract this cell trains (and must be
+    /// served) under. Freezers clone it — tables are exported, never
+    /// rebuilt, so serving cannot drift from training.
+    pub fn activations(&self) -> &GateActivations {
+        &self.acts
     }
 
     /// Input dimension `dx`.
@@ -185,10 +212,10 @@ impl LstmCell {
         for r in 0..b {
             let row = gates.row_mut(r);
             for v in row.iter_mut().take(3 * dh) {
-                *v = sigmoid(*v);
+                *v = self.acts.sigmoid(*v);
             }
             for v in row.iter_mut().skip(3 * dh) {
-                *v = tanh(*v);
+                *v = self.acts.tanh(*v);
             }
         }
 
@@ -208,7 +235,7 @@ impl LstmCell {
             let c_snapshot: Vec<f32> = c_row.to_vec();
             let tc_row = tc.row_mut(r);
             for j in 0..dh {
-                tc_row[j] = tanh(c_snapshot[j]);
+                tc_row[j] = self.acts.tanh(c_snapshot[j]);
             }
             let tc_snapshot: Vec<f32> = tc_row.to_vec();
             let h_row = h.row_mut(r);
@@ -235,6 +262,13 @@ impl LstmCell {
     /// transform's backward). `d_c_in` is the gradient w.r.t. `c[t]` flowing
     /// back from step `t+1`. Accumulates weight gradients and returns
     /// `(d_x, d_hp_prev, d_c_prev)`; `d_x` is `None` unless `need_dx`.
+    ///
+    /// Gate derivatives use the smooth formulas on the *post-activation*
+    /// values (`σ·(1−σ)`, `1−tanh²`) in every [`GateActivations`] mode:
+    /// in LUT mode this is a straight-through estimator across the
+    /// table's quantization (the staircase's exact derivative is zero
+    /// almost everywhere, which cannot train), the same device Eq. 6
+    /// already applies to the pruning threshold.
     pub fn backward(
         &mut self,
         step: &LstmStep,
@@ -398,6 +432,18 @@ impl LstmLayer {
     pub fn new(input: usize, hidden: usize, rng: &mut SeedableStream) -> Self {
         Self {
             cell: LstmCell::new(input, hidden, rng),
+        }
+    }
+
+    /// [`Self::new`] with an explicit [`GateActivations`] contract.
+    pub fn with_activations(
+        input: usize,
+        hidden: usize,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
+        Self {
+            cell: LstmCell::with_activations(input, hidden, acts, rng),
         }
     }
 

@@ -6,7 +6,7 @@ use crate::loss::softmax_cross_entropy;
 use crate::lstm::{LstmLayer, StateTransform};
 use crate::params::{ParamVisitor, Parameterized};
 use serde::{Deserialize, Serialize};
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// One LSTM layer over one-hot characters followed by a softmax classifier.
 ///
@@ -40,10 +40,21 @@ pub struct CharLm {
 impl CharLm {
     /// Creates a model for `vocab` symbols with `hidden` LSTM units.
     pub fn new(vocab: usize, hidden: usize, rng: &mut SeedableStream) -> Self {
+        Self::with_activations(vocab, hidden, GateActivations::Smooth, rng)
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract for the
+    /// recurrent gates (the head stays plain f32 arithmetic).
+    pub fn with_activations(
+        vocab: usize,
+        hidden: usize,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
         Self {
             vocab,
             hidden,
-            lstm: LstmLayer::new(vocab, hidden, rng),
+            lstm: LstmLayer::with_activations(vocab, hidden, acts, rng),
             head: Linear::new(hidden, vocab, rng),
         }
     }

@@ -8,7 +8,7 @@ use crate::loss::softmax_cross_entropy;
 use crate::lstm::StateTransform;
 use crate::params::{ParamVisitor, Parameterized};
 use serde::{Deserialize, Serialize};
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// One GRU layer over one-hot characters followed by a softmax classifier.
 ///
@@ -43,10 +43,21 @@ pub struct GruCharLm {
 impl GruCharLm {
     /// Creates a model for `vocab` symbols with `hidden` GRU units.
     pub fn new(vocab: usize, hidden: usize, rng: &mut SeedableStream) -> Self {
+        Self::with_activations(vocab, hidden, GateActivations::Smooth, rng)
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract for the
+    /// recurrent gates (the head stays plain f32 arithmetic).
+    pub fn with_activations(
+        vocab: usize,
+        hidden: usize,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
         Self {
             vocab,
             hidden,
-            gru: GruLayer::new(vocab, hidden, rng),
+            gru: GruLayer::with_activations(vocab, hidden, acts, rng),
             head: Linear::new(hidden, vocab, rng),
         }
     }

@@ -6,7 +6,7 @@ use crate::loss::softmax_cross_entropy;
 use crate::lstm::{LstmLayer, StateTransform};
 use crate::params::{ParamVisitor, Parameterized};
 use serde::{Deserialize, Serialize};
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// Pixel-by-pixel sequence classifier: one scalar pixel per timestep into
 /// an LSTM, with a softmax read-out from the final hidden state — the
@@ -55,11 +55,24 @@ impl SeqClassifier {
         hidden: usize,
         rng: &mut SeedableStream,
     ) -> Self {
+        Self::with_activations(classes, input_dim, hidden, GateActivations::Smooth, rng)
+    }
+
+    /// [`Self::with_input_dim`] under an explicit [`GateActivations`]
+    /// contract for the recurrent gates (the head stays plain f32
+    /// arithmetic).
+    pub fn with_activations(
+        classes: usize,
+        input_dim: usize,
+        hidden: usize,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
         Self {
             classes,
             input_dim,
             hidden,
-            lstm: LstmLayer::new(input_dim, hidden, rng),
+            lstm: LstmLayer::with_activations(input_dim, hidden, acts, rng),
             head: Linear::new(hidden, classes, rng),
         }
     }

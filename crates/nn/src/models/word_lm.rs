@@ -8,7 +8,7 @@ use crate::loss::softmax_cross_entropy;
 use crate::lstm::{LstmLayer, StateTransform};
 use crate::params::{ParamVisitor, Parameterized};
 use serde::{Deserialize, Serialize};
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// Embedding → dropout → LSTM → dropout → softmax classifier.
 ///
@@ -59,12 +59,25 @@ impl WordLm {
         drop_p: f32,
         rng: &mut SeedableStream,
     ) -> Self {
+        Self::with_activations(vocab, emb_dim, hidden, drop_p, GateActivations::Smooth, rng)
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract for the
+    /// recurrent gates (embedding and head stay plain f32 arithmetic).
+    pub fn with_activations(
+        vocab: usize,
+        emb_dim: usize,
+        hidden: usize,
+        drop_p: f32,
+        acts: GateActivations,
+        rng: &mut SeedableStream,
+    ) -> Self {
         Self {
             vocab,
             emb_dim,
             hidden,
             embedding: Embedding::new(vocab, emb_dim, rng),
-            lstm: LstmLayer::new(emb_dim, hidden, rng),
+            lstm: LstmLayer::with_activations(emb_dim, hidden, acts, rng),
             head: Linear::new(hidden, vocab, rng),
             dropout: Dropout::new(drop_p),
         }

@@ -1,0 +1,115 @@
+//! Accuracy regression for the LUT activation contract.
+//!
+//! The tentpole claim behind the shared f32 tables is that replacing the
+//! smooth `exp`-based sigmoid/tanh with 4096-entry lookups (max table
+//! error ~5e-4 for sigmoid, ~1e-3 for tanh) costs *negligible* accuracy.
+//! Prose is cheap — this test pins the claim in CI: the char-LM and GRU
+//! families are trained twice from the same seed on the same data, once
+//! smooth and once under `GateActivations::lut_f32()`, and the final
+//! losses must agree within `LOSS_DELTA_BOUND` nats while both runs
+//! actually learn (halve their initial loss).
+//!
+//! The bound is deliberately loose relative to the table error (the two
+//! runs follow different optimization trajectories once the first
+//! rounding difference appears — this is not a bitwise test) but tight
+//! enough that a broken table, a mis-ordered gate dispatch, or a
+//! degenerate straight-through gradient would blow through it: observed
+//! deltas are ~2e-5 nats (LSTM) and ~1e-6 nats (GRU), four orders of
+//! magnitude inside the bound.
+
+use zskip_nn::models::{CarryState, CharLm, GruCharLm};
+use zskip_nn::{Adam, IdentityTransform, Optimizer, Parameterized};
+use zskip_tensor::{GateActivations, SeedableStream};
+
+/// Maximum allowed |final_loss(lut) − final_loss(smooth)| in nats.
+const LOSS_DELTA_BOUND: f32 = 0.10;
+
+/// Deterministic next-char pattern shared by both training runs.
+fn fixed_pattern() -> Vec<Vec<usize>> {
+    (0..5).map(|t| vec![t % 6, (t + 1) % 6]).collect()
+}
+
+/// Trains a char-LM from `seed` under `acts`; returns (first, last) loss.
+fn train_char_lm(acts: GateActivations, seed: u64, iters: usize) -> (f32, f32) {
+    let mut rng = SeedableStream::new(seed);
+    let mut model = CharLm::with_activations(6, 24, acts, &mut rng);
+    let inputs = fixed_pattern();
+    let targets = inputs.clone();
+    let mut opt = Adam::new(0.02);
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..iters {
+        let mut state = CarryState::zeros(2, 24);
+        model.zero_grads();
+        let stats = model.train_batch(&inputs, &targets, &mut state, &IdentityTransform);
+        opt.step(&mut model);
+        first.get_or_insert(stats.mean_nats);
+        last = stats.mean_nats;
+    }
+    (first.unwrap(), last)
+}
+
+/// GRU twin of [`train_char_lm`].
+fn train_gru_char_lm(acts: GateActivations, seed: u64, iters: usize) -> (f32, f32) {
+    let mut rng = SeedableStream::new(seed);
+    let mut model = GruCharLm::with_activations(6, 24, acts, &mut rng);
+    let inputs = fixed_pattern();
+    let targets = inputs.clone();
+    let mut opt = Adam::new(0.02);
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..iters {
+        let mut state = CarryState::zeros(2, 24);
+        model.zero_grads();
+        let stats = model.train_batch(&inputs, &targets, &mut state, &IdentityTransform);
+        opt.step(&mut model);
+        first.get_or_insert(stats.mean_nats);
+        last = stats.mean_nats;
+    }
+    (first.unwrap(), last)
+}
+
+#[test]
+fn lut_char_lm_matches_smooth_training_loss() {
+    let (smooth_first, smooth_last) = train_char_lm(GateActivations::Smooth, 3, 60);
+    let (lut_first, lut_last) = train_char_lm(GateActivations::lut_f32(), 3, 60);
+
+    // Same init, same data: the runs start from (almost) the same loss
+    // and both must actually learn — a LUT cell that silently saturates
+    // or mis-indexes would fail here, not just drift.
+    assert!(
+        smooth_last < smooth_first * 0.5,
+        "smooth run did not learn: first {smooth_first} last {smooth_last}"
+    );
+    assert!(
+        lut_last < lut_first * 0.5,
+        "lut run did not learn: first {lut_first} last {lut_last}"
+    );
+    let delta = (lut_last - smooth_last).abs();
+    assert!(
+        delta <= LOSS_DELTA_BOUND,
+        "LSTM LUT/smooth final-loss delta {delta} nats exceeds bound \
+         {LOSS_DELTA_BOUND} (smooth {smooth_last}, lut {lut_last})"
+    );
+}
+
+#[test]
+fn lut_gru_char_lm_matches_smooth_training_loss() {
+    let (smooth_first, smooth_last) = train_gru_char_lm(GateActivations::Smooth, 2, 80);
+    let (lut_first, lut_last) = train_gru_char_lm(GateActivations::lut_f32(), 2, 80);
+
+    assert!(
+        smooth_last < smooth_first * 0.5,
+        "smooth run did not learn: first {smooth_first} last {smooth_last}"
+    );
+    assert!(
+        lut_last < lut_first * 0.5,
+        "lut run did not learn: first {lut_first} last {lut_last}"
+    );
+    let delta = (lut_last - smooth_last).abs();
+    assert!(
+        delta <= LOSS_DELTA_BOUND,
+        "GRU LUT/smooth final-loss delta {delta} nats exceeds bound \
+         {LOSS_DELTA_BOUND} (smooth {smooth_last}, lut {lut_last})"
+    );
+}

@@ -12,7 +12,7 @@ use crate::model::{StateLanes, StepScratch};
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_telemetry::Stage;
-use zskip_tensor::{sigmoid, tanh, Matrix};
+use zskip_tensor::{sigmoid, tanh, GateActivations, Matrix};
 
 /// Frozen weights of one LSTM cell (gate order `[f, i, o, g]`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -22,15 +22,35 @@ pub struct FrozenLstm {
     wx: Matrix,
     wh: Matrix,
     bias: Vec<f32>,
+    acts: GateActivations,
 }
 
 impl FrozenLstm {
-    /// Bundles LSTM weights at serving shape.
+    /// Bundles LSTM weights at serving shape, with smooth gate
+    /// activations.
     ///
     /// # Panics
     ///
     /// Panics if any shape disagrees with `input`/`hidden`.
     pub fn new(input: usize, hidden: usize, wx: Matrix, wh: Matrix, bias: Vec<f32>) -> Self {
+        Self::with_activations(input, hidden, wx, wh, bias, GateActivations::Smooth)
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract. The
+    /// tables must be the exact ones the cell trained with — freezers
+    /// clone them from the training cell, never rebuild them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shape disagrees with `input`/`hidden`.
+    pub fn with_activations(
+        input: usize,
+        hidden: usize,
+        wx: Matrix,
+        wh: Matrix,
+        bias: Vec<f32>,
+        acts: GateActivations,
+    ) -> Self {
         assert_eq!((wx.rows(), wx.cols()), (input, 4 * hidden), "Wx shape");
         assert_eq!((wh.rows(), wh.cols()), (hidden, 4 * hidden), "Wh shape");
         assert_eq!(bias.len(), 4 * hidden, "bias shape");
@@ -40,7 +60,13 @@ impl FrozenLstm {
             wx,
             wh,
             bias,
+            acts,
         }
+    }
+
+    /// The gate-activation contract this cell serves under.
+    pub fn activations(&self) -> &GateActivations {
+        &self.acts
     }
 
     /// Input dimension `dx`.
@@ -84,10 +110,16 @@ impl FrozenLstm {
     /// `scratch.c_next`. States are `f32` lanes borrowed straight from
     /// the batch — no copy, and a steady-state call allocates nothing.
     ///
-    /// The gate non-linearities stay scalar calls: `sigmoid`/`tanh` must
-    /// match the training cell bit-for-bit, which pins them to the exact
-    /// `exp`-based scalar bodies. The multiply/add pointwise around them
-    /// runs over fused slice iterators, which the compiler vectorizes.
+    /// The gate non-linearities follow the cell's [`GateActivations`]
+    /// contract. Under `Smooth` they stay scalar `exp`-based calls —
+    /// bit-pinned to training, and the f32 step's throughput floor.
+    /// Under `Lut` the gate planes go through the shared tables'
+    /// batched `eval_slice`/`eval_into` kernels (AVX2 gather twins,
+    /// dispatch-pinned bit-equal to portable), which training evaluates
+    /// element-wise — the same clamp/round/index arithmetic, so serving
+    /// stays bit-identical while the pointwise stage vectorizes. The
+    /// multiply/add pointwise around them runs over fused slice
+    /// iterators, which the compiler vectorizes in both modes.
     pub fn recurrent_step_pruned(
         &self,
         h: &StateLanes<f32>,
@@ -103,13 +135,24 @@ impl FrozenLstm {
         scratch.zx.add_row_broadcast(&self.bias);
 
         // Gate non-linearities, gate order [f | i | o | g].
-        for r in 0..b {
-            let row = scratch.zx.row_mut(r);
-            for v in row.iter_mut().take(3 * dh) {
-                *v = sigmoid(*v);
+        match &self.acts {
+            GateActivations::Smooth => {
+                for r in 0..b {
+                    let row = scratch.zx.row_mut(r);
+                    for v in row.iter_mut().take(3 * dh) {
+                        *v = sigmoid(*v);
+                    }
+                    for v in row.iter_mut().skip(3 * dh) {
+                        *v = tanh(*v);
+                    }
+                }
             }
-            for v in row.iter_mut().skip(3 * dh) {
-                *v = tanh(*v);
+            GateActivations::Lut(luts) => {
+                for r in 0..b {
+                    let (sig_plane, tanh_plane) = scratch.zx.row_mut(r).split_at_mut(3 * dh);
+                    luts.sigmoid().eval_slice(sig_plane);
+                    luts.tanh().eval_slice(tanh_plane);
+                }
             }
         }
 
@@ -131,8 +174,22 @@ impl FrozenLstm {
             // `c_next` and `h_next` are distinct buffers, so unlike the
             // training cell no snapshot copy is needed between the loops.
             let h_row = scratch.h_next.row_mut(r);
-            for (h_out, (&o, &cj)) in h_row.iter_mut().zip(o_g.iter().zip(c_row.iter())) {
-                *h_out = o * tanh(cj);
+            match &self.acts {
+                GateActivations::Smooth => {
+                    for (h_out, (&o, &cj)) in h_row.iter_mut().zip(o_g.iter().zip(c_row.iter())) {
+                        *h_out = o * tanh(cj);
+                    }
+                }
+                GateActivations::Lut(luts) => {
+                    // tc = lut_tanh(c) as a batched plane, then h = o·tc
+                    // — operand-for-operand the training cell's `o * tc`
+                    // (written out, not `*=`, to keep that order visible).
+                    luts.tanh().eval_into(c_row, h_row);
+                    #[allow(clippy::assign_op_pattern)]
+                    for (h_out, &o) in h_row.iter_mut().zip(o_g.iter()) {
+                        *h_out = o * *h_out;
+                    }
+                }
             }
         }
         // Same arithmetic as the training pruner's `apply` (which clones
@@ -149,15 +206,35 @@ pub struct FrozenGru {
     wx: Matrix,
     wh: Matrix,
     bias: Vec<f32>,
+    acts: GateActivations,
 }
 
 impl FrozenGru {
-    /// Bundles GRU weights at serving shape.
+    /// Bundles GRU weights at serving shape, with smooth gate
+    /// activations.
     ///
     /// # Panics
     ///
     /// Panics if any shape disagrees with `input`/`hidden`.
     pub fn new(input: usize, hidden: usize, wx: Matrix, wh: Matrix, bias: Vec<f32>) -> Self {
+        Self::with_activations(input, hidden, wx, wh, bias, GateActivations::Smooth)
+    }
+
+    /// [`Self::new`] under an explicit [`GateActivations`] contract. The
+    /// tables must be the exact ones the cell trained with — freezers
+    /// clone them from the training cell, never rebuild them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shape disagrees with `input`/`hidden`.
+    pub fn with_activations(
+        input: usize,
+        hidden: usize,
+        wx: Matrix,
+        wh: Matrix,
+        bias: Vec<f32>,
+        acts: GateActivations,
+    ) -> Self {
         assert_eq!((wx.rows(), wx.cols()), (input, 3 * hidden), "Wx shape");
         assert_eq!((wh.rows(), wh.cols()), (hidden, 3 * hidden), "Wh shape");
         assert_eq!(bias.len(), 3 * hidden, "bias shape");
@@ -167,7 +244,13 @@ impl FrozenGru {
             wx,
             wh,
             bias,
+            acts,
         }
+    }
+
+    /// The gate-activation contract this cell serves under.
+    pub fn activations(&self) -> &GateActivations {
+        &self.acts
     }
 
     /// Input dimension `dx`.
@@ -209,8 +292,11 @@ impl FrozenGru {
     /// `scratch.h_next`; the GRU carries no cell state and leaves
     /// `scratch.c_next` alone. The state is `f32` lanes borrowed
     /// straight from the batch, and a steady-state call allocates
-    /// nothing; `sigmoid`/`tanh` stay scalar (bit-pinned to training),
-    /// the surrounding pointwise runs over fused slice iterators.
+    /// nothing. The gate non-linearities follow the cell's
+    /// [`GateActivations`] contract: scalar `exp`-based calls under
+    /// `Smooth`, the shared tables' batched kernels under `Lut` — both
+    /// bit-pinned to the training cell; the surrounding pointwise runs
+    /// over fused slice iterators.
     pub fn recurrent_step_pruned(
         &self,
         h: &StateLanes<f32>,
@@ -229,15 +315,38 @@ impl FrozenGru {
             let zx_row = scratch.zx.row(r);
             let zh_row = scratch.zh.row(r);
             let hp = h.row(r);
-            // z and r gates take the plain sum of contributions.
             let g_row = scratch.gates.row_mut(r);
-            for j in 0..2 * dh {
-                g_row[j] = sigmoid(zx_row[j] + zh_row[j]);
-            }
-            // n gate: reset gate scales the recurrent contribution.
-            for j in 0..dh {
-                let r_g = g_row[dh + j];
-                g_row[2 * dh + j] = tanh(zx_row[2 * dh + j] + r_g * zh_row[2 * dh + j]);
+            match &self.acts {
+                GateActivations::Smooth => {
+                    // z and r gates take the plain sum of contributions.
+                    for j in 0..2 * dh {
+                        g_row[j] = sigmoid(zx_row[j] + zh_row[j]);
+                    }
+                    // n gate: reset gate scales the recurrent
+                    // contribution.
+                    for j in 0..dh {
+                        let r_g = g_row[dh + j];
+                        g_row[2 * dh + j] = tanh(zx_row[2 * dh + j] + r_g * zh_row[2 * dh + j]);
+                    }
+                }
+                GateActivations::Lut(luts) => {
+                    // Same preactivation sums, evaluated as batched
+                    // planes: z|r through the sigmoid table first (the n
+                    // preactivation needs the post-sigmoid reset gate),
+                    // then n through the tanh table.
+                    let (zr_plane, n_plane) = g_row.split_at_mut(2 * dh);
+                    for (gj, (&zxj, &zhj)) in
+                        zr_plane.iter_mut().zip(zx_row.iter().zip(zh_row.iter()))
+                    {
+                        *gj = zxj + zhj;
+                    }
+                    luts.sigmoid().eval_slice(zr_plane);
+                    for j in 0..dh {
+                        let r_g = zr_plane[dh + j];
+                        n_plane[j] = zx_row[2 * dh + j] + r_g * zh_row[2 * dh + j];
+                    }
+                    luts.tanh().eval_slice(n_plane);
+                }
             }
             let h_row = scratch.h_next.row_mut(r);
             let (z_g, rest) = g_row.split_at(dh);

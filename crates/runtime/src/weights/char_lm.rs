@@ -6,7 +6,7 @@ use crate::model::{FrozenModel, HeadScratch, StateLanes, StepScratch, TokenDomai
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::CharLm;
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// Frozen weights of a character-level LM: LSTM plus softmax head.
 ///
@@ -35,6 +35,9 @@ impl FrozenCharLm {
     /// explained on [`zskip_nn::Freezable`]).
     pub fn freeze(model: &mut CharLm) -> Self {
         let (vocab, hidden) = (model.vocab_size(), model.hidden_dim());
+        // The activation contract ships with the weights: cloned from the
+        // training cell, never rebuilt, so serving cannot drift.
+        let acts = model.lstm().cell().activations().clone();
         let mut bag = TensorBag::export(model, "CharLm");
         let wx = bag.take_matrix("lstm.wx", vocab, 4 * hidden);
         let wh = bag.take_matrix("lstm.wh", hidden, 4 * hidden);
@@ -44,7 +47,7 @@ impl FrozenCharLm {
         bag.finish();
         Self {
             vocab,
-            lstm: FrozenLstm::new(vocab, hidden, wx, wh, bias),
+            lstm: FrozenLstm::with_activations(vocab, hidden, wx, wh, bias, acts),
             head: FrozenHead::new(head_w, head_b),
         }
     }
@@ -52,6 +55,22 @@ impl FrozenCharLm {
     /// Random weights at serving shape — used by benchmarks that measure
     /// kernel cost without paying for training first.
     pub fn random(vocab: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(vocab, hidden, seed, GateActivations::Smooth)
+    }
+
+    /// [`Self::random`] with the shared f32 LUT activation contract —
+    /// the configuration benchmarks and alloc tests exercise for the
+    /// vectorized pointwise stage.
+    pub fn random_lut(vocab: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(vocab, hidden, seed, GateActivations::lut_f32())
+    }
+
+    fn random_with_activations(
+        vocab: usize,
+        hidden: usize,
+        seed: u64,
+        acts: GateActivations,
+    ) -> Self {
         let mut rng = SeedableStream::new(seed);
         let scale = (1.0 / hidden as f32).sqrt();
         let wx = super::random_matrix(vocab, 4 * hidden, scale, &mut rng);
@@ -59,7 +78,7 @@ impl FrozenCharLm {
         let head_w = super::random_matrix(hidden, vocab, scale, &mut rng);
         Self {
             vocab,
-            lstm: FrozenLstm::new(vocab, hidden, wx, wh, vec![0.0; 4 * hidden]),
+            lstm: FrozenLstm::with_activations(vocab, hidden, wx, wh, vec![0.0; 4 * hidden], acts),
             head: FrozenHead::new(head_w, vec![0.0; vocab]),
         }
     }

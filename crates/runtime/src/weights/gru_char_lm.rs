@@ -6,7 +6,7 @@ use crate::model::{FrozenModel, HeadScratch, StateLanes, StepScratch, TokenDomai
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::GruCharLm;
-use zskip_tensor::SeedableStream;
+use zskip_tensor::{GateActivations, SeedableStream};
 
 /// Frozen weights of the GRU char-LM: a 3-gate `Wh` (`dh × 3dh`, gate
 /// order `[z, r, n]`) plus softmax head. The GRU's only memory is the
@@ -38,6 +38,9 @@ impl FrozenGruCharLm {
     /// borrow explained on [`zskip_nn::Freezable`]).
     pub fn freeze(model: &mut GruCharLm) -> Self {
         let (vocab, hidden) = (model.vocab_size(), model.hidden_dim());
+        // The activation contract ships with the weights: cloned from the
+        // training cell, never rebuilt, so serving cannot drift.
+        let acts = model.gru().cell().activations().clone();
         let mut bag = TensorBag::export(model, "GruCharLm");
         let wx = bag.take_matrix("gru.wx", vocab, 3 * hidden);
         let wh = bag.take_matrix("gru.wh", hidden, 3 * hidden);
@@ -47,13 +50,27 @@ impl FrozenGruCharLm {
         bag.finish();
         Self {
             vocab,
-            gru: FrozenGru::new(vocab, hidden, wx, wh, bias),
+            gru: FrozenGru::with_activations(vocab, hidden, wx, wh, bias, acts),
             head: FrozenHead::new(head_w, head_b),
         }
     }
 
     /// Random weights at serving shape, for benchmarks.
     pub fn random(vocab: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(vocab, hidden, seed, GateActivations::Smooth)
+    }
+
+    /// [`Self::random`] with the shared f32 LUT activation contract.
+    pub fn random_lut(vocab: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(vocab, hidden, seed, GateActivations::lut_f32())
+    }
+
+    fn random_with_activations(
+        vocab: usize,
+        hidden: usize,
+        seed: u64,
+        acts: GateActivations,
+    ) -> Self {
         let mut rng = SeedableStream::new(seed);
         let scale = (1.0 / hidden as f32).sqrt();
         let wx = super::random_matrix(vocab, 3 * hidden, scale, &mut rng);
@@ -61,7 +78,7 @@ impl FrozenGruCharLm {
         let head_w = super::random_matrix(hidden, vocab, scale, &mut rng);
         Self {
             vocab,
-            gru: FrozenGru::new(vocab, hidden, wx, wh, vec![0.0; 3 * hidden]),
+            gru: FrozenGru::with_activations(vocab, hidden, wx, wh, vec![0.0; 3 * hidden], acts),
             head: FrozenHead::new(head_w, vec![0.0; vocab]),
         }
     }

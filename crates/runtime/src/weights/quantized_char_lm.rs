@@ -277,15 +277,9 @@ impl FrozenQuantizedCharLm {
         for (k, g) in gates.iter_mut().enumerate() {
             *g = self.q.preactivation(k, zx_row[k] as i32, acc_row[k]);
         }
-        let sigmoid = self.q.sigmoid_lut();
-        let tanh = self.q.tanh_lut();
         let (sig_part, tanh_part) = gates.split_at_mut(3 * dh);
-        for v in sig_part.iter_mut() {
-            *v = sigmoid.eval(*v);
-        }
-        for v in tanh_part.iter_mut() {
-            *v = tanh.eval(*v);
-        }
+        self.q.sigmoid_lut().eval_slice_portable(sig_part);
+        self.q.tanh_lut().eval_slice_portable(tanh_part);
         self.pointwise_plane(gates, c_row, h_out, c_out);
     }
 
@@ -306,8 +300,9 @@ impl FrozenQuantizedCharLm {
     /// AVX2 twin of [`Self::lane_step_portable`]: pass 1 autovectorizes
     /// under the feature (`mul`/`mul`/`add`/`add` per element — no FMA
     /// contraction without fast-math, so the rounding matches the scalar
-    /// formula), pass 2 replays `ActivationLut::eval` with 8-wide
-    /// gathers (`cvtps2dq` rounds ties-to-even exactly like the scalar
+    /// formula), pass 2 is the shared gather kernel
+    /// [`ActivationLut::eval_slice_avx2`](zskip_tensor::lut::ActivationLut::eval_slice_avx2)
+    /// (`cvtps2dq` rounds ties-to-even exactly like the scalar
     /// `round_ties_even`), pass 3 is the shared scalar tail.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
@@ -329,51 +324,13 @@ impl FrozenQuantizedCharLm {
         for k in 0..4 * dh {
             gates[k] = zx_row[k] * xs + acc_row[k] as f32 * hs + bias[k];
         }
-        // Pass 2.
+        // Pass 2: the shared gather kernel, called directly so this lane
+        // stays a pure AVX2 body under dispatch pinning.
         let (sig_part, tanh_part) = gates.split_at_mut(3 * dh);
-        Self::lut_plane_avx2(self.q.sigmoid_lut(), sig_part);
-        Self::lut_plane_avx2(self.q.tanh_lut(), tanh_part);
+        self.q.sigmoid_lut().eval_slice_avx2(sig_part);
+        self.q.tanh_lut().eval_slice_avx2(tanh_part);
         // Pass 3.
         self.pointwise_plane(gates, c_row, h_out, c_out);
-    }
-
-    /// Replays [`zskip_tensor::lut::ActivationLut::eval`] over a plane
-    /// with 8-wide gathers; the scalar tail runs the real `eval`.
-    #[cfg(target_arch = "x86_64")]
-    #[target_feature(enable = "avx2")]
-    fn lut_plane_avx2(lut: &zskip_tensor::lut::ActivationLut, plane: &mut [f32]) {
-        use std::arch::x86_64::*;
-        let table = lut.table();
-        let range = lut.range();
-        let pos_scale = lut.position_scale();
-        let vmin = _mm256_set1_ps(-range);
-        let vmax = _mm256_set1_ps(range);
-        let vrange = _mm256_set1_ps(range);
-        let vscale = _mm256_set1_ps(pos_scale);
-        let vlast = _mm256_set1_epi32(table.len() as i32 - 1);
-        let vzero = _mm256_setzero_si256();
-        let mut k = 0usize;
-        while k + 8 <= plane.len() {
-            // SAFETY: `k + 8 <= len` bounds the loads/stores; gather
-            // indices are clamped into `0..table.len()` right before the
-            // table read.
-            unsafe {
-                let v = _mm256_loadu_ps(plane.as_ptr().add(k));
-                // Finite inputs: min/max match scalar `clamp` exactly.
-                let clamped = _mm256_min_ps(_mm256_max_ps(v, vmin), vmax);
-                let pos = _mm256_mul_ps(_mm256_add_ps(clamped, vrange), vscale);
-                // cvtps2dq rounds to nearest, ties to even — the scalar
-                // path's `round_ties_even` in one instruction.
-                let idx = _mm256_cvtps_epi32(pos);
-                let idx = _mm256_min_epi32(_mm256_max_epi32(idx, vzero), vlast);
-                let vals = _mm256_i32gather_ps::<4>(table.as_ptr(), idx);
-                _mm256_storeu_ps(plane.as_mut_ptr().add(k), vals);
-            }
-            k += 8;
-        }
-        for v in plane[k..].iter_mut() {
-            *v = lut.eval(*v);
-        }
     }
 }
 

@@ -6,7 +6,7 @@ use crate::model::{FrozenModel, HeadScratch, ScalarDomain, StateLanes, StepScrat
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::SeqClassifier;
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// Frozen weights of the sequential (pixel-by-pixel) classifier.
 ///
@@ -54,6 +54,9 @@ impl FrozenSeqClassifier {
             "streaming serving consumes one pixel per step; freeze the scalar-input model"
         );
         let (classes, hidden) = (model.class_count(), model.hidden_dim());
+        // The activation contract ships with the weights: cloned from the
+        // training cell, never rebuilt, so serving cannot drift.
+        let acts = model.lstm().cell().activations().clone();
         let mut bag = TensorBag::export(model, "SeqClassifier");
         let wx = bag.take_matrix("lstm.wx", 1, 4 * hidden);
         let wh = bag.take_matrix("lstm.wh", hidden, 4 * hidden);
@@ -63,13 +66,27 @@ impl FrozenSeqClassifier {
         bag.finish();
         Self {
             classes,
-            lstm: FrozenLstm::new(1, hidden, wx, wh, bias),
+            lstm: FrozenLstm::with_activations(1, hidden, wx, wh, bias, acts),
             head: FrozenHead::new(head_w, head_b),
         }
     }
 
     /// Random weights at serving shape, for benchmarks.
     pub fn random(classes: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(classes, hidden, seed, GateActivations::Smooth)
+    }
+
+    /// [`Self::random`] with the shared f32 LUT activation contract.
+    pub fn random_lut(classes: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(classes, hidden, seed, GateActivations::lut_f32())
+    }
+
+    fn random_with_activations(
+        classes: usize,
+        hidden: usize,
+        seed: u64,
+        acts: GateActivations,
+    ) -> Self {
         let mut rng = SeedableStream::new(seed);
         let scale = (1.0 / hidden as f32).sqrt();
         let wx = super::random_matrix(1, 4 * hidden, scale, &mut rng);
@@ -77,7 +94,7 @@ impl FrozenSeqClassifier {
         let head_w = super::random_matrix(hidden, classes, scale, &mut rng);
         Self {
             classes,
-            lstm: FrozenLstm::new(1, hidden, wx, wh, vec![0.0; 4 * hidden]),
+            lstm: FrozenLstm::with_activations(1, hidden, wx, wh, vec![0.0; 4 * hidden], acts),
             head: FrozenHead::new(head_w, vec![0.0; classes]),
         }
     }

@@ -6,7 +6,7 @@ use crate::model::{FrozenModel, HeadScratch, StateLanes, StepScratch, TokenDomai
 use serde::{Deserialize, Serialize};
 use zskip_core::StatePruner;
 use zskip_nn::models::WordLm;
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 /// Frozen weights of the word-level LM: embedding table, LSTM over dense
 /// embedded inputs, softmax head.
@@ -51,6 +51,9 @@ impl FrozenWordLm {
             model.embedding_dim(),
             model.hidden_dim(),
         );
+        // The activation contract ships with the weights: cloned from the
+        // training cell, never rebuilt, so serving cannot drift.
+        let acts = model.lstm().cell().activations().clone();
         let mut bag = TensorBag::export(model, "WordLm");
         let embedding = bag.take_matrix("embedding.table", vocab, emb_dim);
         let wx = bag.take_matrix("lstm.wx", emb_dim, 4 * hidden);
@@ -63,13 +66,28 @@ impl FrozenWordLm {
             vocab,
             emb_dim,
             embedding,
-            lstm: FrozenLstm::new(emb_dim, hidden, wx, wh, bias),
+            lstm: FrozenLstm::with_activations(emb_dim, hidden, wx, wh, bias, acts),
             head: FrozenHead::new(head_w, head_b),
         }
     }
 
     /// Random weights at serving shape, for benchmarks.
     pub fn random(vocab: usize, emb_dim: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(vocab, emb_dim, hidden, seed, GateActivations::Smooth)
+    }
+
+    /// [`Self::random`] with the shared f32 LUT activation contract.
+    pub fn random_lut(vocab: usize, emb_dim: usize, hidden: usize, seed: u64) -> Self {
+        Self::random_with_activations(vocab, emb_dim, hidden, seed, GateActivations::lut_f32())
+    }
+
+    fn random_with_activations(
+        vocab: usize,
+        emb_dim: usize,
+        hidden: usize,
+        seed: u64,
+        acts: GateActivations,
+    ) -> Self {
         let mut rng = SeedableStream::new(seed);
         let scale = (1.0 / hidden as f32).sqrt();
         let embedding = super::random_matrix(vocab, emb_dim, scale, &mut rng);
@@ -80,7 +98,14 @@ impl FrozenWordLm {
             vocab,
             emb_dim,
             embedding,
-            lstm: FrozenLstm::new(emb_dim, hidden, wx, wh, vec![0.0; 4 * hidden]),
+            lstm: FrozenLstm::with_activations(
+                emb_dim,
+                hidden,
+                wx,
+                wh,
+                vec![0.0; 4 * hidden],
+                acts,
+            ),
             head: FrozenHead::new(head_w, vec![0.0; vocab]),
         }
     }

@@ -176,6 +176,39 @@ fn all_families(stage_timing: bool) {
         st,
         token,
     );
+    // The f32 families again under the LUT activation contract: the
+    // batched `eval_slice`/`eval_into` pointwise path (AVX2 gathers by
+    // default, portable under `ZSKIP_FORCE_PORTABLE=1` — CI runs both
+    // lanes of this binary) must stay as allocation-free as the scalar
+    // one. Tables live in the frozen weights; evaluation touches no heap.
+    assert_steady_state_allocation_free(
+        FrozenCharLm::random_lut(16, 96, 11),
+        0.25,
+        "char-lm (lut)",
+        st,
+        token,
+    );
+    assert_steady_state_allocation_free(
+        FrozenGruCharLm::random_lut(16, 96, 12),
+        0.25,
+        "gru (lut)",
+        st,
+        token,
+    );
+    assert_steady_state_allocation_free(
+        FrozenWordLm::random_lut(16, 24, 96, 13),
+        0.25,
+        "word-lm (lut)",
+        st,
+        token,
+    );
+    assert_steady_state_allocation_free(
+        FrozenSeqClassifier::random_lut(10, 96, 14),
+        0.25,
+        "classifier (lut)",
+        st,
+        pixel,
+    );
 }
 
 #[test]

@@ -18,6 +18,7 @@
 //!    [`SessionId`] is ever delivered or resolved.
 
 use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use zskip_core::{QuantizedLstm, StatePruner};
 use zskip_nn::models::{CarryState, CharLm, GruCharLm, SeqClassifier, WordLm};
@@ -27,7 +28,7 @@ use zskip_runtime::{
     FrozenModel, FrozenQuantizedCharLm, FrozenSeqClassifier, FrozenWordLm, HeadScratch, SessionId,
     SkipPolicy, StateLanes,
 };
-use zskip_tensor::{Matrix, SeedableStream};
+use zskip_tensor::{GateActivations, Matrix, SeedableStream};
 
 fn frozen(vocab: usize, hidden: usize, seed: u64) -> (CharLm, FrozenCharLm) {
     let mut rng = SeedableStream::new(seed);
@@ -191,6 +192,122 @@ proptest! {
         let reference: Vec<Matrix> =
             trace.iter().map(|s| model.head().forward(s)).collect();
         engine_replays_reference(f, threshold, &tokens, &reference, "gru");
+    }
+
+    /// The LUT activation contract, LSTM family: a char-LM trained with
+    /// the shared f32 tables is served bit-for-bit by the frozen engine —
+    /// the batched (AVX2-dispatched) serving kernels replay the training
+    /// cell's element-wise table walks exactly.
+    #[test]
+    fn lut_engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        vocab in 4usize..20,
+        hidden in 2usize..32,
+        steps in 1usize..8,
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model =
+            CharLm::with_activations(vocab, hidden, GateActivations::lut_f32(), &mut rng);
+        let f = FrozenCharLm::freeze(&mut model);
+        let mut rng = SeedableStream::new(seed ^ 0x5151);
+        let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
+
+        let pruner = StatePruner::new(threshold);
+        let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
+        let mut state = CarryState::zeros(1, hidden);
+        let trace = model.state_trace(&inputs, &mut state, &pruner);
+        let reference: Vec<Matrix> =
+            trace.iter().map(|s| model.head().forward(s)).collect();
+        engine_replays_reference(f, threshold, &tokens, &reference, "lut char-lm");
+    }
+
+    /// The LUT activation contract, GRU family: same bitwise replay for
+    /// the 3-gate cell (sigmoid plane + reset-scaled tanh plane).
+    #[test]
+    fn lut_gru_engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        vocab in 4usize..20,
+        hidden in 2usize..32,
+        steps in 1usize..8,
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model =
+            GruCharLm::with_activations(vocab, hidden, GateActivations::lut_f32(), &mut rng);
+        let f = FrozenGruCharLm::freeze(&mut model);
+        let mut rng = SeedableStream::new(seed ^ 0x1DE);
+        let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
+
+        let pruner = StatePruner::new(threshold);
+        let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
+        let mut state = CarryState::zeros(1, hidden);
+        let trace = model.state_trace(&inputs, &mut state, &pruner);
+        let reference: Vec<Matrix> =
+            trace.iter().map(|s| model.head().forward(s)).collect();
+        engine_replays_reference(f, threshold, &tokens, &reference, "lut gru");
+    }
+
+    /// The LUT activation contract, word-LM family: the embedding input
+    /// and dense `Wx` stay plain f32, the recurrent gates walk the
+    /// shared tables — frozen serving replays training bit-for-bit.
+    #[test]
+    fn lut_word_lm_engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        vocab in 6usize..40,
+        emb in 2usize..12,
+        hidden in 2usize..24,
+        steps in 1usize..8,
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = WordLm::with_activations(
+            vocab, emb, hidden, 0.5, GateActivations::lut_f32(), &mut rng);
+        let f = FrozenWordLm::freeze(&mut model);
+        let mut rng = SeedableStream::new(seed ^ 0x60D);
+        let tokens: Vec<usize> = (0..steps).map(|_| rng.index(vocab)).collect();
+
+        let pruner = StatePruner::new(threshold);
+        let inputs: Vec<Vec<usize>> = tokens.iter().map(|t| vec![*t]).collect();
+        let mut state = CarryState::zeros(1, hidden);
+        let trace = model.state_trace(&inputs, &mut state, &pruner);
+        let reference: Vec<Matrix> =
+            trace.iter().map(|s| model.head().forward(s)).collect();
+        engine_replays_reference(f, threshold, &tokens, &reference, "lut word-lm");
+    }
+
+    /// The LUT activation contract, classifier family: pixel-scan steps
+    /// through the LUT LSTM cell, final-state head bit-identical to the
+    /// training trace at every prefix.
+    #[test]
+    fn lut_seq_classifier_engine_matches_training_forward_bitwise(
+        seed in 0u64..1000,
+        classes in 2usize..8,
+        hidden in 2usize..24,
+        pixels in proptest::collection::vec(0.0f32..1.0, 1..8),
+        threshold in 0.0f32..0.6,
+    ) {
+        let mut rng = SeedableStream::new(seed);
+        let mut model = SeqClassifier::with_activations(
+            classes, 1, hidden, GateActivations::lut_f32(), &mut rng);
+        let f = FrozenSeqClassifier::freeze(&mut model);
+
+        let pruner = StatePruner::new(threshold);
+        let steps: Vec<Vec<f32>> = pixels.iter().map(|p| vec![*p]).collect();
+        let trace = model.state_trace(&steps, &pruner);
+
+        let mut engine = Engine::new(f, EngineConfig::for_threshold(threshold));
+        let id = engine.open_session();
+        for &p in &pixels {
+            engine.submit(id, p).unwrap();
+        }
+        let delivered = engine.run_until_idle();
+        prop_assert_eq!(delivered.len(), pixels.len());
+        for (t, state) in trace.iter().enumerate() {
+            let result = engine.poll(id).unwrap().expect("one result per pixel");
+            let reference = model.head().forward(state);
+            assert_bits(&result.logits, reference.row(0), &format!("lut classifier step {t}"));
+        }
     }
 
     /// The word-LM family: embedding lookup input, dense `Wx` GEMM —
@@ -503,4 +620,56 @@ proptest! {
             prop_assert!(matches!(engine.poll(*id), Err(EngineError::UnknownSession)));
         }
     }
+}
+
+/// Asserts two activation contracts are both LUT mode and carry
+/// bitwise-identical tables.
+fn assert_same_tables(a: &GateActivations, b: &GateActivations, context: &str) {
+    let a = a.luts().expect("lut mode");
+    let b = b.luts().expect("lut mode");
+    for (la, lb, name) in [
+        (a.sigmoid(), b.sigmoid(), "sigmoid"),
+        (a.tanh(), b.tanh(), "tanh"),
+    ] {
+        assert_eq!(la.table().len(), lb.table().len(), "{context}: {name} len");
+        for (x, y) in la.table().iter().zip(lb.table()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}: {name} entry");
+        }
+    }
+}
+
+/// The LUT tables ride the `Freezable` export and serde round trips as
+/// data: the freezer clones the training cell's tables (never rebuilds
+/// them) and serialization preserves every entry bitwise, so a serving
+/// process can never drift from the table the model trained with.
+#[test]
+fn lut_tables_survive_freeze_and_serde_round_trip() {
+    let mut rng = SeedableStream::new(9);
+    let mut model = CharLm::with_activations(10, 8, GateActivations::lut_f32(), &mut rng);
+    let frozen = FrozenCharLm::freeze(&mut model);
+    assert_same_tables(
+        model.lstm().cell().activations(),
+        frozen.lstm().activations(),
+        "lstm freeze",
+    );
+    let back = FrozenCharLm::from_value(&frozen.to_value()).expect("char-lm round trip");
+    assert_same_tables(
+        frozen.lstm().activations(),
+        back.lstm().activations(),
+        "lstm serde",
+    );
+
+    let mut model = GruCharLm::with_activations(10, 8, GateActivations::lut_f32(), &mut rng);
+    let frozen = FrozenGruCharLm::freeze(&mut model);
+    assert_same_tables(
+        model.gru().cell().activations(),
+        frozen.gru().activations(),
+        "gru freeze",
+    );
+    let back = FrozenGruCharLm::from_value(&frozen.to_value()).expect("gru round trip");
+    assert_same_tables(
+        frozen.gru().activations(),
+        back.gru().activations(),
+        "gru serde",
+    );
 }

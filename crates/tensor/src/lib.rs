@@ -38,7 +38,7 @@ pub mod simd;
 pub mod stats;
 
 pub use fixed::{FixedPoint, QFormat};
-pub use lut::{sigmoid, tanh, ActivationLut};
+pub use lut::{sigmoid, tanh, ActivationLut, GateActivations, GateLuts};
 pub use matrix::Matrix;
 pub use quant::{QMatrix, QVector, Quantizer};
 pub use rng::SeedableStream;

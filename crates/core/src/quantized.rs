@@ -87,6 +87,67 @@ impl QuantizedLstm {
         }
     }
 
+    /// Rebuilds a quantized cell from stored parts (model snapshots),
+    /// preserving every stored quantizer step, LUT sample and weight
+    /// code bit-exactly — unlike [`from_cell`](Self::from_cell), which
+    /// re-derives quantizers and hardware tables. Returns a message
+    /// naming the violated shape invariant instead of panicking, so a
+    /// corrupted snapshot surfaces as a typed load error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        dx: usize,
+        dh: usize,
+        wx: QMatrix,
+        wh: QMatrix,
+        bias: Vec<f32>,
+        x_quant: Quantizer,
+        h_quant: Quantizer,
+        c_quant: Quantizer,
+        luts: GateLuts,
+        threshold: f32,
+    ) -> Result<Self, String> {
+        if wx.rows() != dx || wx.cols() != 4 * dh {
+            return Err(format!(
+                "wx is {}x{}, expected {dx}x{}",
+                wx.rows(),
+                wx.cols(),
+                4 * dh
+            ));
+        }
+        if wh.rows() != dh || wh.cols() != 4 * dh {
+            return Err(format!(
+                "wh is {}x{}, expected {dh}x{}",
+                wh.rows(),
+                wh.cols(),
+                4 * dh
+            ));
+        }
+        if bias.len() != 4 * dh {
+            return Err(format!(
+                "bias has {} entries, expected {}",
+                bias.len(),
+                4 * dh
+            ));
+        }
+        if !(threshold.is_finite() && threshold >= 0.0) {
+            return Err(format!(
+                "pruning threshold must be finite and non-negative, got {threshold}"
+            ));
+        }
+        Ok(Self {
+            dx,
+            dh,
+            wx,
+            wh,
+            bias,
+            x_quant,
+            h_quant,
+            c_quant,
+            luts,
+            pruner: StatePruner::new(threshold),
+        })
+    }
+
     /// Input dimension `dx`.
     pub fn input_dim(&self) -> usize {
         self.dx

@@ -69,6 +69,7 @@
 pub mod batcher;
 pub mod engine;
 pub mod model;
+pub mod snapshot;
 pub mod weights;
 
 pub use batcher::{BatchStep, BatchStepOutput, DynamicBatcher, SkipPolicy, StepStats};
@@ -77,6 +78,7 @@ pub use model::{
     FrozenModel, HeadScratch, InputSpec, ScalarDomain, SkipPlan, StateLanes, StateScalar,
     StepScratch, TokenDomain,
 };
+pub use snapshot::{ModelFamily, ModelSnapshot};
 pub use weights::{
     FrozenCharLm, FrozenGru, FrozenGruCharLm, FrozenHead, FrozenLstm, FrozenQuantizedCharLm,
     FrozenSeqClassifier, FrozenWordLm,

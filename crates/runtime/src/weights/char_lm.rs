@@ -153,6 +153,34 @@ impl FrozenModel for FrozenCharLm {
     }
 }
 
+impl crate::snapshot::ModelSnapshot for FrozenCharLm {
+    const FAMILY: crate::snapshot::ModelFamily = crate::snapshot::ModelFamily::CharLm;
+
+    fn write_sections(&self, w: &mut zskip_tensor::SnapshotWriter) {
+        w.u64_scalar("vocab", self.vocab as u64);
+        crate::snapshot::write_lstm(w, "lstm", &self.lstm);
+        crate::snapshot::write_head(w, "head", &self.head);
+    }
+
+    fn read_sections(
+        r: &mut zskip_tensor::SnapshotReader<'_>,
+    ) -> Result<Self, zskip_tensor::SnapshotError> {
+        let vocab = r.u64_scalar("vocab")? as usize;
+        let lstm = crate::snapshot::read_lstm(r, "lstm")?;
+        let head = crate::snapshot::read_head(r, "head")?;
+        if lstm.input_dim() != vocab
+            || head.weight().rows() != lstm.hidden_dim()
+            || head.output_dim() != vocab
+        {
+            return Err(zskip_tensor::SnapshotError::Invalid {
+                tensor: "head.w".to_string(),
+                reason: "lstm/head dimensions disagree with the stored vocab".to_string(),
+            });
+        }
+        Ok(Self { vocab, lstm, head })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

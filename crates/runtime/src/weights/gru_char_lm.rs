@@ -150,6 +150,34 @@ impl FrozenModel for FrozenGruCharLm {
     }
 }
 
+impl crate::snapshot::ModelSnapshot for FrozenGruCharLm {
+    const FAMILY: crate::snapshot::ModelFamily = crate::snapshot::ModelFamily::GruCharLm;
+
+    fn write_sections(&self, w: &mut zskip_tensor::SnapshotWriter) {
+        w.u64_scalar("vocab", self.vocab as u64);
+        crate::snapshot::write_gru(w, "gru", &self.gru);
+        crate::snapshot::write_head(w, "head", &self.head);
+    }
+
+    fn read_sections(
+        r: &mut zskip_tensor::SnapshotReader<'_>,
+    ) -> Result<Self, zskip_tensor::SnapshotError> {
+        let vocab = r.u64_scalar("vocab")? as usize;
+        let gru = crate::snapshot::read_gru(r, "gru")?;
+        let head = crate::snapshot::read_head(r, "head")?;
+        if gru.input_dim() != vocab
+            || head.weight().rows() != gru.hidden_dim()
+            || head.output_dim() != vocab
+        {
+            return Err(zskip_tensor::SnapshotError::Invalid {
+                tensor: "head.w".to_string(),
+                reason: "gru/head dimensions disagree with the stored vocab".to_string(),
+            });
+        }
+        Ok(Self { vocab, gru, head })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -334,6 +334,66 @@ impl FrozenQuantizedCharLm {
     }
 }
 
+impl crate::snapshot::ModelSnapshot for FrozenQuantizedCharLm {
+    const FAMILY: crate::snapshot::ModelFamily = crate::snapshot::ModelFamily::QuantizedCharLm;
+
+    fn write_sections(&self, w: &mut zskip_tensor::SnapshotWriter) {
+        w.u64_scalar("vocab", self.vocab as u64);
+        crate::snapshot::write_qmatrix(w, "q.wx", self.q.wx());
+        crate::snapshot::write_qmatrix(w, "q.wh", self.q.wh());
+        w.f32s("q.bias", &[self.q.bias().len()], self.q.bias());
+        crate::snapshot::write_quantizer(w, "q.x_quant.step", self.q.x_quantizer());
+        crate::snapshot::write_quantizer(w, "q.h_quant.step", self.q.h_quantizer());
+        crate::snapshot::write_quantizer(w, "q.c_quant.step", self.q.c_quantizer());
+        let luts =
+            zskip_tensor::GateLuts::new(self.q.sigmoid_lut().clone(), self.q.tanh_lut().clone());
+        crate::snapshot::write_gate_luts(w, "q.luts", &luts);
+        crate::snapshot::write_f32_scalar(w, "q.threshold", self.q.threshold());
+        crate::snapshot::write_qmatrix(w, "head.w", &self.head_w);
+        w.f32s("head.b", &[self.head_b.len()], &self.head_b);
+    }
+
+    fn read_sections(
+        r: &mut zskip_tensor::SnapshotReader<'_>,
+    ) -> Result<Self, zskip_tensor::SnapshotError> {
+        let vocab = r.u64_scalar("vocab")? as usize;
+        let wx = crate::snapshot::read_qmatrix(r, "q.wx")?;
+        let wh = crate::snapshot::read_qmatrix(r, "q.wh")?;
+        let (_, bias) = r.f32s("q.bias")?;
+        let x_quant = crate::snapshot::read_quantizer(r, "q.x_quant.step")?;
+        let h_quant = crate::snapshot::read_quantizer(r, "q.h_quant.step")?;
+        let c_quant = crate::snapshot::read_quantizer(r, "q.c_quant.step")?;
+        let luts = crate::snapshot::read_gate_luts(r, "q.luts")?;
+        let threshold = crate::snapshot::read_f32_scalar(r, "q.threshold")?;
+        let head_w = crate::snapshot::read_qmatrix(r, "head.w")?;
+        let (_, head_b) = r.f32s("head.b")?;
+        let (dx, dh) = (wx.rows(), wh.rows());
+        let q = QuantizedLstm::from_parts(
+            dx, dh, wx, wh, bias, x_quant, h_quant, c_quant, luts, threshold,
+        )
+        .map_err(|reason| zskip_tensor::SnapshotError::Invalid {
+            tensor: "q".to_string(),
+            reason,
+        })?;
+        if q.input_dim() != vocab
+            || head_w.rows() != q.hidden_dim()
+            || head_w.cols() != vocab
+            || head_b.len() != vocab
+        {
+            return Err(zskip_tensor::SnapshotError::Invalid {
+                tensor: "head.w.codes".to_string(),
+                reason: "quantized lstm/head dimensions disagree with the stored vocab".to_string(),
+            });
+        }
+        Ok(Self {
+            vocab,
+            q,
+            head_w,
+            head_b,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

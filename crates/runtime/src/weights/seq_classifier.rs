@@ -159,6 +159,38 @@ impl FrozenModel for FrozenSeqClassifier {
     }
 }
 
+impl crate::snapshot::ModelSnapshot for FrozenSeqClassifier {
+    const FAMILY: crate::snapshot::ModelFamily = crate::snapshot::ModelFamily::SeqClassifier;
+
+    fn write_sections(&self, w: &mut zskip_tensor::SnapshotWriter) {
+        w.u64_scalar("classes", self.classes as u64);
+        crate::snapshot::write_lstm(w, "lstm", &self.lstm);
+        crate::snapshot::write_head(w, "head", &self.head);
+    }
+
+    fn read_sections(
+        r: &mut zskip_tensor::SnapshotReader<'_>,
+    ) -> Result<Self, zskip_tensor::SnapshotError> {
+        let classes = r.u64_scalar("classes")? as usize;
+        let lstm = crate::snapshot::read_lstm(r, "lstm")?;
+        let head = crate::snapshot::read_head(r, "head")?;
+        if lstm.input_dim() != 1
+            || head.weight().rows() != lstm.hidden_dim()
+            || head.output_dim() != classes
+        {
+            return Err(zskip_tensor::SnapshotError::Invalid {
+                tensor: "head.w".to_string(),
+                reason: "lstm/head dimensions disagree with the stored class count".to_string(),
+            });
+        }
+        Ok(Self {
+            classes,
+            lstm,
+            head,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

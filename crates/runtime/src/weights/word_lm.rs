@@ -188,6 +188,44 @@ impl FrozenModel for FrozenWordLm {
     }
 }
 
+impl crate::snapshot::ModelSnapshot for FrozenWordLm {
+    const FAMILY: crate::snapshot::ModelFamily = crate::snapshot::ModelFamily::WordLm;
+
+    fn write_sections(&self, w: &mut zskip_tensor::SnapshotWriter) {
+        w.u64_scalar("vocab", self.vocab as u64);
+        crate::snapshot::write_matrix(w, "embedding", &self.embedding);
+        crate::snapshot::write_lstm(w, "lstm", &self.lstm);
+        crate::snapshot::write_head(w, "head", &self.head);
+    }
+
+    fn read_sections(
+        r: &mut zskip_tensor::SnapshotReader<'_>,
+    ) -> Result<Self, zskip_tensor::SnapshotError> {
+        let vocab = r.u64_scalar("vocab")? as usize;
+        let embedding = crate::snapshot::read_matrix(r, "embedding")?;
+        let lstm = crate::snapshot::read_lstm(r, "lstm")?;
+        let head = crate::snapshot::read_head(r, "head")?;
+        let emb_dim = embedding.cols();
+        if embedding.rows() != vocab
+            || lstm.input_dim() != emb_dim
+            || head.weight().rows() != lstm.hidden_dim()
+            || head.output_dim() != vocab
+        {
+            return Err(zskip_tensor::SnapshotError::Invalid {
+                tensor: "embedding".to_string(),
+                reason: "embedding/lstm/head dimensions disagree with the stored vocab".to_string(),
+            });
+        }
+        Ok(Self {
+            vocab,
+            emb_dim,
+            embedding,
+            lstm,
+            head,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

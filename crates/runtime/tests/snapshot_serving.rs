@@ -1,0 +1,151 @@
+//! Snapshot round-trips at the *serving* level: a model saved and
+//! reloaded must produce bit-identical logits for every family, and a
+//! damaged snapshot must be rejected by checksum with an error naming
+//! the exact tensor — never loaded, never "mostly right".
+
+use zskip_runtime::{
+    Engine, EngineConfig, FrozenCharLm, FrozenGruCharLm, FrozenModel, FrozenQuantizedCharLm,
+    FrozenSeqClassifier, FrozenWordLm, ModelSnapshot,
+};
+use zskip_tensor::{SeedableStream, SnapshotError};
+
+const THRESHOLD: f32 = 0.2;
+const TOKENS: usize = 48;
+
+/// Serves `TOKENS` sampled inputs through a fresh engine and returns
+/// the logit bit patterns plus argmaxes, step by step.
+fn serve_bits<M: FrozenModel>(model: M, inputs: &[M::Input]) -> Vec<(usize, Vec<u32>)> {
+    let mut engine = Engine::new(model, EngineConfig::for_threshold(THRESHOLD));
+    let session = engine.open_session();
+    let mut out = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        engine
+            .submit(session, *input)
+            .expect("submit sampled input");
+        engine.step();
+        let result = engine
+            .poll(session)
+            .expect("poll")
+            .expect("result after step");
+        out.push((
+            result.argmax,
+            result.logits.iter().map(|x| x.to_bits()).collect(),
+        ));
+    }
+    out
+}
+
+fn assert_reload_serves_identically<M>(model: M, family: &str, seed: u64)
+where
+    M: FrozenModel + ModelSnapshot,
+{
+    let mut rng = SeedableStream::new(seed);
+    let inputs: Vec<M::Input> = (0..TOKENS).map(|_| model.sample_input(&mut rng)).collect();
+    let bytes = model.to_snapshot_bytes();
+    let reloaded = M::from_snapshot_bytes(&bytes).expect("reload snapshot");
+    let original_bits = serve_bits(model, &inputs);
+    let reloaded_bits = serve_bits(reloaded, &inputs);
+    assert_eq!(
+        original_bits, reloaded_bits,
+        "{family}: reloaded snapshot served different bits"
+    );
+}
+
+#[test]
+fn char_lm_snapshot_serves_bit_identically() {
+    assert_reload_serves_identically(FrozenCharLm::random(26, 20, 3), "char-lm", 1);
+}
+
+#[test]
+fn lut_char_lm_snapshot_serves_bit_identically() {
+    assert_reload_serves_identically(FrozenCharLm::random_lut(26, 20, 4), "char-lm-lut", 2);
+}
+
+#[test]
+fn gru_char_lm_snapshot_serves_bit_identically() {
+    assert_reload_serves_identically(FrozenGruCharLm::random(22, 18, 5), "gru-char-lm", 3);
+}
+
+#[test]
+fn word_lm_snapshot_serves_bit_identically() {
+    assert_reload_serves_identically(FrozenWordLm::random(50, 12, 16, 6), "word-lm", 4);
+}
+
+#[test]
+fn seq_classifier_snapshot_serves_bit_identically() {
+    assert_reload_serves_identically(FrozenSeqClassifier::random(10, 16, 7), "seq-classifier", 5);
+}
+
+#[test]
+fn quantized_char_lm_snapshot_serves_bit_identically() {
+    assert_reload_serves_identically(
+        FrozenQuantizedCharLm::random(26, 20, THRESHOLD, 8),
+        "quantized-char-lm",
+        6,
+    );
+}
+
+/// Locates the payload of the named section inside a snapshot byte
+/// stream. Layout after the `u16`-length-prefixed name: dtype (1) +
+/// ndims (1) + dims (8 each) + payload_len (8) + payload.
+fn payload_offset(bytes: &[u8], section: &str) -> usize {
+    let mut needle = (section.len() as u16).to_le_bytes().to_vec();
+    needle.extend_from_slice(section.as_bytes());
+    let at = bytes
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .unwrap_or_else(|| panic!("section {section:?} not found in snapshot"));
+    let after_name = at + needle.len();
+    let ndims = bytes[after_name + 1] as usize;
+    after_name + 1 + 1 + 8 * ndims + 8
+}
+
+#[test]
+fn corrupted_payload_byte_is_rejected_by_checksum_naming_the_tensor() {
+    let model = FrozenCharLm::random(26, 20, 9);
+    let good = model.to_snapshot_bytes();
+    // Flip one bit inside the head-bias payload. The checksum must
+    // catch it and say *which* tensor is damaged.
+    let mut bad = good.clone();
+    let at = payload_offset(&bad, "head.b") + 2;
+    bad[at] ^= 0x40;
+    match FrozenCharLm::from_snapshot_bytes(&bad) {
+        Err(SnapshotError::ChecksumMismatch { tensor }) => {
+            assert_eq!(tensor, "head.b", "error must name the damaged tensor");
+        }
+        Ok(_) => panic!("corrupted snapshot must not load"),
+        Err(other) => panic!("expected a checksum mismatch, got {other}"),
+    }
+    // And the same for the quantized family's integer codes.
+    let qmodel = FrozenQuantizedCharLm::random(26, 20, THRESHOLD, 10);
+    let good = qmodel.to_snapshot_bytes();
+    let mut bad = good.clone();
+    let at = payload_offset(&bad, "q.wx.codes") + 5;
+    bad[at] ^= 0x01;
+    match FrozenQuantizedCharLm::from_snapshot_bytes(&bad) {
+        Err(SnapshotError::ChecksumMismatch { tensor }) => assert_eq!(tensor, "q.wx.codes"),
+        Ok(_) => panic!("corrupted snapshot must not load"),
+        Err(other) => panic!("expected a checksum mismatch, got {other}"),
+    }
+}
+
+#[test]
+fn truncated_snapshot_files_are_rejected_with_typed_errors() {
+    let model = FrozenGruCharLm::random(22, 18, 11);
+    let good = model.to_snapshot_bytes();
+    // Every truncation point: never a panic, never a successful load,
+    // always a typed SnapshotError.
+    for cut in 0..good.len() {
+        match FrozenGruCharLm::from_snapshot_bytes(&good[..cut]) {
+            Ok(_) => panic!("truncation at {cut} must not load"),
+            Err(
+                SnapshotError::Truncated { .. }
+                | SnapshotError::BadMagic
+                | SnapshotError::Malformed { .. }
+                | SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::WrongSection { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error shape at cut {cut}: {other}"),
+        }
+    }
+}

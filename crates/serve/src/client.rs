@@ -45,6 +45,18 @@ impl StreamId {
     pub fn trace_key(&self) -> u64 {
         stream_trace_key(self.shard, self.session)
     }
+
+    /// Reassembles a stream id from its two wire-format halves — the
+    /// `(shard, session)` pair `zskip-wire` sends over the socket. A
+    /// forged pair is harmless: ids only resolve through the client
+    /// map that opened them, so an unknown reassembled id fails with
+    /// `UnknownStream` exactly like a stale local one.
+    pub fn from_wire(shard: u32, session: u64) -> Self {
+        Self {
+            shard,
+            session: SessionId(session),
+        }
+    }
 }
 
 /// Backstop wait slice for `recv_any` once every stream came up empty.
@@ -125,6 +137,16 @@ impl<M: FrozenModel> Client<M> {
     /// Streams this client currently holds open.
     pub fn open_streams(&self) -> usize {
         self.streams.len()
+    }
+
+    /// The ids of every stream this client holds open, sorted. Lets a
+    /// front-end that multiplexes many streams over one client (the
+    /// wire pump) diff the set across a [`Client::recv_any`] call and
+    /// learn *which* streams were evicted mid-wait.
+    pub fn open_stream_ids(&self) -> Vec<StreamId> {
+        let mut ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Opens a new stream. Placement hashes the global open ticket onto a

@@ -35,6 +35,13 @@ pub enum EventKind {
     DenseFallback,
     /// A client blocked because the shard's request queue was full.
     BackpressureStall,
+    /// A remote connection completed its handshake (wire front-end).
+    ConnectionOpen,
+    /// A remote connection closed cleanly (goodbye + half-close).
+    ConnectionClose,
+    /// A remote connection was torn down on a protocol or I/O error;
+    /// its sessions were evicted.
+    ConnectionPoisoned,
 }
 
 impl EventKind {
@@ -47,6 +54,9 @@ impl EventKind {
             EventKind::DeadlineMiss => "deadline-miss",
             EventKind::DenseFallback => "dense-fallback",
             EventKind::BackpressureStall => "backpressure-stall",
+            EventKind::ConnectionOpen => "connection-open",
+            EventKind::ConnectionClose => "connection-close",
+            EventKind::ConnectionPoisoned => "connection-poisoned",
         }
     }
 }

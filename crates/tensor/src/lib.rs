@@ -16,7 +16,10 @@
 //!   reproduction is replayable bit-for-bit,
 //! * [`simd`] — the runtime dispatch policy shared by the f32 and integer
 //!   kernel families (AVX2 twins pinned bit-equal to portable bodies;
-//!   `ZSKIP_FORCE_PORTABLE` vetoes the twins for testing).
+//!   `ZSKIP_FORCE_PORTABLE` vetoes the twins for testing),
+//! * [`snapshot`] — the checksummed binary container frozen-model
+//!   snapshots are written into (named tensor sections, CRC-32 per
+//!   payload, typed rejection of corrupt or truncated files).
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@ pub mod matrix;
 pub mod quant;
 pub mod rng;
 pub mod simd;
+pub mod snapshot;
 pub mod stats;
 
 pub use fixed::{FixedPoint, QFormat};
@@ -42,3 +46,4 @@ pub use lut::{sigmoid, tanh, ActivationLut, GateActivations, GateLuts};
 pub use matrix::Matrix;
 pub use quant::{QMatrix, QVector, Quantizer};
 pub use rng::SeedableStream;
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};

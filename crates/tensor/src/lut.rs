@@ -100,23 +100,7 @@ impl Deserialize for ActivationLut {
         let activation: Activation = serde::de::field(v, "activation")?;
         let range: f32 = serde::de::field(v, "range")?;
         let table: Vec<f32> = serde::de::field(v, "table")?;
-        if !(range.is_finite() && range > 0.0) {
-            return Err(serde::DeError(format!(
-                "lut range must be positive and finite, got {range}"
-            )));
-        }
-        if table.len() < 2 {
-            return Err(serde::DeError(format!(
-                "lut needs at least 2 entries, got {}",
-                table.len()
-            )));
-        }
-        Ok(Self {
-            activation,
-            range,
-            pos_scale: (table.len() - 1) as f32 / (2.0 * range),
-            table,
-        })
+        Self::from_parts(activation, range, table).map_err(serde::DeError)
     }
 }
 
@@ -142,6 +126,29 @@ impl ActivationLut {
             pos_scale: (entries - 1) as f32 / (2.0 * range),
             table,
         }
+    }
+
+    /// Rebuilds a table from stored parts (persistence paths: serde
+    /// and model snapshots), preserving the stored sample values
+    /// bit-exactly rather than recomputing them. Validates the same
+    /// invariants `new` asserts and recomputes the derived
+    /// `pos_scale`; returns a message naming the violated invariant
+    /// instead of panicking.
+    pub fn from_parts(activation: Activation, range: f32, table: Vec<f32>) -> Result<Self, String> {
+        if !(range.is_finite() && range > 0.0) {
+            return Err(format!(
+                "lut range must be positive and finite, got {range}"
+            ));
+        }
+        if table.len() < 2 {
+            return Err(format!("lut needs at least 2 entries, got {}", table.len()));
+        }
+        Ok(Self {
+            activation,
+            range,
+            pos_scale: (table.len() - 1) as f32 / (2.0 * range),
+            table,
+        })
     }
 
     /// A 256-entry sigmoid table over `[-8, 8]` — the tile configuration

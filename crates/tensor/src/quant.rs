@@ -48,19 +48,29 @@ impl Serialize for Quantizer {
 impl Deserialize for Quantizer {
     fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
         let scale: f32 = serde::de::field(v, "scale")?;
-        if !scale.is_normal() || scale <= 0.0 {
-            return Err(serde::DeError(format!(
-                "quantizer scale must be a positive normal float, got {scale}"
-            )));
-        }
-        Ok(Self {
-            scale,
-            inv_scale: 1.0 / scale,
-        })
+        Quantizer::from_step(scale).map_err(serde::DeError)
     }
 }
 
 impl Quantizer {
+    /// Rebuilds a quantizer from a stored step size (persistence
+    /// paths: serde and model snapshots). The step is the only stored
+    /// state — `inv_scale` is derived — so a round-trip through
+    /// `step()` is exact. Returns a message instead of panicking when
+    /// the stored value is not a positive normal float (zero,
+    /// subnormal, NaN or ∞ would all poison quantization).
+    pub fn from_step(step: f32) -> Result<Self, String> {
+        if !step.is_normal() || step <= 0.0 {
+            return Err(format!(
+                "quantizer scale must be a positive normal float, got {step}"
+            ));
+        }
+        Ok(Self {
+            scale: step,
+            inv_scale: 1.0 / step,
+        })
+    }
+
     /// Builds a quantizer whose full-scale value is `max_abs`.
     ///
     /// Values of magnitude `max_abs` map to ±127. A non-positive or
@@ -222,16 +232,33 @@ impl Deserialize for QMatrix {
         let cols: usize = serde::de::field(v, "cols")?;
         let codes: Vec<i8> = serde::de::field(v, "codes")?;
         let quantizer: Quantizer = serde::de::field(v, "quantizer")?;
+        QMatrix::from_parts(rows, cols, codes, quantizer).map_err(serde::DeError)
+    }
+}
+
+impl QMatrix {
+    /// Rebuilds a quantized matrix from stored parts (persistence
+    /// paths: serde and model snapshots), keeping the stored codes and
+    /// step bit-exact. Returns a message instead of panicking when the
+    /// code count disagrees with the shape or a code sits outside the
+    /// symmetric range `[-127, 127]` (the kernels assume −128 never
+    /// appears, so a corrupted stream must not smuggle one in).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        codes: Vec<i8>,
+        quantizer: Quantizer,
+    ) -> Result<Self, String> {
         if codes.len() != rows * cols {
-            return Err(serde::DeError(format!(
+            return Err(format!(
                 "qmatrix code count {} does not match {rows}x{cols}",
                 codes.len()
-            )));
+            ));
         }
         if codes.contains(&i8::MIN) {
-            return Err(serde::DeError(
+            return Err(
                 "qmatrix code -128 outside the symmetric quantized range [-127, 127]".to_string(),
-            ));
+            );
         }
         Ok(Self {
             rows,
@@ -240,9 +267,7 @@ impl Deserialize for QMatrix {
             quantizer,
         })
     }
-}
 
-impl QMatrix {
     /// Quantizes a dense matrix with max-abs calibration over all entries.
     pub fn from_matrix(m: &Matrix) -> Self {
         let quantizer = Quantizer::calibrate(m.as_slice());
@@ -267,6 +292,12 @@ impl QMatrix {
     /// The quantizer used for the codes.
     pub fn quantizer(&self) -> Quantizer {
         self.quantizer
+    }
+
+    /// Borrows the full row-major code storage (`rows * cols` entries)
+    /// — the persistence view used by model snapshots.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
     }
 
     /// Borrows row `r` of codes.

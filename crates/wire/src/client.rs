@@ -1,0 +1,601 @@
+//! A blocking remote client mirroring the in-process
+//! [`zskip_serve::Client`] API over one TCP connection.
+//!
+//! The mirroring is deliberate and exact:
+//!
+//! * `open` / `send` / `send_all` / `recv` / `recv_any` / `close` have
+//!   the same shapes and the same semantics — inputs are validated
+//!   locally against the handshake-shipped spec (`send_all` is
+//!   all-or-nothing), `recv` on an evicted stream serves every
+//!   buffered result before reporting [`ServeError::Evicted`] (the
+//!   in-process mpsc contract), and `recv_any` sweeps streams in the
+//!   same rotated sorted-id order,
+//! * results carry f32 logits as IEEE-754 bit patterns, so a remote
+//!   stream is **bit-identical** to the same schedule driven through
+//!   an in-process client — the property `tests/wire_determinism.rs`
+//!   pins across process boundaries,
+//! * serving-layer errors arrive as [`WireError::Serve`]; transport
+//!   failures arrive as [`WireError::ConnectionBroken`] and latch: a
+//!   broken connection stays broken.
+//!
+//! The client is single-threaded and blocking, like the in-process
+//! client: one outstanding `open` at a time, frames absorbed in order
+//! while waiting, results buffered per stream.
+
+use crate::error::WireError;
+use crate::frame::{self, decode_frame, encode_frame, error_code, Frame};
+use crate::model::{decode_input, WireInput, WireModel, WireSpec};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use zskip_runtime::{EngineError, InputSpec, SessionId, StepResult};
+use zskip_serve::{ServeError, StreamId};
+
+/// What a write-path fault does when it triggers.
+///
+/// **Test-only.** The shim exists so integration tests can produce
+/// torn connections deterministically; production code never arms it.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultMode {
+    /// Silently discard every byte from the trigger offset on — the
+    /// connection looks alive but the server stops hearing from us.
+    Drop,
+    /// Stall the write at the trigger offset, then continue.
+    Delay(Duration),
+    /// Write up to the trigger offset, then slam the socket shut —
+    /// the server observes a mid-frame disconnect.
+    Shear,
+}
+
+/// A one-shot write fault: trigger [`mode`](Self::mode) once
+/// [`at_byte`](Self::at_byte) bytes (counted from arming) have been
+/// written.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// What happens at the trigger offset.
+    pub mode: FaultMode,
+    /// Cumulative write offset (from arming) at which to trigger.
+    pub at_byte: usize,
+}
+
+struct RemoteStream<I> {
+    queue: VecDeque<StepResult<I>>,
+    evicted: bool,
+}
+
+impl<I> Default for RemoteStream<I> {
+    fn default() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            evicted: false,
+        }
+    }
+}
+
+/// Owned mirror of one server→client frame.
+enum ServerFrame<I> {
+    OpenAck {
+        shard: u32,
+        session: u64,
+    },
+    Result {
+        shard: u32,
+        session: u64,
+        result: StepResult<I>,
+    },
+    Evicted {
+        shard: u32,
+        session: u64,
+    },
+    Error {
+        code: u8,
+        shard: u32,
+        session: u64,
+        message: String,
+    },
+}
+
+/// A remote handle onto a [`TcpServer`](crate::TcpServer), mirroring
+/// the blocking in-process client API.
+pub struct RemoteClient<M: WireModel> {
+    socket: TcpStream,
+    read_buf: Vec<u8>,
+    spec: M::Spec,
+    shards: u32,
+    streams: HashMap<StreamId, RemoteStream<M::Input>>,
+    opened: VecDeque<StreamId>,
+    recv_timeout: Option<Duration>,
+    cursor: usize,
+    /// Latched connection-level failure: once set, every call fails
+    /// with a clone (after buffered results are served).
+    dead: Option<WireError>,
+    fault: Option<FaultPlan>,
+    fault_written: usize,
+    dropping: bool,
+}
+
+impl<M: WireModel> RemoteClient<M> {
+    /// Connects and performs the handshake: sends `Hello` with this
+    /// build's protocol version and `M`'s family tag, and decodes the
+    /// server's `HelloAck` (shard count + input spec).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let mut socket = TcpStream::connect(addr).map_err(WireError::from)?;
+        socket.set_nodelay(true).ok();
+        let mut hello = Vec::new();
+        encode_frame(
+            &mut hello,
+            &Frame::Hello {
+                version: frame::PROTOCOL_VERSION,
+                family: M::FAMILY.tag(),
+            },
+        );
+        socket.write_all(&hello).map_err(WireError::from)?;
+
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            let parsed = match decode_frame(&buf)? {
+                Some((
+                    Frame::HelloAck {
+                        family,
+                        shards,
+                        spec,
+                    },
+                    n,
+                )) => {
+                    if family != M::FAMILY.tag() {
+                        return Err(WireError::WrongFamily {
+                            expected: M::FAMILY.tag(),
+                            found: family,
+                        });
+                    }
+                    Some((n, shards, M::Spec::decode_spec(spec)?))
+                }
+                Some((Frame::Error { message, .. }, _)) => {
+                    return Err(WireError::Remote(message.to_string()));
+                }
+                Some((other, _)) => {
+                    return Err(WireError::Protocol(format!(
+                        "expected hello-ack, got frame kind 0x{:02X}",
+                        other.kind()
+                    )));
+                }
+                None => None,
+            };
+            if let Some((n, shards, spec)) = parsed {
+                buf.drain(..n);
+                return Ok(Self {
+                    socket,
+                    read_buf: buf,
+                    spec,
+                    shards,
+                    streams: HashMap::new(),
+                    opened: VecDeque::new(),
+                    recv_timeout: None,
+                    cursor: 0,
+                    dead: None,
+                    fault: None,
+                    fault_written: 0,
+                    dropping: false,
+                });
+            }
+            match socket.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(WireError::ConnectionBroken(
+                        "server closed the connection during the handshake".into(),
+                    ))
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Mirrors [`zskip_serve::Client::with_recv_timeout`]: a bound on
+    /// how long [`recv`](Self::recv) blocks.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// The input-domain descriptor shipped in the handshake.
+    pub fn input_spec(&self) -> M::Spec {
+        self.spec
+    }
+
+    /// Shard count the server declared in the handshake.
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Streams this client currently holds open (including evicted
+    /// streams with undrained results, mirroring the in-process map).
+    pub fn open_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// **Test-only.** Arms a one-shot write fault; the byte offset
+    /// counts from this call. See [`FaultPlan`].
+    pub fn inject_write_fault(&mut self, fault: FaultPlan) {
+        self.fault = Some(fault);
+        self.fault_written = 0;
+    }
+
+    /// Opens a new stream; the server places it on a shard and the
+    /// ack returns its wire identity.
+    pub fn open(&mut self) -> Result<StreamId, WireError> {
+        self.ensure_live()?;
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, &Frame::Open);
+        self.write_bytes(&bytes)?;
+        loop {
+            if let Some(id) = self.opened.pop_front() {
+                self.streams.insert(id, RemoteStream::default());
+                return Ok(id);
+            }
+            if let Some(e) = &self.dead {
+                return Err(e.clone());
+            }
+            self.pump_one(None)?;
+        }
+    }
+
+    /// Submits one token. Validated locally against the spec
+    /// (all-or-nothing, like the in-process client); unknown streams
+    /// are rejected without touching the socket.
+    pub fn send(&mut self, id: StreamId, input: M::Input) -> Result<(), WireError> {
+        self.ensure_live()?;
+        if !self.spec.validate(&input) {
+            return Err(ServeError::Engine(EngineError::InvalidInput).into());
+        }
+        if !self.streams.contains_key(&id) {
+            return Err(ServeError::UnknownStream.into());
+        }
+        let mut input_bytes = Vec::new();
+        input.encode(&mut input_bytes);
+        let mut bytes = Vec::new();
+        encode_frame(
+            &mut bytes,
+            &Frame::Submit {
+                shard: id.shard() as u32,
+                session: id.session().0,
+                input: &input_bytes,
+            },
+        );
+        self.write_bytes(&bytes)
+    }
+
+    /// Submits a batch in one frame. Every input is validated before
+    /// any is sent — on [`EngineError::InvalidInput`] nothing was
+    /// submitted. An empty batch is a no-op that still round-trips the
+    /// stream check.
+    pub fn send_all(&mut self, id: StreamId, inputs: &[M::Input]) -> Result<(), WireError> {
+        self.ensure_live()?;
+        if inputs.iter().any(|i| !self.spec.validate(i)) {
+            return Err(ServeError::Engine(EngineError::InvalidInput).into());
+        }
+        if !self.streams.contains_key(&id) {
+            return Err(ServeError::UnknownStream.into());
+        }
+        let mut payload = Vec::with_capacity(inputs.len() * M::Input::WIRE_SIZE);
+        for input in inputs {
+            input.encode(&mut payload);
+        }
+        let mut bytes = Vec::new();
+        encode_frame(
+            &mut bytes,
+            &Frame::SubmitMany {
+                shard: id.shard() as u32,
+                session: id.session().0,
+                count: inputs.len() as u32,
+                inputs: &payload,
+            },
+        );
+        self.write_bytes(&bytes)
+    }
+
+    /// Receives the next result for `id`, blocking up to the
+    /// configured receive timeout (forever when unset). Buffered
+    /// results are served before an eviction is reported, mirroring
+    /// the in-process mpsc contract.
+    pub fn recv(&mut self, id: StreamId) -> Result<StepResult<M::Input>, WireError> {
+        let deadline = self.recv_timeout.map(|t| Instant::now() + t);
+        loop {
+            let Some(entry) = self.streams.get_mut(&id) else {
+                return Err(ServeError::UnknownStream.into());
+            };
+            if let Some(result) = entry.queue.pop_front() {
+                return Ok(result);
+            }
+            if entry.evicted {
+                self.streams.remove(&id);
+                return Err(ServeError::Evicted.into());
+            }
+            if let Some(e) = &self.dead {
+                return Err(e.clone());
+            }
+            self.pump_one(deadline)?;
+        }
+    }
+
+    /// Receives the next result from *any* open stream, sweeping in
+    /// rotated sorted-id order exactly like the in-process client:
+    /// evicted streams with drained buffers are dropped mid-sweep, an
+    /// empty stream set is [`ServeError::UnknownStream`], and the
+    /// deadline maps to [`ServeError::RecvTimeout`].
+    pub fn recv_any(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<(StreamId, StepResult<M::Input>), WireError> {
+        let deadline = Instant::now() + timeout;
+        'sweep: loop {
+            if self.streams.is_empty() {
+                return Err(ServeError::UnknownStream.into());
+            }
+            let mut ids: Vec<StreamId> = self.streams.keys().copied().collect();
+            ids.sort_unstable();
+            let n = ids.len();
+            let start = self.cursor % n;
+            for i in 0..n {
+                let id = ids[(start + i) % n];
+                let entry = self.streams.get_mut(&id).expect("id from live key set");
+                if let Some(result) = entry.queue.pop_front() {
+                    self.cursor = (start + i + 1) % n;
+                    return Ok((id, result));
+                }
+                if entry.evicted {
+                    // Drained and disconnected: drop it and restart
+                    // the sweep over the reduced set immediately.
+                    self.streams.remove(&id);
+                    continue 'sweep;
+                }
+            }
+            if let Some(e) = &self.dead {
+                return Err(e.clone());
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::RecvTimeout.into());
+            }
+            self.pump_one(Some(deadline))?;
+        }
+    }
+
+    /// Closes a stream: removed locally, close frame sent best-effort.
+    pub fn close(&mut self, id: StreamId) -> Result<(), WireError> {
+        if self.streams.remove(&id).is_none() {
+            return Err(ServeError::UnknownStream.into());
+        }
+        if self.dead.is_none() {
+            let mut bytes = Vec::new();
+            encode_frame(
+                &mut bytes,
+                &Frame::Close {
+                    shard: id.shard() as u32,
+                    session: id.session().0,
+                },
+            );
+            let _ = self.write_bytes(&bytes);
+        }
+        Ok(())
+    }
+
+    fn ensure_live(&self) -> Result<(), WireError> {
+        match &self.dead {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Reads and absorbs exactly one server frame, or returns
+    /// [`ServeError::RecvTimeout`] when `deadline` passes first.
+    fn pump_one(&mut self, deadline: Option<Instant>) -> Result<(), WireError> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match take_frame::<M::Input>(&mut self.read_buf) {
+                Ok(Some(frame)) => {
+                    self.absorb(frame);
+                    return Ok(());
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.dead = Some(e.clone());
+                    return Err(e);
+                }
+            }
+            let timeout = match deadline {
+                None => None,
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(ServeError::RecvTimeout.into());
+                    }
+                    Some(remaining)
+                }
+            };
+            self.socket.set_read_timeout(timeout).ok();
+            match self.socket.read(&mut chunk) {
+                Ok(0) => {
+                    let e = WireError::ConnectionBroken("server closed the connection".into());
+                    self.dead = Some(e.clone());
+                    return Err(e);
+                }
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(ServeError::RecvTimeout.into());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    let err = WireError::ConnectionBroken(e.to_string());
+                    self.dead = Some(err.clone());
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, frame: ServerFrame<M::Input>) {
+        match frame {
+            ServerFrame::OpenAck { shard, session } => {
+                self.opened.push_back(StreamId::from_wire(shard, session));
+            }
+            ServerFrame::Result {
+                shard,
+                session,
+                result,
+            } => {
+                let id = StreamId::from_wire(shard, session);
+                if let Some(entry) = self.streams.get_mut(&id) {
+                    entry.queue.push_back(result);
+                }
+            }
+            ServerFrame::Evicted { shard, session } => {
+                let id = StreamId::from_wire(shard, session);
+                if let Some(entry) = self.streams.get_mut(&id) {
+                    entry.evicted = true;
+                }
+            }
+            ServerFrame::Error {
+                code,
+                shard,
+                session,
+                message,
+            } => match code {
+                error_code::UNKNOWN_STREAM | error_code::INVALID_INPUT => {
+                    let id = StreamId::from_wire(shard, session);
+                    if let Some(entry) = self.streams.get_mut(&id) {
+                        entry.evicted = true;
+                    }
+                }
+                _ => {
+                    self.dead = Some(WireError::Remote(message));
+                }
+            },
+        }
+    }
+
+    /// All post-handshake writes go through here so the fault shim
+    /// sees a cumulative byte offset.
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if self.dropping {
+            self.fault_written += bytes.len();
+            return Ok(());
+        }
+        let triggered = self
+            .fault
+            .map(|f| self.fault_written + bytes.len() > f.at_byte)
+            .unwrap_or(false);
+        if triggered {
+            let plan = self.fault.take().expect("fault checked above");
+            let split = plan
+                .at_byte
+                .saturating_sub(self.fault_written)
+                .min(bytes.len());
+            let (head, tail) = bytes.split_at(split);
+            match plan.mode {
+                FaultMode::Shear => {
+                    let _ = self.socket.write_all(head);
+                    let _ = self.socket.shutdown(Shutdown::Both);
+                    let e = WireError::ConnectionBroken("write sheared by fault injection".into());
+                    self.dead = Some(e.clone());
+                    return Err(e);
+                }
+                FaultMode::Drop => {
+                    self.socket.write_all(head).map_err(|e| self.latch_io(e))?;
+                    self.dropping = true;
+                    self.fault_written += bytes.len();
+                    return Ok(());
+                }
+                FaultMode::Delay(pause) => {
+                    self.socket.write_all(head).map_err(|e| self.latch_io(e))?;
+                    std::thread::sleep(pause);
+                    self.socket.write_all(tail).map_err(|e| self.latch_io(e))?;
+                    self.fault_written += bytes.len();
+                    return Ok(());
+                }
+            }
+        }
+        self.fault_written += bytes.len();
+        self.socket.write_all(bytes).map_err(|e| self.latch_io(e))
+    }
+
+    fn latch_io(&mut self, e: std::io::Error) -> WireError {
+        let err = WireError::ConnectionBroken(e.to_string());
+        self.dead = Some(err.clone());
+        err
+    }
+}
+
+impl<M: WireModel> Drop for RemoteClient<M> {
+    fn drop(&mut self) {
+        if self.dead.is_none() && !self.dropping {
+            let mut bytes = Vec::new();
+            encode_frame(&mut bytes, &Frame::Goodbye);
+            let _ = self.socket.write_all(&bytes);
+            let _ = self.socket.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// Decodes one server frame off the front of `buf`, draining the
+/// consumed bytes. `Ok(None)` means the buffer holds an incomplete
+/// frame.
+fn take_frame<I: WireInput>(buf: &mut Vec<u8>) -> Result<Option<ServerFrame<I>>, WireError> {
+    let parsed = match decode_frame(buf)? {
+        None => None,
+        Some((frame, n)) => Some((owned_server_frame::<I>(&frame)?, n)),
+    };
+    Ok(parsed.map(|(frame, n)| {
+        buf.drain(..n);
+        frame
+    }))
+}
+
+fn owned_server_frame<I: WireInput>(frame: &Frame<'_>) -> Result<ServerFrame<I>, WireError> {
+    match frame {
+        Frame::OpenAck { shard, session } => Ok(ServerFrame::OpenAck {
+            shard: *shard,
+            session: *session,
+        }),
+        Frame::Result {
+            shard,
+            session,
+            argmax,
+            logits,
+            input,
+        } => Ok(ServerFrame::Result {
+            shard: *shard,
+            session: *session,
+            result: StepResult {
+                session: SessionId(*session),
+                input: decode_input::<I>(input)?,
+                logits: frame::decode_logits(logits),
+                argmax: *argmax as usize,
+            },
+        }),
+        Frame::Evicted { shard, session } => Ok(ServerFrame::Evicted {
+            shard: *shard,
+            session: *session,
+        }),
+        Frame::Error {
+            code,
+            shard,
+            session,
+            message,
+        } => Ok(ServerFrame::Error {
+            code: *code,
+            shard: *shard,
+            session: *session,
+            message: (*message).to_string(),
+        }),
+        other => Err(WireError::Protocol(format!(
+            "unexpected server frame kind 0x{:02X}",
+            other.kind()
+        ))),
+    }
+}

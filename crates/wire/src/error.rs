@@ -1,0 +1,122 @@
+//! Wire-layer errors.
+
+use zskip_serve::ServeError;
+
+/// Errors from the framed protocol and the remote client.
+///
+/// Serving-semantics errors (`Evicted`, `UnknownStream`, timeouts, …)
+/// travel inside [`WireError::Serve`], so code written against the
+/// in-process [`zskip_serve::Client`] maps onto
+/// [`RemoteClient`](crate::RemoteClient) by matching one layer deeper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A frame's length prefix exceeds
+    /// [`MAX_FRAME_LEN`](crate::frame::MAX_FRAME_LEN).
+    FrameTooLarge {
+        /// The claimed length.
+        len: u32,
+    },
+    /// A frame kind tag this protocol version does not define.
+    UnknownKind(u8),
+    /// A `Hello` without the `ZSKW` magic — the peer is not speaking
+    /// this protocol at all.
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    WrongVersion {
+        /// Version found in the handshake.
+        found: u16,
+    },
+    /// The peer serves (or expects) a different model family.
+    WrongFamily {
+        /// Family tag this side expected.
+        expected: u8,
+        /// Family tag the peer declared.
+        found: u8,
+    },
+    /// A structurally invalid frame payload.
+    Malformed {
+        /// Frame kind being decoded.
+        kind: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The peer violated the protocol state machine (e.g. a frame
+    /// before the handshake, or an unexpected server frame).
+    Protocol(String),
+    /// The connection is gone: socket error, mid-frame disconnect, or
+    /// a previous poisoning error. Carries the underlying description.
+    ConnectionBroken(String),
+    /// A serving-layer error, mirroring the in-process client's
+    /// [`ServeError`] (evictions, unknown streams, receive timeouts).
+    Serve(ServeError),
+    /// The server reported an error frame for the connection.
+    Remote(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the protocol maximum")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02X}"),
+            WireError::BadMagic => write!(f, "handshake magic mismatch (not a zskip-wire peer)"),
+            WireError::WrongVersion { found } => write!(
+                f,
+                "peer speaks protocol version {found}, this build speaks {}",
+                crate::frame::PROTOCOL_VERSION
+            ),
+            WireError::WrongFamily { expected, found } => write!(
+                f,
+                "peer declared model family tag {found}, expected {expected}"
+            ),
+            WireError::Malformed { kind, reason } => {
+                write!(f, "malformed {kind} frame: {reason}")
+            }
+            WireError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+            WireError::ConnectionBroken(reason) => write!(f, "connection broken: {reason}"),
+            WireError::Serve(e) => write!(f, "{e}"),
+            WireError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for WireError {
+    fn from(e: ServeError) -> Self {
+        WireError::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::ConnectionBroken(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable_and_serve_errors_chain() {
+        use std::error::Error;
+        let e = WireError::from(ServeError::Evicted);
+        assert!(e.source().is_some());
+        assert!(WireError::BadMagic.source().is_none());
+        assert!(WireError::WrongVersion { found: 9 }
+            .to_string()
+            .contains("9"));
+        assert!(WireError::FrameTooLarge { len: 7 }
+            .to_string()
+            .contains("7"));
+    }
+}

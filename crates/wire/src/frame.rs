@@ -1,0 +1,659 @@
+//! The frame grammar: length-prefixed binary frames with zero-copy
+//! decode.
+//!
+//! Every message on a `zskip-wire` socket is one frame:
+//!
+//! ```text
+//! frame := u32 len (LE) | u8 kind | payload(len - 1)
+//! ```
+//!
+//! `len` counts the kind byte plus the payload, so an empty frame has
+//! `len == 1`. Frames larger than [`MAX_FRAME_LEN`] are rejected before
+//! any allocation — a corrupted or hostile length prefix cannot make
+//! the decoder reserve gigabytes.
+//!
+//! [`decode_frame`] is *zero-copy*: the returned [`Frame`] borrows its
+//! variable-length fields (input bytes, logits bytes, error text)
+//! straight from the receive buffer. It is also *total*: any byte
+//! sequence either yields a frame, asks for more bytes, or returns a
+//! typed [`WireError`] — it never panics and never reads past the
+//! buffer it was handed (the fuzz tests in `tests/` hold it to that).
+//!
+//! Multi-byte integers are little-endian. `f32` values travel as IEEE
+//! bit patterns, so logits cross the process boundary bit-exactly —
+//! the foundation of the cross-process determinism contract.
+
+use crate::error::WireError;
+
+/// Handshake magic (first bytes of every `Hello` payload).
+pub const MAGIC: [u8; 4] = *b"ZSKW";
+
+/// Protocol version; bumped on any frame-grammar change. A server
+/// refuses a client that speaks a different version during the
+/// handshake, before any model traffic.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on `len` (kind + payload). Large enough for a
+/// `SubmitMany` of a full MNIST scan or a multi-thousand-logit result
+/// row, small enough that a corrupted length prefix cannot balloon
+/// memory.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Frame kind tags — stable wire surface, never reused.
+pub mod kind {
+    /// Client hello: magic + version + family.
+    pub const HELLO: u8 = 0x01;
+    /// Server accept: family + shard count + input-spec bytes.
+    pub const HELLO_ACK: u8 = 0x02;
+    /// Client asks for a new stream.
+    pub const OPEN: u8 = 0x03;
+    /// Server grants a stream (in request order).
+    pub const OPEN_ACK: u8 = 0x04;
+    /// One input for one stream.
+    pub const SUBMIT: u8 = 0x05;
+    /// A batch of inputs for one stream, order-preserving.
+    pub const SUBMIT_MANY: u8 = 0x06;
+    /// Client closes one stream.
+    pub const CLOSE: u8 = 0x07;
+    /// Client announces a clean half-close of the connection.
+    pub const GOODBYE: u8 = 0x08;
+    /// One step result for one stream.
+    pub const RESULT: u8 = 0x09;
+    /// Server evicted a stream (TTL, slow consumer, shutdown).
+    pub const EVICTED: u8 = 0x0A;
+    /// Server-side error report.
+    pub const ERROR: u8 = 0x0B;
+}
+
+/// Error codes carried by [`Frame::Error`].
+pub mod error_code {
+    /// The input failed the served model's validation.
+    pub const INVALID_INPUT: u8 = 0;
+    /// The `(shard, session)` pair resolves to no open stream.
+    pub const UNKNOWN_STREAM: u8 = 1;
+    /// The handshake failed (bad magic / version / family).
+    pub const HANDSHAKE: u8 = 2;
+    /// The server is shutting down.
+    pub const SERVER_CLOSED: u8 = 3;
+}
+
+/// One decoded frame, borrowing its variable-length fields from the
+/// receive buffer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Frame<'a> {
+    /// Client → server greeting; the connection's first frame.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u16,
+        /// Model-family tag the client expects to be served.
+        family: u8,
+    },
+    /// Server → client handshake acceptance.
+    HelloAck {
+        /// Family tag the server actually serves.
+        family: u8,
+        /// Number of serving shards (diagnostic).
+        shards: u32,
+        /// Family-specific input-spec encoding (see `WireSpec`).
+        spec: &'a [u8],
+    },
+    /// Client → server: open a stream. Grants are returned in request
+    /// order, so the frame needs no correlation id.
+    Open,
+    /// Server → client: a granted stream.
+    OpenAck {
+        /// Owning shard.
+        shard: u32,
+        /// Generational per-shard session id.
+        session: u64,
+    },
+    /// Client → server: one input for one stream.
+    Submit {
+        /// Owning shard.
+        shard: u32,
+        /// Session on that shard.
+        session: u64,
+        /// `WireInput`-encoded input (length checked by the decoder
+        /// of the concrete input type).
+        input: &'a [u8],
+    },
+    /// Client → server: many inputs for one stream, order-preserving.
+    SubmitMany {
+        /// Owning shard.
+        shard: u32,
+        /// Session on that shard.
+        session: u64,
+        /// Number of inputs.
+        count: u32,
+        /// Concatenated `WireInput` encodings.
+        inputs: &'a [u8],
+    },
+    /// Client → server: close one stream.
+    Close {
+        /// Owning shard.
+        shard: u32,
+        /// Session on that shard.
+        session: u64,
+    },
+    /// Client → server: clean half-close announcement.
+    Goodbye,
+    /// Server → client: one step result.
+    Result {
+        /// Owning shard.
+        shard: u32,
+        /// Session on that shard.
+        session: u64,
+        /// Argmax of the logits.
+        argmax: u64,
+        /// Raw little-endian `f32` bit patterns, 4 bytes per logit.
+        logits: &'a [u8],
+        /// The consumed input's `WireInput` encoding (echoed back,
+        /// like `StepResult::input`).
+        input: &'a [u8],
+    },
+    /// Server → client: a stream's session is gone server-side.
+    Evicted {
+        /// Owning shard.
+        shard: u32,
+        /// Session on that shard.
+        session: u64,
+    },
+    /// Server → client: an error report. `shard`/`session` are zero
+    /// when the error is connection-scoped.
+    Error {
+        /// One of [`error_code`].
+        code: u8,
+        /// Stream shard, or 0.
+        shard: u32,
+        /// Stream session, or 0.
+        session: u64,
+        /// Human-readable detail.
+        message: &'a str,
+    },
+}
+
+impl Frame<'_> {
+    /// The frame's kind tag.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => kind::HELLO,
+            Frame::HelloAck { .. } => kind::HELLO_ACK,
+            Frame::Open => kind::OPEN,
+            Frame::OpenAck { .. } => kind::OPEN_ACK,
+            Frame::Submit { .. } => kind::SUBMIT,
+            Frame::SubmitMany { .. } => kind::SUBMIT_MANY,
+            Frame::Close { .. } => kind::CLOSE,
+            Frame::Goodbye => kind::GOODBYE,
+            Frame::Result { .. } => kind::RESULT,
+            Frame::Evicted { .. } => kind::EVICTED,
+            Frame::Error { .. } => kind::ERROR,
+        }
+    }
+}
+
+/// Appends `frame` to `out` in wire format.
+pub fn encode_frame(out: &mut Vec<u8>, frame: &Frame<'_>) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0; 4]); // length back-patched below
+    out.push(frame.kind());
+    match frame {
+        Frame::Hello { version, family } => {
+            out.extend_from_slice(&MAGIC);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.push(*family);
+        }
+        Frame::HelloAck {
+            family,
+            shards,
+            spec,
+        } => {
+            out.push(*family);
+            out.extend_from_slice(&shards.to_le_bytes());
+            out.extend_from_slice(spec);
+        }
+        Frame::Open | Frame::Goodbye => {}
+        Frame::OpenAck { shard, session }
+        | Frame::Close { shard, session }
+        | Frame::Evicted { shard, session } => {
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+        }
+        Frame::Submit {
+            shard,
+            session,
+            input,
+        } => {
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(input);
+        }
+        Frame::SubmitMany {
+            shard,
+            session,
+            count,
+            inputs,
+        } => {
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(inputs);
+        }
+        Frame::Result {
+            shard,
+            session,
+            argmax,
+            logits,
+            input,
+        } => {
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&argmax.to_le_bytes());
+            out.extend_from_slice(
+                &(u32::try_from(logits.len()).expect("logit bytes fit u32")).to_le_bytes(),
+            );
+            out.extend_from_slice(logits);
+            out.extend_from_slice(input);
+        }
+        Frame::Error {
+            code,
+            shard,
+            session,
+            message,
+        } => {
+            out.push(*code);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            let msg = message.as_bytes();
+            let msg = &msg[..msg.len().min(u16::MAX as usize)];
+            out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+            out.extend_from_slice(msg);
+        }
+    }
+    let len = (out.len() - len_at - 4) as u32;
+    assert!(len <= MAX_FRAME_LEN, "encoded frame exceeds MAX_FRAME_LEN");
+    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Strictly-bounded payload reader used by the decoder.
+struct Payload<'a> {
+    rest: &'a [u8],
+    kind: &'static str,
+}
+
+impl<'a> Payload<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.rest.len() < n {
+            return Err(WireError::Malformed {
+                kind: self.kind,
+                reason: format!(
+                    "payload too short: wanted {n} more bytes, {} left",
+                    self.rest.len()
+                ),
+            });
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn stream(&mut self) -> Result<(u32, u64), WireError> {
+        Ok((self.u32()?, self.u64()?))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if !self.rest.is_empty() {
+            return Err(WireError::Malformed {
+                kind: self.kind,
+                reason: format!("{} trailing payload bytes", self.rest.len()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns:
+/// * `Ok(Some((frame, consumed)))` — a complete frame; the caller
+///   advances its buffer by `consumed` bytes,
+/// * `Ok(None)` — the buffer holds only a frame prefix; read more
+///   bytes and retry,
+/// * `Err(_)` — the bytes can never become a valid frame (oversized
+///   length, unknown kind, malformed payload); the connection must be
+///   torn down.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame<'_>, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    if len == 0 {
+        return Err(WireError::Malformed {
+            kind: "frame",
+            reason: "zero-length frame (missing kind byte)".to_string(),
+        });
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let kind_byte = buf[4];
+    let payload = &buf[5..total];
+    let frame = decode_payload(kind_byte, payload)?;
+    Ok(Some((frame, total)))
+}
+
+fn decode_payload(kind_byte: u8, payload: &[u8]) -> Result<Frame<'_>, WireError> {
+    match kind_byte {
+        kind::HELLO => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "hello",
+            };
+            let magic = p.take(4)?;
+            if magic != MAGIC {
+                return Err(WireError::BadMagic);
+            }
+            let version = p.u16()?;
+            let family = p.u8()?;
+            p.done()?;
+            Ok(Frame::Hello { version, family })
+        }
+        kind::HELLO_ACK => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "hello-ack",
+            };
+            let family = p.u8()?;
+            let shards = p.u32()?;
+            Ok(Frame::HelloAck {
+                family,
+                shards,
+                spec: p.rest,
+            })
+        }
+        kind::OPEN => {
+            Payload {
+                rest: payload,
+                kind: "open",
+            }
+            .done()?;
+            Ok(Frame::Open)
+        }
+        kind::OPEN_ACK => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "open-ack",
+            };
+            let (shard, session) = p.stream()?;
+            p.done()?;
+            Ok(Frame::OpenAck { shard, session })
+        }
+        kind::SUBMIT => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "submit",
+            };
+            let (shard, session) = p.stream()?;
+            Ok(Frame::Submit {
+                shard,
+                session,
+                input: p.rest,
+            })
+        }
+        kind::SUBMIT_MANY => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "submit-many",
+            };
+            let (shard, session) = p.stream()?;
+            let count = p.u32()?;
+            Ok(Frame::SubmitMany {
+                shard,
+                session,
+                count,
+                inputs: p.rest,
+            })
+        }
+        kind::CLOSE => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "close",
+            };
+            let (shard, session) = p.stream()?;
+            p.done()?;
+            Ok(Frame::Close { shard, session })
+        }
+        kind::GOODBYE => {
+            Payload {
+                rest: payload,
+                kind: "goodbye",
+            }
+            .done()?;
+            Ok(Frame::Goodbye)
+        }
+        kind::RESULT => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "result",
+            };
+            let (shard, session) = p.stream()?;
+            let argmax = p.u64()?;
+            let logit_bytes = p.u32()? as usize;
+            let logits = p.take(logit_bytes)?;
+            if logits.len() % 4 != 0 {
+                return Err(WireError::Malformed {
+                    kind: "result",
+                    reason: format!("logit byte count {} is not a multiple of 4", logits.len()),
+                });
+            }
+            Ok(Frame::Result {
+                shard,
+                session,
+                argmax,
+                logits,
+                input: p.rest,
+            })
+        }
+        kind::EVICTED => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "evicted",
+            };
+            let (shard, session) = p.stream()?;
+            p.done()?;
+            Ok(Frame::Evicted { shard, session })
+        }
+        kind::ERROR => {
+            let mut p = Payload {
+                rest: payload,
+                kind: "error",
+            };
+            let code = p.u8()?;
+            let (shard, session) = p.stream()?;
+            let msg_len = p.u16()? as usize;
+            let msg = p.take(msg_len)?;
+            p.done()?;
+            let message = std::str::from_utf8(msg).map_err(|_| WireError::Malformed {
+                kind: "error",
+                reason: "error message is not utf-8".to_string(),
+            })?;
+            Ok(Frame::Error {
+                code,
+                shard,
+                session,
+                message,
+            })
+        }
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+/// Decodes a logits byte field (validated multiple-of-4 by
+/// [`decode_frame`]) into owned `f32`s, bit-exactly.
+pub fn decode_logits(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect()
+}
+
+/// Encodes logits as little-endian `f32` bit patterns.
+pub fn encode_logits(out: &mut Vec<u8>, logits: &[f32]) {
+    out.reserve(logits.len() * 4);
+    for &x in logits {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame<'_>) {
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, &frame);
+        let (decoded, consumed) = decode_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+        // A strict prefix must ask for more bytes, never error.
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_frame(&bytes[..cut]), Ok(None)),
+                "prefix of length {cut} must be incomplete, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            family: 4,
+        });
+        round_trip(Frame::HelloAck {
+            family: 2,
+            shards: 8,
+            spec: &[17, 0, 0, 0, 0, 0, 0, 0],
+        });
+        round_trip(Frame::Open);
+        round_trip(Frame::OpenAck {
+            shard: 3,
+            session: 0xDEAD_BEEF,
+        });
+        round_trip(Frame::Submit {
+            shard: 1,
+            session: 42,
+            input: &7u64.to_le_bytes(),
+        });
+        round_trip(Frame::SubmitMany {
+            shard: 0,
+            session: 9,
+            count: 2,
+            inputs: &[1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0],
+        });
+        round_trip(Frame::Close {
+            shard: 2,
+            session: 5,
+        });
+        round_trip(Frame::Goodbye);
+        let mut logits = Vec::new();
+        encode_logits(&mut logits, &[1.5, -0.0, f32::MIN_POSITIVE]);
+        round_trip(Frame::Result {
+            shard: 1,
+            session: 2,
+            argmax: 0,
+            logits: &logits,
+            input: &3u64.to_le_bytes(),
+        });
+        round_trip(Frame::Evicted {
+            shard: 0,
+            session: 1,
+        });
+        round_trip(Frame::Error {
+            code: error_code::UNKNOWN_STREAM,
+            shard: 1,
+            session: 2,
+            message: "no such stream",
+        });
+    }
+
+    #[test]
+    fn logits_round_trip_bit_exactly() {
+        let vals = [
+            0.0f32,
+            -0.0,
+            1.0,
+            f32::MIN_POSITIVE,
+            f32::from_bits(0x7FC0_0001),
+        ];
+        let mut bytes = Vec::new();
+        encode_logits(&mut bytes, &vals);
+        let back = decode_logits(&bytes);
+        for (a, b) in vals.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.push(kind::OPEN);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_and_unknown_kind_are_typed_errors() {
+        let mut bytes = 0u32.to_le_bytes().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::Malformed { .. })
+        ));
+        let mut bytes = 1u32.to_le_bytes().to_vec();
+        bytes.push(0xEE);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::UnknownKind(0xEE))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_in_hello_is_rejected() {
+        let mut bytes = Vec::new();
+        encode_frame(
+            &mut bytes,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                family: 0,
+            },
+        );
+        bytes[5] = b'X'; // first magic byte
+        assert!(matches!(decode_frame(&bytes), Err(WireError::BadMagic)));
+    }
+}

@@ -1,0 +1,174 @@
+//! The traits that make the protocol generic over model families.
+//!
+//! The wire carries two family-specific shapes: the per-step input
+//! ([`WireInput`] — token ids for the LM families, pixels for the
+//! classifier) and the input-domain descriptor exchanged in the
+//! handshake ([`WireSpec`] — so a [`RemoteClient`](crate::RemoteClient)
+//! validates inputs locally, exactly like the in-process client).
+//! [`WireModel`] bundles them with the snapshot family tag; it is
+//! blanket-implemented, so all five frozen families are wire-servable
+//! with no per-family code here.
+
+use crate::error::WireError;
+use zskip_runtime::{FrozenModel, ModelSnapshot, ScalarDomain, TokenDomain};
+
+/// Fixed-size wire encoding of one per-step input.
+pub trait WireInput: Copy {
+    /// Encoded size in bytes.
+    const WIRE_SIZE: usize;
+
+    /// Appends the encoding to `out`.
+    fn encode(self, out: &mut Vec<u8>);
+
+    /// Decodes from exactly [`WIRE_SIZE`](Self::WIRE_SIZE) bytes;
+    /// `None` on any other length.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+/// Token ids travel as `u64` little-endian.
+impl WireInput for usize {
+    const WIRE_SIZE: usize = 8;
+
+    fn encode(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self as u64).to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let raw = u64::from_le_bytes(bytes.try_into().ok()?);
+        usize::try_from(raw).ok()
+    }
+}
+
+/// Pixels travel as IEEE-754 bit patterns — bit-exact, including
+/// signed zeros (NaN never passes `ScalarDomain` validation).
+impl WireInput for f32 {
+    const WIRE_SIZE: usize = 4;
+
+    fn encode(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(f32::from_bits(u32::from_le_bytes(bytes.try_into().ok()?)))
+    }
+}
+
+/// Decodes a concatenation of `count` [`WireInput`] encodings.
+pub fn decode_inputs<I: WireInput>(count: u32, bytes: &[u8]) -> Result<Vec<I>, WireError> {
+    let expected = (count as usize).checked_mul(I::WIRE_SIZE);
+    if expected != Some(bytes.len()) {
+        return Err(WireError::Malformed {
+            kind: "submit-many",
+            reason: format!(
+                "{count} inputs of {} bytes each do not match {} payload bytes",
+                I::WIRE_SIZE,
+                bytes.len()
+            ),
+        });
+    }
+    Ok(bytes
+        .chunks_exact(I::WIRE_SIZE)
+        .map(|c| I::decode(c).expect("chunk has WIRE_SIZE bytes"))
+        .collect())
+}
+
+/// Decodes a single [`WireInput`] field (a `Submit` or `Result` input).
+pub fn decode_input<I: WireInput>(bytes: &[u8]) -> Result<I, WireError> {
+    I::decode(bytes).ok_or_else(|| WireError::Malformed {
+        kind: "submit",
+        reason: format!(
+            "input field is {} bytes, expected {}",
+            bytes.len(),
+            I::WIRE_SIZE
+        ),
+    })
+}
+
+/// Handshake encoding of a family's input-domain descriptor.
+pub trait WireSpec: Sized {
+    /// Appends the encoding to `out`.
+    fn encode_spec(&self, out: &mut Vec<u8>);
+
+    /// Decodes the `HelloAck` spec bytes.
+    fn decode_spec(bytes: &[u8]) -> Result<Self, WireError>;
+}
+
+/// `TokenDomain` ships its vocabulary size.
+impl WireSpec for TokenDomain {
+    fn encode_spec(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.vocab as u64).to_le_bytes());
+    }
+
+    fn decode_spec(bytes: &[u8]) -> Result<Self, WireError> {
+        let raw: [u8; 8] = bytes.try_into().map_err(|_| WireError::Malformed {
+            kind: "hello-ack",
+            reason: format!("token-domain spec is {} bytes, expected 8", bytes.len()),
+        })?;
+        Ok(TokenDomain {
+            vocab: u64::from_le_bytes(raw) as usize,
+        })
+    }
+}
+
+/// `ScalarDomain` is weight-free and field-free: zero bytes.
+impl WireSpec for ScalarDomain {
+    fn encode_spec(&self, _out: &mut Vec<u8>) {}
+
+    fn decode_spec(bytes: &[u8]) -> Result<Self, WireError> {
+        if !bytes.is_empty() {
+            return Err(WireError::Malformed {
+                kind: "hello-ack",
+                reason: format!("scalar-domain spec is {} bytes, expected 0", bytes.len()),
+            });
+        }
+        Ok(ScalarDomain)
+    }
+}
+
+/// A model family servable over the wire: frozen weights with a
+/// snapshot family tag, a wire-encodable input, and a wire-encodable
+/// input spec. Blanket-implemented — all five families qualify.
+pub trait WireModel: FrozenModel<Input: WireInput, Spec: WireSpec> + ModelSnapshot {}
+
+impl<M> WireModel for M where M: FrozenModel<Input: WireInput, Spec: WireSpec> + ModelSnapshot {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_round_trip_bit_exactly() {
+        let mut out = Vec::new();
+        7usize.encode(&mut out);
+        assert_eq!(usize::decode(&out), Some(7));
+        let mut out = Vec::new();
+        (-0.0f32).encode(&mut out);
+        assert_eq!(f32::decode(&out).unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(usize::decode(&[1, 2]), None);
+        assert_eq!(f32::decode(&[1, 2]), None);
+    }
+
+    #[test]
+    fn specs_round_trip_and_reject_bad_lengths() {
+        let mut out = Vec::new();
+        TokenDomain { vocab: 97 }.encode_spec(&mut out);
+        assert_eq!(TokenDomain::decode_spec(&out).unwrap().vocab, 97);
+        assert!(TokenDomain::decode_spec(&[1, 2]).is_err());
+        let mut out = Vec::new();
+        ScalarDomain.encode_spec(&mut out);
+        assert!(out.is_empty());
+        assert!(ScalarDomain::decode_spec(&[]).is_ok());
+        assert!(ScalarDomain::decode_spec(&[0]).is_err());
+    }
+
+    #[test]
+    fn decode_inputs_validates_count_against_payload() {
+        let mut bytes = Vec::new();
+        for t in [3usize, 9, 12] {
+            t.encode(&mut bytes);
+        }
+        assert_eq!(decode_inputs::<usize>(3, &bytes).unwrap(), vec![3, 9, 12]);
+        assert!(decode_inputs::<usize>(2, &bytes).is_err());
+        assert!(decode_inputs::<usize>(u32::MAX, &bytes).is_err());
+    }
+}

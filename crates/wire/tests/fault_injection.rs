@@ -1,0 +1,152 @@
+//! The test-only write-fault shim in [`RemoteClient`]: torn
+//! connections are produced deterministically at chosen byte offsets,
+//! and the server's blast radius is exactly one connection.
+
+use std::time::{Duration, Instant};
+use zskip_runtime::FrozenCharLm;
+use zskip_serve::{ServeConfig, Server};
+use zskip_wire::{FaultMode, FaultPlan, RemoteClient, TcpServer, WireError};
+
+fn char_lm_server() -> TcpServer<FrozenCharLm> {
+    let model = FrozenCharLm::random(20, 16, 5);
+    let server = Server::start(model, ServeConfig::for_threshold(0.2).with_shards(2));
+    TcpServer::bind(server, "127.0.0.1:0").expect("bind")
+}
+
+fn eventually(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn sheared_connection_evicts_its_sessions_and_spares_the_rest() {
+    let tcp = char_lm_server();
+
+    // A healthy connection with one stream, to prove isolation.
+    let mut survivor = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let survivor_stream = survivor.open().unwrap();
+
+    // The victim: two streams, then a connection sheared mid-frame.
+    let mut victim = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let v1 = victim.open().unwrap();
+    let _v2 = victim.open().unwrap();
+    victim.send(v1, 3).unwrap();
+    let _ = victim.recv(v1).unwrap();
+
+    let sessions_before: usize = tcp
+        .server()
+        .stats()
+        .shards
+        .iter()
+        .map(|s| s.open_sessions)
+        .sum();
+    assert_eq!(sessions_before, 3, "two victim streams + one survivor");
+
+    // Shear 3 bytes into the next frame: the server sees a partial
+    // frame followed by EOF — a poisoned connection, not a clean one.
+    victim.inject_write_fault(FaultPlan {
+        mode: FaultMode::Shear,
+        at_byte: 3,
+    });
+    match victim.send(v1, 5) {
+        Err(WireError::ConnectionBroken(reason)) => {
+            assert!(reason.contains("shear"), "unhelpful reason: {reason}")
+        }
+        other => panic!("sheared write must fail, got {other:?}"),
+    }
+    // The shim latches: every later call fails the same way.
+    assert!(matches!(
+        victim.send(v1, 5),
+        Err(WireError::ConnectionBroken(_))
+    ));
+
+    // The server tears down the victim's sessions…
+    eventually("victim poisoned and its sessions evicted", || {
+        let wire = tcp.wire_stats();
+        let sessions: usize = tcp
+            .server()
+            .stats()
+            .shards
+            .iter()
+            .map(|s| s.open_sessions)
+            .sum();
+        wire.connections_poisoned == 1 && wire.sessions_torn_down == 2 && sessions == 1
+    });
+    // …and records the disconnect in both telemetry planes.
+    let wire_events = tcp.drain_wire_events();
+    let poisoned: Vec<_> = wire_events
+        .iter()
+        .filter(|e| e.kind.name() == "connection-poisoned")
+        .collect();
+    assert_eq!(poisoned.len(), 1);
+    assert_eq!(
+        poisoned[0].detail, 2,
+        "detail carries the sessions torn down"
+    );
+    let shard_events = tcp.server().drain_events();
+    assert!(
+        shard_events
+            .iter()
+            .any(|e| e.event.kind.name() == "session-close"),
+        "shard event rings must record the forced session teardown"
+    );
+
+    // The rest of the server keeps serving.
+    survivor.send(survivor_stream, 7).unwrap();
+    let result = survivor.recv(survivor_stream).unwrap();
+    assert_eq!(result.input, 7);
+    tcp.shutdown();
+}
+
+#[test]
+fn dropped_writes_starve_the_stream_but_keep_the_connection_up() {
+    let tcp = char_lm_server();
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let id = remote.open().unwrap();
+    remote.send(id, 1).unwrap();
+    let _ = remote.recv(id).unwrap();
+
+    // Drop everything from the start of the next frame on: the client
+    // thinks it is sending, the server hears silence.
+    remote.inject_write_fault(FaultPlan {
+        mode: FaultMode::Drop,
+        at_byte: 0,
+    });
+    remote.send(id, 2).unwrap();
+    let mut remote = remote.with_recv_timeout(Duration::from_millis(50));
+    match remote.recv(id) {
+        Err(WireError::Serve(zskip_serve::ServeError::RecvTimeout)) => {}
+        other => panic!("dropped submit must never produce a result, got {other:?}"),
+    }
+    // The connection itself is still healthy on the server side.
+    let stats = tcp.wire_stats();
+    assert_eq!(stats.connections_poisoned, 0);
+    assert_eq!(stats.active_connections, 1);
+    tcp.shutdown();
+}
+
+#[test]
+fn delayed_writes_arrive_late_but_intact() {
+    let tcp = char_lm_server();
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let id = remote.open().unwrap();
+    // Stall 4 bytes into the next frame — the server holds a partial
+    // frame for a while and must neither poison nor mis-parse.
+    remote.inject_write_fault(FaultPlan {
+        mode: FaultMode::Delay(Duration::from_millis(60)),
+        at_byte: 4,
+    });
+    let started = Instant::now();
+    remote.send(id, 9).unwrap();
+    assert!(started.elapsed() >= Duration::from_millis(60));
+    let result = remote.recv(id).unwrap();
+    assert_eq!(result.input, 9);
+    assert_eq!(tcp.wire_stats().connections_poisoned, 0);
+    tcp.shutdown();
+}

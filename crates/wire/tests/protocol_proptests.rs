@@ -1,0 +1,530 @@
+//! Protocol robustness: property tests round-trip every frame type
+//! through encode → decode, and a fuzz lane feeds the decoder (and a
+//! live server) truncated, oversized, bad-magic, wrong-version and
+//! mid-frame-disconnect bytes. The decoder's contract: typed errors,
+//! never a panic, never a read past the buffer.
+
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use zskip_wire::frame::{self, decode_frame, encode_frame, Frame};
+use zskip_wire::WireError;
+
+/// Owned mirror of every frame kind, so strategies can build them
+/// without wrestling the zero-copy lifetimes.
+#[derive(Clone, Debug)]
+enum OwnedFrame {
+    Hello {
+        version: u16,
+        family: u8,
+    },
+    HelloAck {
+        family: u8,
+        shards: u32,
+        spec: Vec<u8>,
+    },
+    Open,
+    OpenAck {
+        shard: u32,
+        session: u64,
+    },
+    Submit {
+        shard: u32,
+        session: u64,
+        input: Vec<u8>,
+    },
+    SubmitMany {
+        shard: u32,
+        session: u64,
+        count: u32,
+        inputs: Vec<u8>,
+    },
+    Close {
+        shard: u32,
+        session: u64,
+    },
+    Goodbye,
+    Result {
+        shard: u32,
+        session: u64,
+        argmax: u64,
+        logits: Vec<u32>,
+        input: Vec<u8>,
+    },
+    Evicted {
+        shard: u32,
+        session: u64,
+    },
+    Error {
+        code: u8,
+        shard: u32,
+        session: u64,
+        message: String,
+    },
+}
+
+impl OwnedFrame {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let logit_bytes;
+        let frame = match self {
+            OwnedFrame::Hello { version, family } => Frame::Hello {
+                version: *version,
+                family: *family,
+            },
+            OwnedFrame::HelloAck {
+                family,
+                shards,
+                spec,
+            } => Frame::HelloAck {
+                family: *family,
+                shards: *shards,
+                spec,
+            },
+            OwnedFrame::Open => Frame::Open,
+            OwnedFrame::OpenAck { shard, session } => Frame::OpenAck {
+                shard: *shard,
+                session: *session,
+            },
+            OwnedFrame::Submit {
+                shard,
+                session,
+                input,
+            } => Frame::Submit {
+                shard: *shard,
+                session: *session,
+                input,
+            },
+            OwnedFrame::SubmitMany {
+                shard,
+                session,
+                count,
+                inputs,
+            } => Frame::SubmitMany {
+                shard: *shard,
+                session: *session,
+                count: *count,
+                inputs,
+            },
+            OwnedFrame::Close { shard, session } => Frame::Close {
+                shard: *shard,
+                session: *session,
+            },
+            OwnedFrame::Goodbye => Frame::Goodbye,
+            OwnedFrame::Result {
+                shard,
+                session,
+                argmax,
+                logits,
+                input,
+            } => {
+                let floats: Vec<f32> = logits.iter().map(|b| f32::from_bits(*b)).collect();
+                let mut bytes = Vec::new();
+                frame::encode_logits(&mut bytes, &floats);
+                logit_bytes = bytes;
+                Frame::Result {
+                    shard: *shard,
+                    session: *session,
+                    argmax: *argmax,
+                    logits: &logit_bytes,
+                    input,
+                }
+            }
+            OwnedFrame::Evicted { shard, session } => Frame::Evicted {
+                shard: *shard,
+                session: *session,
+            },
+            OwnedFrame::Error {
+                code,
+                shard,
+                session,
+                message,
+            } => Frame::Error {
+                code: *code,
+                shard: *shard,
+                session: *session,
+                message,
+            },
+        };
+        encode_frame(&mut out, &frame);
+        out
+    }
+
+    /// Field-by-field equality against a decoded borrow. Logits
+    /// compare as bit patterns — NaNs included.
+    fn assert_round_trips(&self, decoded: &Frame<'_>) {
+        match (self, decoded) {
+            (
+                OwnedFrame::Hello { version, family },
+                Frame::Hello {
+                    version: v,
+                    family: f,
+                },
+            ) => {
+                assert_eq!((*version, *family), (*v, *f));
+            }
+            (
+                OwnedFrame::HelloAck {
+                    family,
+                    shards,
+                    spec,
+                },
+                Frame::HelloAck {
+                    family: f,
+                    shards: s,
+                    spec: sp,
+                },
+            ) => {
+                assert_eq!((*family, *shards, spec.as_slice()), (*f, *s, *sp));
+            }
+            (OwnedFrame::Open, Frame::Open) | (OwnedFrame::Goodbye, Frame::Goodbye) => {}
+            (
+                OwnedFrame::OpenAck { shard, session },
+                Frame::OpenAck {
+                    shard: sh,
+                    session: se,
+                },
+            )
+            | (
+                OwnedFrame::Close { shard, session },
+                Frame::Close {
+                    shard: sh,
+                    session: se,
+                },
+            )
+            | (
+                OwnedFrame::Evicted { shard, session },
+                Frame::Evicted {
+                    shard: sh,
+                    session: se,
+                },
+            ) => {
+                assert_eq!((*shard, *session), (*sh, *se));
+            }
+            (
+                OwnedFrame::Submit {
+                    shard,
+                    session,
+                    input,
+                },
+                Frame::Submit {
+                    shard: sh,
+                    session: se,
+                    input: i,
+                },
+            ) => {
+                assert_eq!((*shard, *session, input.as_slice()), (*sh, *se, *i));
+            }
+            (
+                OwnedFrame::SubmitMany {
+                    shard,
+                    session,
+                    count,
+                    inputs,
+                },
+                Frame::SubmitMany {
+                    shard: sh,
+                    session: se,
+                    count: c,
+                    inputs: i,
+                },
+            ) => {
+                assert_eq!(
+                    (*shard, *session, *count, inputs.as_slice()),
+                    (*sh, *se, *c, *i)
+                );
+            }
+            (
+                OwnedFrame::Result {
+                    shard,
+                    session,
+                    argmax,
+                    logits,
+                    input,
+                },
+                Frame::Result {
+                    shard: sh,
+                    session: se,
+                    argmax: a,
+                    logits: l,
+                    input: i,
+                },
+            ) => {
+                assert_eq!(
+                    (*shard, *session, *argmax, input.as_slice()),
+                    (*sh, *se, *a, *i)
+                );
+                let bits: Vec<u32> = frame::decode_logits(l)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect();
+                assert_eq!(&bits, logits, "logit bit patterns must survive the wire");
+            }
+            (
+                OwnedFrame::Error {
+                    code,
+                    shard,
+                    session,
+                    message,
+                },
+                Frame::Error {
+                    code: c,
+                    shard: sh,
+                    session: se,
+                    message: m,
+                },
+            ) => {
+                assert_eq!(
+                    (*code, *shard, *session, message.as_str()),
+                    (*c, *sh, *se, *m)
+                );
+            }
+            (owned, decoded) => panic!("kind changed in flight: {owned:?} → {decoded:?}"),
+        }
+    }
+}
+
+fn payload_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..48)
+}
+
+fn ascii_message() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..48)
+        .prop_map(|v| v.into_iter().map(|b| ((b % 94) + 32) as char).collect())
+}
+
+fn any_frame() -> impl Strategy<Value = OwnedFrame> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>())
+            .prop_map(|(version, family)| OwnedFrame::Hello { version, family }),
+        (any::<u8>(), any::<u32>(), payload_bytes()).prop_map(|(family, shards, spec)| {
+            OwnedFrame::HelloAck {
+                family,
+                shards,
+                spec,
+            }
+        }),
+        Just(OwnedFrame::Open),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(shard, session)| OwnedFrame::OpenAck { shard, session }),
+        (any::<u32>(), any::<u64>(), payload_bytes()).prop_map(|(shard, session, input)| {
+            OwnedFrame::Submit {
+                shard,
+                session,
+                input,
+            }
+        }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), payload_bytes()).prop_map(
+            |(shard, session, count, inputs)| OwnedFrame::SubmitMany {
+                shard,
+                session,
+                count,
+                inputs
+            }
+        ),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(shard, session)| OwnedFrame::Close { shard, session }),
+        Just(OwnedFrame::Goodbye),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            // Raw bit patterns: NaN payloads, infinities, denormals —
+            // all must cross the wire untouched.
+            proptest::collection::vec(any::<u32>(), 0..24),
+            payload_bytes(),
+        )
+            .prop_map(
+                |(shard, session, argmax, logits, input)| OwnedFrame::Result {
+                    shard,
+                    session,
+                    argmax,
+                    logits,
+                    input
+                }
+            ),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(shard, session)| OwnedFrame::Evicted { shard, session }),
+        (any::<u8>(), any::<u32>(), any::<u64>(), ascii_message()).prop_map(
+            |(code, shard, session, message)| OwnedFrame::Error {
+                code,
+                shard,
+                session,
+                message
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// Every frame type survives encode → decode field-for-field, the
+    /// decoder consumes exactly the encoded bytes, and every strict
+    /// prefix asks for more bytes instead of erroring or panicking.
+    #[test]
+    fn every_frame_round_trips_and_every_prefix_is_incomplete(frame in any_frame()) {
+        let bytes = frame.encode();
+        let (decoded, consumed) = decode_frame(&bytes)
+            .expect("valid frame must decode")
+            .expect("complete frame must not be 'incomplete'");
+        assert_eq!(consumed, bytes.len(), "decoder must consume exactly one frame");
+        frame.assert_round_trips(&decoded);
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_frame(&bytes[..cut]), Ok(None)),
+                "prefix of length {cut} must be incomplete, not an error"
+            );
+        }
+    }
+
+    /// Two frames back to back: the decoder consumes the first
+    /// exactly and the second decodes from the reported offset —
+    /// no over-read into the next frame.
+    #[test]
+    fn decoder_never_reads_into_the_next_frame(a in any_frame(), b in any_frame()) {
+        let mut bytes = a.encode();
+        let first_len = bytes.len();
+        bytes.extend_from_slice(&b.encode());
+        let (first, consumed) = decode_frame(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, first_len);
+        a.assert_round_trips(&first);
+        let (second, consumed2) = decode_frame(&bytes[consumed..]).unwrap().unwrap();
+        assert_eq!(consumed + consumed2, bytes.len());
+        b.assert_round_trips(&second);
+    }
+
+    /// Arbitrary byte soup: the decoder returns Ok or a typed error,
+    /// never panics, and a reported frame never exceeds the buffer.
+    #[test]
+    fn random_bytes_never_panic_or_over_read(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        match decode_frame(&bytes) {
+            Ok(Some((_, consumed))) => assert!(consumed <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {} // typed error — fine
+        }
+    }
+
+    /// A single flipped byte in a valid frame: decode must stay total
+    /// (some flips still decode — length-preserving payload flips —
+    /// but none may panic or over-read).
+    #[test]
+    fn single_byte_corruption_stays_total(
+        frame in any_frame(),
+        flip_pos in any::<u32>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = frame.encode();
+        let pos = (flip_pos as usize) % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        match decode_frame(&bytes) {
+            Ok(Some((_, consumed))) => assert!(consumed <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_any_allocation() {
+    for len in [frame::MAX_FRAME_LEN + 1, u32::MAX, u32::MAX / 2] {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.push(0x05);
+        match decode_frame(&bytes) {
+            Err(WireError::FrameTooLarge { len: l }) => assert_eq!(l, len),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_and_unknown_kind_are_typed_errors() {
+    // A hello whose magic is wrong.
+    let mut owned = OwnedFrame::Hello {
+        version: 1,
+        family: 0,
+    }
+    .encode();
+    owned[5] = b'X'; // first magic byte
+    assert!(matches!(decode_frame(&owned), Err(WireError::BadMagic)));
+    // A kind tag this protocol version does not define.
+    let bytes = [1u32.to_le_bytes().as_slice(), &[0xEE]].concat();
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(WireError::UnknownKind(0xEE))
+    ));
+}
+
+/// Socket-level fuzz lane: a live server fed each hostile corpus must
+/// poison that one connection and keep serving everyone else.
+#[test]
+fn hostile_corpora_poison_one_connection_and_never_the_server() {
+    use zskip_runtime::FrozenCharLm;
+    use zskip_serve::{ServeConfig, Server};
+    use zskip_wire::{RemoteClient, TcpServer};
+
+    let model = FrozenCharLm::random(20, 16, 5);
+    let server = Server::start(model, ServeConfig::for_threshold(0.2).with_shards(2));
+    let tcp = TcpServer::bind(server, "127.0.0.1:0").expect("bind");
+
+    let good_hello = OwnedFrame::Hello {
+        version: frame::PROTOCOL_VERSION,
+        family: 0,
+    }
+    .encode();
+    let wrong_version = OwnedFrame::Hello {
+        version: 99,
+        family: 0,
+    }
+    .encode();
+    let bad_magic = {
+        let mut b = good_hello.clone();
+        b[5] = b'X';
+        b
+    };
+    let oversized = {
+        let mut b = (frame::MAX_FRAME_LEN + 7).to_le_bytes().to_vec();
+        b.push(0x01);
+        b.extend_from_slice(&[0u8; 32]);
+        b
+    };
+    let truncated_then_gone = good_hello[..3].to_vec(); // mid-frame disconnect
+    let post_handshake_garbage = {
+        let mut b = good_hello.clone();
+        b.extend_from_slice(&[0xFF; 9]); // unknown kind after a valid hello
+        b
+    };
+
+    let corpora: Vec<(&str, Vec<u8>)> = vec![
+        ("wrong-version", wrong_version),
+        ("bad-magic", bad_magic),
+        ("oversized", oversized),
+        ("mid-frame-disconnect", truncated_then_gone),
+        ("post-handshake-garbage", post_handshake_garbage),
+    ];
+    let expected_poisonings = corpora.len() as u64;
+    for (name, bytes) in corpora {
+        let mut sock = TcpStream::connect(tcp.local_addr()).expect("connect");
+        sock.write_all(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        sock.flush().ok();
+        drop(sock);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while tcp.wire_stats().connections_poisoned < expected_poisonings {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {expected_poisonings} corpora poisoned",
+            tcp.wire_stats().connections_poisoned
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // After all that abuse, a well-behaved client is served normally.
+    let mut remote =
+        RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect after fuzz");
+    let id = remote.open().unwrap();
+    remote.send(id, 7).unwrap();
+    assert_eq!(remote.recv(id).unwrap().input, 7);
+    tcp.shutdown();
+}

@@ -1,0 +1,264 @@
+//! Behavioral contract of the TCP front-end and the remote client:
+//! the remote API mirrors the in-process client over a real socket,
+//! malformed peers poison only their own connection, and the wire
+//! telemetry records what happened.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use zskip_runtime::{EngineError, FrozenCharLm, FrozenSeqClassifier};
+use zskip_serve::{ServeConfig, Server};
+use zskip_wire::{RemoteClient, TcpServer, WireError};
+
+fn char_lm_server(shards: usize) -> TcpServer<FrozenCharLm> {
+    let model = FrozenCharLm::random(20, 16, 5);
+    let server = Server::start(model, ServeConfig::for_threshold(0.2).with_shards(shards));
+    TcpServer::bind(server, "127.0.0.1:0").expect("bind")
+}
+
+/// Polls `probe` until it returns true or the budget runs out — the
+/// deterministic-retry idiom for cross-thread counter assertions.
+fn eventually(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn remote_round_trip_matches_in_process_serving_bit_for_bit() {
+    let tcp = char_lm_server(2);
+    let mut local = tcp.server().client();
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    assert_eq!(remote.shard_count(), 2);
+    assert_eq!(remote.input_spec().vocab, 20);
+
+    let l = local.open().unwrap();
+    let r = remote.open().unwrap();
+    for token in [3usize, 7, 11, 19, 0, 7] {
+        local.send(l, token).unwrap();
+        remote.send(r, token).unwrap();
+        let want = local.recv(l).unwrap();
+        let got = remote.recv(r).unwrap();
+        assert_eq!(got.input, want.input);
+        assert_eq!(got.argmax, want.argmax);
+        let want_bits: Vec<u32> = want.logits.iter().map(|x| x.to_bits()).collect();
+        let got_bits: Vec<u32> = got.logits.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            got_bits, want_bits,
+            "remote logits diverged from in-process"
+        );
+    }
+    tcp.shutdown();
+}
+
+#[test]
+fn send_all_batches_and_recv_any_multiplexes() {
+    let tcp = char_lm_server(2);
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let a = remote.open().unwrap();
+    let b = remote.open().unwrap();
+    remote.send_all(a, &[1, 2, 3]).unwrap();
+    remote.send_all(b, &[4, 5]).unwrap();
+    let mut per_stream = std::collections::HashMap::new();
+    for _ in 0..5 {
+        let (id, result) = remote.recv_any(Duration::from_secs(5)).unwrap();
+        per_stream
+            .entry(id)
+            .or_insert_with(Vec::new)
+            .push(result.input);
+    }
+    assert_eq!(per_stream[&a], vec![1, 2, 3], "in-order per stream");
+    assert_eq!(per_stream[&b], vec![4, 5]);
+    // Nothing further in flight: the deadline maps to RecvTimeout.
+    match remote.recv_any(Duration::from_millis(20)) {
+        Err(WireError::Serve(zskip_serve::ServeError::RecvTimeout)) => {}
+        other => panic!("expected RecvTimeout, got {other:?}"),
+    }
+    tcp.shutdown();
+}
+
+#[test]
+fn validation_and_stream_errors_mirror_the_in_process_client() {
+    let tcp = char_lm_server(1);
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let id = remote.open().unwrap();
+
+    // Out-of-vocab token rejected locally, all-or-nothing.
+    match remote.send(id, 999) {
+        Err(WireError::Serve(zskip_serve::ServeError::Engine(EngineError::InvalidInput))) => {}
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+    match remote.send_all(id, &[1, 2, 999]) {
+        Err(WireError::Serve(zskip_serve::ServeError::Engine(EngineError::InvalidInput))) => {}
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+    // The invalid batch submitted nothing.
+    match remote.with_recv_timeout(Duration::from_millis(30)).recv(id) {
+        Err(WireError::Serve(zskip_serve::ServeError::RecvTimeout)) => {}
+        other => panic!("expected RecvTimeout, got {other:?}"),
+    }
+    tcp.shutdown();
+}
+
+#[test]
+fn unknown_and_closed_streams_are_rejected_without_touching_the_socket() {
+    let tcp = char_lm_server(1);
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let bogus = zskip_serve::StreamId::from_wire(0, 0xDEAD_BEEF);
+    assert!(matches!(
+        remote.send(bogus, 1),
+        Err(WireError::Serve(zskip_serve::ServeError::UnknownStream))
+    ));
+    assert!(matches!(
+        remote.recv(bogus),
+        Err(WireError::Serve(zskip_serve::ServeError::UnknownStream))
+    ));
+    assert!(matches!(
+        remote.close(bogus),
+        Err(WireError::Serve(zskip_serve::ServeError::UnknownStream))
+    ));
+    let id = remote.open().unwrap();
+    remote.close(id).unwrap();
+    assert!(matches!(
+        remote.recv(id),
+        Err(WireError::Serve(zskip_serve::ServeError::UnknownStream))
+    ));
+    // Empty stream set: recv_any reports it immediately.
+    assert!(matches!(
+        remote.recv_any(Duration::from_secs(1)),
+        Err(WireError::Serve(zskip_serve::ServeError::UnknownStream))
+    ));
+    tcp.shutdown();
+}
+
+#[test]
+fn wrong_family_handshake_fails_with_a_typed_error() {
+    let tcp = char_lm_server(1);
+    // A seq-classifier client dialing a char-LM server must be turned
+    // away during the handshake, not fed garbage.
+    match RemoteClient::<FrozenSeqClassifier>::connect(tcp.local_addr()) {
+        Err(WireError::Remote(msg)) => {
+            assert!(msg.contains("family"), "unhelpful message: {msg}")
+        }
+        Ok(_) => panic!("handshake should have failed"),
+        Err(other) => panic!("expected a remote handshake error, got {other:?}"),
+    }
+    eventually("handshake rejection recorded as poisoned", || {
+        tcp.wire_stats().connections_poisoned == 1
+    });
+    tcp.shutdown();
+}
+
+#[test]
+fn garbage_speaking_peer_poisons_only_its_own_connection() {
+    let tcp = char_lm_server(2);
+    // A healthy remote session, opened first.
+    let mut good = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let id = good.open().unwrap();
+
+    // A peer that is not speaking the protocol at all.
+    let mut junk = TcpStream::connect(tcp.local_addr()).expect("connect raw");
+    junk.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    junk.flush().unwrap();
+    eventually("junk peer poisoned", || {
+        tcp.wire_stats().connections_poisoned >= 1
+    });
+
+    // The healthy connection keeps serving.
+    good.send(id, 7).unwrap();
+    let result = good.recv(id).unwrap();
+    assert_eq!(result.input, 7);
+
+    let events = tcp.drain_wire_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind.name() == "connection-poisoned"),
+        "poisoning must land in the wire event ring"
+    );
+    drop(junk);
+    tcp.shutdown();
+}
+
+#[test]
+fn clean_drop_sends_goodbye_and_counts_a_clean_close() {
+    let tcp = char_lm_server(1);
+    {
+        let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+        let id = remote.open().unwrap();
+        remote.send(id, 3).unwrap();
+        let _ = remote.recv(id).unwrap();
+    } // drop: goodbye + half-close
+    eventually("clean close counted", || {
+        let stats = tcp.wire_stats();
+        stats.connections_closed == 1 && stats.connections_poisoned == 0
+    });
+    let events = tcp.drain_wire_events();
+    assert!(events.iter().any(|e| e.kind.name() == "connection-open"));
+    assert!(events.iter().any(|e| e.kind.name() == "connection-close"));
+    tcp.shutdown();
+}
+
+#[test]
+fn goodbye_after_submit_still_drains_in_flight_results() {
+    // A client that submits, says goodbye, then keeps reading must
+    // still receive everything the engine accepted (clean half-close).
+    let tcp = char_lm_server(1);
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let id = remote.open().unwrap();
+    remote.send_all(id, &[1, 2, 3, 4]).unwrap();
+    // recv still works after the submits are on the wire even if the
+    // server processes the goodbye concurrently with the last steps.
+    for want in [1usize, 2, 3, 4] {
+        let result = remote.recv(id).unwrap();
+        assert_eq!(result.input, want);
+    }
+    tcp.shutdown();
+}
+
+#[test]
+fn wire_latency_lane_and_frame_counters_fill_up() {
+    let tcp = char_lm_server(1);
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let id = remote.open().unwrap();
+    for token in 0..10usize {
+        remote.send(id, token % 20).unwrap();
+        let _ = remote.recv(id).unwrap();
+    }
+    let latency = tcp.wire_latency();
+    assert_eq!(latency.count(), 10, "one connection-lane sample per token");
+    assert!(latency.p99() >= latency.p50());
+    let stats = tcp.wire_stats();
+    assert!(stats.frames_received >= 11, "open + 10 submits");
+    assert!(stats.frames_sent >= 12, "hello-ack + open-ack + 10 results");
+    assert_eq!(stats.active_connections, 1);
+    tcp.shutdown();
+}
+
+#[test]
+fn server_shutdown_with_live_connections_does_not_hang() {
+    let tcp = char_lm_server(2);
+    let mut remote = RemoteClient::<FrozenCharLm>::connect(tcp.local_addr()).expect("connect");
+    let id = remote.open().unwrap();
+    remote.send(id, 1).unwrap();
+    let _ = remote.recv(id).unwrap();
+    // Shut down while the remote still holds an open stream.
+    tcp.shutdown();
+    // The remote observes the teardown as a connection-level failure,
+    // not a hang or a panic.
+    let err = remote
+        .with_recv_timeout(Duration::from_secs(2))
+        .recv(id)
+        .expect_err("server is gone");
+    match err {
+        WireError::ConnectionBroken(_)
+        | WireError::Remote(_)
+        | WireError::Serve(zskip_serve::ServeError::RecvTimeout) => {}
+        other => panic!("unexpected error shape: {other:?}"),
+    }
+}

@@ -1,0 +1,97 @@
+//! A standalone wire server: loads a frozen-model snapshot, serves it
+//! over TCP, and exits when stdin closes.
+//!
+//! This is the server half of the cross-process determinism harness
+//! (`tests/wire_determinism.rs`): the test spawns this binary with a
+//! snapshot file, reads the `PORT <n>` line from stdout, drives it
+//! with a [`zskip::wire::RemoteClient`], and closes the child's stdin
+//! to shut it down. It is also a minimal deployment shape: one
+//! snapshot file in, one listening socket out.
+//!
+//! ```text
+//! zskip_wire_server <snapshot> [--threshold T] [--shards N] [--addr HOST:PORT]
+//! ```
+//!
+//! The model family is read from the snapshot header — all five
+//! frozen families dispatch through the same loop below.
+
+use std::io::Read;
+use zskip::runtime::{
+    snapshot::peek_family, FrozenCharLm, FrozenGruCharLm, FrozenQuantizedCharLm,
+    FrozenSeqClassifier, FrozenWordLm, ModelFamily,
+};
+use zskip::serve::{ServeConfig, Server};
+use zskip::wire::{TcpServer, WireModel};
+
+struct Args {
+    snapshot: String,
+    threshold: f32,
+    shards: usize,
+    addr: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let snapshot = args.next().ok_or(
+        "usage: zskip_wire_server <snapshot> [--threshold T] [--shards N] [--addr HOST:PORT]",
+    )?;
+    let mut parsed = Args {
+        snapshot,
+        threshold: 0.2,
+        shards: 2,
+        addr: "127.0.0.1:0".into(),
+    };
+    while let Some(flag) = args.next() {
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--threshold" => {
+                parsed.threshold = value.parse().map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--shards" => parsed.shards = value.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--addr" => parsed.addr = value,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn serve<M: WireModel>(bytes: &[u8], args: &Args) -> Result<(), String> {
+    let model = M::from_snapshot_bytes(bytes).map_err(|e| format!("snapshot rejected: {e}"))?;
+    let config = ServeConfig::for_threshold(args.threshold).with_shards(args.shards);
+    let server = Server::start(model, config);
+    let tcp = TcpServer::bind(server, args.addr.as_str()).map_err(|e| format!("bind: {e}"))?;
+    // The harness contract: exactly one `PORT <n>` line on stdout once
+    // the listener is live.
+    println!("PORT {}", tcp.local_addr().port());
+    // Block until the parent closes our stdin, then exit cleanly.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    tcp.shutdown();
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let run = || -> Result<(), String> {
+        let bytes =
+            std::fs::read(&args.snapshot).map_err(|e| format!("read {}: {e}", args.snapshot))?;
+        let family = peek_family(&bytes).map_err(|e| format!("snapshot header: {e}"))?;
+        match family {
+            ModelFamily::CharLm => serve::<FrozenCharLm>(&bytes, &args),
+            ModelFamily::GruCharLm => serve::<FrozenGruCharLm>(&bytes, &args),
+            ModelFamily::WordLm => serve::<FrozenWordLm>(&bytes, &args),
+            ModelFamily::SeqClassifier => serve::<FrozenSeqClassifier>(&bytes, &args),
+            ModelFamily::QuantizedCharLm => serve::<FrozenQuantizedCharLm>(&bytes, &args),
+        }
+    };
+    if let Err(e) = run() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

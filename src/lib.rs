@@ -21,6 +21,7 @@
 //! | [`runtime`] | `zskip-runtime` | batched CPU serving engine that skips ineffectual MACs — generic over the model family (LSTM/GRU char-LM, word-LM, classifier) |
 //! | [`serve`] | `zskip-serve` | sharded multi-threaded serving layer: workers, backpressure, TTL, stats, `recv_any` multiplexing |
 //! | [`telemetry`] | `zskip-telemetry` | lock-free latency histograms, per-stage step timing, bounded event rings (see `examples/serve_telemetry.rs`) |
+//! | [`wire`] | `zskip-wire` | framed TCP protocol, `TcpServer` front-end, blocking `RemoteClient`, frozen-model snapshots over the process boundary (see `docs/WIRE.md`) |
 //!
 //! # Quickstart
 //!
@@ -82,6 +83,7 @@ pub use zskip_runtime as runtime;
 pub use zskip_serve as serve;
 pub use zskip_telemetry as telemetry;
 pub use zskip_tensor as tensor;
+pub use zskip_wire as wire;
 // The vendored serde_json, re-exported so examples and downstream users
 // can render the telemetry snapshots (`Serialize` types throughout)
 // without declaring the vendored crate themselves.
